@@ -1,0 +1,91 @@
+"""Ablation: allocator policy across machines (extends Fig. 1).
+
+DESIGN.md calls out page placement x bandwidth as the mechanism behind
+Fig. 1. This ablation separates the two ingredients the paper's custom
+allocator combines -- *spreading* pages and *matching* them to threads --
+by adding an interleaving policy (spread but unmatched) and a third
+machine axis: the single-NUMA-node ARM extension, where the whole effect
+must vanish.
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx, paper_size
+from repro.memory.allocators import (
+    DefaultAllocator,
+    InterleavedAllocator,
+    ParallelFirstTouchAllocator,
+)
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+
+ALLOCATORS = {
+    "default": DefaultAllocator,
+    "interleave": InterleavedAllocator,
+    "first-touch": ParallelFirstTouchAllocator,
+}
+
+
+def _time(machine: str, allocator: str, case: str = "for_each_k1") -> float:
+    ctx = make_ctx(machine, "gcc-tbb", allocator=ALLOCATORS[allocator]())
+    return measure_case(get_case(case), ctx, paper_size())
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {
+        (m, a): _time(m, a)
+        for m in ("A", "B", "C", "arm")
+        for a in ALLOCATORS
+    }
+
+
+def test_bench_ablation_allocator(benchmark):
+    result = benchmark.pedantic(
+        lambda: {(m, a): _time(m, a) for m in ("A", "arm") for a in ALLOCATORS},
+        rounds=1,
+        iterations=1,
+    )
+    for (m, a), t in sorted(result.items()):
+        print(f"for_each_k1 on {m} with {a}: {t:.4f}s")
+
+
+def test_spreading_suffices_on_two_nodes(grid):
+    """On 2-node Mach A, interleaving alone recovers most of the gain:
+    both memory controllers serve traffic either way."""
+    gain_ft = grid[("A", "default")] / grid[("A", "first-touch")]
+    gain_il = grid[("A", "default")] / grid[("A", "interleave")]
+    assert gain_il > 1.0 + 0.5 * (gain_ft - 1.0)
+
+
+def test_matching_required_on_eight_nodes(grid):
+    """On the 8-node Zen machines, interleaving does NOT help: unmatched
+    pages make ~7/8 of accesses remote and the interconnect binds. Only
+    thread-matched first touch pays off -- spreading alone is not the
+    mechanism, locality is."""
+    for machine in ("B", "C"):
+        gain_il = grid[(machine, "default")] / grid[(machine, "interleave")]
+        gain_ft = grid[(machine, "default")] / grid[(machine, "first-touch")]
+        assert gain_il < 1.1, machine
+        assert gain_ft > 1.5, machine
+
+
+def test_matching_still_beats_interleaving(grid):
+    """...but thread-matched pages avoid interconnect traffic entirely."""
+    for machine in ("A", "B", "C"):
+        assert grid[(machine, "first-touch")] <= grid[(machine, "interleave")] * 1.001
+
+
+def test_effect_vanishes_without_numa(grid):
+    """On the 1-node ARM extension, allocator choice is irrelevant."""
+    times = [grid[("arm", a)] for a in ALLOCATORS]
+    assert max(times) / min(times) < 1.02
+
+
+def test_effect_grows_with_node_count(grid):
+    """8-node Zen machines gain at least as much as 2-node Skylake."""
+    gain = {
+        m: grid[(m, "default")] / grid[(m, "first-touch")] for m in ("A", "B", "C")
+    }
+    assert gain["B"] > gain["A"] * 0.9
+    assert gain["C"] > gain["A"] * 0.9

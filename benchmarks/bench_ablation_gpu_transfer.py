@@ -1,0 +1,90 @@
+"""Ablation: GPU transfer bandwidth and launch latency (Fig. 8/9 drivers).
+
+The paper concludes the GPUs are transfer-bound at low intensity; this
+ablation quantifies the claim by sweeping the unified-memory migration
+bandwidth and the kernel-launch latency, and locating the intensity
+crossover where the T4 starts beating the parallel host CPU.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.backends import get_backend
+from repro.execution.context import ExecutionContext
+from repro.experiments.common import make_ctx
+from repro.machines import get_machine
+from repro.sim.gpu import GpuExecution
+from repro.suite.cases import _case_for_each
+from repro.suite.wrappers import measure_case
+from repro.types import FLOAT32
+
+N = 1 << 28
+
+
+def _gpu_time(k_it: int, pcie_bw: float | None = None, launch: float | None = None):
+    gpu = get_machine("D")
+    if pcie_bw is not None:
+        gpu = dataclasses.replace(gpu, pcie_bandwidth=pcie_bw)
+    if launch is not None:
+        gpu = dataclasses.replace(gpu, kernel_launch_latency=launch)
+    ctx = ExecutionContext(
+        gpu,
+        get_backend("nvc-cuda"),
+        gpu_options=GpuExecution(transfer_back=True),
+    )
+    return measure_case(_case_for_each(k_it), ctx, N, FLOAT32)
+
+
+def _cpu_time(k_it: int):
+    return measure_case(_case_for_each(k_it), make_ctx("gpu-host", "nvc-omp"), N, FLOAT32)
+
+
+def _crossover_k(pcie_bw: float | None = None) -> int:
+    """Smallest k_it (powers of 2) where the GPU beats the parallel CPU."""
+    for e in range(0, 15):
+        k = 1 << e
+        if _gpu_time(k, pcie_bw=pcie_bw) < _cpu_time(k):
+            return k
+    return 1 << 15
+
+
+def test_bench_ablation_gpu_transfer(benchmark):
+    k = benchmark.pedantic(_crossover_k, rounds=1, iterations=1)
+    print(f"\nGPU-beats-CPU intensity crossover at default PCIe: k_it={k}")
+    assert 2 <= k <= 4096
+
+
+def test_low_intensity_time_is_mostly_transfer():
+    baseline = _gpu_time(1)
+    free_link = _gpu_time(1, pcie_bw=1e13)
+    assert free_link < baseline / 5
+
+
+def test_faster_link_moves_crossover_down():
+    slow = _crossover_k(pcie_bw=3e9)
+    fast = _crossover_k(pcie_bw=24e9)
+    assert fast <= slow / 2
+
+
+def test_high_intensity_insensitive_to_link():
+    k = 1 << 14
+    slow = _gpu_time(k, pcie_bw=3e9)
+    fast = _gpu_time(k, pcie_bw=24e9)
+    assert slow == pytest.approx(fast, rel=0.1)
+
+
+def test_launch_latency_only_matters_for_tiny_problems():
+    big_default = _gpu_time(1)
+    big_slow_launch = _gpu_time(1, launch=2e-3)
+    assert big_slow_launch == pytest.approx(big_default, rel=0.05)
+
+    gpu = get_machine("D")
+    tiny_ctx = lambda latency: ExecutionContext(  # noqa: E731
+        dataclasses.replace(gpu, kernel_launch_latency=latency),
+        get_backend("nvc-cuda"),
+        gpu_options=GpuExecution(transfer_back=True),
+    )
+    tiny_default = measure_case(_case_for_each(1), tiny_ctx(20e-6), 1 << 8, FLOAT32)
+    tiny_slow = measure_case(_case_for_each(1), tiny_ctx(2e-3), 1 << 8, FLOAT32)
+    assert tiny_slow > 10 * tiny_default

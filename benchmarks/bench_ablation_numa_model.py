@@ -1,0 +1,96 @@
+"""Ablation: the NUMA cost-model terms (DESIGN.md section 4).
+
+The engine's memory time is the max of four constraints; two calibrated
+mechanisms sit on top: geometric locality decay with node count and the
+cross-node interconnect cap. This ablation turns each off (by synthetic
+backend/machine surgery) and shows which paper behaviours each explains:
+
+* without locality decay, the 8-node machines' for_each speedups balloon
+  to ~2-3x the measured values (the Table 5 B/C mismatch we originally hit);
+* without the interconnect cap, remote traffic becomes free and the
+  default allocator's penalty collapses toward the naive 2x bandwidth split.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import pstl
+from repro.backends import get_backend
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.suite.kernels import listing1_kernel
+from repro.types import FLOAT64
+
+N = 1 << 30
+
+
+def _foreach_seconds(machine, backend, threads):
+    ctx = ExecutionContext(machine, backend, threads=threads)
+    return pstl.for_each(ctx, ctx.allocate(N, FLOAT64), listing1_kernel(1)).seconds
+
+
+def _no_decay(backend):
+    """The same backend with perfect multi-node locality."""
+    return dataclasses.replace(
+        backend,
+        default_numa_quality=1.0,
+        numa_qualities={},
+    )
+
+
+@pytest.fixture(scope="module")
+def times():
+    out = {}
+    for mach_name in ("A", "B", "C"):
+        machine = get_machine(mach_name)
+        tbb = get_backend("gcc-tbb")
+        out[(mach_name, "full")] = _foreach_seconds(machine, tbb, machine.total_cores)
+        out[(mach_name, "no-decay")] = _foreach_seconds(
+            machine, _no_decay(tbb), machine.total_cores
+        )
+        fat_link = dataclasses.replace(machine, interconnect_bw=1e12)
+        out[(mach_name, "free-interconnect")] = _foreach_seconds(
+            fat_link, tbb, machine.total_cores
+        )
+    return out
+
+
+def test_bench_ablation_numa(benchmark, times):
+    benchmark.pedantic(
+        lambda: _foreach_seconds(get_machine("B"), get_backend("gcc-tbb"), 64),
+        rounds=1,
+        iterations=1,
+    )
+    for key, value in sorted(times.items()):
+        print(f"for_each_k1 {key}: {value:.4f}s")
+
+
+def test_decay_explains_zen_slowdown(times):
+    """Removing locality decay speeds the 8-node machines up a lot..."""
+    for mach in ("B", "C"):
+        assert times[(mach, "no-decay")] < times[(mach, "full")] / 1.5
+
+
+def test_decay_barely_matters_on_two_nodes(times):
+    """...but barely moves the 2-node Skylake: it is an 8-node mechanism."""
+    ratio = times[("A", "full")] / times[("A", "no-decay")]
+    assert ratio < 1.3
+
+
+def test_interconnect_cap_binds_on_zen(times):
+    """A free interconnect removes the remote-traffic bottleneck on B/C."""
+    for mach in ("B", "C"):
+        assert times[(mach, "free-interconnect")] < times[(mach, "full")] * 0.9
+
+
+def test_numa_terms_explain_the_paper_inversion(times):
+    """The paper's Table 5 implies 64-core Mach B is *absolutely slower*
+    than 32-core Mach A for for_each k=1 (3.06s/6.1 = 0.50s vs
+    3.57s/14.2 = 0.25s) despite having 1.5x the STREAM bandwidth. The
+    full model reproduces that inversion; removing either NUMA term
+    (locality decay or the interconnect cap) flips it back to the naive
+    bandwidth ordering -- i.e., those two terms ARE the explanation."""
+    assert times[("B", "full")] > times[("A", "full")]
+    assert times[("B", "no-decay")] < times[("A", "no-decay")]
+    assert times[("B", "free-interconnect")] < times[("A", "free-interconnect")]

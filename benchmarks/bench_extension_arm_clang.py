@@ -1,0 +1,87 @@
+"""Extension bench: the paper's future work, exercised.
+
+Section 6 of the paper: "we would like to expand our benchmark suite, to
+support more compilers and backends. Similarly, an extended analysis
+could include other architectures, such as ARM processors." This bench
+runs both extensions this reproduction ships:
+
+* **Mach ARM** (Ampere Altra, 80 cores, single NUMA node) -- prediction:
+  the NUMA effects that dominate the paper's Zen results disappear, and
+  memory-bound speedups track the STREAM ratio (~4.9) closely;
+* **CLANG-OMP** (libc++ PSTL on OpenMP) -- prediction: between GCC-TBB
+  and GCC-GNU on maps, TBB-like on sort.
+
+These are model predictions, not paper reproductions; they are what the
+suite says *before* anyone measures the real hardware.
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx, paper_size, seq_baseline_seconds
+from repro.experiments.fig1 import allocator_speedup
+from repro.machines import get_machine
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+
+
+def _speedup(machine: str, backend: str, case: str) -> float:
+    n = paper_size()
+    base = seq_baseline_seconds(machine, case, n)
+    return base / measure_case(get_case(case), make_ctx(machine, backend), n)
+
+
+@pytest.fixture(scope="module")
+def arm_speedups():
+    return {
+        (b, c): _speedup("arm", b, c)
+        for b in ("GCC-TBB", "GCC-GNU", "CLANG-OMP")
+        for c in ("for_each_k1", "reduce", "sort", "for_each_k1000")
+    }
+
+
+def test_bench_extension_arm(benchmark, arm_speedups):
+    result = benchmark.pedantic(
+        lambda: _speedup("arm", "GCC-TBB", "reduce"), rounds=1, iterations=1
+    )
+    print(f"\nARM GCC-TBB reduce speedup: {result:.1f}")
+    for key, value in sorted(arm_speedups.items()):
+        print(f"ARM {key[0]:10s} {key[1]:16s} {value:6.1f}x")
+
+
+def test_arm_memory_bound_tracks_stream_ratio(arm_speedups):
+    arm = get_machine("arm")
+    ratio = arm.ideal_bandwidth_speedup()  # ~4.9
+    got = arm_speedups[("GCC-TBB", "reduce")]
+    assert 0.5 * ratio < got <= 1.1 * ratio
+
+
+def test_arm_compute_bound_near_core_count(arm_speedups):
+    got = arm_speedups[("GCC-TBB", "for_each_k1000")]
+    assert 60 < got <= 81
+
+
+def test_arm_allocator_effect_absent():
+    """Single NUMA node: the headline Fig. 1 effect must vanish."""
+    ratio = allocator_speedup("arm", "GCC-TBB", "for_each_k1", threads=80)
+    assert ratio == pytest.approx(1.0, abs=0.02)
+
+
+def test_clang_between_tbb_and_gnu_on_maps():
+    times = {
+        b: measure_case(
+            get_case("for_each_k1"), make_ctx("A", b), paper_size()
+        )
+        for b in ("GCC-TBB", "GCC-GNU", "CLANG-OMP", "GCC-HPX")
+    }
+    assert times["CLANG-OMP"] < times["GCC-HPX"]
+    assert (
+        min(times["GCC-TBB"], times["GCC-GNU"]) * 0.8
+        < times["CLANG-OMP"]
+        < max(times["GCC-TBB"], times["GCC-GNU"]) * 1.2
+    )
+
+
+def test_clang_not_in_paper_study():
+    from repro.backends import STUDY_BACKENDS
+
+    assert "CLANG-OMP" not in STUDY_BACKENDS

@@ -1,0 +1,101 @@
+"""Figure 2: for_each problem scaling on Mach A/B/C (paper Section 5.2).
+
+Regenerates the six panels (3 machines x k_it in {1, 1000}) and asserts:
+sequential wins at small sizes, parallel wins at large sizes, the
+crossover falls in the paper's 2^10..2^16 window, NVC-OMP leads and HPX
+trails at k_it = 1, and the backends converge at k_it = 1000.
+"""
+
+import pytest
+
+from repro.experiments.fig2 import foreach_problem_series, run_fig2
+
+SIZE_STEP = 1
+
+
+@pytest.fixture(scope="module")
+def panels():
+    out = {}
+    for machine in ("A", "B", "C"):
+        for k in (1, 1000):
+            out[(machine, k)] = foreach_problem_series(machine, k, size_step=SIZE_STEP)
+    return out
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark.pedantic(
+        run_fig2, kwargs=dict(size_step=3), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.experiment_id == "fig2"
+
+
+@pytest.mark.parametrize("machine", ["A", "B", "C"])
+def test_sequential_wins_small_sizes(panels, machine):
+    series = panels[(machine, 1)]
+    seq = dict(zip(series["GCC-SEQ"].xs(), series["GCC-SEQ"].ys()))
+    par = dict(zip(series["GCC-TBB"].xs(), series["GCC-TBB"].ys()))
+    assert seq[1 << 8] < par[1 << 8]
+    assert seq[1 << 10] < par[1 << 10]
+
+
+@pytest.mark.parametrize("machine", ["A", "B", "C"])
+def test_parallel_wins_large_sizes(panels, machine):
+    series = panels[(machine, 1)]
+    seq = dict(zip(series["GCC-SEQ"].xs(), series["GCC-SEQ"].ys()))
+    for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+        par = dict(zip(series[backend].xs(), series[backend].ys()))
+        assert par[1 << 30] < seq[1 << 30] / 3
+
+
+@pytest.mark.parametrize("machine", ["A", "B", "C"])
+def test_crossover_in_paper_window(panels, machine):
+    """Paper: parallel compensates around 2^16 elements (Section 5.2)."""
+    series = panels[(machine, 1)]
+    seq = dict(zip(series["GCC-SEQ"].xs(), series["GCC-SEQ"].ys()))
+    par = dict(zip(series["GCC-TBB"].xs(), series["GCC-TBB"].ys()))
+    crossover = next(e for e in range(3, 31) if par[1 << e] < seq[1 << e])
+    assert 10 <= crossover <= 18
+
+
+def test_nvc_fastest_at_k1_large(panels):
+    for machine in ("A", "B", "C"):
+        series = panels[(machine, 1)]
+        at_max = {
+            b: dict(zip(s.xs(), s.ys()))[1 << 30]
+            for b, s in series.items()
+            if b != "GCC-SEQ" and s.xs()
+        }
+        assert min(at_max, key=at_max.get) == "NVC-OMP"
+
+
+def test_hpx_slowest_at_k1_large(panels):
+    for machine in ("A", "B", "C"):
+        series = panels[(machine, 1)]
+        at_max = {
+            b: dict(zip(s.xs(), s.ys()))[1 << 30]
+            for b, s in series.items()
+            if b != "GCC-SEQ" and s.xs()
+        }
+        assert max(at_max, key=at_max.get) == "GCC-HPX"
+
+
+def test_k1000_backends_converge(panels):
+    """Paper: at high intensity all compilers/backends are much closer."""
+    for machine in ("A", "B", "C"):
+        series = panels[(machine, 1000)]
+        at_max = [
+            dict(zip(s.xs(), s.ys()))[1 << 30]
+            for b, s in series.items()
+            if b != "GCC-SEQ" and s.xs()
+        ]
+        assert max(at_max) / min(at_max) < 1.5
+
+
+def test_gnu_sequential_below_2_10(panels):
+    """Paper: GNU uses sequential execution below 2^10 elements."""
+    series = panels[("A", 1)]
+    gnu = dict(zip(series["GCC-GNU"].xs(), series["GCC-GNU"].ys()))
+    seq = dict(zip(series["GCC-SEQ"].xs(), series["GCC-SEQ"].ys()))
+    # At/below the threshold GNU behaves like (slightly slower) sequential.
+    assert gnu[1 << 9] < 2 * seq[1 << 9]

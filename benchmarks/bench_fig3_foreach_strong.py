@@ -1,0 +1,72 @@
+"""Figure 3: for_each strong scaling (paper Section 5.2).
+
+Asserts: at k_it = 1, NVC-OMP reaches the best speedup and HPX is nearly
+flat past 16 threads; at k_it = 1000, everyone is near-ideal except HPX,
+and on Mach C the parallel efficiencies land in the paper's 66 % (HPX) vs
+79-83 % (others) bands.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import foreach_scaling_curve, run_fig3
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for machine in ("A", "B", "C"):
+        for backend in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP"):
+            for k in (1, 1000):
+                out[(machine, backend, k)] = foreach_scaling_curve(
+                    machine, backend, k
+                )
+    return out
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark.pedantic(
+        run_fig3, kwargs=dict(machines=("A",)), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.experiment_id == "fig3"
+
+
+def test_speedup_monotone_for_k1000(curves):
+    for machine in ("A", "B", "C"):
+        s = curves[(machine, "GCC-TBB", 1000)].speedups()
+        assert all(b >= a * 0.98 for a, b in zip(s, s[1:]))
+
+
+def test_mach_c_k1000_efficiency_bands(curves):
+    """Paper: HPX 84.8 (66 %) vs others 102.0-106.7 (79-83 %) at 128 threads."""
+    for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+        top = curves[("C", backend, 1000)].speedups()[-1]
+        assert 90 <= top <= 120, (backend, top)
+    hpx = curves[("C", "GCC-HPX", 1000)].speedups()[-1]
+    assert 70 <= hpx <= 95
+    assert hpx < curves[("C", "GCC-TBB", 1000)].speedups()[-1]
+
+
+def test_nvc_best_speedup_at_k1(curves):
+    for machine in ("A", "B", "C"):
+        best = {
+            b: curves[(machine, b, 1)].max_speedup()
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP")
+        }
+        assert max(best, key=best.get) == "NVC-OMP"
+
+
+def test_hpx_flat_beyond_16_threads_k1(curves):
+    """Paper: HPX speedup almost constant past 16 threads."""
+    for machine in ("B", "C"):
+        curve = curves[(machine, "GCC-HPX", 1)]
+        by_threads = dict(zip(curve.threads, curve.speedups()))
+        max_threads = curve.threads[-1]
+        assert by_threads[max_threads] < by_threads[16] * 2.0
+
+
+def test_k1_speedups_far_from_ideal(curves):
+    """Paper: low intensity leaves speedups well under the core count."""
+    for machine, cores in (("A", 32), ("B", 64), ("C", 128)):
+        top = curves[(machine, "GCC-TBB", 1)].max_speedup()
+        assert top < cores * 0.75

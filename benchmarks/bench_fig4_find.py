@@ -1,0 +1,68 @@
+"""Figure 4: X::find on Mach B (paper Section 5.3).
+
+Asserts: sequential wins by orders of magnitude at tiny sizes; the
+parallel version wins decisively past 2^18; GNU's sequential fallback is
+active below 2^9; the best speedup is ~6 (GCC-TBB), below the STREAM
+bandwidth ratio of ~7.8.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.machines import get_machine
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    result = run_fig4()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark.pedantic(
+        run_fig4, kwargs=dict(size_step=3), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig4"
+
+
+def _series(fig4, backend):
+    sweep = fig4.data["problem"][backend]
+    return dict(zip(sweep.xs(), sweep.ys()))
+
+
+def test_sequential_wins_by_orders_of_magnitude_small(fig4):
+    seq = _series(fig4, "GCC-SEQ")
+    par = _series(fig4, "GCC-TBB")
+    assert par[1 << 6] > 20 * seq[1 << 6]
+
+
+def test_parallel_wins_past_2_18(fig4):
+    """Paper: beyond 2^18 the parallel implementations clearly win."""
+    seq = _series(fig4, "GCC-SEQ")
+    for backend in ("GCC-TBB", "GCC-GNU"):
+        par = _series(fig4, backend)
+        assert par[1 << 24] < seq[1 << 24]
+        assert par[1 << 30] < seq[1 << 30] / 2
+
+
+def test_max_speedup_about_six(fig4):
+    curve = fig4.data["scaling"]["GCC-TBB"]
+    assert 4.0 < curve.max_speedup() < 8.0
+
+
+def test_speedup_below_stream_ratio(fig4):
+    mach_b = get_machine("B")
+    for backend, curve in fig4.data["scaling"].items():
+        assert curve.max_speedup() < mach_b.ideal_bandwidth_speedup(), backend
+
+
+def test_tbb_best_backend(fig4):
+    best = {b: c.max_speedup() for b, c in fig4.data["scaling"].items()}
+    assert max(best, key=best.get) == "GCC-TBB"
+
+
+def test_hpx_and_nvc_trail(fig4):
+    scaling = fig4.data["scaling"]
+    assert scaling["GCC-HPX"].max_speedup() < 3.0
+    assert scaling["NVC-OMP"].max_speedup() < 3.0

@@ -1,0 +1,67 @@
+"""Figure 5: X::inclusive_scan on Mach C (paper Section 5.4).
+
+Asserts: GNU is absent (no parallel scan); NVC-OMP shows no scaling
+(sequential fallback, speedup ~0.9); TBB-based backends reach ~5 at 128
+threads and scale monotonically; HPX stays near 1; sequential wins until
+the working set leaves the caches.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    result = run_fig5()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(
+        run_fig5, kwargs=dict(size_step=3), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig5"
+
+
+def test_gnu_absent(fig5):
+    assert "GCC-GNU" not in fig5.data["scaling"]
+    assert fig5.data["problem"]["GCC-GNU"].xs() == []
+
+
+def test_nvc_no_scaling(fig5):
+    curve = fig5.data["scaling"]["NVC-OMP"]
+    speedups = curve.speedups()
+    assert max(speedups) < 1.3
+    # Sequential fallback: the curve is flat across all thread counts.
+    assert max(speedups) - min(speedups) < 0.05
+
+
+def test_tbb_scales_monotonically_to_about_five(fig5):
+    """Paper: TBB-based backends reduce run time monotonically, ~5x max.
+
+    Monotonicity is asserted from 2 threads on: at 1 thread the dispatch
+    runs the (single-pass) sequential implementation, while >= 2 threads
+    run the three-phase parallel scan with its extra read pass, so the
+    2-thread point is legitimately slower than 1 thread.
+    """
+    for backend in ("GCC-TBB", "ICC-TBB"):
+        curve = fig5.data["scaling"][backend]
+        assert 2.0 < curve.max_speedup() < 7.0
+        times = list(curve.seconds)[1:]
+        assert all(b <= a * 1.02 for a, b in zip(times, times[1:])), backend
+
+
+def test_hpx_near_one(fig5):
+    assert fig5.data["scaling"]["GCC-HPX"].max_speedup() < 1.8
+
+
+def test_sequential_wins_cache_resident_sizes(fig5):
+    """Paper: seq wins up to ~L2 capacity (2^22 doubles on Mach C)."""
+    seq = dict(zip(fig5.data["problem"]["GCC-SEQ"].xs(), fig5.data["problem"]["GCC-SEQ"].ys()))
+    par = dict(zip(fig5.data["problem"]["GCC-TBB"].xs(), fig5.data["problem"]["GCC-TBB"].ys()))
+    assert seq[1 << 14] < par[1 << 14]
+
+    # ... and loses decisively beyond the LLC.
+    assert par[1 << 30] < seq[1 << 30]

@@ -1,0 +1,59 @@
+"""Figure 6: X::reduce on Mach A (paper Section 5.5).
+
+Asserts: the crossover falls near 2^15-2^19; the backends split into the
+paper's two groups ({NVC, GCC-TBB, GCC-GNU} ~10-11 vs {ICC-TBB, HPX}
+NUMA-limited, HPX worst); ICC scales well to 16 threads before the NUMA
+boundary bites.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    result = run_fig6()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_fig6(benchmark):
+    result = benchmark.pedantic(
+        run_fig6, kwargs=dict(size_step=3), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig6"
+
+
+def test_crossover_window(fig6):
+    seq = dict(zip(fig6.data["problem"]["GCC-SEQ"].xs(), fig6.data["problem"]["GCC-SEQ"].ys()))
+    par = dict(zip(fig6.data["problem"]["GCC-TBB"].xs(), fig6.data["problem"]["GCC-TBB"].ys()))
+    crossover = next(e for e in range(3, 31) if par[1 << e] < seq[1 << e])
+    assert 13 <= crossover <= 19  # paper: ~2^15
+
+
+def test_group_one_speedups(fig6):
+    for backend in ("NVC-OMP", "GCC-TBB", "GCC-GNU"):
+        top = fig6.data["scaling"][backend].max_speedup()
+        assert 8 < top < 13, (backend, top)
+
+
+def test_hpx_worst(fig6):
+    tops = {b: c.max_speedup() for b, c in fig6.data["scaling"].items()}
+    assert min(tops, key=tops.get) == "GCC-HPX"
+    assert tops["GCC-HPX"] < 0.75 * tops["GCC-TBB"]
+
+
+def test_icc_scales_well_to_16_threads(fig6):
+    curve = fig6.data["scaling"]["ICC-TBB"]
+    by_threads = dict(zip(curve.threads, curve.speedups()))
+    assert by_threads[16] > by_threads[2] * 2
+
+
+def test_memory_bound_ceiling(fig6):
+    """No backend beats the STREAM bandwidth ratio (~11.5 on Mach A)."""
+    from repro.machines import get_machine
+
+    cap = get_machine("A").ideal_bandwidth_speedup()
+    for backend, curve in fig6.data["scaling"].items():
+        assert curve.max_speedup() <= cap * 1.1, backend

@@ -1,0 +1,75 @@
+"""Figure 7: X::sort on Mach C (paper Section 5.6).
+
+Asserts: TBB's sequential fallback below 2^9 and HPX's single-thread
+delegation up to 2^15; NVC-OMP competitive at low thread counts; GNU's
+multiway mergesort by far the most efficient at high thread counts; the
+quicksort-family backends capped near speedup ~10.
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx
+from repro.experiments.fig7 import run_fig7
+from repro.suite.cases import get_case
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    result = run_fig7()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(
+        run_fig7, kwargs=dict(size_step=3), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "fig7"
+
+
+def test_gnu_best_at_high_threads(fig7):
+    tops = {b: c.max_speedup() for b, c in fig7.data["scaling"].items()}
+    assert max(tops, key=tops.get) == "GCC-GNU"
+    assert tops["GCC-GNU"] > 2.5 * tops["GCC-TBB"]
+    assert tops["GCC-GNU"] > 30  # paper: 66.6
+
+
+def test_quicksort_family_capped(fig7):
+    for backend in ("GCC-TBB", "ICC-TBB", "GCC-HPX", "NVC-OMP"):
+        assert fig7.data["scaling"][backend].max_speedup() < 15, backend
+
+
+def test_nvc_weakest_at_full_width(fig7):
+    scaling = fig7.data["scaling"]
+    assert (
+        scaling["NVC-OMP"].speedups()[-1] < scaling["GCC-TBB"].speedups()[-1]
+    )
+
+
+def test_nvc_competitive_at_low_threads(fig7):
+    """Paper: NVC-OMP fastest for a small number of threads."""
+    scaling = fig7.data["scaling"]
+    nvc = dict(zip(scaling["NVC-OMP"].threads, scaling["NVC-OMP"].speedups()))
+    tbb = dict(zip(scaling["GCC-TBB"].threads, scaling["GCC-TBB"].speedups()))
+    assert nvc[2] > 0.6 * tbb[2]
+
+
+def test_tbb_sequential_fallback_small(fig7):
+    ctx = make_ctx("C", "GCC-TBB")
+    assert not ctx.runs_parallel("sort", 1 << 9)
+    assert ctx.runs_parallel("sort", 1 << 10)
+
+
+def test_hpx_single_thread_to_2_15(fig7):
+    ctx = make_ctx("C", "GCC-HPX")
+    assert not ctx.runs_parallel("sort", 1 << 15)
+    assert ctx.runs_parallel("sort", 1 << 16)
+
+
+def test_parallel_sort_beats_sequential_at_scale(fig7):
+    seq = dict(zip(fig7.data["problem"]["GCC-SEQ"].xs(), fig7.data["problem"]["GCC-SEQ"].ys()))
+    for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+        par = dict(
+            zip(fig7.data["problem"][backend].xs(), fig7.data["problem"][backend].ys())
+        )
+        assert par[1 << 30] < seq[1 << 30] / 4

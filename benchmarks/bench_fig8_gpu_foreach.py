@@ -1,0 +1,67 @@
+"""Figure 8: for_each on the GPUs, float data, forced D2H (Section 5.8).
+
+Asserts: at k_it = 1 the GPU is transfer-bound and loses to the parallel
+CPU (and, at small sizes, even to the sequential CPU); at high intensity
+the Tesla T4 wins by ~23.5x and the A2 by ~13.3x over the parallel CPU;
+small problem sizes never amortise the kernel launch; the float type
+keeps its loop (volatile quirk).
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx
+from repro.experiments.fig8 import gpu_ctx, gpu_vs_cpu_ratio, run_fig8
+from repro.suite.cases import _case_for_each
+from repro.suite.wrappers import measure_case
+from repro.types import FLOAT32
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(k_values=(1, 10000), size_step=4), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.experiment_id == "fig8"
+
+
+def test_low_intensity_gpu_loses_to_parallel_cpu():
+    assert gpu_vs_cpu_ratio("D", 1) < 1.0
+    assert gpu_vs_cpu_ratio("E", 1) < 1.0
+
+
+def test_low_intensity_small_sizes_gpu_loses_even_to_sequential():
+    n = 1 << 12  # launch + page-fault latency dwarf 16 KiB of work
+    case = _case_for_each(1)
+    t_seq = measure_case(case, make_ctx("gpu-host", "gcc-seq"), n, FLOAT32)
+    t_gpu = measure_case(case, gpu_ctx("D"), n, FLOAT32)
+    assert t_gpu > t_seq
+
+
+def test_high_intensity_tesla_ratio():
+    """Paper: 23.5x on Mach D."""
+    ratio = gpu_vs_cpu_ratio("D", 10000)
+    assert 15 < ratio < 32
+
+
+def test_high_intensity_ampere_ratio():
+    """Paper: 13.3x on Mach E."""
+    ratio = gpu_vs_cpu_ratio("E", 10000)
+    assert 9 < ratio < 19
+
+
+def test_tesla_beats_ampere_at_high_intensity():
+    assert gpu_vs_cpu_ratio("D", 10000) > gpu_vs_cpu_ratio("E", 10000)
+
+
+def test_ratio_grows_with_intensity():
+    ratios = [gpu_vs_cpu_ratio("D", k) for k in (1, 1000, 10000)]
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_launch_cost_dominates_tiny_sizes():
+    """Paper: 'input size is critical ... launching a kernel is costly'."""
+    case = _case_for_each(1)
+    ctx = gpu_ctx("D")
+    t_small = measure_case(case, ctx, 1 << 3, FLOAT32)
+    t_seq = measure_case(case, make_ctx("gpu-host", "gcc-seq"), 1 << 3, FLOAT32)
+    assert t_small > 100 * t_seq

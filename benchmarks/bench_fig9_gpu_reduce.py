@@ -1,0 +1,66 @@
+"""Figure 9: reduce on the GPUs with and without D2H transfers (Section 5.8).
+
+Asserts: with a device-to-host transfer after every call the execution is
+communication-limited and the GPU loses even to the sequential CPU; with
+chained device-resident calls the GPU beats both CPU variants; the
+chained per-call time approaches the device-bandwidth floor.
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx
+from repro.experiments.fig9 import chained_gpu_reduce_seconds, run_fig9
+from repro.machines import get_machine
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+from repro.types import FLOAT32
+
+N = 1 << 29  # 2 GiB of floats: fits both GPUs
+
+
+@pytest.fixture(scope="module")
+def times():
+    return {
+        "seq": measure_case(get_case("reduce"), make_ctx("gpu-host", "gcc-seq"), N, FLOAT32),
+        "par": measure_case(get_case("reduce"), make_ctx("gpu-host", "nvc-omp"), N, FLOAT32),
+        "gpu_transfer": chained_gpu_reduce_seconds("D", N, transfer_back=True),
+        "gpu_chained": chained_gpu_reduce_seconds("D", N, transfer_back=False),
+        "gpu_e_chained": chained_gpu_reduce_seconds("E", N, transfer_back=False),
+    }
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs=dict(size_step=4), rounds=1, iterations=1
+    )
+    print("\n" + result.rendered)
+    assert result.experiment_id == "fig9"
+
+
+def test_with_transfer_gpu_loses_to_sequential(times):
+    """Paper: 'up to a point where the GPUs are slower than the CPU with
+    sequential implementation'."""
+    assert times["gpu_transfer"] > times["seq"]
+
+
+def test_chained_gpu_beats_parallel_cpu(times):
+    assert times["gpu_chained"] < times["par"] / 2
+
+
+def test_chained_gpu_beats_sequential_cpu(times):
+    assert times["gpu_chained"] < times["seq"] / 10
+
+
+def test_chaining_saves_order_of_magnitude(times):
+    assert times["gpu_transfer"] > 10 * times["gpu_chained"]
+
+
+def test_chained_time_near_device_bandwidth_floor(times):
+    gpu = get_machine("D")
+    floor = (N * 4) / gpu.mem_bandwidth
+    assert times["gpu_chained"] < 3 * floor
+
+
+def test_t4_faster_than_a2_when_resident(times):
+    # T4 has the higher device bandwidth (264 vs 172 GB/s).
+    assert times["gpu_chained"] < times["gpu_e_chained"]

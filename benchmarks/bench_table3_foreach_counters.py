@@ -1,0 +1,66 @@
+"""Table 3: instructions executed in 100 calls to for_each k_it=1, Mach A.
+
+Asserts the instruction ordering and magnitudes (1.55T..3.83T), the
+identical 107G scalar-FP column, the absence of packed FP, and the
+bandwidth ordering (NVC best, HPX worst).
+"""
+
+import pytest
+
+from repro.experiments.table3 import TABLE3_BACKENDS, counters_for_case, run_table3
+
+#: Paper Table 3, instructions per 100 calls.
+PAPER_INSTRUCTIONS = {
+    "GCC-TBB": 1.72e12,
+    "GCC-GNU": 2.41e12,
+    "GCC-HPX": 3.83e12,
+    "ICC-TBB": 1.55e12,
+    "NVC-OMP": 2.24e12,
+}
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {b: counters_for_case("A", b, "for_each_k1") for b in TABLE3_BACKENDS}
+
+
+def test_bench_table3(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    assert result.experiment_id == "table3"
+
+
+@pytest.mark.parametrize("backend,paper", sorted(PAPER_INSTRUCTIONS.items()))
+def test_instruction_totals_close_to_paper(stats, backend, paper):
+    ours = stats[backend].counters.instructions
+    assert ours == pytest.approx(paper, rel=0.12), (backend, ours, paper)
+
+
+def test_fp_scalar_107g_everywhere(stats):
+    for backend in TABLE3_BACKENDS:
+        assert stats[backend].counters.fp_scalar == pytest.approx(107.4e9, rel=0.01)
+
+
+def test_no_packed_fp(stats):
+    for backend in TABLE3_BACKENDS:
+        assert stats[backend].counters.fp_packed_128 == 0
+        assert stats[backend].counters.fp_packed_256 == 0
+
+
+def test_bandwidth_ordering(stats):
+    """Paper: NVC 119.1 > GNU 116.6 > TBB 107.6 > ICC 104.5 > HPX 75.6."""
+    bw = {b: stats[b].bandwidth_gib for b in TABLE3_BACKENDS}
+    assert bw["NVC-OMP"] > bw["GCC-TBB"] > bw["GCC-HPX"]
+    assert bw["GCC-GNU"] > bw["GCC-HPX"]
+    assert bw["GCC-HPX"] < 0.75 * bw["NVC-OMP"]
+
+
+def test_data_volume_band(stats):
+    """Paper: 1762..2151 GiB across backends."""
+    for backend in TABLE3_BACKENDS:
+        assert 1600 < stats[backend].data_volume_gib < 2300
+
+
+def test_nvc_leanest_traffic(stats):
+    vol = {b: stats[b].data_volume_gib for b in TABLE3_BACKENDS}
+    assert min(vol, key=vol.get) == "NVC-OMP"

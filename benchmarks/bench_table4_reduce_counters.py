@@ -1,0 +1,62 @@
+"""Table 4: instructions executed in 100 calls to reduce, Mach A.
+
+Asserts: HPX executes by far the most instructions; ICC the fewest (107G,
+the pure vectorised kernel); ICC and HPX run the FP work as 256-bit
+packed ops (~26.8G of them) with negligible scalar FP; the scalar
+backends execute exactly 107G scalar FP ops and no packed.
+"""
+
+import pytest
+
+from repro.experiments.table3 import TABLE3_BACKENDS, counters_for_case
+from repro.experiments.table4 import run_table4
+
+#: Paper Table 4, instructions per 100 calls.
+PAPER_INSTRUCTIONS = {
+    "GCC-TBB": 188e9,
+    "GCC-GNU": 227e9,
+    "ICC-TBB": 107e9,
+    "NVC-OMP": 295e9,
+}
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {b: counters_for_case("A", b, "reduce") for b in TABLE3_BACKENDS}
+
+
+def test_bench_table4(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    assert result.experiment_id == "table4"
+
+
+@pytest.mark.parametrize("backend,paper", sorted(PAPER_INSTRUCTIONS.items()))
+def test_scalar_backend_instructions(stats, backend, paper):
+    assert stats[backend].counters.instructions == pytest.approx(paper, rel=0.1)
+
+
+def test_hpx_most_instructions(stats):
+    """Paper: HPX executes up to 6x more instructions (1.74T)."""
+    hpx = stats["GCC-HPX"].counters.instructions
+    assert hpx > 0.9e12
+    for other in ("GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP"):
+        assert hpx > 3 * stats[other].counters.instructions
+
+
+def test_packed_fp_only_icc_and_hpx(stats):
+    # Paper: 26G 256-bit packed for ICC and HPX; zero elsewhere.
+    assert stats["ICC-TBB"].counters.fp_packed_256 == pytest.approx(26.8e9, rel=0.02)
+    assert stats["GCC-HPX"].counters.fp_packed_256 == pytest.approx(26.8e9, rel=0.02)
+    for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+        assert stats[backend].counters.fp_packed_256 == 0
+
+
+def test_scalar_fp_107g_for_scalar_backends(stats):
+    for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+        assert stats[backend].counters.fp_scalar == pytest.approx(107.4e9, rel=0.01)
+
+
+def test_vectorized_backends_negligible_scalar_fp(stats):
+    assert stats["ICC-TBB"].counters.fp_scalar < 1e9
+    assert stats["GCC-HPX"].counters.fp_scalar < 1e9

@@ -1,0 +1,116 @@
+"""Table 5: speedup vs GCC-SEQ for the full machine/backend/algorithm grid.
+
+The central quantitative artifact. Asserts the N/A pattern (GNU scan, ICC
+on Mach B), per-row orderings, and that the bulk of cells land within a
+[0.5x, 2x] band of the paper's values (the handful of exceptions are the
+machine-specific pathologies documented in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.table5 import run_table5
+
+#: Paper Table 5: (Mach A, Mach B, Mach C) per backend/case; None = N/A.
+PAPER_TABLE5 = {
+    ("GCC-TBB", "find"): (8.9, 5.8, 4.7),
+    ("GCC-TBB", "for_each_k1"): (14.2, 6.1, 8.5),
+    ("GCC-TBB", "for_each_k1000"): (32.5, 54.9, 102.0),
+    ("GCC-TBB", "inclusive_scan"): (4.5, 3.1, 4.7),
+    ("GCC-TBB", "reduce"): (10.0, 5.1, 6.9),
+    ("GCC-TBB", "sort"): (9.7, 9.4, 10.6),
+    ("GCC-GNU", "find"): (8.0, 3.2, 2.2),
+    ("GCC-GNU", "for_each_k1"): (15.0, 7.8, 9.1),
+    ("GCC-GNU", "for_each_k1000"): (32.5, 54.9, 106.5),
+    ("GCC-GNU", "inclusive_scan"): None,
+    ("GCC-GNU", "reduce"): (11.0, 4.7, 6.0),
+    ("GCC-GNU", "sort"): (25.4, 26.9, 66.6),
+    ("GCC-HPX", "find"): (6.4, 1.4, 1.1),
+    ("GCC-HPX", "for_each_k1"): (7.2, 1.8, 1.4),
+    ("GCC-HPX", "for_each_k1000"): (32.4, 43.7, 84.8),
+    ("GCC-HPX", "inclusive_scan"): (3.0, 0.9, 1.0),
+    ("GCC-HPX", "reduce"): (7.3, 0.9, 1.2),
+    ("GCC-HPX", "sort"): (10.1, 8.0, 8.1),
+    ("ICC-TBB", "find"): (9.0, None, 4.8),
+    ("ICC-TBB", "for_each_k1"): (13.9, None, 8.2),
+    ("ICC-TBB", "for_each_k1000"): (32.5, None, 106.7),
+    ("ICC-TBB", "inclusive_scan"): (4.5, None, 4.7),
+    ("ICC-TBB", "reduce"): (10.2, None, 6.8),
+    ("ICC-TBB", "sort"): (10.1, None, 9.0),
+    ("NVC-OMP", "find"): (6.1, 1.4, 1.2),
+    ("NVC-OMP", "for_each_k1"): (22.1, 15.0, 13.0),
+    ("NVC-OMP", "for_each_k1000"): (32.0, 54.8, 106.5),
+    ("NVC-OMP", "inclusive_scan"): (0.9, 0.8, 0.9),
+    ("NVC-OMP", "reduce"): (11.0, 4.8, 11.9),
+    ("NVC-OMP", "sort"): (7.1, 6.3, 6.7),
+}
+
+MACHINES = ("A", "B", "C")
+
+
+@pytest.fixture(scope="module")
+def table5():
+    result = run_table5()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_table5(benchmark, table5):
+    result = benchmark.pedantic(
+        run_table5, kwargs=dict(size_exp=24), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "table5"
+
+
+def test_na_pattern(table5):
+    for machine in MACHINES:
+        assert table5.data[f"GCC-GNU/inclusive_scan/{machine}"] is None
+    for case in ("find", "reduce", "sort"):
+        assert table5.data[f"ICC-TBB/{case}/B"] is None
+
+
+def test_bulk_of_grid_within_band(table5):
+    """>=85 % of comparable cells within [0.5x, 2x] of the paper."""
+    in_band = 0
+    total = 0
+    for (backend, case), paper in PAPER_TABLE5.items():
+        if paper is None:
+            continue
+        for machine, expected in zip(MACHINES, paper):
+            if expected is None:
+                continue
+            ours = table5.data[f"{backend}/{case}/{machine}"]
+            total += 1
+            if expected * 0.5 <= ours <= expected * 2.0:
+                in_band += 1
+    assert in_band / total >= 0.85, f"{in_band}/{total} cells in band"
+
+
+def test_row_orderings_k1(table5):
+    """for_each k1: NVC leads and HPX trails on every machine."""
+    for machine in MACHINES:
+        row = {
+            b: table5.data[f"{b}/for_each_k1/{machine}"]
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP")
+        }
+        assert max(row, key=row.get) == "NVC-OMP"
+        assert min(row, key=row.get) == "GCC-HPX"
+
+
+def test_row_ordering_sort(table5):
+    for machine in MACHINES:
+        row = {
+            b: table5.data[f"{b}/sort/{machine}"]
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP")
+        }
+        assert max(row, key=row.get) == "GCC-GNU"
+
+
+def test_nvc_scan_never_speeds_up(table5):
+    for machine in MACHINES:
+        assert table5.data[f"NVC-OMP/inclusive_scan/{machine}"] < 1.2
+
+
+def test_k1000_exceeds_half_core_count(table5):
+    for machine, cores in zip(MACHINES, (32, 64, 128)):
+        for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+            assert table5.data[f"{backend}/for_each_k1000/{machine}"] > cores / 2

@@ -1,0 +1,72 @@
+"""Table 6: max threads with >= 70 % parallel efficiency (paper Section 5.7).
+
+Asserts the paper's takeaways: backends typically cannot use more than
+~16 threads efficiently (the per-NUMA-node core count); the compute-bound
+for_each k_it=1000 stays efficient at full machine width; NVC-OMP's
+sequential-fallback scan reports 1.
+"""
+
+import pytest
+
+from repro.experiments.table6 import run_table6
+
+
+@pytest.fixture(scope="module")
+def table6():
+    result = run_table6()
+    print("\n" + result.rendered)
+    return result
+
+
+def test_bench_table6(benchmark):
+    result = benchmark.pedantic(
+        run_table6, kwargs=dict(size_exp=24), rounds=1, iterations=1
+    )
+    assert result.experiment_id == "table6"
+
+
+def test_k1000_full_width_everywhere(table6):
+    for machine, cores in (("A", 32), ("B", 64), ("C", 128)):
+        for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+            assert table6.data[f"{backend}/for_each_k1000/{machine}"] == cores
+
+
+def test_nvc_scan_is_one(table6):
+    for machine in ("A", "B", "C"):
+        assert table6.data[f"NVC-OMP/inclusive_scan/{machine}"] == 1
+
+
+def test_gnu_scan_na(table6):
+    for machine in ("A", "B", "C"):
+        assert table6.data[f"GCC-GNU/inclusive_scan/{machine}"] is None
+
+
+def test_memory_bound_rarely_past_16(table6):
+    """Paper: 'backends typically fail to handle more than 16 threads
+    efficiently', matching the cores per NUMA node."""
+    over_16 = 0
+    total = 0
+    for machine in ("A", "B", "C"):
+        for backend in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP"):
+            for case in ("find", "inclusive_scan", "reduce", "sort"):
+                v = table6.data[f"{backend}/{case}/{machine}"]
+                if v is None:
+                    continue
+                total += 1
+                if v > 16:
+                    over_16 += 1
+    assert over_16 / total < 0.35
+
+
+def test_values_are_measured_thread_counts(table6):
+    valid = {1, 2, 4, 8, 16, 32, 64, 128}
+    for key, v in table6.data.items():
+        if v is not None:
+            assert v in valid, (key, v)
+
+
+def test_hpx_never_efficient_at_full_width(table6):
+    for machine, cores in (("A", 32), ("B", 64), ("C", 128)):
+        for case in ("find", "reduce", "sort", "inclusive_scan"):
+            v = table6.data[f"GCC-HPX/{case}/{machine}"]
+            assert v is None or v < cores

@@ -1,0 +1,49 @@
+"""Table 7: benchmark binary sizes (paper Section 5.7).
+
+Asserts each modeled size against the paper's within 5 %, plus the
+qualitative claims: HPX largest by far, NVC-OMP remarkably small, GNU
+roughly doubling the sequential binary.
+"""
+
+import pytest
+
+from repro.binaries import binary_size
+from repro.experiments.table7 import run_table7
+from repro.util.units import MIB
+
+PAPER_TABLE7 = {
+    "GCC-SEQ": 2.52,
+    "GCC-TBB": 17.21,
+    "GCC-GNU": 5.31,
+    "GCC-HPX": 61.98,
+    "ICC-TBB": 16.64,
+    "NVC-OMP": 1.81,
+    "NVC-CUDA": 7.80,
+}
+
+
+def test_bench_table7(benchmark):
+    result = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    print("\n" + result.rendered)
+    assert result.experiment_id == "table7"
+
+
+@pytest.mark.parametrize("backend,paper_mib", sorted(PAPER_TABLE7.items()))
+def test_sizes_match_paper(backend, paper_mib):
+    assert binary_size(backend) / MIB == pytest.approx(paper_mib, rel=0.05)
+
+
+def test_hpx_largest(benchmark_skipif=None):
+    sizes = {b: binary_size(b) for b in PAPER_TABLE7}
+    assert max(sizes, key=sizes.get) == "GCC-HPX"
+    assert sizes["GCC-HPX"] > 55 * MIB
+
+
+def test_nvc_omp_smallest():
+    sizes = {b: binary_size(b) for b in PAPER_TABLE7}
+    assert min(sizes, key=sizes.get) == "NVC-OMP"
+    assert sizes["NVC-OMP"] < 2 * MIB
+
+
+def test_gnu_doubles_sequential():
+    assert 1.8 < binary_size("GCC-GNU") / binary_size("GCC-SEQ") < 2.4

@@ -1,0 +1,31 @@
+"""Shared helpers for the per-artifact benchmark modules.
+
+Every module in this directory regenerates one table or figure of the
+paper via ``pytest-benchmark`` (run with ``pytest benchmarks/
+--benchmark-only``), prints the regenerated artifact, and asserts its
+qualitative shape against the paper's claims. See EXPERIMENTS.md for the
+recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment driver with exactly one measured round.
+
+    The experiments are deterministic and some take seconds; one round is
+    both sufficient and honest (re-running cannot change the result).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,57 @@
+"""Quickstart: run a parallel STL call on a modeled machine, both modes.
+
+    python examples/quickstart.py
+
+Shows the two ways to use the library:
+
+1. **run mode** -- real NumPy data, real results, simulated timing;
+2. **model mode** -- no data materialised, paper-scale sizes, same cost
+   model (this is how the 2^30-element figures are produced).
+"""
+
+import numpy as np
+
+from repro import ExecutionContext, pstl
+from repro.backends import get_backend
+from repro.machines import get_machine
+from repro.suite.kernels import listing1_kernel
+from repro.types import FLOAT64
+from repro.util.units import format_seconds
+
+
+def main() -> None:
+    machine = get_machine("A")  # 32-core Skylake, Table 2 of the paper
+    backend = get_backend("gcc-tbb")
+
+    # --- run mode: compute something real ---------------------------------
+    ctx = ExecutionContext(machine, backend, threads=8, mode="run")
+    arr = ctx.array_from(np.arange(1, 100_001, dtype=np.float64), FLOAT64)
+
+    total = pstl.reduce(ctx, arr)
+    print(f"reduce(1..100000) = {total.value:.0f}  "
+          f"(simulated {format_seconds(total.seconds)})")
+
+    hit = pstl.find(ctx, arr, 77_777.0)
+    print(f"find(77777) -> index {hit.value}  "
+          f"(simulated {format_seconds(hit.seconds)})")
+
+    pstl.sort(ctx, arr)
+    print(f"sort: is_sorted = {pstl.is_sorted(ctx, arr).value}")
+
+    # --- model mode: paper-scale without allocating 8 GiB -----------------
+    big = ctx.with_(mode="model", threads=32)
+    seq = ExecutionContext(machine, get_backend("gcc-seq"), threads=1)
+
+    n = 1 << 30
+    kernel = listing1_kernel(k_it=1)
+    t_par = pstl.for_each(big, big.allocate(n, FLOAT64), kernel).seconds
+    t_seq = pstl.for_each(seq, seq.allocate(n, FLOAT64), kernel).seconds
+    print(
+        f"\nfor_each(k_it=1), n=2^30 on {machine.name}: "
+        f"seq {format_seconds(t_seq)}, 32-thread TBB {format_seconds(t_par)} "
+        f"-> speedup {t_seq / t_par:.1f}x (paper Table 5: 14.2x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The target environment is offline (no wheel package, setuptools 65.5), so
+``pip install -e .`` must use the legacy ``setup.py develop`` path instead
+of PEP 660 editable wheels. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""pSTL-Bench (Python reproduction).
+
+Reproduction of "Exploring Scalability in C++ Parallel STL
+Implementations" (Laso, Krupitza, Hunold -- ICPP 2024) on a deterministic
+performance-model simulator. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import pstl
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+    from repro.backends import get_backend
+    from repro.types import FLOAT64
+
+    ctx = ExecutionContext(get_machine("A"), get_backend("gcc-tbb"),
+                           threads=32, mode="model")
+    arr = ctx.allocate(1 << 30, FLOAT64)
+    result = pstl.reduce(ctx, arr)
+    print(result.seconds)
+"""
+
+from repro import algorithms as pstl
+from repro._version import __version__
+from repro.execution.context import ExecutionContext
+from repro.execution.policy import PAR, PAR_UNSEQ, SEQ
+
+__all__ = ["pstl", "ExecutionContext", "PAR", "PAR_UNSEQ", "SEQ", "__version__"]

@@ -1,0 +1,191 @@
+"""Parallel STL algorithms over the simulator (the pSTL surface).
+
+Every function takes an :class:`~repro.execution.context.ExecutionContext`
+first, mirroring the C++ execution-policy argument, and returns an
+:class:`~repro.algorithms._result.AlgoResult`.
+"""
+
+from repro.algorithms._ops import (
+    IDENTITY,
+    MAXIMUM,
+    MINIMUM,
+    MULTIPLIES,
+    NEGATE,
+    PLUS,
+    SQUARE,
+    BinaryOp,
+    ElementOp,
+    Predicate,
+    always_true,
+    equals,
+    greater_than,
+    less_than,
+)
+from repro.algorithms._result import AlgoResult
+from repro.algorithms.adjacent import adjacent_difference, adjacent_find
+from repro.algorithms.compare import equal, lexicographical_compare, mismatch
+from repro.algorithms.copyfill import (
+    copy,
+    copy_if,
+    copy_n,
+    fill,
+    fill_n,
+    generate,
+    generate_n,
+    move,
+)
+from repro.algorithms.find import (
+    all_of,
+    any_of,
+    count,
+    count_if,
+    find,
+    find_if,
+    find_if_not,
+    none_of,
+)
+from repro.algorithms.foreach import for_each, for_each_n
+from repro.algorithms.merge import merge
+from repro.algorithms.minmax import max_element, min_element, minmax_element
+from repro.algorithms.reduce import reduce, transform_reduce
+from repro.algorithms.reverse import reverse, swap_ranges
+from repro.algorithms.scan import (
+    exclusive_scan,
+    inclusive_scan,
+    transform_exclusive_scan,
+    transform_inclusive_scan,
+)
+from repro.algorithms.heap import is_heap, is_heap_until
+from repro.algorithms.mutation import (
+    remove,
+    remove_copy,
+    remove_if,
+    replace,
+    replace_copy,
+    replace_if,
+    reverse_copy,
+    rotate,
+    rotate_copy,
+    unique,
+    unique_copy,
+)
+from repro.algorithms.partitioning import (
+    is_partitioned,
+    partition,
+    partition_copy,
+    partition_point,
+    stable_partition,
+)
+from repro.algorithms.search import find_end, find_first_of, search, search_n
+from repro.algorithms.selection import (
+    inplace_merge,
+    nth_element,
+    partial_sort,
+    partial_sort_copy,
+)
+from repro.algorithms.setops import (
+    includes,
+    set_difference,
+    set_intersection,
+    set_symmetric_difference,
+    set_union,
+)
+from repro.algorithms.sort import (
+    is_sorted,
+    is_sorted_until,
+    merge_sorted_arrays,
+    sort,
+    stable_sort,
+)
+from repro.algorithms.transform import transform, transform_binary
+
+__all__ = [
+    "IDENTITY",
+    "MAXIMUM",
+    "MINIMUM",
+    "MULTIPLIES",
+    "NEGATE",
+    "PLUS",
+    "SQUARE",
+    "BinaryOp",
+    "ElementOp",
+    "Predicate",
+    "always_true",
+    "equals",
+    "greater_than",
+    "less_than",
+    "AlgoResult",
+    "adjacent_difference",
+    "adjacent_find",
+    "equal",
+    "lexicographical_compare",
+    "mismatch",
+    "copy",
+    "copy_if",
+    "copy_n",
+    "fill",
+    "fill_n",
+    "generate",
+    "generate_n",
+    "move",
+    "all_of",
+    "any_of",
+    "count",
+    "count_if",
+    "find",
+    "find_if",
+    "find_if_not",
+    "none_of",
+    "for_each",
+    "for_each_n",
+    "merge",
+    "max_element",
+    "min_element",
+    "minmax_element",
+    "reduce",
+    "transform_reduce",
+    "reverse",
+    "swap_ranges",
+    "exclusive_scan",
+    "inclusive_scan",
+    "transform_exclusive_scan",
+    "transform_inclusive_scan",
+    "is_sorted",
+    "is_sorted_until",
+    "merge_sorted_arrays",
+    "sort",
+    "stable_sort",
+    "transform",
+    "transform_binary",
+    "is_heap",
+    "is_heap_until",
+    "remove",
+    "remove_copy",
+    "remove_if",
+    "replace",
+    "replace_copy",
+    "replace_if",
+    "reverse_copy",
+    "rotate",
+    "rotate_copy",
+    "unique",
+    "unique_copy",
+    "is_partitioned",
+    "partition",
+    "partition_copy",
+    "partition_point",
+    "stable_partition",
+    "find_end",
+    "find_first_of",
+    "search",
+    "search_n",
+    "inplace_merge",
+    "nth_element",
+    "partial_sort",
+    "partial_sort_copy",
+    "includes",
+    "set_difference",
+    "set_intersection",
+    "set_symmetric_difference",
+    "set_union",
+]

@@ -1,0 +1,188 @@
+"""Shared profile-construction helpers for the algorithm implementations.
+
+Algorithms describe their work as per-element costs over a partition; the
+helpers here turn that into :class:`~repro.sim.work.WorkProfile` phases in
+a uniform way, so run mode and model mode provably build identical
+profiles for deterministic algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import UnsupportedOperationError
+from repro.execution.context import ExecutionContext
+from repro.execution.partition import Partition
+from repro.memory.array import SimArray
+from repro.memory.layout import PagePlacement
+from repro.sim.work import ChunkWork, Phase, PhaseKind, WorkProfile
+
+__all__ = [
+    "PerElem",
+    "blend_placement",
+    "parallel_phase",
+    "sequential_phase",
+    "make_profile",
+    "require_support",
+]
+
+
+@dataclass(frozen=True)
+class PerElem:
+    """Intrinsic per-element cost of one pass of an algorithm."""
+
+    instr: float
+    fp: float = 0.0
+    read: float = 0.0
+    write: float = 0.0
+
+    def scaled(self, factor: float) -> "PerElem":
+        """All components multiplied by ``factor``."""
+        return PerElem(
+            instr=self.instr * factor,
+            fp=self.fp * factor,
+            read=self.read * factor,
+            write=self.write * factor,
+        )
+
+
+def blend_placement(
+    arrays: Sequence[tuple[SimArray, float]],
+) -> PagePlacement | None:
+    """Traffic-weighted blend of several arrays' placements.
+
+    A phase that reads array A and writes array B sees a mix of both
+    placements; weights are the bytes moved per array.
+    """
+    items = [(a, w) for a, w in arrays if w > 0]
+    if not items:
+        return None
+    nnodes = max(a.placement.num_nodes for a, _ in items)
+    total = sum(w for _, w in items)
+    fractions = [0.0] * nnodes
+    for arr, weight in items:
+        for node, frac in enumerate(arr.placement.node_fractions):
+            fractions[node] += frac * weight / total
+    policies = {a.placement.policy for a, _ in items}
+    policy = items[0][0].placement.policy if len(policies) > 1 else policies.pop()
+    return PagePlacement(node_fractions=tuple(fractions), policy=policy)
+
+
+def parallel_phase(
+    name: str,
+    partition: Partition,
+    per_elem: PerElem,
+    placement: PagePlacement | None,
+    working_set: float,
+    scan_fractions: Sequence[float] | None = None,
+    sync_points: int = 0,
+    spread_penalty: float = 1.0,
+    apply_instr_overhead: bool = True,
+    vectorizable: bool = True,
+) -> Phase:
+    """Build a parallel phase from a partition and per-element costs.
+
+    ``scan_fractions`` (one entry per chunk) scales each chunk's work, for
+    early-exit algorithms where a chunk only processes a prefix.
+    """
+    chunks = []
+    for i, chunk in enumerate(partition.chunks):
+        elems = float(len(chunk))
+        if scan_fractions is not None:
+            elems *= scan_fractions[i]
+        if elems <= 0 and len(partition.chunks) > 1:
+            continue
+        chunks.append(
+            ChunkWork(
+                thread=chunk.thread,
+                elems=elems,
+                instr=elems * per_elem.instr,
+                fp_ops=elems * per_elem.fp,
+                bytes_read=elems * per_elem.read,
+                bytes_written=elems * per_elem.write,
+            )
+        )
+    if not chunks:
+        chunks = [ChunkWork(thread=0, elems=0.0, instr=0.0)]
+    return Phase(
+        name=name,
+        kind=PhaseKind.PARALLEL,
+        chunks=tuple(chunks),
+        placement=placement,
+        working_set=working_set,
+        sched_chunks=partition.num_chunks,
+        sync_points=sync_points,
+        spread_penalty=spread_penalty,
+        apply_instr_overhead=apply_instr_overhead,
+        vectorizable=vectorizable,
+    )
+
+
+def sequential_phase(
+    name: str,
+    elems: float,
+    per_elem: PerElem,
+    placement: PagePlacement | None,
+    working_set: float,
+    spread_penalty: float = 1.0,
+    apply_instr_overhead: bool = False,
+    vectorizable: bool = True,
+) -> Phase:
+    """Build a single-thread phase (sequential runs, fix-ups, combines)."""
+    chunk = ChunkWork(
+        thread=0,
+        elems=elems,
+        instr=elems * per_elem.instr,
+        fp_ops=elems * per_elem.fp,
+        bytes_read=elems * per_elem.read,
+        bytes_written=elems * per_elem.write,
+    )
+    return Phase(
+        name=name,
+        kind=PhaseKind.SEQUENTIAL,
+        chunks=(chunk,),
+        placement=placement,
+        working_set=working_set,
+        spread_penalty=spread_penalty,
+        apply_instr_overhead=apply_instr_overhead,
+        vectorizable=vectorizable,
+    )
+
+
+def make_profile(
+    ctx: ExecutionContext,
+    alg: str,
+    n: int,
+    elem,
+    phases: Sequence[Phase],
+    parallel: bool,
+    regions: int = 1,
+    notes: Sequence[str] = (),
+) -> WorkProfile:
+    """Assemble the final profile for one invocation."""
+    return WorkProfile(
+        alg=alg,
+        n=n,
+        elem=elem,
+        threads=ctx.threads if parallel else 1,
+        policy=ctx.policy,
+        phases=tuple(phases),
+        regions=regions if parallel else 0,
+        notes=tuple(notes),
+    )
+
+
+def require_support(ctx: ExecutionContext, alg: str) -> None:
+    """Raise if the backend lacks the algorithm entirely.
+
+    GNU's parallel-mode library has no ``inclusive_scan`` (Section 5.4);
+    requesting it raises, which experiments surface as the paper's "N/A"
+    cells.
+    """
+    from repro.backends.base import Support
+
+    if ctx.backend.support(alg) is Support.UNSUPPORTED:
+        raise UnsupportedOperationError(
+            f"{ctx.backend.name} does not implement {alg}"
+        )

@@ -1,0 +1,177 @@
+"""Element operations, predicates and binary ops with declared costs.
+
+The C++ benchmarks pass lambdas whose cost the hardware sees directly; in
+the reproduction an operation carries both an executable NumPy form (run
+mode) and its intrinsic per-element cost (both modes). Standard operations
+used by the suite are provided as module-level instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ElementOp",
+    "BinaryOp",
+    "Predicate",
+    "IDENTITY",
+    "NEGATE",
+    "SQUARE",
+    "PLUS",
+    "MULTIPLIES",
+    "MINIMUM",
+    "MAXIMUM",
+    "always_true",
+    "less_than",
+    "greater_than",
+    "equals",
+]
+
+
+@dataclass(frozen=True)
+class ElementOp:
+    """A unary element transformation with declared cost.
+
+    Attributes
+    ----------
+    instr_per_elem / fp_per_elem:
+        Intrinsic non-FP instructions and FP operations per element.
+    apply:
+        Vectorised NumPy implementation (run mode); ``None`` makes the op
+        model-only.
+    """
+
+    name: str
+    instr_per_elem: float
+    fp_per_elem: float
+    apply: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.instr_per_elem < 0 or self.fp_per_elem < 0:
+            raise ConfigurationError("operation costs must be non-negative")
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if self.apply is None:
+            raise ConfigurationError(f"op {self.name!r} has no runnable form")
+        return self.apply(values)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary combination (reduction/merge operator) with declared cost.
+
+    ``reduce_ufunc`` gives the associated NumPy reduction (e.g. ``np.add``)
+    so run mode can execute whole chunks at native speed; ``combine``
+    merges two partial results.
+    """
+
+    name: str
+    instr_per_elem: float
+    fp_per_elem: float
+    reduce_ufunc: np.ufunc | None = None
+    identity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instr_per_elem < 0 or self.fp_per_elem < 0:
+            raise ConfigurationError("operation costs must be non-negative")
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Reduce a chunk with the native ufunc."""
+        if self.reduce_ufunc is None:
+            raise ConfigurationError(f"op {self.name!r} has no runnable form")
+        if len(values) == 0:
+            return self.identity
+        return float(self.reduce_ufunc.reduce(values))
+
+    def accumulate(self, values: np.ndarray) -> np.ndarray:
+        """Prefix-combine a chunk (for scans)."""
+        if self.reduce_ufunc is None:
+            raise ConfigurationError(f"op {self.name!r} has no runnable form")
+        return self.reduce_ufunc.accumulate(values)
+
+    def combine(self, a: float, b: float) -> float:
+        """Combine two partial results."""
+        if self.reduce_ufunc is None:
+            raise ConfigurationError(f"op {self.name!r} has no runnable form")
+        return float(self.reduce_ufunc(a, b))
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A unary predicate with declared cost and model-mode selectivity.
+
+    ``selectivity`` is the expected fraction of elements satisfying the
+    predicate; model-mode profiles of ``count_if``/``copy_if``/``find_if``
+    use it where run mode observes the true value.
+    """
+
+    name: str
+    instr_per_elem: float
+    fp_per_elem: float = 0.0
+    apply: Callable[[np.ndarray], np.ndarray] | None = None
+    selectivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.instr_per_elem < 0 or self.fp_per_elem < 0:
+            raise ConfigurationError("predicate costs must be non-negative")
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ConfigurationError("selectivity must be in [0, 1]")
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if self.apply is None:
+            raise ConfigurationError(f"predicate {self.name!r} has no runnable form")
+        return self.apply(values)
+
+
+IDENTITY = ElementOp("identity", instr_per_elem=1.0, fp_per_elem=0.0, apply=lambda v: v)
+NEGATE = ElementOp("negate", instr_per_elem=1.0, fp_per_elem=1.0, apply=lambda v: -v)
+SQUARE = ElementOp("square", instr_per_elem=1.0, fp_per_elem=1.0, apply=lambda v: v * v)
+
+PLUS = BinaryOp("plus", instr_per_elem=0.75, fp_per_elem=1.0, reduce_ufunc=np.add, identity=0.0)
+MULTIPLIES = BinaryOp(
+    "multiplies", instr_per_elem=0.75, fp_per_elem=1.0, reduce_ufunc=np.multiply, identity=1.0
+)
+MINIMUM = BinaryOp("min", instr_per_elem=1.0, fp_per_elem=1.0, reduce_ufunc=np.minimum, identity=float("inf"))
+MAXIMUM = BinaryOp("max", instr_per_elem=1.0, fp_per_elem=1.0, reduce_ufunc=np.maximum, identity=float("-inf"))
+
+
+def always_true() -> Predicate:
+    """Predicate matching everything (selectivity 1)."""
+    return Predicate(
+        "true", instr_per_elem=1.0, apply=lambda v: np.ones(len(v), dtype=bool), selectivity=1.0
+    )
+
+
+def less_than(threshold: float, selectivity: float = 0.5) -> Predicate:
+    """``x < threshold``."""
+    return Predicate(
+        f"lt({threshold})",
+        instr_per_elem=1.0,
+        apply=lambda v: v < threshold,
+        selectivity=selectivity,
+    )
+
+
+def greater_than(threshold: float, selectivity: float = 0.5) -> Predicate:
+    """``x > threshold``."""
+    return Predicate(
+        f"gt({threshold})",
+        instr_per_elem=1.0,
+        apply=lambda v: v > threshold,
+        selectivity=selectivity,
+    )
+
+
+def equals(value: float, selectivity: float = 0.0) -> Predicate:
+    """``x == value`` (selectivity defaults to rare)."""
+    return Predicate(
+        f"eq({value})",
+        instr_per_elem=1.0,
+        apply=lambda v: v == value,
+        selectivity=selectivity,
+    )

@@ -1,0 +1,37 @@
+"""Result type returned by every algorithm invocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.report import SimReport
+from repro.sim.work import WorkProfile
+
+__all__ = ["AlgoResult"]
+
+
+@dataclass(frozen=True)
+class AlgoResult:
+    """Outcome of one parallel-STL call.
+
+    Attributes
+    ----------
+    value:
+        The algorithm's functional result (run mode), or ``None``/an
+        expectation in model mode (documented per algorithm).
+    report:
+        Simulated timing and counters.
+    profile:
+        The work profile that produced the report (useful for tests and
+        for the counter tables).
+    """
+
+    value: Any
+    report: SimReport
+    profile: WorkProfile
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall time of the call."""
+        return self.report.seconds

@@ -1,0 +1,88 @@
+"""Phase/overhead breakdown of a simulated invocation.
+
+Answers "where did the time go?" for one algorithm call: per phase, the
+compute vs memory vs scheduling split, plus fork/join and (GPU)
+migration costs -- rendered as a table. Used by examples and handy when
+extending the backend models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.report import SimReport
+from repro.util.tables import TextTable
+from repro.util.units import format_seconds
+
+__all__ = ["PhaseShare", "breakdown", "render_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseShare:
+    """One phase's contribution to the total time."""
+
+    name: str
+    seconds: float
+    share: float  # of the invocation total
+    bound_by: str  # "compute" | "memory" | "overhead"
+
+
+def breakdown(report: SimReport) -> list[PhaseShare]:
+    """Per-phase shares, plus synthetic rows for fork/join and migration."""
+    if report.seconds <= 0:
+        raise ConfigurationError("cannot break down a zero-time report")
+    shares: list[PhaseShare] = []
+    for phase in report.phases:
+        if phase.overhead_seconds >= max(
+            phase.compute_seconds, phase.memory_seconds
+        ):
+            bound = "overhead"
+        elif phase.compute_seconds >= phase.memory_seconds:
+            bound = "compute"
+        else:
+            bound = "memory"
+        shares.append(
+            PhaseShare(
+                name=phase.name,
+                seconds=phase.seconds,
+                share=phase.seconds / report.seconds,
+                bound_by=bound,
+            )
+        )
+    if report.fork_join_seconds > 0:
+        shares.append(
+            PhaseShare(
+                name="(fork/join)",
+                seconds=report.fork_join_seconds,
+                share=report.fork_join_seconds / report.seconds,
+                bound_by="overhead",
+            )
+        )
+    if report.migration_seconds > 0:
+        shares.append(
+            PhaseShare(
+                name="(migration)",
+                seconds=report.migration_seconds,
+                share=report.migration_seconds / report.seconds,
+                bound_by="overhead",
+            )
+        )
+    return shares
+
+
+def render_breakdown(report: SimReport, title: str | None = None) -> str:
+    """Aligned where-did-the-time-go table."""
+    table = TextTable(
+        headers=["Phase", "Time", "Share", "Bound by"], title=title
+    )
+    for share in breakdown(report):
+        table.add_row(
+            [
+                share.name,
+                format_seconds(share.seconds),
+                f"{share.share:.0%}",
+                share.bound_by,
+            ]
+        )
+    return table.render()

@@ -1,0 +1,92 @@
+"""Speedup and parallel-efficiency math used throughout the evaluation.
+
+The paper measures speedup against a fixed baseline -- GCC's sequential
+implementation -- so values can exceed the core count (Table 5's caption
+says so explicitly). Efficiency is speedup / threads, and Table 6 reports
+the maximum thread count keeping efficiency >= 70 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "speedup_series",
+    "max_threads_above_efficiency",
+    "ScalingCurve",
+]
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Classic T_base / T."""
+    if baseline_seconds <= 0 or seconds <= 0:
+        raise ConfigurationError("times must be positive for speedup")
+    return baseline_seconds / seconds
+
+
+def efficiency(baseline_seconds: float, seconds: float, threads: int) -> float:
+    """Parallel efficiency vs. the (sequential) baseline."""
+    if threads <= 0:
+        raise ConfigurationError("threads must be positive")
+    return speedup(baseline_seconds, seconds) / threads
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A strong-scaling curve: thread counts with times and a baseline."""
+
+    label: str
+    threads: tuple[int, ...]
+    seconds: tuple[float, ...]
+    baseline_seconds: float
+
+    def __post_init__(self) -> None:
+        if len(self.threads) != len(self.seconds):
+            raise ConfigurationError("threads/seconds length mismatch")
+        if self.baseline_seconds <= 0:
+            raise ConfigurationError("baseline must be positive")
+
+    def speedups(self) -> list[float]:
+        """Speedup at each thread count."""
+        return [speedup(self.baseline_seconds, s) for s in self.seconds]
+
+    def efficiencies(self) -> list[float]:
+        """Efficiency at each thread count."""
+        return [
+            efficiency(self.baseline_seconds, s, t)
+            for t, s in zip(self.threads, self.seconds)
+        ]
+
+    def max_speedup(self) -> float:
+        """Best speedup along the curve."""
+        return max(self.speedups())
+
+
+def speedup_series(
+    baseline_seconds: float, seconds: Sequence[float]
+) -> list[float]:
+    """Speedups of a whole series against one baseline."""
+    return [speedup(baseline_seconds, s) for s in seconds]
+
+
+def max_threads_above_efficiency(
+    curve: ScalingCurve, threshold: float = 0.70
+) -> int:
+    """Largest measured thread count with efficiency >= threshold.
+
+    This is Table 6's statistic. Returns 1 when even the single-thread
+    parallel run misses the threshold (e.g., NVC-OMP's sequential-fallback
+    scan, which the paper reports as 1).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError("threshold must be in (0, 1]")
+    best = 1
+    for t, eff in zip(curve.threads, curve.efficiencies()):
+        if eff >= threshold and t > best:
+            best = t
+    return best

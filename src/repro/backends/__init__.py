@@ -1,0 +1,24 @@
+"""Backend runtime models for the compiler/runtime pairs of the study."""
+
+from repro.backends.base import Backend, SortStrategy, Support
+from repro.backends.registry import (
+    PARALLEL_CPU_BACKENDS,
+    STUDY_BACKENDS,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+# Extensions beyond the paper (registers "clang-omp"; see the module doc).
+from repro.backends import extensions as _extensions  # noqa: F401
+
+__all__ = [
+    "Backend",
+    "SortStrategy",
+    "Support",
+    "PARALLEL_CPU_BACKENDS",
+    "STUDY_BACKENDS",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,51 @@
+"""Backend extensions beyond the paper: LLVM's parallel STL on OpenMP.
+
+The paper's future work names "support [for] more compilers and backends"
+(Section 6). This module adds **CLANG-OMP**: clang++ with libc++'s PSTL
+configured for the OpenMP backend. Its parameters are set by analogy --
+LLVM's PSTL shares the oneDPL/PSTL code structure with GCC's TBB build
+(so similar per-element bookkeeping) but schedules via OpenMP static
+loops like GNU (so GNU-like fork costs and placement behaviour). It is
+**not** part of the paper's study: it is excluded from STUDY_BACKENDS and
+from every paper-artifact bench, and appears only in the ablation/
+extension benches.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, SortStrategy
+from repro.backends.registry import register_backend
+
+__all__ = ["clang_omp"]
+
+
+def clang_omp() -> Backend:
+    """clang++ + libc++ PSTL with the OpenMP backend (extension)."""
+    return Backend(
+        name="CLANG-OMP",
+        compiler="clang++",
+        runtime="LLVM-OMP",
+        fork_base=7e-6,
+        fork_per_thread=0.2e-6,
+        sched_per_chunk=0.1e-6,
+        chunks_per_thread=1,  # OpenMP static scheduling
+        default_instr_overhead=2.5,
+        instr_overhead={
+            "for_each": 5.0,  # PSTL-layer bookkeeping, leaner than GNU's
+            "reduce": 0.6,
+            "find": 0.8,
+            "inclusive_scan": 2.2,
+            "sort": 2.5,
+        },
+        default_bw_efficiency=0.83,
+        bw_efficiencies={"find": 0.95, "sort": 0.52},
+        default_traffic_factor=1.12,
+        traffic_factors={"for_each": 1.25, "reduce": 1.03, "find": 1.03},
+        default_numa_quality=0.92,
+        numa_qualities={"find": 0.97, "reduce": 0.97, "inclusive_scan": 0.99},
+        seq_fallback_thresholds={"sort": 512},
+        sort_strategy=SortStrategy.PARALLEL_QUICKSORT,
+    )
+
+
+register_backend(clang_omp, "clang-omp", "llvm-omp")

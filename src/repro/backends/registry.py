@@ -1,0 +1,65 @@
+"""Backend lookup by name ("GCC-TBB", "gcc-tbb", "nvc-omp"...)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import Backend
+from repro.backends import presets
+from repro.errors import UnknownBackendError
+
+__all__ = [
+    "get_backend",
+    "backend_names",
+    "register_backend",
+    "PARALLEL_CPU_BACKENDS",
+    "STUDY_BACKENDS",
+]
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {}
+
+#: The five parallel CPU backends of the paper's study, in table order.
+PARALLEL_CPU_BACKENDS = ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+#: Study backends incl. the sequential baseline.
+STUDY_BACKENDS = ("GCC-SEQ",) + PARALLEL_CPU_BACKENDS
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def register_backend(factory: Callable[[], Backend], *names: str) -> None:
+    """Register a backend factory under one or more lookup names."""
+    if not names:
+        raise ValueError("at least one name is required")
+    for name in names:
+        key = _normalize(name)
+        if key in _FACTORIES:
+            raise ValueError(f"backend name {name!r} already registered")
+        _FACTORIES[key] = factory
+
+
+def get_backend(name: str) -> Backend:
+    """Return a fresh backend model for ``name``."""
+    key = _normalize(name)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; known: {backend_names()}"
+        ) from None
+    return factory()
+
+
+def backend_names() -> list[str]:
+    """Sorted list of registered lookup names."""
+    return sorted(_FACTORIES)
+
+
+register_backend(presets.gcc_seq, "gcc-seq", "seq")
+register_backend(presets.gcc_tbb, "gcc-tbb")
+register_backend(presets.icc_tbb, "icc-tbb")
+register_backend(presets.gcc_gnu, "gcc-gnu", "gnu")
+register_backend(presets.gcc_hpx, "gcc-hpx", "hpx")
+register_backend(presets.nvc_omp, "nvc-omp")
+register_backend(presets.nvc_cuda, "nvc-cuda", "cuda")

@@ -1,0 +1,18 @@
+"""Google-Benchmark-like harness running in simulated time."""
+
+from repro.bench.registry import BenchmarkDef, BenchmarkRegistry
+from repro.bench.reporters import console_report, csv_report, json_report
+from repro.bench.runner import run_benchmarks, run_one
+from repro.bench.state import BenchResult, BenchState
+
+__all__ = [
+    "BenchmarkDef",
+    "BenchmarkRegistry",
+    "console_report",
+    "csv_report",
+    "json_report",
+    "run_benchmarks",
+    "run_one",
+    "BenchResult",
+    "BenchState",
+]

@@ -1,0 +1,77 @@
+"""Benchmark registration, mirroring Google Benchmark's BENCHMARK macros."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.state import BenchState
+from repro.errors import BenchmarkError
+
+__all__ = ["BenchmarkDef", "BenchmarkRegistry"]
+
+BenchFn = Callable[[BenchState], None]
+
+
+@dataclass(frozen=True)
+class BenchmarkDef:
+    """One registered benchmark: a function plus its range arguments."""
+
+    name: str
+    fn: BenchFn
+    ranges: tuple[tuple[int, ...], ...] = ((),)
+    min_time: float = 5.0
+
+    def instances(self) -> list[tuple[str, tuple[int, ...]]]:
+        """Expanded (display name, ranges) pairs, one per range tuple."""
+        out = []
+        for r in self.ranges:
+            label = self.name if not r else f"{self.name}/{'/'.join(map(str, r))}"
+            out.append((label, r))
+        return out
+
+
+@dataclass
+class BenchmarkRegistry:
+    """A collection of benchmarks to run together."""
+
+    benchmarks: list[BenchmarkDef] = field(default_factory=list)
+
+    def register(
+        self,
+        name: str,
+        fn: BenchFn,
+        ranges: Sequence[Sequence[int]] | None = None,
+        min_time: float = 5.0,
+    ) -> BenchmarkDef:
+        """Register ``fn`` under ``name`` with optional range sweeps."""
+        if any(b.name == name for b in self.benchmarks):
+            raise BenchmarkError(f"benchmark {name!r} already registered")
+        norm: tuple[tuple[int, ...], ...]
+        if ranges is None:
+            norm = ((),)
+        else:
+            norm = tuple(tuple(int(x) for x in r) for r in ranges)
+            if not norm:
+                raise BenchmarkError("ranges must not be empty when given")
+        definition = BenchmarkDef(name=name, fn=fn, ranges=norm, min_time=min_time)
+        self.benchmarks.append(definition)
+        return definition
+
+    def benchmark(
+        self,
+        name: str,
+        ranges: Sequence[Sequence[int]] | None = None,
+        min_time: float = 5.0,
+    ) -> Callable[[BenchFn], BenchFn]:
+        """Decorator form of :meth:`register`."""
+
+        def deco(fn: BenchFn) -> BenchFn:
+            self.register(name, fn, ranges=ranges, min_time=min_time)
+            return fn
+
+        return deco
+
+    def filter(self, pattern: str) -> list[BenchmarkDef]:
+        """Benchmarks whose name contains ``pattern``."""
+        return [b for b in self.benchmarks if pattern in b.name]

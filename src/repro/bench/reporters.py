@@ -1,0 +1,93 @@
+"""Console / CSV / JSON reporters for benchmark results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.bench.state import BenchResult
+from repro.util.tables import TextTable
+from repro.util.units import format_bytes, format_count, format_seconds
+
+__all__ = ["console_report", "csv_report", "json_report"]
+
+
+def console_report(results: Sequence[BenchResult], title: str | None = None) -> str:
+    """Aligned console table, Google-Benchmark style."""
+    table = TextTable(
+        headers=["Benchmark", "Time", "Iterations", "Throughput", "Instructions"],
+        title=title,
+    )
+    for r in results:
+        throughput = (
+            f"{format_bytes(r.bytes_per_second)}/s" if r.bytes_processed else "-"
+        )
+        instr = (
+            format_count(r.counters.instructions) if r.counters.instructions else "-"
+        )
+        table.add_row(
+            [r.name, format_seconds(r.mean_time), r.iterations, throughput, instr]
+        )
+    return table.render()
+
+
+def csv_report(results: Sequence[BenchResult]) -> str:
+    """CSV with one row per benchmark instance."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "name",
+            "iterations",
+            "mean_time_s",
+            "total_time_s",
+            "bytes_per_second",
+            "instructions",
+            "fp_scalar",
+            "fp_packed_128",
+            "fp_packed_256",
+            "data_volume_bytes",
+        ]
+    )
+    for r in results:
+        writer.writerow(
+            [
+                r.name,
+                r.iterations,
+                f"{r.mean_time:.9g}",
+                f"{r.total_time:.9g}",
+                f"{r.bytes_per_second:.9g}",
+                f"{r.counters.instructions:.9g}",
+                f"{r.counters.fp_scalar:.9g}",
+                f"{r.counters.fp_packed_128:.9g}",
+                f"{r.counters.fp_packed_256:.9g}",
+                f"{r.counters.data_volume:.9g}",
+            ]
+        )
+    return buf.getvalue()
+
+
+def json_report(results: Sequence[BenchResult]) -> str:
+    """JSON in the shape of Google Benchmark's --benchmark_format=json."""
+    payload = {
+        "benchmarks": [
+            {
+                "name": r.name,
+                "iterations": r.iterations,
+                "real_time": r.mean_time,
+                "time_unit": "s",
+                "bytes_per_second": r.bytes_per_second,
+                "counters": {
+                    "instructions": r.counters.instructions,
+                    "fp_scalar": r.counters.fp_scalar,
+                    "fp_packed_128": r.counters.fp_packed_128,
+                    "fp_packed_256": r.counters.fp_packed_256,
+                    "data_volume": r.counters.data_volume,
+                },
+            }
+            for r in results
+        ]
+    }
+    return json.dumps(payload, indent=2)

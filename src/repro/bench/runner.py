@@ -1,0 +1,49 @@
+"""Benchmark runner: executes a registry and collects results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.registry import BenchmarkDef, BenchmarkRegistry
+from repro.bench.state import BenchResult, BenchState
+
+__all__ = ["run_benchmarks", "run_one"]
+
+
+def run_one(
+    definition: BenchmarkDef,
+    ranges: Sequence[int],
+    name: str | None = None,
+    min_time: float | None = None,
+    max_iterations: int = 1_000_000_000,
+) -> BenchResult:
+    """Run a single benchmark instance to completion."""
+    state = BenchState(
+        ranges=tuple(ranges),
+        min_time=min_time if min_time is not None else definition.min_time,
+        max_iterations=max_iterations,
+    )
+    definition.fn(state)
+    return state.finish(name or definition.name)
+
+
+def run_benchmarks(
+    registry: BenchmarkRegistry,
+    pattern: str = "",
+    min_time: float | None = None,
+    max_iterations: int = 1_000_000_000,
+) -> list[BenchResult]:
+    """Run all (matching) registered benchmarks, expanding range sweeps."""
+    results: list[BenchResult] = []
+    for definition in registry.filter(pattern) if pattern else registry.benchmarks:
+        for label, ranges in definition.instances():
+            results.append(
+                run_one(
+                    definition,
+                    ranges,
+                    name=label,
+                    min_time=min_time,
+                    max_iterations=max_iterations,
+                )
+            )
+    return results

@@ -1,0 +1,167 @@
+"""Benchmark state object, modeled on Google Benchmark's ``State``.
+
+pSTL-Bench runs every micro-benchmark under Google Benchmark with
+``--benchmark_min_time=5s`` and manual timing (``SetIterationTime`` inside
+``WRAP_TIMING``). The reproduction keeps that discipline in *simulated*
+seconds: the loop repeats until at least ``min_time`` of simulated time
+has accumulated (or the iteration cap is reached), then reports averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import BenchmarkError
+from repro.sim.report import Counters, SimReport
+
+__all__ = ["BenchState", "BenchResult"]
+
+
+@dataclass
+class BenchState:
+    """Mutable per-run benchmark state.
+
+    Use as an iterator (``for _ in state:``) exactly like Google
+    Benchmark; each pass through the loop is one measured iteration whose
+    time the body must report via :meth:`set_iteration_time` (the
+    WRAP_TIMING contract).
+    """
+
+    ranges: Sequence[int] = ()
+    min_time: float = 5.0
+    max_iterations: int = 1_000_000_000
+    min_iterations: int = 1
+
+    _iterations: int = field(default=0, init=False)
+    _total_time: float = field(default=0.0, init=False)
+    _iteration_times: list[float] = field(default_factory=list, init=False)
+    _bytes_processed: int = field(default=0, init=False)
+    _items_processed: int = field(default=0, init=False)
+    _counters: Counters = field(default_factory=Counters, init=False)
+    _pending: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.min_time <= 0:
+            raise BenchmarkError("min_time must be positive")
+        if self.max_iterations < self.min_iterations:
+            raise BenchmarkError("max_iterations must be >= min_iterations")
+
+    def range(self, index: int = 0) -> int:
+        """The index-th range argument (problem size etc.)."""
+        try:
+            return int(self.ranges[index])
+        except IndexError:
+            raise BenchmarkError(
+                f"benchmark has no range({index}); ranges={list(self.ranges)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[None]:
+        while self.keep_running():
+            yield None
+
+    def keep_running(self) -> bool:
+        """Whether another measured iteration should execute."""
+        if self._pending:
+            raise BenchmarkError(
+                "previous iteration did not call set_iteration_time() "
+                "(WRAP_TIMING contract violated)"
+            )
+        if self._iterations >= self.max_iterations:
+            return False
+        if (
+            self._iterations >= self.min_iterations
+            and self._total_time >= self.min_time
+        ):
+            return False
+        self._pending = True
+        return True
+
+    def set_iteration_time(self, seconds: float) -> None:
+        """Report the (simulated) duration of the current iteration."""
+        if not self._pending:
+            raise BenchmarkError("set_iteration_time() outside an iteration")
+        if seconds < 0:
+            raise BenchmarkError("iteration time must be non-negative")
+        self._pending = False
+        self._iterations += 1
+        self._total_time += seconds
+        self._iteration_times.append(seconds)
+
+    def record_report(self, report: SimReport, repeat: int = 1) -> None:
+        """Accumulate a simulation report: time + hardware counters.
+
+        Equivalent to WRAP_TIMING's combination of MEASURE_TIME and the
+        hw_counters_begin/end bracket. ``repeat > 1`` batch-records the
+        same deterministic iteration multiple times -- the simulator's
+        equivalent of Google Benchmark extrapolating its iteration count
+        instead of spinning a hot loop (the results are identical because
+        the simulation is deterministic).
+        """
+        if repeat < 1:
+            raise BenchmarkError("repeat must be >= 1")
+        self._counters = self._counters + report.counters.scaled(repeat)
+        self.set_iteration_time(report.seconds)
+        if repeat > 1:
+            extra = repeat - 1
+            self._iterations += extra
+            self._total_time += report.seconds * extra
+            self._iteration_times.extend([report.seconds] * min(extra, 16))
+
+    def set_bytes_processed(self, nbytes: int) -> None:
+        """Total bytes processed over all iterations (throughput metric)."""
+        if nbytes < 0:
+            raise BenchmarkError("bytes processed must be non-negative")
+        self._bytes_processed = int(nbytes)
+
+    def set_items_processed(self, items: int) -> None:
+        """Total items processed over all iterations."""
+        if items < 0:
+            raise BenchmarkError("items processed must be non-negative")
+        self._items_processed = int(items)
+
+    @property
+    def iterations(self) -> int:
+        """Iterations completed so far."""
+        return self._iterations
+
+    @property
+    def accumulated_time(self) -> float:
+        """Simulated seconds accumulated so far."""
+        return self._total_time
+
+    def finish(self, name: str) -> "BenchResult":
+        """Freeze into a result row."""
+        if self._pending:
+            raise BenchmarkError("benchmark ended mid-iteration")
+        if self._iterations == 0:
+            raise BenchmarkError(f"benchmark {name!r} ran zero iterations")
+        return BenchResult(
+            name=name,
+            iterations=self._iterations,
+            total_time=self._total_time,
+            mean_time=self._total_time / self._iterations,
+            bytes_processed=self._bytes_processed,
+            items_processed=self._items_processed,
+            counters=self._counters,
+        )
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's aggregated outcome."""
+
+    name: str
+    iterations: int
+    total_time: float
+    mean_time: float
+    bytes_processed: int = 0
+    items_processed: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Throughput derived the way Google Benchmark derives it."""
+        if self.total_time <= 0 or self.bytes_processed <= 0:
+            return 0.0
+        return self.bytes_processed / self.total_time

@@ -1,0 +1,19 @@
+"""Binary-size (compile/link) model for Table 7."""
+
+from repro.binaries.model import (
+    BUILD_SPECS,
+    BackendBuildSpec,
+    LinkerModel,
+    ObjectFile,
+    RuntimeArchive,
+    binary_size,
+)
+
+__all__ = [
+    "BUILD_SPECS",
+    "BackendBuildSpec",
+    "LinkerModel",
+    "ObjectFile",
+    "RuntimeArchive",
+    "binary_size",
+]

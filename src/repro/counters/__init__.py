@@ -1,0 +1,7 @@
+"""Hardware-performance-counter front ends (PAPI / Likwid emulations)."""
+
+from repro.counters.events import EVENTS, read_event
+from repro.counters.likwid import LikwidMarkers, RegionStats
+from repro.counters.papi import PapiHighLevel
+
+__all__ = ["EVENTS", "read_event", "LikwidMarkers", "RegionStats", "PapiHighLevel"]

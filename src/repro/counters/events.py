@@ -1,0 +1,38 @@
+"""Hardware-counter event names and their mapping onto simulator counters.
+
+Both the PAPI-style and Likwid-style front ends read the same underlying
+:class:`~repro.sim.report.Counters`; this module is the shared event
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CounterError
+from repro.sim.report import Counters
+
+__all__ = ["EVENTS", "read_event"]
+
+#: Event name -> extractor. PAPI-preset-style names on the left.
+EVENTS: dict[str, Callable[[Counters], float]] = {
+    "PAPI_TOT_INS": lambda c: c.instructions,
+    "PAPI_FP_OPS": lambda c: c.flops,
+    "PAPI_DP_OPS": lambda c: c.flops,
+    "FP_SCALAR": lambda c: c.fp_scalar,
+    "FP_PACKED_128": lambda c: c.fp_packed_128,
+    "FP_PACKED_256": lambda c: c.fp_packed_256,
+    "MEM_BYTES_READ": lambda c: c.bytes_read,
+    "MEM_BYTES_WRITTEN": lambda c: c.bytes_written,
+    "MEM_DATA_VOLUME": lambda c: c.data_volume,
+}
+
+
+def read_event(counters: Counters, event: str) -> float:
+    """Extract one event's value, raising on unknown names."""
+    try:
+        return EVENTS[event](counters)
+    except KeyError:
+        raise CounterError(
+            f"unknown event {event!r}; known: {sorted(EVENTS)}"
+        ) from None

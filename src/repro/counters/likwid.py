@@ -1,0 +1,133 @@
+"""Likwid Marker API emulation (paper Sections 3.2 and 4.2).
+
+pSTL-Bench brackets exactly the STL call with LIKWID_MARKER_START/STOP so
+counters exclude setup (data generation, shuffling). The reproduction's
+equivalent brackets a region around recorded :class:`SimReport`s::
+
+    markers = LikwidMarkers()
+    with markers.region("reduce") as region:
+        region.record(result.report)
+    print(markers.table())
+
+The per-region table carries the same metrics as the paper's Tables 3/4:
+instructions, FP scalar/packed ops, GFLOP/s, memory bandwidth and volume.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import CounterError
+from repro.sim.report import Counters, SimReport
+from repro.util.tables import TextTable
+from repro.util.units import GIB, format_count
+
+__all__ = ["LikwidMarkers", "RegionStats"]
+
+
+@dataclass
+class RegionStats:
+    """Accumulated statistics of one marker region."""
+
+    name: str
+    calls: int = 0
+    seconds: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+
+    def record(self, report: SimReport) -> None:
+        """Fold one simulated invocation into the region."""
+        self.calls += 1
+        self.seconds += report.seconds
+        self.counters = self.counters + report.counters
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFLOP/s over the region's accumulated time."""
+        return self.counters.gflops(self.seconds) if self.seconds > 0 else 0.0
+
+    @property
+    def bandwidth_gib(self) -> float:
+        """Memory bandwidth in GiB/s over the region's accumulated time."""
+        return self.counters.bandwidth_gib(self.seconds) if self.seconds > 0 else 0.0
+
+    @property
+    def data_volume_gib(self) -> float:
+        """Total data volume in GiB."""
+        return self.counters.data_volume / GIB
+
+
+class LikwidMarkers:
+    """Collection of named marker regions."""
+
+    def __init__(self) -> None:
+        self._regions: dict[str, RegionStats] = {}
+        self._open: set[str] = set()
+
+    @contextmanager
+    def region(self, name: str):
+        """Open a marker region (re-entrant across calls, not nested)."""
+        if name in self._open:
+            raise CounterError(f"region {name!r} already open")
+        stats = self._regions.setdefault(name, RegionStats(name=name))
+        self._open.add(name)
+        try:
+            yield stats
+        finally:
+            self._open.remove(name)
+
+    def start(self, name: str) -> RegionStats:
+        """LIKWID_MARKER_START equivalent (imperative form)."""
+        if name in self._open:
+            raise CounterError(f"region {name!r} already open")
+        self._open.add(name)
+        return self._regions.setdefault(name, RegionStats(name=name))
+
+    def stop(self, name: str) -> None:
+        """LIKWID_MARKER_STOP equivalent."""
+        if name not in self._open:
+            raise CounterError(f"region {name!r} is not open")
+        self._open.remove(name)
+
+    def get(self, name: str) -> RegionStats:
+        """Stats of a closed region."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise CounterError(f"no region named {name!r}") from None
+
+    def regions(self) -> list[RegionStats]:
+        """All regions, in creation order."""
+        return list(self._regions.values())
+
+    def table(self) -> str:
+        """Render a Likwid-style metric table (cf. paper Tables 3/4)."""
+        table = TextTable(
+            headers=[
+                "Region",
+                "Calls",
+                "Instructions",
+                "FP scalar",
+                "FP 128-bit packed",
+                "FP 256-bit packed",
+                "GFLOP/s",
+                "Mem. bandwidth (GiB/s)",
+                "Mem. data volume (GiB)",
+            ]
+        )
+        for r in self.regions():
+            c = r.counters
+            table.add_row(
+                [
+                    r.name,
+                    r.calls,
+                    format_count(c.instructions),
+                    format_count(c.fp_scalar),
+                    format_count(c.fp_packed_128),
+                    format_count(c.fp_packed_256),
+                    f"{r.gflops:.2f}",
+                    f"{r.bandwidth_gib:.1f}",
+                    f"{r.data_volume_gib:.2f}",
+                ]
+            )
+        return table.render()

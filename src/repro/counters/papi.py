@@ -1,0 +1,74 @@
+"""PAPI high-level API emulation (the suite's second counter backend).
+
+Mirrors PAPI's ``PAPI_hl_region_begin`` / ``PAPI_hl_region_end`` flow:
+regions accumulate named events, read out as a dict per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.counters.events import EVENTS, read_event
+from repro.errors import CounterError
+from repro.sim.report import Counters, SimReport
+
+__all__ = ["PapiHighLevel"]
+
+
+@dataclass
+class _PapiRegion:
+    name: str
+    calls: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+
+class PapiHighLevel:
+    """The high-level region API: begin, record, end, read."""
+
+    def __init__(self, events: tuple[str, ...] | None = None) -> None:
+        self.events = tuple(events) if events is not None else tuple(sorted(EVENTS))
+        for event in self.events:
+            if event not in EVENTS:
+                raise CounterError(f"unknown event {event!r}")
+        self._regions: dict[str, _PapiRegion] = {}
+        self._open: str | None = None
+
+    def hl_region_begin(self, name: str) -> None:
+        """Open a region; PAPI's high-level API allows one at a time."""
+        if self._open is not None:
+            raise CounterError(
+                f"region {self._open!r} still open (PAPI-HL is not nested)"
+            )
+        self._open = name
+        self._regions.setdefault(name, _PapiRegion(name=name))
+
+    def record(self, report: SimReport) -> None:
+        """Attribute a simulated invocation to the open region."""
+        if self._open is None:
+            raise CounterError("no open region to record into")
+        region = self._regions[self._open]
+        region.calls += 1
+        region.counters = region.counters + report.counters
+
+    def hl_region_end(self, name: str) -> None:
+        """Close the open region (name must match, as in PAPI)."""
+        if self._open != name:
+            raise CounterError(
+                f"hl_region_end({name!r}) but open region is {self._open!r}"
+            )
+        self._open = None
+
+    def read(self, name: str) -> dict[str, float]:
+        """Event values of a region as a name->value dict."""
+        try:
+            region = self._regions[name]
+        except KeyError:
+            raise CounterError(f"no region named {name!r}") from None
+        return {event: read_event(region.counters, event) for event in self.events}
+
+    def calls(self, name: str) -> int:
+        """How many invocations were recorded in ``name``."""
+        try:
+            return self._regions[name].calls
+        except KeyError:
+            raise CounterError(f"no region named {name!r}") from None

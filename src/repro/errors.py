@@ -1,0 +1,64 @@
+"""Exception hierarchy for the pSTL-Bench reproduction.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type at an API boundary. Subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied (bad thread count, size...)."""
+
+
+class MachineError(ReproError):
+    """A machine model is inconsistent or an unknown machine was requested."""
+
+
+class UnknownMachineError(MachineError):
+    """Lookup of a machine preset by name failed."""
+
+
+class BackendError(ReproError):
+    """A backend model is inconsistent or an unknown backend was requested."""
+
+
+class UnknownBackendError(BackendError):
+    """Lookup of a backend by name failed."""
+
+
+class UnsupportedOperationError(BackendError):
+    """The backend does not provide a parallel implementation of an algorithm.
+
+    Mirrors the paper's capability gaps: GNU's parallel-mode library has no
+    ``inclusive_scan``, and NVC-OMP silently falls back to sequential for
+    scans. Whether a gap raises or falls back is a backend capability.
+    """
+
+
+class AllocationError(ReproError):
+    """Memory-model allocation failed (e.g., exceeding modeled capacity)."""
+
+
+class PlacementError(ReproError):
+    """Page or thread placement was requested that the topology cannot hold."""
+
+
+class SimulationError(ReproError):
+    """The cost engine was driven with an inconsistent work profile."""
+
+
+class CounterError(ReproError):
+    """Misuse of the hardware-counter APIs (unbalanced start/stop, etc.)."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness misuse (duplicate registration, bad ranges...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

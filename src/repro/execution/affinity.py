@@ -1,0 +1,62 @@
+"""Thread-placement model.
+
+The paper deliberately runs *unpinned* (Section 4.2) to test each runtime's
+own placement. We model the resulting steady state with two canonical
+strategies: ``scatter`` (threads balanced across NUMA nodes, which is what
+the Linux scheduler converges to for bandwidth-hungry threads on an idle
+node) and ``compact`` (fill node 0 first). Backends pick their strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.machines.cpu import CpuMachine
+
+__all__ = ["ThreadPlacement"]
+
+_STRATEGIES = ("scatter", "compact")
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Assignment of ``threads`` software threads to cores/NUMA nodes."""
+
+    machine: CpuMachine
+    threads: int
+    strategy: str = "scatter"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown placement strategy {self.strategy!r}; known: {_STRATEGIES}"
+            )
+        if not 1 <= self.threads <= self.machine.total_cores:
+            raise ConfigurationError(
+                f"threads must be in [1, {self.machine.total_cores}], "
+                f"got {self.threads}"
+            )
+
+    def node_of_thread(self, thread: int) -> int:
+        """NUMA node a given thread runs on."""
+        if not 0 <= thread < self.threads:
+            raise PlacementError(f"thread {thread} out of range")
+        nodes = self.machine.topology.num_nodes
+        if self.strategy == "scatter":
+            return thread % nodes
+        cores_per_node = self.machine.topology.cores_per_node
+        return min(thread // cores_per_node, nodes - 1)
+
+    @property
+    def threads_per_node(self) -> tuple[int, ...]:
+        """Thread count on each NUMA node."""
+        counts = [0] * self.machine.topology.num_nodes
+        for t in range(self.threads):
+            counts[self.node_of_thread(t)] += 1
+        return tuple(counts)
+
+    @property
+    def nodes_used(self) -> int:
+        """How many NUMA nodes host at least one thread."""
+        return sum(1 for c in self.threads_per_node if c > 0)

@@ -1,0 +1,45 @@
+"""Execution policies mirroring ``std::execution`` (C++17).
+
+pSTL-Bench invokes every algorithm through an execution policy; the
+reproduction keeps the same three-policy surface. ``PAR_UNSEQ`` permits
+vectorisation, which is how backends that emit packed FP (ICC, HPX in
+Table 4) are distinguished from scalar ones.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExecutionPolicy", "SEQ", "PAR", "PAR_UNSEQ"]
+
+
+class ExecutionPolicy(enum.Enum):
+    """C++17 execution policy equivalents."""
+
+    SEQ = "seq"
+    PAR = "par"
+    PAR_UNSEQ = "par_unseq"
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether the policy allows multi-threaded execution."""
+        return self is not ExecutionPolicy.SEQ
+
+    @property
+    def allows_vectorization(self) -> bool:
+        """Whether the policy allows SIMD execution."""
+        return self is ExecutionPolicy.PAR_UNSEQ
+
+    @classmethod
+    def parse(cls, name: str) -> "ExecutionPolicy":
+        """Parse ``"seq"``/``"par"``/``"par_unseq"`` (and C++ spellings)."""
+        key = name.strip().lower().replace("::", "_").replace("-", "_")
+        for member in cls:
+            if key in (member.value, f"execution_{member.value}", f"std_execution_{member.value}"):
+                return member
+        raise ValueError(f"unknown execution policy {name!r}")
+
+
+SEQ = ExecutionPolicy.SEQ
+PAR = ExecutionPolicy.PAR
+PAR_UNSEQ = ExecutionPolicy.PAR_UNSEQ

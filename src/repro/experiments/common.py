@@ -1,0 +1,82 @@
+"""Shared plumbing for the per-figure/per-table experiment drivers.
+
+Every driver in ``repro.experiments`` regenerates one artifact of the
+paper's evaluation section (see DESIGN.md section 3 for the index) and
+returns a structured result that the benchmark harness renders and
+asserts shapes on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.backends import get_backend
+from repro.backends.registry import PARALLEL_CPU_BACKENDS
+from repro.errors import ExperimentError
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.memory.allocators import Allocator
+from repro.suite.cases import HEADLINE_CASES, get_case
+from repro.suite.wrappers import measure_case
+from repro.types import ElemType, FLOAT64
+
+__all__ = [
+    "ExperimentResult",
+    "make_ctx",
+    "seq_baseline_seconds",
+    "paper_size",
+    "HEADLINE_CASES",
+    "PARALLEL_CPU_BACKENDS",
+]
+
+#: The evaluation's standard problem size (Section 4.2 / Table 5).
+PAPER_SIZE_EXP = 30
+
+
+def paper_size(exp: int = PAPER_SIZE_EXP) -> int:
+    """2^exp elements."""
+    if exp < 0:
+        raise ExperimentError("size exponent must be non-negative")
+    return 1 << exp
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated artifact: id, data, and rendered text."""
+
+    experiment_id: str
+    title: str
+    data: Mapping[str, object] = field(default_factory=dict)
+    rendered: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.rendered or f"{self.experiment_id}: {self.title}"
+
+
+def make_ctx(
+    machine: str,
+    backend: str,
+    threads: int | None = None,
+    allocator: Allocator | None = None,
+    mode: str = "model",
+) -> ExecutionContext:
+    """Build a context for (machine, backend) with paper defaults.
+
+    ``threads=None`` uses all cores, matching "maximum number of threads
+    = physical cores" (Section 4.1).
+    """
+    m = get_machine(machine)
+    b = get_backend(backend)
+    t = threads if threads is not None else getattr(m, "total_cores", 1)
+    if b.is_sequential:
+        t = 1
+    return ExecutionContext(m, b, threads=t, allocator=allocator, mode=mode)
+
+
+def seq_baseline_seconds(
+    machine: str, case_name: str, n: int, elem: ElemType = FLOAT64
+) -> float:
+    """GCC sequential baseline time (Table 5's denominator)."""
+    ctx = make_ctx(machine, "gcc-seq", threads=1)
+    return measure_case(get_case(case_name), ctx, n, elem)

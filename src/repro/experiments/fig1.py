@@ -1,0 +1,82 @@
+"""Figure 1: impact of the custom parallel allocator (paper Section 5.1).
+
+Mach A, 32 threads, n = 2^30: for each (algorithm, backend) pair, the
+speedup of the parallel first-touch allocator over the default serial
+first-touch allocator. HPX is excluded (it always uses its own
+allocator); so is the sequential baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, make_ctx, paper_size
+from repro.memory.allocators import DefaultAllocator, ParallelFirstTouchAllocator
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+from repro.util.tables import render_grid
+
+__all__ = ["run_fig1", "allocator_speedup", "FIG1_BACKENDS", "FIG1_CASES"]
+
+#: Backends compared in Fig. 1 (HPX keeps its own allocator).
+FIG1_BACKENDS = ("GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP")
+FIG1_CASES = (
+    "find",
+    "for_each_k1",
+    "for_each_k1000",
+    "inclusive_scan",
+    "reduce",
+    "sort",
+)
+
+
+def allocator_speedup(
+    machine: str,
+    backend: str,
+    case_name: str,
+    threads: int = 32,
+    size_exp: int = 30,
+) -> float | None:
+    """T_default / T_custom; > 1 means the custom allocator helps."""
+    n = paper_size(size_exp)
+    case = get_case(case_name)
+    from repro.errors import UnsupportedOperationError
+
+    try:
+        default_ctx = make_ctx(
+            machine, backend, threads=threads, allocator=DefaultAllocator()
+        )
+        custom_ctx = make_ctx(
+            machine, backend, threads=threads, allocator=ParallelFirstTouchAllocator()
+        )
+        t_default = measure_case(case, default_ctx, n)
+        t_custom = measure_case(case, custom_ctx, n)
+    except UnsupportedOperationError:
+        return None
+    return t_default / t_custom
+
+
+def run_fig1(threads: int = 32, size_exp: int = 30) -> ExperimentResult:
+    """Regenerate Fig. 1's allocator-speedup bars."""
+    data: dict[str, float | None] = {}
+    cells = []
+    for backend in FIG1_BACKENDS:
+        row = []
+        for case_name in FIG1_CASES:
+            ratio = allocator_speedup("A", backend, case_name, threads, size_exp)
+            data[f"{backend}/{case_name}"] = ratio
+            row.append("N/A" if ratio is None else f"{ratio:.2f}x")
+        cells.append(row)
+    rendered = render_grid(
+        row_labels=list(FIG1_BACKENDS),
+        col_labels=list(FIG1_CASES),
+        cells=cells,
+        title=(
+            f"Fig 1: custom-allocator speedup, Mach A, {threads} threads, "
+            f"n=2^{size_exp} (>1: custom allocator faster)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Impact of the parallel first-touch allocator",
+        data=data,
+        rendered=rendered,
+    )

@@ -1,0 +1,66 @@
+"""Figure 2: X::for_each problem scaling across Mach A/B/C (Section 5.2).
+
+Execution time vs problem size (2^3..2^30) at full core count for every
+backend, plus the GCC sequential reference, at k_it = 1 and k_it = 1000.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, make_ctx
+from repro.suite.cases import get_case
+from repro.suite.sweeps import problem_scaling, problem_sizes
+from repro.util.ascii_plot import Series, line_plot
+
+__all__ = ["run_fig2", "foreach_problem_series", "FIG2_BACKENDS"]
+
+FIG2_BACKENDS = ("GCC-SEQ", "GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+
+
+def foreach_problem_series(
+    machine: str,
+    k_it: int,
+    backends: tuple[str, ...] = FIG2_BACKENDS,
+    size_step: int = 1,
+):
+    """One panel of Fig. 2: {backend: SweepResult} for a machine and k_it."""
+    sizes = problem_sizes(step=size_step)
+    case = get_case(f"for_each_k{k_it}")
+    out = {}
+    for backend in backends:
+        ctx = make_ctx(machine, backend)
+        out[backend] = problem_scaling(case, ctx, sizes)
+    return out
+
+
+def run_fig2(
+    machines: tuple[str, ...] = ("A", "B", "C"),
+    k_values: tuple[int, ...] = (1, 1000),
+    size_step: int = 1,
+) -> ExperimentResult:
+    """Regenerate all panels of Fig. 2."""
+    panels = {}
+    charts = []
+    for machine in machines:
+        for k_it in k_values:
+            series_by_backend = foreach_problem_series(
+                machine, k_it, size_step=size_step
+            )
+            panels[f"{machine}/k{k_it}"] = series_by_backend
+            chart_series = [
+                Series(name=backend, x=s.xs(), y=s.ys())
+                for backend, s in series_by_backend.items()
+            ]
+            charts.append(
+                line_plot(
+                    chart_series,
+                    logx=True,
+                    logy=True,
+                    title=f"Fig 2 ({machine}, k_it={k_it}): for_each time vs size",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="for_each problem scaling",
+        data=panels,
+        rendered="\n\n".join(charts),
+    )

@@ -1,0 +1,78 @@
+"""Figure 3: X::for_each strong scaling (Section 5.2).
+
+Speedup vs thread count at n = 2^30 against the GCC sequential baseline,
+for k_it = 1 (overhead-dominated) and k_it = 1000 (compute-dominated).
+The paper's headline observations: NVC-OMP leads at k_it=1; HPX's curve
+is nearly flat past 16 threads; at k_it=1000 everyone but HPX approaches
+ideal (on Mach C: HPX ~84.8 vs 102-106.7 for the rest, i.e. 66 % vs
+79-83 % parallel efficiency).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import ScalingCurve
+from repro.experiments.common import (
+    ExperimentResult,
+    PARALLEL_CPU_BACKENDS,
+    make_ctx,
+    paper_size,
+    seq_baseline_seconds,
+)
+from repro.suite.cases import get_case
+from repro.suite.sweeps import strong_scaling
+from repro.util.ascii_plot import Series, line_plot
+
+__all__ = ["run_fig3", "foreach_scaling_curve"]
+
+
+def foreach_scaling_curve(
+    machine: str, backend: str, k_it: int, size_exp: int = 30
+) -> ScalingCurve:
+    """One strong-scaling curve of Fig. 3."""
+    n = paper_size(size_exp)
+    case = get_case(f"for_each_k{k_it}")
+    ctx = make_ctx(machine, backend)
+    sweep = strong_scaling(case, ctx, n)
+    baseline = seq_baseline_seconds(machine, f"for_each_k{k_it}", n)
+    return ScalingCurve(
+        label=f"{backend}/k{k_it}/{machine}",
+        threads=tuple(sweep.xs()),
+        seconds=tuple(sweep.ys()),
+        baseline_seconds=baseline,
+    )
+
+
+def run_fig3(
+    machines: tuple[str, ...] = ("A", "B", "C"),
+    k_values: tuple[int, ...] = (1, 1000),
+    size_exp: int = 30,
+) -> ExperimentResult:
+    """Regenerate all panels of Fig. 3."""
+    curves: dict[str, ScalingCurve] = {}
+    charts = []
+    for machine in machines:
+        for k_it in k_values:
+            panel = []
+            for backend in PARALLEL_CPU_BACKENDS:
+                if backend == "ICC-TBB" and machine == "B":
+                    continue  # not installed on Mach B (Table 2)
+                curve = foreach_scaling_curve(machine, backend, k_it, size_exp)
+                curves[curve.label] = curve
+                panel.append(
+                    Series(
+                        name=backend, x=list(curve.threads), y=curve.speedups()
+                    )
+                )
+            charts.append(
+                line_plot(
+                    panel,
+                    logx=True,
+                    title=f"Fig 3 ({machine}, k_it={k_it}): for_each speedup vs threads",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="for_each strong scaling",
+        data=curves,
+        rendered="\n\n".join(charts),
+    )

@@ -1,0 +1,25 @@
+"""Figure 4: X::find on Mach B (Zen 1), Section 5.3.
+
+Shapes to reproduce: sequential wins for small sizes (by orders of
+magnitude at the tiny end); GNU switches to parallel at 2^9; the parallel
+versions win decisively past ~2^18; the best speedup is ~6 (GCC-TBB at 64
+threads), bounded by the ~7x STREAM bandwidth ratio of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.panels import run_panels
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(size_step: int = 1) -> ExperimentResult:
+    """Regenerate both panels of Fig. 4."""
+    panels = run_panels("B", "find", size_step=size_step)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="find on Mach B (Zen 1)",
+        data={"problem": panels.problem, "scaling": panels.scaling},
+        rendered=panels.rendered(),
+    )

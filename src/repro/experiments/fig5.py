@@ -1,0 +1,25 @@
+"""Figure 5: X::inclusive_scan on Mach C (Zen 3), Section 5.4.
+
+Shapes to reproduce: GCC-GNU is absent (no parallel scan); NVC-OMP falls
+back to sequential (no scaling at all); sequential wins until the working
+set leaves the caches; TBB-based backends reach a speedup of only ~5 at
+128 threads (memory-bound, extra scan pass); HPX stays near 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.panels import run_panels
+
+__all__ = ["run_fig5"]
+
+
+def run_fig5(size_step: int = 1) -> ExperimentResult:
+    """Regenerate both panels of Fig. 5."""
+    panels = run_panels("C", "inclusive_scan", size_step=size_step)
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="inclusive_scan on Mach C (Zen 3)",
+        data={"problem": panels.problem, "scaling": panels.scaling},
+        rendered=panels.rendered(),
+    )

@@ -1,0 +1,25 @@
+"""Figure 6: X::reduce on Mach A (Skylake), Section 5.5.
+
+Shapes to reproduce: crossover near 2^15; the backends split into two
+groups -- {NVC-OMP, GCC-TBB, GCC-GNU} with speedups ~10-11, and
+{ICC-TBB, GCC-HPX} which scale well to ~16 threads then suffer across the
+NUMA boundary, HPX hardest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.panels import run_panels
+
+__all__ = ["run_fig6"]
+
+
+def run_fig6(size_step: int = 1) -> ExperimentResult:
+    """Regenerate both panels of Fig. 6."""
+    panels = run_panels("A", "reduce", size_step=size_step)
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="reduce on Mach A (Skylake)",
+        data={"problem": panels.problem, "scaling": panels.scaling},
+        rendered=panels.rendered(),
+    )

@@ -1,0 +1,26 @@
+"""Figure 7: X::sort on Mach C (Zen 3), Section 5.6.
+
+Shapes to reproduce: TBB falls back to sequential below ~2^9 and HPX
+single-threads up to 2^15; NVC-OMP is competitive at low thread counts;
+GNU's multiway mergesort is by far the best at high thread counts; the
+quicksort-family backends are capped near speedup ~10 by their partition
+trees.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.panels import run_panels
+
+__all__ = ["run_fig7"]
+
+
+def run_fig7(size_step: int = 1) -> ExperimentResult:
+    """Regenerate both panels of Fig. 7."""
+    panels = run_panels("C", "sort", size_step=size_step)
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="sort on Mach C (Zen 3)",
+        data={"problem": panels.problem, "scaling": panels.scaling},
+        rendered=panels.rendered(),
+    )

@@ -1,0 +1,89 @@
+"""Figure 8: for_each on the GPUs vs host CPU, float data (Section 5.8).
+
+Problem-size sweep with the device-to-host transfer *forced after every
+call*, at several arithmetic intensities. Shapes to reproduce: at low
+k_it the GPU is transfer-bound and loses to the parallel CPU (and for
+small sizes even to sequential); at high k_it the GPUs win by ~23.5x
+(Tesla T4) and ~13.3x (Ampere A2) over the parallel CPU.
+
+The NVC volatile quirk applies: this figure uses ``float``, the one type
+whose kernel loop is never optimised away on the GPU target.
+"""
+
+from __future__ import annotations
+
+from repro.backends import get_backend
+from repro.execution.context import ExecutionContext
+from repro.experiments.common import ExperimentResult, make_ctx
+from repro.machines import get_machine
+from repro.sim.gpu import GpuExecution
+from repro.suite.cases import _case_for_each
+from repro.suite.sweeps import problem_scaling, problem_sizes
+from repro.suite.wrappers import measure_case
+from repro.types import FLOAT32
+from repro.util.ascii_plot import Series, line_plot
+
+__all__ = ["run_fig8", "gpu_ctx", "gpu_vs_cpu_ratio", "FIG8_KITS"]
+
+FIG8_KITS = (1, 1000, 10000)
+#: GPU sweeps stop at 2^29 floats (2 GiB) so the A2's 8 GiB UM never thrashes.
+GPU_MAX_EXP = 29
+
+
+def gpu_ctx(machine: str, transfer_back: bool = True) -> ExecutionContext:
+    """A CUDA context for Mach D or Mach E."""
+    return ExecutionContext(
+        get_machine(machine),
+        get_backend("nvc-cuda"),
+        threads=1,
+        mode="model",
+        gpu_options=GpuExecution(transfer_back=transfer_back),
+    )
+
+
+def run_fig8(
+    k_values: tuple[int, ...] = FIG8_KITS, size_step: int = 2
+) -> ExperimentResult:
+    """Regenerate Fig. 8's panels (one per k_it)."""
+    sizes = problem_sizes(max_exp=GPU_MAX_EXP, step=size_step)
+    panels = {}
+    charts = []
+    for k_it in k_values:
+        case = _case_for_each(k_it)
+        series = {}
+        series["GCC-SEQ (host)"] = problem_scaling(
+            case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32
+        )
+        series["NVC-OMP (host)"] = problem_scaling(
+            case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32
+        )
+        series["NVC-CUDA (Mach D)"] = problem_scaling(
+            case, gpu_ctx("D"), sizes, FLOAT32
+        )
+        series["NVC-CUDA (Mach E)"] = problem_scaling(
+            case, gpu_ctx("E"), sizes, FLOAT32
+        )
+        panels[f"k{k_it}"] = series
+        charts.append(
+            line_plot(
+                [Series(name=k, x=s.xs(), y=s.ys()) for k, s in series.items()],
+                logx=True,
+                logy=True,
+                title=f"Fig 8 (k_it={k_it}, float): for_each time vs size, D2H forced",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="for_each on GPUs (float, forced transfer)",
+        data=panels,
+        rendered="\n\n".join(charts),
+    )
+
+
+def gpu_vs_cpu_ratio(machine: str, k_it: int, size_exp: int = GPU_MAX_EXP) -> float:
+    """Parallel-CPU time / GPU time for one configuration (> 1: GPU wins)."""
+    n = 1 << size_exp
+    case = _case_for_each(k_it)
+    cpu = measure_case(case, make_ctx("gpu-host", "nvc-omp"), n, FLOAT32)
+    gpu = measure_case(case, gpu_ctx(machine), n, FLOAT32)
+    return cpu / gpu

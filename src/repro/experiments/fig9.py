@@ -1,0 +1,81 @@
+"""Figure 9: reduce on the GPUs, with and without the D2H transfer
+between chained calls (Section 5.8, float data).
+
+Shapes: when every call faults the data back to the host (panel a), the
+execution is communication-limited and the GPU can lose even to the
+sequential CPU; when calls chain on device-resident data (panel b), the
+GPU outruns both CPU variants.
+
+The chaining effect falls out of the unified-memory residency state: the
+benchmark loop reuses the same array, so only the first iteration pays
+the host-to-device migration when no transfer-back is forced.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, make_ctx
+from repro.experiments.fig8 import GPU_MAX_EXP, gpu_ctx
+from repro.suite.cases import get_case
+from repro.suite.sweeps import problem_scaling, problem_sizes
+from repro.suite.wrappers import run_case
+from repro.types import FLOAT32
+from repro.util.ascii_plot import Series, line_plot
+
+__all__ = ["run_fig9", "chained_gpu_reduce_seconds"]
+
+
+def chained_gpu_reduce_seconds(
+    machine: str, n: int, transfer_back: bool, min_time: float = 5.0
+) -> float:
+    """Mean per-call time of a chained GPU reduce benchmark loop.
+
+    Without transfer-back, only the first call migrates pages; the
+    min-time loop then amortises it away, which is exactly what chaining
+    device-side calls does in the paper's experiment.
+    """
+    ctx = gpu_ctx(machine, transfer_back=transfer_back)
+    result = run_case(get_case("reduce"), ctx, n, FLOAT32, min_time=min_time)
+    return result.mean_time
+
+
+def run_fig9(size_step: int = 2) -> ExperimentResult:
+    """Regenerate both panels of Fig. 9."""
+    sizes = problem_sizes(max_exp=GPU_MAX_EXP, step=size_step)
+    case = get_case("reduce")
+    panels: dict[str, dict[str, object]] = {}
+    charts = []
+    for transfer in (True, False):
+        label = "with D2H transfer" if transfer else "without D2H transfer"
+        series: dict[str, list[tuple[int, float]]] = {
+            "GCC-SEQ (host)": [],
+            "NVC-OMP (host)": [],
+            "NVC-CUDA (Mach D)": [],
+            "NVC-CUDA (Mach E)": [],
+        }
+        cpu_seq = problem_scaling(case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32)
+        cpu_par = problem_scaling(case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32)
+        series["GCC-SEQ (host)"] = list(zip(cpu_seq.xs(), cpu_seq.ys()))
+        series["NVC-OMP (host)"] = list(zip(cpu_par.xs(), cpu_par.ys()))
+        for gpu_name, key in (("D", "NVC-CUDA (Mach D)"), ("E", "NVC-CUDA (Mach E)")):
+            series[key] = [
+                (n, chained_gpu_reduce_seconds(gpu_name, n, transfer))
+                for n in sizes
+            ]
+        panels[label] = series
+        charts.append(
+            line_plot(
+                [
+                    Series(name=k, x=[p[0] for p in v], y=[p[1] for p in v])
+                    for k, v in series.items()
+                ],
+                logx=True,
+                logy=True,
+                title=f"Fig 9 ({label}): reduce time vs size, float",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="reduce on GPUs: chained calls vs forced transfers",
+        data=panels,
+        rendered="\n\n".join(charts),
+    )

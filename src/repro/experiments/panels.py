@@ -1,0 +1,98 @@
+"""Shared two-panel driver for Figures 4-7.
+
+Each of those figures shows the same pair for one algorithm on one
+machine: (a) problem scaling at full core count with a sequential
+reference, and (b) strong scaling (speedup vs threads) at n = 2^30.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.speedup import ScalingCurve
+from repro.errors import UnsupportedOperationError
+from repro.experiments.common import (
+    PARALLEL_CPU_BACKENDS,
+    make_ctx,
+    paper_size,
+    seq_baseline_seconds,
+)
+from repro.suite.cases import get_case
+from repro.suite.sweeps import SweepResult, problem_scaling, problem_sizes, strong_scaling
+from repro.util.ascii_plot import Series, line_plot
+
+__all__ = ["AlgoPanels", "run_panels"]
+
+
+@dataclass(frozen=True)
+class AlgoPanels:
+    """Both panels of a Figure 4-7 style artifact."""
+
+    machine: str
+    case_name: str
+    problem: dict[str, SweepResult]
+    scaling: dict[str, ScalingCurve]
+
+    def rendered(self) -> str:
+        """ASCII charts of both panels."""
+        left = line_plot(
+            [
+                Series(name=b, x=s.xs(), y=s.ys())
+                for b, s in self.problem.items()
+                if s.xs()
+            ],
+            logx=True,
+            logy=True,
+            title=f"{self.case_name} on Mach {self.machine}: time vs size (all cores)",
+        )
+        right = line_plot(
+            [
+                Series(name=b, x=list(c.threads), y=c.speedups())
+                for b, c in self.scaling.items()
+            ],
+            logx=True,
+            title=f"{self.case_name} on Mach {self.machine}: speedup vs threads (n=2^30)",
+        )
+        return left + "\n\n" + right
+
+
+def run_panels(
+    machine: str,
+    case_name: str,
+    size_exp: int = 30,
+    size_step: int = 1,
+    backends: tuple[str, ...] = PARALLEL_CPU_BACKENDS,
+) -> AlgoPanels:
+    """Build both panels for (machine, algorithm)."""
+    case = get_case(case_name)
+    n = paper_size(size_exp)
+    available = tuple(
+        b for b in backends if not (b == "ICC-TBB" and machine.upper() == "B")
+    )
+
+    problem: dict[str, SweepResult] = {}
+    for backend in ("GCC-SEQ", *available):
+        ctx = make_ctx(machine, backend)
+        problem[backend] = problem_scaling(
+            case, ctx, problem_sizes(step=size_step)
+        )
+
+    scaling: dict[str, ScalingCurve] = {}
+    baseline = seq_baseline_seconds(machine, case_name, n)
+    for backend in available:
+        ctx = make_ctx(machine, backend)
+        try:
+            sweep = strong_scaling(case, ctx, n)
+        except UnsupportedOperationError:
+            continue
+        if not sweep.xs():
+            continue
+        scaling[backend] = ScalingCurve(
+            label=f"{backend}/{case_name}/{machine}",
+            threads=tuple(sweep.xs()),
+            seconds=tuple(sweep.ys()),
+            baseline_seconds=baseline,
+        )
+    return AlgoPanels(
+        machine=machine, case_name=case_name, problem=problem, scaling=scaling
+    )

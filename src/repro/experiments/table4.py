@@ -1,0 +1,24 @@
+"""Table 4: hardware counters for 100 calls to reduce on Mach A.
+
+The signature observations to reproduce: HPX executes by far the most
+instructions; HPX and ICC run the reduction as 256-bit packed FP with
+essentially no scalar FP, while GCC-TBB/GNU/NVC are purely scalar.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.table3 import TABLE3_BACKENDS, _counter_table
+
+__all__ = ["run_table4"]
+
+
+def run_table4(size_exp: int = 30) -> ExperimentResult:
+    """Regenerate Table 4 (reduce, 100 calls, Mach A)."""
+    stats, rendered = _counter_table("reduce", TABLE3_BACKENDS, size_exp=size_exp)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Instructions executed in 100 calls to reduce, Mach A",
+        data=stats,
+        rendered="Table 4:\n" + rendered,
+    )

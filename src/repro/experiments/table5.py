@@ -1,0 +1,81 @@
+"""Table 5: speedup against GCC's sequential implementation.
+
+Grid: 6 algorithm configurations x 5 parallel backends x 3 machines, at
+n = 2^30 with all cores. Cells the paper marks N/A are reproduced as
+N/A: GNU has no parallel scan, and ICC was not installed on Mach B.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedOperationError
+from repro.experiments.common import (
+    ExperimentResult,
+    HEADLINE_CASES,
+    PARALLEL_CPU_BACKENDS,
+    make_ctx,
+    paper_size,
+    seq_baseline_seconds,
+)
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+from repro.util.tables import render_grid
+
+__all__ = ["run_table5", "MACHINES", "ICC_AVAILABLE"]
+
+MACHINES = ("A", "B", "C")
+
+#: Table 2: the Intel compiler was only installed on Mach A and Mach C.
+ICC_AVAILABLE = {"A": True, "B": False, "C": True}
+
+
+def cell_speedup(
+    machine: str, backend: str, case_name: str, size_exp: int = 30
+) -> float | None:
+    """One grid cell; ``None`` renders as N/A."""
+    if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
+        return None
+    n = paper_size(size_exp)
+    case = get_case(case_name)
+    try:
+        ctx = make_ctx(machine, backend)
+        par = measure_case(case, ctx, n)
+    except UnsupportedOperationError:
+        return None
+    base = seq_baseline_seconds(machine, case_name, n)
+    return base / par
+
+
+def run_table5(size_exp: int = 30) -> ExperimentResult:
+    """Regenerate Table 5; cells are 'A|B|C' strings like the paper's."""
+    grid: dict[str, dict[str, float | None]] = {}
+    for backend in PARALLEL_CPU_BACKENDS:
+        for case_name in HEADLINE_CASES:
+            for machine in MACHINES:
+                grid[f"{backend}/{case_name}/{machine}"] = cell_speedup(
+                    machine, backend, case_name, size_exp
+                )
+
+    def fmt(value: float | None) -> str:
+        return "N/A" if value is None else f"{value:.1f}"
+
+    cells = [
+        [
+            " | ".join(
+                fmt(grid[f"{backend}/{case_name}/{machine}"]) for machine in MACHINES
+            )
+            for case_name in HEADLINE_CASES
+        ]
+        for backend in PARALLEL_CPU_BACKENDS
+    ]
+    rendered = render_grid(
+        row_labels=list(PARALLEL_CPU_BACKENDS),
+        col_labels=list(HEADLINE_CASES),
+        cells=cells,
+        title=(
+            f"Table 5: speedup vs GCC-SEQ, n=2^{size_exp}, all cores "
+            "(cells: Mach A | Mach B | Mach C)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table5", title="Speedup vs sequential", data=grid, rendered=rendered
+    )

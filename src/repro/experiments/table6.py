@@ -1,0 +1,92 @@
+"""Table 6: maximum thread count with parallel efficiency >= 70 %.
+
+Efficiency is measured against the GCC sequential baseline (like Table
+5); the paper's takeaway is that backends rarely use more than ~16
+threads efficiently -- the per-NUMA-node core count of Mach A and Mach C
+-- except for the compute-bound for_each (k_it = 1000), which stays
+efficient at full machine width.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import ScalingCurve, max_threads_above_efficiency
+from repro.errors import UnsupportedOperationError
+from repro.experiments.common import (
+    ExperimentResult,
+    HEADLINE_CASES,
+    PARALLEL_CPU_BACKENDS,
+    make_ctx,
+    paper_size,
+    seq_baseline_seconds,
+)
+from repro.experiments.table5 import ICC_AVAILABLE, MACHINES
+from repro.suite.cases import get_case
+from repro.suite.sweeps import strong_scaling
+from repro.util.tables import render_grid
+
+__all__ = ["run_table6", "cell_max_threads", "EFFICIENCY_THRESHOLD"]
+
+EFFICIENCY_THRESHOLD = 0.70
+
+
+def cell_max_threads(
+    machine: str, backend: str, case_name: str, size_exp: int = 30
+) -> int | None:
+    """One Table 6 cell; ``None`` renders as N/A."""
+    if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
+        return None
+    n = paper_size(size_exp)
+    case = get_case(case_name)
+    try:
+        ctx = make_ctx(machine, backend)
+        sweep = strong_scaling(case, ctx, n)
+    except UnsupportedOperationError:
+        return None
+    if not sweep.xs():
+        return None
+    curve = ScalingCurve(
+        label=f"{backend}/{case_name}/{machine}",
+        threads=tuple(sweep.xs()),
+        seconds=tuple(sweep.ys()),
+        baseline_seconds=seq_baseline_seconds(machine, case_name, n),
+    )
+    return max_threads_above_efficiency(curve, EFFICIENCY_THRESHOLD)
+
+
+def run_table6(size_exp: int = 30) -> ExperimentResult:
+    """Regenerate Table 6."""
+    grid: dict[str, int | None] = {}
+    for backend in PARALLEL_CPU_BACKENDS:
+        for case_name in HEADLINE_CASES:
+            for machine in MACHINES:
+                grid[f"{backend}/{case_name}/{machine}"] = cell_max_threads(
+                    machine, backend, case_name, size_exp
+                )
+
+    def fmt(v: int | None) -> str:
+        return "N/A" if v is None else str(v)
+
+    cells = [
+        [
+            " | ".join(
+                fmt(grid[f"{backend}/{case_name}/{machine}"]) for machine in MACHINES
+            )
+            for case_name in HEADLINE_CASES
+        ]
+        for backend in PARALLEL_CPU_BACKENDS
+    ]
+    rendered = render_grid(
+        row_labels=list(PARALLEL_CPU_BACKENDS),
+        col_labels=list(HEADLINE_CASES),
+        cells=cells,
+        title=(
+            f"Table 6: max threads with efficiency >= 70% vs GCC-SEQ, "
+            f"n=2^{size_exp} (cells: Mach A | Mach B | Mach C)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Max threads at >= 70 % parallel efficiency",
+        data=grid,
+        rendered=rendered,
+    )

@@ -1,0 +1,38 @@
+"""Table 7: benchmark binary sizes per compiler/backend (Section 5.7)."""
+
+from __future__ import annotations
+
+from repro.binaries import binary_size
+from repro.experiments.common import ExperimentResult
+from repro.util.tables import TextTable
+from repro.util.units import MIB
+
+__all__ = ["run_table7", "TABLE7_BACKENDS"]
+
+#: Column order of the paper's Table 7 (Mach A targets, then Mach D).
+TABLE7_BACKENDS = (
+    "GCC-SEQ",
+    "GCC-TBB",
+    "GCC-GNU",
+    "GCC-HPX",
+    "ICC-TBB",
+    "NVC-OMP",
+    "NVC-CUDA",
+)
+
+
+def run_table7() -> ExperimentResult:
+    """Regenerate Table 7 from the compile/link model."""
+    sizes = {b: binary_size(b) for b in TABLE7_BACKENDS}
+    table = TextTable(
+        headers=["Backend", "Bin. size (MiB)"],
+        title="Table 7: benchmark binary sizes (Mach A targets; NVC rows are Mach A/D)",
+    )
+    for backend, size in sizes.items():
+        table.add_row([backend, f"{size / MIB:.2f}"])
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Binary sizes",
+        data=sizes,
+        rendered=table.render(),
+    )

@@ -1,0 +1,98 @@
+"""Weak scaling (extension beyond the paper).
+
+The paper studies problem scaling and strong scaling; the third classic
+axis is weak scaling: grow the problem with the thread count (n = base x
+threads) and watch per-call time, which stays flat for perfectly scalable
+work. For bandwidth-bound kernels the curve instead rises once the
+per-node memory controllers saturate -- the same NUMA story as Fig. 3,
+told from a different angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedOperationError
+from repro.experiments.common import ExperimentResult, make_ctx
+from repro.suite.cases import get_case
+from repro.suite.sweeps import thread_counts
+from repro.suite.wrappers import measure_case
+from repro.util.tables import TextTable
+
+__all__ = ["WeakScalingCurve", "weak_scaling", "run_weak_scaling"]
+
+
+@dataclass(frozen=True)
+class WeakScalingCurve:
+    """Per-call times with n growing proportionally to the thread count."""
+
+    label: str
+    threads: tuple[int, ...]
+    sizes: tuple[int, ...]
+    seconds: tuple[float, ...]
+
+    def efficiencies(self) -> list[float]:
+        """t(1) / t(p): 1.0 means perfect weak scaling."""
+        base = self.seconds[0]
+        return [base / s for s in self.seconds]
+
+
+def weak_scaling(
+    machine: str, backend: str, case_name: str, base_exp: int = 24
+) -> WeakScalingCurve:
+    """Weak-scaling curve with n = 2^base_exp elements *per thread*."""
+    case = get_case(case_name)
+    ctx = make_ctx(machine, backend)
+    threads = thread_counts(ctx.machine.total_cores)
+    sizes = []
+    seconds = []
+    for t in threads:
+        n = (1 << base_exp) * t
+        sub = ctx.with_(threads=t)
+        sizes.append(n)
+        seconds.append(measure_case(case, sub, n))
+    return WeakScalingCurve(
+        label=f"{backend}/{case_name}/{machine}",
+        threads=tuple(threads),
+        sizes=tuple(sizes),
+        seconds=tuple(seconds),
+    )
+
+
+def run_weak_scaling(
+    machine: str = "C",
+    cases: tuple[str, ...] = ("for_each_k1", "for_each_k1000", "reduce"),
+    backends: tuple[str, ...] = ("GCC-TBB", "GCC-GNU", "NVC-OMP"),
+    base_exp: int = 24,
+) -> ExperimentResult:
+    """Run the weak-scaling extension study and render a table."""
+    curves: dict[str, WeakScalingCurve] = {}
+    table = TextTable(
+        headers=["Backend/case", "t=1", "t=max", "weak efficiency"],
+        title=(
+            f"Weak scaling on Mach {machine} (2^{base_exp} elements per "
+            "thread; efficiency = t(1)/t(p), 1.0 is perfect)"
+        ),
+    )
+    for case_name in cases:
+        for backend in backends:
+            try:
+                curve = weak_scaling(machine, backend, case_name, base_exp)
+            except UnsupportedOperationError:
+                continue
+            curves[curve.label] = curve
+            eff = curve.efficiencies()[-1]
+            table.add_row(
+                [
+                    f"{backend}/{case_name}",
+                    f"{curve.seconds[0]:.4f}s",
+                    f"{curve.seconds[-1]:.4f}s",
+                    f"{eff:.0%}",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="weak-scaling",
+        title="Weak scaling (extension)",
+        data=curves,
+        rendered=table.render(),
+    )

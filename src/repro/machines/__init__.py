@@ -1,0 +1,25 @@
+"""Machine models: CPU/GPU presets for the paper's Mach A-E (Table 2)."""
+
+from repro.machines.cache import CacheHierarchy, CacheLevel
+from repro.machines.cpu import CpuMachine
+from repro.machines.gpu import GpuMachine
+from repro.machines.topology import NumaNode, Topology
+from repro.machines.registry import get_machine, machine_names, register_machine
+from repro.machines.stream import stream_bandwidth, stream_scaling_curve
+
+# Extensions beyond the paper (registers "arm"/"altra"; see the module doc).
+from repro.machines import extensions as _extensions  # noqa: F401
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CpuMachine",
+    "GpuMachine",
+    "NumaNode",
+    "Topology",
+    "get_machine",
+    "machine_names",
+    "register_machine",
+    "stream_bandwidth",
+    "stream_scaling_curve",
+]

@@ -1,0 +1,95 @@
+"""Cache-hierarchy description used by the cost model.
+
+The paper reasons about caches at the granularity of "does the working set
+fit in aggregate L2 / last-level cache" (Section 5.4 explains the
+``inclusive_scan`` crossover on Mach C via its L2 and LLC capacities). The
+model therefore tracks per-level capacity, sharing, and a bandwidth figure
+used when a phase's working set is cache-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Attributes
+    ----------
+    level:
+        1, 2 or 3.
+    size_per_instance:
+        Capacity in bytes of one cache instance.
+    cores_per_instance:
+        How many cores share one instance (1 for private caches).
+    bandwidth_per_core:
+        Sustainable bytes/s a single core can draw from this level.
+    """
+
+    level: int
+    size_per_instance: int
+    cores_per_instance: int
+    bandwidth_per_core: float
+
+    def __post_init__(self) -> None:
+        if self.level not in (1, 2, 3):
+            raise MachineError(f"cache level must be 1..3, got {self.level}")
+        if self.size_per_instance <= 0:
+            raise MachineError("cache size must be positive")
+        if self.cores_per_instance <= 0:
+            raise MachineError("cores_per_instance must be positive")
+        if self.bandwidth_per_core <= 0:
+            raise MachineError("cache bandwidth must be positive")
+
+    def total_size(self, total_cores: int) -> int:
+        """Aggregate capacity of this level across ``total_cores`` cores."""
+        if total_cores <= 0:
+            raise MachineError("total_cores must be positive")
+        instances = max(1, total_cores // self.cores_per_instance)
+        return instances * self.size_per_instance
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered (L1 -> L3) collection of :class:`CacheLevel`."""
+
+    levels: tuple[CacheLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MachineError("cache hierarchy needs at least one level")
+        nums = [lvl.level for lvl in self.levels]
+        if nums != sorted(nums) or len(set(nums)) != len(nums):
+            raise MachineError("cache levels must be strictly increasing")
+
+    def level(self, n: int) -> CacheLevel:
+        """Return the level-``n`` cache."""
+        for lvl in self.levels:
+            if lvl.level == n:
+                return lvl
+        raise MachineError(f"no L{n} in hierarchy")
+
+    @property
+    def llc(self) -> CacheLevel:
+        """The last-level cache."""
+        return self.levels[-1]
+
+    def fitting_level(self, working_set: int, total_cores: int) -> CacheLevel | None:
+        """Smallest level whose *aggregate* capacity holds ``working_set``.
+
+        Aggregate capacity is the right notion for data-parallel kernels:
+        each thread only needs its own chunk resident. Returns ``None`` when
+        the working set spills to DRAM.
+        """
+        if working_set < 0:
+            raise MachineError("working set must be non-negative")
+        for lvl in self.levels:
+            if working_set <= lvl.total_size(total_cores):
+                return lvl
+        return None

@@ -1,0 +1,52 @@
+"""Machine extensions beyond the paper: an ARM server preset.
+
+The paper's future work names "other architectures, such as ARM
+processors" (Section 6). This module models an Ampere Altra Q80-30 --
+a single-socket, 80-core Neoverse-N1 part with a *monolithic* mesh (one
+NUMA node), which makes it an interesting counterpoint to the paper's
+NUMA-heavy Zen machines: the allocator effects of Fig. 1 should vanish.
+
+Constants follow Ampere's published specs and public STREAM results
+(~36 GB/s single-core, ~175 GB/s across 8 DDR4-3200 channels).
+"""
+
+from __future__ import annotations
+
+from repro.machines.cache import CacheHierarchy, CacheLevel
+from repro.machines.cpu import CpuMachine
+from repro.machines.registry import register_machine
+from repro.machines.topology import Topology
+from repro.util.units import GIB
+
+__all__ = ["mach_arm"]
+
+
+def mach_arm() -> CpuMachine:
+    """Mach ARM (extension): Ampere Altra Q80-30, 80 cores, 1 NUMA node."""
+    return CpuMachine(
+        name="Mach ARM",
+        arch="Neoverse-N1",
+        frequency_hz=3.0e9,
+        ipc=2.0,
+        simd_width_bits=128,  # 2x NEON pipes, modeled at native width
+        topology=Topology.uniform(
+            sockets=1, nodes_per_socket=1, cores_per_node=80, memory_per_node=256 * GIB
+        ),
+        caches=CacheHierarchy(
+            (
+                CacheLevel(1, 64 * 1024, 1, 150e9),
+                CacheLevel(2, 1024 * 1024, 1, 70e9),
+                CacheLevel(3, 32 * 1024 * 1024, 80, 35e9),
+            )
+        ),
+        stream_bw_1core=36.0e9,
+        stream_bw_allcores=175.0e9,
+        interconnect_bw=100e9,  # on-die mesh; effectively never binding
+        remote_bw_factor=0.9,
+        seq_turbo_factor=1.0,  # Altra runs a fixed 3.0 GHz, no turbo
+        node_bw_boost=1.0,  # single node: boost is meaningless
+        description="Ampere Altra Q80-30 (extension beyond the paper)",
+    )
+
+
+register_machine(mach_arm, "arm", "altra", "mach-arm")

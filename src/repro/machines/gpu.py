@@ -1,0 +1,84 @@
+"""GPU machine model for the CUDA-backend experiments (Sections 5.8, Figs 8/9).
+
+The paper's GPU findings hinge on three quantities: kernel-launch cost,
+host<->device transfer bandwidth under CUDA Unified Memory, and on-device
+compute/memory throughput. The model carries exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.util.validation import check_positive
+
+__all__ = ["GpuMachine"]
+
+
+@dataclass(frozen=True)
+class GpuMachine:
+    """A modeled CUDA-capable GPU.
+
+    Attributes
+    ----------
+    cuda_cores, frequency_hz:
+        From Table 2 (e.g., Tesla T4: 2560 cores at 1.11 GHz).
+    mem_bytes:
+        Device memory capacity.
+    mem_bandwidth:
+        Device DRAM bandwidth in bytes/s (the Table 2 STREAM figure).
+    pcie_bandwidth:
+        Effective host<->device bandwidth for unified-memory page migration.
+    kernel_launch_latency:
+        Seconds to launch one kernel (includes UM bookkeeping).
+    flops_per_core_per_cycle:
+        FP32 throughput per CUDA core per cycle (1.0 = one FMA issue port
+        counted as a single op; FP64 is derated via ``fp64_ratio``).
+    fp64_ratio:
+        FP64 throughput as a fraction of FP32 (1/32 on both modeled parts).
+    page_size:
+        Unified-memory migration granularity.
+    """
+
+    name: str
+    arch: str
+    cuda_cores: int
+    frequency_hz: float
+    mem_bytes: int
+    mem_bandwidth: float
+    pcie_bandwidth: float
+    kernel_launch_latency: float
+    flops_per_core_per_cycle: float = 1.0
+    fp64_ratio: float = 1.0 / 32.0
+    page_size: int = 2 * 1024 * 1024
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.cuda_cores, "cuda_cores")
+        check_positive(self.frequency_hz, "frequency_hz")
+        check_positive(self.mem_bytes, "mem_bytes")
+        check_positive(self.mem_bandwidth, "mem_bandwidth")
+        check_positive(self.pcie_bandwidth, "pcie_bandwidth")
+        check_positive(self.kernel_launch_latency, "kernel_launch_latency")
+        check_positive(self.page_size, "page_size")
+        if not 0.0 < self.fp64_ratio <= 1.0:
+            raise MachineError("fp64_ratio must be in (0, 1]")
+
+    def compute_rate(self, elem_size: int) -> float:
+        """Aggregate simple-op throughput (ops/s) for the element width.
+
+        32-bit types run at full rate; 64-bit floats are derated by
+        ``fp64_ratio``, matching the paper's observation that GPUs favour
+        ``float`` (Section 5.8 reruns the GPU study in 32-bit).
+        """
+        if elem_size <= 0:
+            raise MachineError("elem_size must be positive")
+        rate = self.cuda_cores * self.frequency_hz * self.flops_per_core_per_cycle
+        if elem_size >= 8:
+            rate *= self.fp64_ratio
+        return rate
+
+    @property
+    def total_cores(self) -> int:
+        """CUDA core count; named like the CPU property for uniform reporting."""
+        return self.cuda_cores

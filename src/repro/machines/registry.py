@@ -1,0 +1,60 @@
+"""Name-based lookup of machine presets (``"A"``, ``"mach-b"``, ``"zen3"``...)."""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.errors import UnknownMachineError
+from repro.machines.cpu import CpuMachine
+from repro.machines.gpu import GpuMachine
+from repro.machines import presets
+
+__all__ = ["get_machine", "machine_names", "register_machine"]
+
+Machine = Union[CpuMachine, GpuMachine]
+
+_FACTORIES: dict[str, Callable[[], Machine]] = {}
+
+
+def register_machine(factory: Callable[[], Machine], *names: str) -> None:
+    """Register a machine factory under one or more lookup names."""
+    if not names:
+        raise ValueError("at least one name is required")
+    for name in names:
+        key = _normalize(name)
+        if key in _FACTORIES:
+            raise ValueError(f"machine name {name!r} already registered")
+        _FACTORIES[key] = factory
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def get_machine(name: str) -> Machine:
+    """Return a fresh machine model for ``name``.
+
+    Accepts the single-letter ids used in the paper ("A".."E"), the
+    "mach-a" style, and architecture nicknames ("skylake", "zen3"...).
+    """
+    key = _normalize(name)
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise UnknownMachineError(
+            f"unknown machine {name!r}; known: {machine_names()}"
+        ) from None
+    return factory()
+
+
+def machine_names() -> list[str]:
+    """Sorted list of all registered lookup names."""
+    return sorted(_FACTORIES)
+
+
+register_machine(presets.mach_a, "a", "mach-a", "skylake")
+register_machine(presets.mach_b, "b", "mach-b", "zen-1", "zen1")
+register_machine(presets.mach_c, "c", "mach-c", "zen-3", "zen3")
+register_machine(presets.mach_d, "d", "mach-d", "tesla", "t4")
+register_machine(presets.mach_e, "e", "mach-e", "ampere", "a2")
+register_machine(presets.gpu_host_cpu, "gpu-host", "host")

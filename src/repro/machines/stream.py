@@ -1,0 +1,121 @@
+"""STREAM-style bandwidth model and calibration checks.
+
+Section 5.3 of the paper uses STREAM to bound memory-bound speedups ("a
+speedup of approximately 7 can be expected" on Mach B). This module exposes
+the bandwidth-vs-threads curve the cost engine uses, anchored at the two
+published STREAM points (1 core, all cores) of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.machines.cpu import CpuMachine
+
+__all__ = ["StreamResult", "stream_bandwidth", "stream_scaling_curve", "threads_per_node"]
+
+
+def threads_per_node(machine: CpuMachine, threads: int, scatter: bool = True) -> list[int]:
+    """Distribute ``threads`` over NUMA nodes.
+
+    ``scatter`` (the default) round-robins threads across nodes, which is
+    what an unpinned OpenMP/TBB run effectively converges to on an otherwise
+    idle node; ``compact`` fills node 0 first.
+    """
+    if not 1 <= threads <= machine.total_cores:
+        raise ConfigurationError(
+            f"threads must be in [1, {machine.total_cores}], got {threads}"
+        )
+    nodes = machine.topology.num_nodes
+    per = [0] * nodes
+    if scatter:
+        for t in range(threads):
+            per[t % nodes] += 1
+    else:
+        cap = machine.topology.cores_per_node
+        remaining = threads
+        for node in range(nodes):
+            take = min(cap, remaining)
+            per[node] = take
+            remaining -= take
+    return per
+
+
+def stream_bandwidth(
+    machine: CpuMachine, threads: int, scatter: bool = True
+) -> float:
+    """Aggregate DRAM bandwidth (bytes/s) with ``threads`` streaming locally.
+
+    Per node, throughput is ``min(t_node * bw_single, bw_node * boost)``:
+    each thread draws at most the single-core STREAM rate, one node's
+    controllers cap the sum (with the concentrated-traffic boost, see
+    ``CpuMachine.node_bw_boost``), and the machine-wide STREAM figure caps
+    the total. The curve hits the published anchors exactly: 1 thread ->
+    Table 2 single-core figure; all cores -> Table 2 all-core figure.
+    """
+    per = threads_per_node(machine, threads, scatter=scatter)
+    node_cap = machine.node_bandwidth * machine.node_bw_boost
+    total = sum(
+        min(t * machine.stream_bw_1core, node_cap) for t in per if t > 0
+    )
+    return min(total, machine.stream_bw_allcores)
+
+
+def stream_scaling_curve(
+    machine: CpuMachine, thread_counts: Sequence[int] | None = None
+) -> list[tuple[int, float]]:
+    """(threads, bandwidth) samples at 1, 2, 4, ... #cores, like the paper."""
+    if thread_counts is None:
+        counts = []
+        t = 1
+        while t < machine.total_cores:
+            counts.append(t)
+            t *= 2
+        counts.append(machine.total_cores)
+        thread_counts = counts
+    return [(t, stream_bandwidth(machine, t)) for t in thread_counts]
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Result of a modeled STREAM run (one kernel)."""
+
+    kernel: str
+    threads: int
+    bytes_moved: int
+    seconds: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bytes/s."""
+        if self.seconds <= 0:
+            raise ConfigurationError("seconds must be positive")
+        return self.bytes_moved / self.seconds
+
+
+# Bytes moved per element for the four STREAM kernels (read + write traffic,
+# counting the write-allocate read the way STREAM's official counts do not --
+# we follow STREAM's convention: copy/scale 16 B, add/triad 24 B for doubles).
+STREAM_KERNEL_BYTES_PER_ELEM = {
+    "copy": 16,
+    "scale": 16,
+    "add": 24,
+    "triad": 24,
+}
+
+
+def run_stream_kernel(
+    machine: CpuMachine, kernel: str, n: int, threads: int
+) -> StreamResult:
+    """Model one STREAM kernel execution of ``n`` doubles."""
+    if kernel not in STREAM_KERNEL_BYTES_PER_ELEM:
+        raise ConfigurationError(
+            f"unknown STREAM kernel {kernel!r}; known: {sorted(STREAM_KERNEL_BYTES_PER_ELEM)}"
+        )
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    nbytes = n * STREAM_KERNEL_BYTES_PER_ELEM[kernel]
+    bw = stream_bandwidth(machine, threads)
+    return StreamResult(kernel=kernel, threads=threads, bytes_moved=nbytes, seconds=nbytes / bw)

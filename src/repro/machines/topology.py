@@ -1,0 +1,113 @@
+"""Socket/NUMA/core topology of the modeled machines.
+
+The paper's machines span 2 sockets with 2 or 8 NUMA nodes (Table 2); the
+allocator study (Fig. 1) and the 70 %-efficiency table (Table 6) are driven
+entirely by where pages and threads land relative to this topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError, PlacementError
+
+__all__ = ["NumaNode", "Topology"]
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One NUMA domain: a set of cores plus locally attached memory."""
+
+    node_id: int
+    cores: tuple[int, ...]
+    memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise MachineError("node_id must be non-negative")
+        if not self.cores:
+            raise MachineError(f"NUMA node {self.node_id} has no cores")
+        if self.memory_bytes <= 0:
+            raise MachineError(f"NUMA node {self.node_id} has no memory")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Full CPU topology: sockets, NUMA nodes and cores.
+
+    Core ids are globally unique and dense in ``[0, total_cores)``.
+    """
+
+    sockets: int
+    nodes: tuple[NumaNode, ...]
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise MachineError("need at least one socket")
+        if not self.nodes:
+            raise MachineError("need at least one NUMA node")
+        if self.smt < 1:
+            raise MachineError("smt must be >= 1")
+        if len(self.nodes) % self.sockets != 0:
+            raise MachineError("NUMA nodes must divide evenly across sockets")
+        ids = [n.node_id for n in self.nodes]
+        if ids != list(range(len(self.nodes))):
+            raise MachineError("NUMA node ids must be dense and ordered")
+        all_cores = [c for n in self.nodes for c in n.cores]
+        if sorted(all_cores) != list(range(len(all_cores))):
+            raise MachineError("core ids must be dense, unique and ordered")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of NUMA nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores."""
+        return sum(len(n.cores) for n in self.nodes)
+
+    @property
+    def cores_per_node(self) -> int:
+        """Cores per NUMA node (uniform across nodes by construction)."""
+        return self.total_cores // self.num_nodes
+
+    @property
+    def total_memory(self) -> int:
+        """Total bytes of DRAM across all nodes."""
+        return sum(n.memory_bytes for n in self.nodes)
+
+    def node_of_core(self, core: int) -> int:
+        """NUMA node id owning physical core ``core``."""
+        for n in self.nodes:
+            if core in n.cores:
+                return n.node_id
+        raise PlacementError(f"core {core} not in topology (0..{self.total_cores - 1})")
+
+    def nodes_in_socket(self, socket: int) -> tuple[NumaNode, ...]:
+        """The NUMA nodes belonging to ``socket``."""
+        if not 0 <= socket < self.sockets:
+            raise PlacementError(f"socket {socket} out of range")
+        per = self.num_nodes // self.sockets
+        return self.nodes[socket * per : (socket + 1) * per]
+
+    @classmethod
+    def uniform(
+        cls,
+        sockets: int,
+        nodes_per_socket: int,
+        cores_per_node: int,
+        memory_per_node: int,
+        smt: int = 1,
+    ) -> "Topology":
+        """Build the common symmetric topology shape used by all presets."""
+        nodes = []
+        core = 0
+        for node_id in range(sockets * nodes_per_socket):
+            cores = tuple(range(core, core + cores_per_node))
+            core += cores_per_node
+            nodes.append(
+                NumaNode(node_id=node_id, cores=cores, memory_bytes=memory_per_node)
+            )
+        return cls(sockets=sockets, nodes=tuple(nodes), smt=smt)

@@ -1,0 +1,29 @@
+"""Memory subsystem: NUMA page placement, allocators, unified memory."""
+
+from repro.memory.allocators import (
+    Allocator,
+    DefaultAllocator,
+    HpxNumaAllocator,
+    InterleavedAllocator,
+    ParallelFirstTouchAllocator,
+    allocator_names,
+    get_allocator,
+)
+from repro.memory.array import SimArray
+from repro.memory.layout import PAGE_SIZE, PagePlacement
+from repro.memory.unified import MigrationCost, UnifiedMemory
+
+__all__ = [
+    "Allocator",
+    "DefaultAllocator",
+    "HpxNumaAllocator",
+    "InterleavedAllocator",
+    "ParallelFirstTouchAllocator",
+    "allocator_names",
+    "get_allocator",
+    "SimArray",
+    "PAGE_SIZE",
+    "PagePlacement",
+    "MigrationCost",
+    "UnifiedMemory",
+]

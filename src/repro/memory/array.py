@@ -1,0 +1,84 @@
+"""Simulated arrays: a size/type/placement descriptor, optionally backed
+by a real NumPy buffer.
+
+``run`` mode materialises the buffer so the parallel STL algorithms can
+compute real results; ``model`` mode leaves ``data`` as ``None`` and only
+the placement metadata feeds the cost engine (this is what lets the
+2^30-element sweeps of the paper run without 8 GiB allocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.memory.layout import PagePlacement
+from repro.types import ElemType
+
+__all__ = ["SimArray"]
+
+
+@dataclass
+class SimArray:
+    """An allocation tracked by the memory model.
+
+    Attributes
+    ----------
+    n:
+        Element count.
+    elem:
+        Element type.
+    placement:
+        NUMA page placement produced by the allocator.
+    data:
+        Backing NumPy buffer, or ``None`` in model mode.
+    device_resident_fraction:
+        For GPU experiments: fraction of pages currently resident in device
+        memory under CUDA Unified Memory (see ``repro.memory.unified``).
+    """
+
+    n: int
+    elem: ElemType
+    placement: PagePlacement
+    data: np.ndarray | None = None
+    device_resident_fraction: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise AllocationError(f"array size must be positive, got {self.n}")
+        if self.data is not None:
+            if len(self.data) != self.n:
+                raise AllocationError(
+                    f"backing buffer has {len(self.data)} elements, expected {self.n}"
+                )
+            if self.data.dtype != self.elem.dtype:
+                raise AllocationError(
+                    f"backing buffer dtype {self.data.dtype} != {self.elem.dtype}"
+                )
+        if not 0.0 <= self.device_resident_fraction <= 1.0:
+            raise AllocationError("device_resident_fraction must be in [0, 1]")
+
+    @property
+    def nbytes(self) -> int:
+        """Total allocation size in bytes."""
+        return self.n * self.elem.size
+
+    @property
+    def materialized(self) -> bool:
+        """Whether a real buffer backs this array (run mode)."""
+        return self.data is not None
+
+    def require_data(self) -> np.ndarray:
+        """Return the backing buffer or raise for model-mode arrays."""
+        if self.data is None:
+            raise AllocationError(
+                "operation requires a materialized array (run mode); "
+                "this array is a model-mode descriptor"
+            )
+        return self.data
+
+    def view(self) -> np.ndarray:
+        """Alias of :meth:`require_data` reading better at call sites."""
+        return self.require_data()

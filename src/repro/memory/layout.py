@@ -1,0 +1,130 @@
+"""Page-placement descriptors for simulated arrays.
+
+The allocator experiments (Section 3.3 / Fig. 1) are entirely about *which
+NUMA node owns which pages* of the benchmark arrays. For 2^30-element
+arrays an explicit page map would be millions of entries, and the cost
+engine only needs per-node ownership fractions, so the canonical
+representation is a fraction vector; an explicit page->node map is kept
+optionally for small arrays (tests, run mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+__all__ = ["PAGE_SIZE", "PagePlacement"]
+
+PAGE_SIZE = 4096  # bytes; Linux base page size, used for page math
+
+
+@dataclass(frozen=True)
+class PagePlacement:
+    """Ownership of an array's pages across NUMA nodes.
+
+    Attributes
+    ----------
+    node_fractions:
+        Fraction of the array's pages owned by each node; sums to 1.
+    policy:
+        Human-readable allocator name that produced this placement.
+    page_nodes:
+        Optional explicit page -> node map (small arrays only).
+    """
+
+    node_fractions: tuple[float, ...]
+    policy: str
+    page_nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.node_fractions:
+            raise PlacementError("placement needs at least one node fraction")
+        if any(f < -1e-12 for f in self.node_fractions):
+            raise PlacementError("node fractions must be non-negative")
+        total = sum(self.node_fractions)
+        if abs(total - 1.0) > 1e-9:
+            raise PlacementError(f"node fractions must sum to 1, got {total}")
+        if self.page_nodes is not None:
+            nnodes = len(self.node_fractions)
+            if any(not 0 <= p < nnodes for p in self.page_nodes):
+                raise PlacementError("page_nodes entry out of node range")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of NUMA nodes this placement spans."""
+        return len(self.node_fractions)
+
+    def fraction_on(self, node: int) -> float:
+        """Fraction of pages owned by ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise PlacementError(f"node {node} out of range")
+        return self.node_fractions[node]
+
+    def locality_for_threads(self, threads_per_node: Sequence[int]) -> float:
+        """Expected fraction of accesses that are node-local.
+
+        Assumes each thread streams through an equal share of the array and
+        the allocator interleaved pages per the ownership fractions; the
+        probability a given access is local to its thread's node is then
+        ``sum_j thread_frac_j * page_frac_j``.
+        """
+        if len(threads_per_node) != self.num_nodes:
+            raise PlacementError(
+                "threads_per_node length must equal number of nodes "
+                f"({len(threads_per_node)} != {self.num_nodes})"
+            )
+        total_threads = sum(threads_per_node)
+        if total_threads <= 0:
+            raise PlacementError("need at least one thread")
+        return sum(
+            (t / total_threads) * f
+            for t, f in zip(threads_per_node, self.node_fractions)
+        )
+
+    @classmethod
+    def single_node(cls, node: int, num_nodes: int, policy: str) -> "PagePlacement":
+        """All pages on one node (the default serial first-touch outcome)."""
+        if not 0 <= node < num_nodes:
+            raise PlacementError(f"node {node} out of range for {num_nodes} nodes")
+        fr = [0.0] * num_nodes
+        fr[node] = 1.0
+        return cls(node_fractions=tuple(fr), policy=policy)
+
+    @classmethod
+    def proportional(
+        cls, weights: Sequence[float], policy: str
+    ) -> "PagePlacement":
+        """Pages spread proportionally to ``weights`` (e.g., threads/node)."""
+        total = float(sum(weights))
+        if total <= 0:
+            raise PlacementError("weights must have a positive sum")
+        return cls(
+            node_fractions=tuple(w / total for w in weights), policy=policy
+        )
+
+    @classmethod
+    def from_page_nodes(
+        cls, page_nodes: Sequence[int], num_nodes: int, policy: str
+    ) -> "PagePlacement":
+        """Build from an explicit page map (used by run-mode small arrays)."""
+        if len(page_nodes) == 0:
+            raise PlacementError("page map must be non-empty")
+        counts = np.bincount(np.asarray(page_nodes, dtype=int), minlength=num_nodes)
+        if len(counts) > num_nodes:
+            raise PlacementError("page map references node outside topology")
+        fractions = tuple(float(c) / len(page_nodes) for c in counts)
+        return cls(
+            node_fractions=fractions,
+            policy=policy,
+            page_nodes=tuple(int(p) for p in page_nodes),
+        )
+
+    def pages_for(self, nbytes: int) -> int:
+        """Number of pages an ``nbytes`` allocation occupies."""
+        if nbytes < 0:
+            raise PlacementError("nbytes must be non-negative")
+        return max(1, -(-nbytes // PAGE_SIZE))

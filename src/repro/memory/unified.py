@@ -1,0 +1,69 @@
+"""CUDA Unified Memory residency model (paper Section 5.8).
+
+Under Unified Memory, pages migrate to whichever processor faults on them.
+The paper's GPU experiments are dominated by exactly this effect: with a
+device-to-host transfer forced between kernels (Fig. 9a) every call pays a
+full migration, while chained device-side calls (Fig. 9b) find the data
+already resident and run at device bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.machines.gpu import GpuMachine
+from repro.memory.array import SimArray
+
+__all__ = ["MigrationCost", "UnifiedMemory"]
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Outcome of a residency change: bytes moved and modeled seconds."""
+
+    bytes_moved: int
+    seconds: float
+
+
+class UnifiedMemory:
+    """Tracks host/device residency of arrays for one GPU.
+
+    The fraction-resident state lives on the :class:`SimArray` so that an
+    array's history (previous kernels, forced host touches) carries across
+    calls, which is what produces the chaining effect of Fig. 9.
+    """
+
+    def __init__(self, gpu: GpuMachine) -> None:
+        self.gpu = gpu
+
+    def _migrate(self, nbytes: int) -> MigrationCost:
+        if nbytes < 0:
+            raise AllocationError("cannot migrate a negative byte count")
+        seconds = nbytes / self.gpu.pcie_bandwidth if nbytes else 0.0
+        return MigrationCost(bytes_moved=nbytes, seconds=seconds)
+
+    def to_device(self, array: SimArray) -> MigrationCost:
+        """Fault the array onto the device; returns the migration cost.
+
+        Only the non-resident fraction moves; a chained second kernel on the
+        same array therefore pays nothing.
+        """
+        if array.nbytes > self.gpu.mem_bytes:
+            raise AllocationError(
+                f"array of {array.nbytes} B exceeds {self.gpu.name} device "
+                f"memory ({self.gpu.mem_bytes} B); UM would thrash"
+            )
+        missing = int(round((1.0 - array.device_resident_fraction) * array.nbytes))
+        array.device_resident_fraction = 1.0
+        return self._migrate(missing)
+
+    def to_host(self, array: SimArray) -> MigrationCost:
+        """Fault the array back to the host (e.g., validation between calls)."""
+        resident = int(round(array.device_resident_fraction * array.nbytes))
+        array.device_resident_fraction = 0.0
+        return self._migrate(resident)
+
+    def evict(self, array: SimArray) -> None:
+        """Drop device residency without modeling a transfer (array freed)."""
+        array.device_resident_fraction = 0.0

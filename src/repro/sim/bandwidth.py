@@ -1,0 +1,170 @@
+"""NUMA bandwidth-sharing model.
+
+Given which threads stream how many bytes and where the pages live, this
+module computes the memory-service time of a phase as the max of four
+constraints:
+
+* **per-thread** -- one core cannot draw more than the single-core STREAM
+  rate (derated for remote accesses);
+* **per-node** -- one node's memory controllers cap the bytes they serve
+  (``node_bw_boost * stream_all / nodes``);
+* **global** -- aggregate DRAM traffic cannot beat the all-core STREAM
+  figure;
+* **interconnect** -- cross-node bytes ride the socket interconnect.
+
+The default (serial first-touch) allocator concentrates all pages on node
+0, so the per-node constraint dominates; the parallel first-touch
+allocator spreads pages next to their threads, so the global constraint
+dominates. The ratio of the two is exactly the allocator effect of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.machines.cpu import CpuMachine
+from repro.memory.layout import PagePlacement
+
+__all__ = ["MemoryTimes", "dram_memory_time", "MATCHED_POLICIES"]
+
+#: Placement policies produced by allocators that first-touch with the same
+#: partition the benchmark uses -- accesses under these are mostly local.
+MATCHED_POLICIES = frozenset({"first-touch", "hpx-numa"})
+
+
+@dataclass(frozen=True)
+class MemoryTimes:
+    """The four constraint times; the effective time is their max."""
+
+    per_thread: float
+    per_node: float
+    global_dram: float
+    interconnect: float
+
+    @property
+    def total(self) -> float:
+        """Binding memory-service time of the phase."""
+        return max(self.per_thread, self.per_node, self.global_dram, self.interconnect)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the binding constraint (diagnostics)."""
+        pairs = [
+            ("per-thread", self.per_thread),
+            ("per-node", self.per_node),
+            ("global", self.global_dram),
+            ("interconnect", self.interconnect),
+        ]
+        return max(pairs, key=lambda kv: kv[1])[0]
+
+
+def thread_locality(
+    placement: PagePlacement,
+    thread_node: int,
+    matched_quality: float | None,
+) -> float:
+    """Fraction of one thread's accesses served by its own node."""
+    if matched_quality is not None:
+        return matched_quality
+    return placement.fraction_on(thread_node)
+
+
+def dram_memory_time(
+    machine: CpuMachine,
+    placement: PagePlacement,
+    thread_bytes: Mapping[int, float],
+    thread_nodes: Mapping[int, int],
+    matched_quality: float | None,
+    bw_efficiency: float,
+) -> MemoryTimes:
+    """Memory time for a DRAM-resident phase.
+
+    Parameters
+    ----------
+    thread_bytes:
+        Bytes each participating thread streams (after traffic factors).
+    thread_nodes:
+        NUMA node of each participating thread.
+    matched_quality:
+        Backend NUMA quality in [0, 1] when the placement was produced by
+        a matched (parallel first-touch) allocator, else ``None`` -- the
+        thread then draws from each node per the page fractions.
+    bw_efficiency:
+        Backend's sustained fraction of peak bandwidth.
+    """
+    if not thread_bytes:
+        raise SimulationError("phase has no memory traffic to time")
+    if not 0.0 < bw_efficiency <= 1.0:
+        raise SimulationError(f"bw_efficiency must be in (0, 1], got {bw_efficiency}")
+    if matched_quality is not None and not 0.0 <= matched_quality <= 1.0:
+        raise SimulationError("matched_quality must be in [0, 1]")
+
+    nnodes = machine.topology.num_nodes
+    node_demand = [0.0] * nnodes
+    remote_bytes = 0.0
+    per_thread_time = 0.0
+
+    for thread, nbytes in thread_bytes.items():
+        if nbytes < 0:
+            raise SimulationError("thread bytes must be non-negative")
+        if nbytes == 0:
+            continue
+        node = thread_nodes[thread]
+        local = thread_locality(placement, node, matched_quality)
+        remote = 1.0 - local
+        remote_bytes += nbytes * remote
+
+        # Per-thread single-stream cap, derated by the remote mix.
+        stream_bw = (
+            machine.stream_bw_1core
+            * (local + remote * machine.remote_bw_factor)
+            * bw_efficiency
+        )
+        per_thread_time = max(per_thread_time, nbytes / stream_bw)
+
+        # Attribute demand to nodes.
+        node_demand[node] += nbytes * local
+        if remote > 0.0:
+            if matched_quality is not None:
+                # Matched placement: the non-local remainder is spread
+                # uniformly over the other nodes.
+                others = nnodes - 1
+                if others > 0:
+                    share = nbytes * remote / others
+                    for j in range(nnodes):
+                        if j != node:
+                            node_demand[j] += share
+                else:
+                    node_demand[node] += nbytes * remote
+            else:
+                # Unmatched: draws follow the page fractions; the local
+                # share was already counted, so add the remainder per
+                # fraction, renormalised over remote nodes.
+                for j in range(nnodes):
+                    if j == node:
+                        continue
+                    node_demand[j] += nbytes * placement.fraction_on(j) / max(
+                        1e-30, 1.0 - placement.fraction_on(node)
+                    ) * remote
+
+    total_bytes = float(sum(thread_bytes.values()))
+    node_cap = (
+        machine.node_bw_boost
+        * (machine.stream_bw_allcores / nnodes)
+        * bw_efficiency
+    )
+    global_cap = machine.stream_bw_allcores * bw_efficiency
+    node_cap = min(node_cap, global_cap)
+
+    per_node_time = max((d / node_cap for d in node_demand), default=0.0)
+    global_time = total_bytes / global_cap
+    interconnect_time = remote_bytes / machine.interconnect_bw
+
+    return MemoryTimes(
+        per_thread=per_thread_time,
+        per_node=per_node_time,
+        global_dram=global_time,
+        interconnect=interconnect_time,
+    )

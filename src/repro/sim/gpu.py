@@ -1,0 +1,105 @@
+"""GPU cost engine for the CUDA backend (paper Section 5.8, Figs 8-9).
+
+A GPU invocation costs: kernel launch latency per parallel region, unified
+memory migration for non-resident pages, and a roofline of device compute
+vs. device DRAM bandwidth. Optionally a forced device-to-host transfer is
+added after the kernel (the paper does this in Fig. 8 and Fig. 9a to expose
+the communication bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.machines.gpu import GpuMachine
+from repro.memory.array import SimArray
+from repro.memory.unified import UnifiedMemory
+from repro.sim.report import Counters, PhaseReport, SimReport
+from repro.sim.work import PhaseKind, WorkProfile
+
+__all__ = ["GpuExecution", "simulate_gpu"]
+
+#: Instruction throughput relative to FP throughput: integer/control
+#: instructions issue on separate pipes; we charge them at the same rate.
+_INSTR_RATE_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class GpuExecution:
+    """Options for one GPU invocation."""
+
+    transfer_back: bool = False
+
+
+def simulate_gpu(
+    gpu: GpuMachine,
+    profile: WorkProfile,
+    arrays: tuple[SimArray, ...],
+    options: GpuExecution = GpuExecution(),
+) -> SimReport:
+    """Cost ``profile`` on ``gpu``; mutates array residency via UM.
+
+    ``arrays`` are the buffers the kernel touches. Their
+    ``device_resident_fraction`` determines migration cost -- chained calls
+    on the same data pay nothing, which reproduces Fig. 9b.
+    """
+    um = UnifiedMemory(gpu)
+    migration = 0.0
+    for array in arrays:
+        migration += um.to_device(array).seconds
+
+    total_counters = Counters()
+    phase_reports: list[PhaseReport] = []
+    kernel_time = 0.0
+    launches = max(1, profile.regions)
+
+    for phase in profile.phases:
+        instr = sum(c.instr for c in phase.chunks)
+        fp = sum(c.fp_ops for c in phase.chunks)
+        bytes_read = sum(c.bytes_read for c in phase.chunks)
+        bytes_written = sum(c.bytes_written for c in phase.chunks)
+
+        rate = gpu.compute_rate(profile.elem.size)
+        compute = (fp + instr * _INSTR_RATE_FACTOR) / rate
+        memory = (bytes_read + bytes_written) / gpu.mem_bandwidth
+        if phase.kind is PhaseKind.SEQUENTIAL:
+            # Serial fix-ups run on one SM at a tiny fraction of the rate.
+            compute = (fp + instr) / (rate / max(1, gpu.cuda_cores // 64))
+        seconds = max(compute, memory)
+        kernel_time += seconds
+
+        counters = Counters(
+            instructions=instr + fp,
+            fp_scalar=fp,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+        )
+        total_counters = total_counters + counters
+        phase_reports.append(
+            PhaseReport(
+                name=phase.name,
+                seconds=seconds,
+                compute_seconds=compute,
+                memory_seconds=memory,
+                overhead_seconds=0.0,
+                counters=counters,
+            )
+        )
+
+    transfer_back = 0.0
+    if options.transfer_back:
+        for array in arrays:
+            transfer_back += um.to_host(array).seconds
+
+    launch = launches * gpu.kernel_launch_latency
+    total = migration + launch + kernel_time + transfer_back
+    if total < 0:
+        raise SimulationError("negative GPU time (model bug)")
+    return SimReport(
+        seconds=total,
+        counters=total_counters,
+        phases=tuple(phase_reports),
+        fork_join_seconds=launch,
+        migration_seconds=migration + transfer_back,
+    )

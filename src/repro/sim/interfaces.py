@@ -1,0 +1,72 @@
+"""The protocol the cost engine expects backend models to satisfy.
+
+Kept as a :class:`typing.Protocol` so ``repro.sim`` does not import
+``repro.backends`` (backends import algorithms' cost hooks in places, and
+a protocol keeps the dependency graph acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.execution.policy import ExecutionPolicy
+
+__all__ = ["BackendModel"]
+
+
+@runtime_checkable
+class BackendModel(Protocol):
+    """Cost-relevant surface of a parallel STL backend.
+
+    Every method is keyed by the algorithm family name so one backend can
+    behave differently per algorithm, which the paper shows they do (e.g.,
+    NVC-OMP is fastest for ``for_each`` but falls back to sequential for
+    ``inclusive_scan``).
+    """
+
+    #: Display name ("GCC-TBB", "NVC-OMP"...).
+    name: str
+    #: Thread-placement strategy: "scatter" or "compact".
+    affinity_strategy: str
+
+    def fork_overhead(self, threads: int) -> float:
+        """Seconds to open a parallel region with ``threads`` workers."""
+
+    def join_overhead(self, threads: int) -> float:
+        """Seconds to close/barrier a parallel region."""
+
+    def sched_overhead(self, chunks: int, threads: int) -> float:
+        """Seconds of scheduling work for ``chunks`` scheduling units."""
+
+    def sync_cost(self, threads: int) -> float:
+        """Seconds for one extra synchronisation event (atomic/flag check)."""
+
+    def instr_overhead_per_elem(self, alg: str) -> float:
+        """Runtime-management instructions added per processed element."""
+
+    def instr_overhead_for(self, alg: str, numa_nodes: int) -> float:
+        """Per-element overhead including topology-dependent bookkeeping."""
+
+    def effective_threads(self, threads: int) -> float:
+        """Workers that effectively contribute compute (scalability cap)."""
+
+    def ipc_factor(self, alg: str) -> float:
+        """Relative IPC achieved vs. the machine's nominal (HPX < 1)."""
+
+    def bw_efficiency(self, alg: str) -> float:
+        """Fraction of peak DRAM bandwidth this backend sustains."""
+
+    def bw_efficiency_at(self, alg: str, active_nodes: int) -> float:
+        """Bandwidth efficiency derated for multi-node traffic."""
+
+    def numa_quality(self, alg: str) -> float:
+        """Fraction of accesses kept node-local under matched placement."""
+
+    def traffic_factor(self, alg: str) -> float:
+        """Multiplier on intrinsic DRAM traffic (write-allocate, spills...)."""
+
+    def vector_width(self, alg: str, policy: ExecutionPolicy) -> int:
+        """SIMD width in bits used for FP work (0 = scalar)."""
+
+    def seq_codegen_factor(self, alg: str) -> float:
+        """Run-time multiplier of this backend's *sequential* code vs GCC -O3."""

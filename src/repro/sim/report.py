@@ -1,0 +1,135 @@
+"""Simulation outputs: counter sets and per-phase/total reports.
+
+The counter fields mirror what the paper extracts with Likwid (Tables 3
+and 4): total instructions, scalar FP ops, 128/256-bit packed FP ops,
+memory bandwidth and memory data volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SimulationError
+from repro.util.units import GIB
+
+__all__ = ["Counters", "PhaseReport", "SimReport"]
+
+
+@dataclass(frozen=True)
+class Counters:
+    """Hardware-counter style event totals."""
+
+    instructions: float = 0.0
+    fp_scalar: float = 0.0
+    fp_packed_128: float = 0.0
+    fp_packed_256: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "instructions",
+            "fp_scalar",
+            "fp_packed_128",
+            "fp_packed_256",
+            "bytes_read",
+            "bytes_written",
+        ):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"counter {name} must be non-negative")
+
+    def __add__(self, other: "Counters") -> "Counters":
+        return Counters(
+            instructions=self.instructions + other.instructions,
+            fp_scalar=self.fp_scalar + other.fp_scalar,
+            fp_packed_128=self.fp_packed_128 + other.fp_packed_128,
+            fp_packed_256=self.fp_packed_256 + other.fp_packed_256,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+    def scaled(self, factor: float) -> "Counters":
+        """All events multiplied by ``factor`` (e.g., 100 calls for Table 3)."""
+        if factor < 0:
+            raise SimulationError("scale factor must be non-negative")
+        return Counters(
+            instructions=self.instructions * factor,
+            fp_scalar=self.fp_scalar * factor,
+            fp_packed_128=self.fp_packed_128 * factor,
+            fp_packed_256=self.fp_packed_256 * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+    @property
+    def data_volume(self) -> float:
+        """Total DRAM traffic in bytes (read + written)."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def flops(self) -> float:
+        """Total floating-point operations (packed ops count their lanes).
+
+        128-bit packed doubles carry 2 lanes, 256-bit carry 4; the lane
+        width is folded in when the engine records the events, so here each
+        packed *operation* is multiplied by its nominal double-lane count,
+        matching how Likwid's FLOP groups weigh them.
+        """
+        return (
+            self.fp_scalar
+            + 2.0 * self.fp_packed_128
+            + 4.0 * self.fp_packed_256
+        )
+
+    def gflops(self, seconds: float) -> float:
+        """Achieved GFLOP/s over ``seconds``."""
+        if seconds <= 0:
+            raise SimulationError("seconds must be positive")
+        return self.flops / seconds / 1e9
+
+    def bandwidth_gib(self, seconds: float) -> float:
+        """Achieved memory bandwidth in GiB/s over ``seconds``."""
+        if seconds <= 0:
+            raise SimulationError("seconds must be positive")
+        return self.data_volume / seconds / GIB
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Timing/counter breakdown for one phase of a work profile."""
+
+    name: str
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    counters: Counters
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError("phase time must be non-negative")
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Full result of simulating one algorithm invocation."""
+
+    seconds: float
+    counters: Counters
+    phases: tuple[PhaseReport, ...] = field(default_factory=tuple)
+    fork_join_seconds: float = 0.0
+    migration_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError("total time must be non-negative")
+
+    def with_extra_seconds(self, extra: float, migration: float = 0.0) -> "SimReport":
+        """A copy with additional time folded in (e.g., GPU migrations)."""
+        if extra < 0 or migration < 0:
+            raise SimulationError("extra time must be non-negative")
+        return replace(
+            self,
+            seconds=self.seconds + extra,
+            migration_seconds=self.migration_seconds + migration,
+        )

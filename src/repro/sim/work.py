@@ -1,0 +1,182 @@
+"""The work-profile IR: what an algorithm invocation *does*, before costing.
+
+Algorithms (run mode or model mode) emit a :class:`WorkProfile`; the cost
+engine turns it into time and counters for a given machine + backend. This
+split is what lets the same algorithm implementation serve both the
+correctness tests (real NumPy execution) and the paper's 2^30-element
+sweeps (analytic profiles, no allocation).
+
+Quantities in :class:`ChunkWork` are *intrinsic* to the algorithm and
+kernel -- backend-specific overheads (runtime bookkeeping instructions,
+traffic inflation, vectorisation) are applied by the engine, so one profile
+can be costed under every backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.execution.policy import ExecutionPolicy
+from repro.memory.layout import PagePlacement
+from repro.types import ElemType
+
+__all__ = ["PhaseKind", "ChunkWork", "Phase", "WorkProfile"]
+
+
+class PhaseKind(enum.Enum):
+    """Whether a phase runs on the full team or a single thread."""
+
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class ChunkWork:
+    """Intrinsic work performed by one thread on one chunk.
+
+    Attributes
+    ----------
+    thread:
+        Executing thread id.
+    elems:
+        Elements processed (drives per-element backend overhead).
+    instr:
+        Intrinsic non-FP instructions (loads, compares, branches...).
+    fp_ops:
+        Intrinsic scalar floating-point operations; the engine may execute
+        them packed if the backend vectorises this algorithm.
+    bytes_read / bytes_written:
+        Intrinsic DRAM traffic before backend traffic factors.
+    """
+
+    thread: int
+    elems: float
+    instr: float
+    fp_ops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.thread < 0:
+            raise SimulationError("thread id must be non-negative")
+        for name in ("elems", "instr", "fp_ops", "bytes_read", "bytes_written"):
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One fork/join phase (or sequential section) of an invocation.
+
+    Attributes
+    ----------
+    placement:
+        Blended NUMA placement of the arrays the phase streams, or ``None``
+        for phases that touch no DRAM-resident data.
+    working_set:
+        Bytes the phase actively touches; decides cache-vs-DRAM service.
+    sched_chunks:
+        Number of scheduling units handed to the runtime (chunk count).
+    sync_points:
+        Synchronisation events beyond the implicit barrier (e.g., the
+        cancellation checks of a parallel ``find``).
+    spread_penalty:
+        Time multiplier applied when the data is spread across nodes
+        rather than resident on a single node. Encodes the paper's Fig. 1
+        observation that ``find`` and ``inclusive_scan`` run *slower* with
+        the parallel first-touch allocator (-24 % / -19 %): their
+        latency-sensitive phases (cancellation protocol, carry
+        propagation) suffer when the hot pages stop being dense on the
+        coordinating thread's node.
+    apply_instr_overhead:
+        Whether backend per-element runtime overhead applies (true for the
+        main loops, false for small fix-up phases).
+    vectorizable:
+        Whether the backend may execute this phase's FP work packed.
+    """
+
+    name: str
+    kind: PhaseKind
+    chunks: tuple[ChunkWork, ...]
+    placement: PagePlacement | None = None
+    working_set: float = 0.0
+    sched_chunks: int = 0
+    sync_points: int = 0
+    spread_penalty: float = 1.0
+    apply_instr_overhead: bool = True
+    vectorizable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise SimulationError(f"phase {self.name!r} has no work")
+        if self.kind is PhaseKind.SEQUENTIAL:
+            threads = {c.thread for c in self.chunks}
+            if len(threads) != 1:
+                raise SimulationError(
+                    f"sequential phase {self.name!r} must use exactly one thread"
+                )
+        if self.working_set < 0:
+            raise SimulationError("working_set must be non-negative")
+        if self.sched_chunks < 0 or self.sync_points < 0:
+            raise SimulationError("sched_chunks/sync_points must be non-negative")
+        if self.spread_penalty < 1.0:
+            raise SimulationError("spread_penalty must be >= 1")
+
+    @property
+    def total_elems(self) -> float:
+        """Total elements processed in this phase."""
+        return sum(c.elems for c in self.chunks)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total intrinsic traffic of this phase."""
+        return sum(c.bytes_read + c.bytes_written for c in self.chunks)
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Everything an invocation did, ready for costing.
+
+    Attributes
+    ----------
+    alg:
+        Algorithm family name ("for_each", "reduce"...), the key backends
+        use for per-algorithm factors.
+    regions:
+        Number of fork/join parallel regions (each pays fork+join cost).
+    """
+
+    alg: str
+    n: int
+    elem: ElemType
+    threads: int
+    policy: ExecutionPolicy
+    phases: tuple[Phase, ...]
+    regions: int = 1
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise SimulationError("n must be non-negative")
+        if self.threads <= 0:
+            raise SimulationError("threads must be positive")
+        if not self.phases:
+            raise SimulationError("profile needs at least one phase")
+        if self.regions < 0:
+            raise SimulationError("regions must be non-negative")
+        for phase in self.phases:
+            for chunk in phase.chunks:
+                if chunk.thread >= self.threads:
+                    raise SimulationError(
+                        f"phase {phase.name!r} uses thread {chunk.thread} "
+                        f"but profile has {self.threads} threads"
+                    )
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether any phase runs on more than one thread."""
+        return self.regions > 0 and any(
+            p.kind is PhaseKind.PARALLEL for p in self.phases
+        )

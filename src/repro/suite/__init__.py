@@ -1,0 +1,44 @@
+"""pSTL-Bench proper: kernels, generators, cases, wrappers, sweeps, CLI."""
+
+from repro.suite.cases import HEADLINE_CASES, BenchCase, case_names, get_case
+from repro.suite.generators import (
+    generate_increment,
+    random_target,
+    reshuffle,
+    shuffled_permutation,
+)
+from repro.suite.kernels import gpu_loop_elided, listing1_kernel
+from repro.suite.sweeps import (
+    SweepPoint,
+    SweepResult,
+    problem_scaling,
+    problem_sizes,
+    strong_scaling,
+    thread_counts,
+)
+from repro.suite.report import SuiteReport, run_suite
+from repro.suite.wrappers import make_bench_fn, measure_case, run_case
+
+__all__ = [
+    "HEADLINE_CASES",
+    "BenchCase",
+    "case_names",
+    "get_case",
+    "generate_increment",
+    "random_target",
+    "reshuffle",
+    "shuffled_permutation",
+    "gpu_loop_elided",
+    "listing1_kernel",
+    "SweepPoint",
+    "SweepResult",
+    "problem_scaling",
+    "problem_sizes",
+    "strong_scaling",
+    "thread_counts",
+    "make_bench_fn",
+    "measure_case",
+    "run_case",
+    "SuiteReport",
+    "run_suite",
+]

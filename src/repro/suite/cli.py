@@ -1,0 +1,114 @@
+"""``pstl-bench`` command-line entry point.
+
+Examples::
+
+    pstl-bench --machine A --backend gcc-tbb --case reduce --threads 32
+    pstl-bench --machine C --backend all --case sort --size 2^30
+    pstl-bench --machine B --backend gcc-gnu --case for_each_k1 --sweep sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backends import PARALLEL_CPU_BACKENDS, get_backend
+from repro.bench.reporters import console_report, csv_report, json_report
+from repro.errors import ReproError, UnsupportedOperationError
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.suite.cases import case_names, get_case
+from repro.suite.sweeps import problem_scaling, problem_sizes, strong_scaling
+from repro.suite.wrappers import run_case
+from repro.types import elem_type
+from repro.util.units import parse_size
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="pstl-bench",
+        description="pSTL-Bench (Python reproduction): parallel STL scalability "
+        "micro-benchmarks on a deterministic machine simulator.",
+    )
+    parser.add_argument("--machine", default="A", help="machine preset (A..E, skylake, zen3...)")
+    parser.add_argument(
+        "--backend",
+        default="gcc-tbb",
+        help="backend name, or 'all' for the study's five parallel backends",
+    )
+    parser.add_argument(
+        "--case", default="reduce", help=f"benchmark case; one of {', '.join(case_names())}"
+    )
+    parser.add_argument("--threads", type=int, default=0, help="0 = all cores")
+    parser.add_argument("--size", default="2^26", help="problem size (2^k or integer)")
+    parser.add_argument("--dtype", default="double", help="element type (double/float/int)")
+    parser.add_argument("--min-time", type=float, default=5.0, help="min simulated seconds")
+    parser.add_argument(
+        "--sweep",
+        choices=["none", "sizes", "threads"],
+        default="none",
+        help="sweep problem sizes or thread counts instead of a single point",
+    )
+    parser.add_argument("--mode", choices=["model", "run"], default="model")
+    parser.add_argument("--format", choices=["console", "csv", "json"], default="console")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        machine = get_machine(args.machine)
+        backends = (
+            list(PARALLEL_CPU_BACKENDS) if args.backend == "all" else [args.backend]
+        )
+        case = get_case(args.case)
+        elem = elem_type(args.dtype)
+        n = parse_size(args.size)
+
+        results = []
+        for backend_name in backends:
+            backend = get_backend(backend_name)
+            threads = args.threads or machine.total_cores
+            ctx = ExecutionContext(
+                machine, backend, threads=threads, mode=args.mode
+            )
+            if args.sweep == "sizes":
+                sweep = problem_scaling(case, ctx, problem_sizes(), elem)
+                for point in sweep.points:
+                    print(
+                        f"{sweep.label} n={point.x}: "
+                        + (f"{point.seconds:.6g} s" if point.supported else "N/A")
+                    )
+                continue
+            if args.sweep == "threads":
+                sweep = strong_scaling(case, ctx, n, elem=elem)
+                for point in sweep.points:
+                    print(
+                        f"{sweep.label} t={point.x}: "
+                        + (f"{point.seconds:.6g} s" if point.supported else "N/A")
+                    )
+                continue
+            try:
+                results.append(run_case(case, ctx, n, elem, min_time=args.min_time))
+            except UnsupportedOperationError as exc:
+                print(f"{backend.name}: N/A ({exc})", file=sys.stderr)
+
+        if results:
+            if args.format == "csv":
+                print(csv_report(results), end="")
+            elif args.format == "json":
+                print(json_report(results))
+            else:
+                print(console_report(results))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

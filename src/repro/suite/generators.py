@@ -1,0 +1,59 @@
+"""Input generators mirroring pSTL-Bench's data setup.
+
+``generate_increment`` builds v = [1, 2, ..., n] (the input of find,
+for_each, reduce, inclusive_scan); ``shuffled_permutation`` is the sort
+input (a random permutation of 1..n, Section 3.1); ``random_target``
+picks the find target. Generation happens *outside* the timed region in
+the paper (WRAP_TIMING excludes setup), and likewise here: generators do
+not contribute to the simulated time of the algorithm under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.execution.context import ExecutionContext
+from repro.memory.array import SimArray
+from repro.types import ElemType, FLOAT64
+
+__all__ = ["generate_increment", "shuffled_permutation", "random_target", "reshuffle"]
+
+
+def generate_increment(
+    ctx: ExecutionContext, n: int, elem: ElemType = FLOAT64
+) -> SimArray:
+    """Allocate (with the context's allocator) and fill with 1..n."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    arr = ctx.allocate(n, elem)
+    if arr.materialized:
+        arr.view()[:] = np.arange(1, n + 1, dtype=elem.dtype)
+    return arr
+
+
+def shuffled_permutation(
+    ctx: ExecutionContext, n: int, elem: ElemType = FLOAT64
+) -> SimArray:
+    """A random permutation of 1..n (the sort benchmark's input)."""
+    arr = generate_increment(ctx, n, elem)
+    if arr.materialized:
+        ctx.rng().shuffle(arr.view())
+    return arr
+
+
+def reshuffle(ctx: ExecutionContext, arr: SimArray, iteration: int) -> None:
+    """Re-shuffle between sort iterations (Listing 3's std::shuffle).
+
+    Deterministic per (context seed, iteration) so repeated runs agree.
+    """
+    if arr.materialized:
+        rng = np.random.default_rng((ctx.rng_seed, iteration))
+        rng.shuffle(arr.view())
+
+
+def random_target(ctx: ExecutionContext, arr: SimArray, iteration: int = 0) -> float:
+    """A uniformly random element value of v = 1..n to search for."""
+    rng = np.random.default_rng((ctx.rng_seed, 0xF17D, iteration))
+    index = int(rng.integers(0, arr.n))
+    return float(index + 1)

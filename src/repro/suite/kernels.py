@@ -1,0 +1,94 @@
+"""Benchmark kernels, most importantly Listing 1's ``for_each`` kernel.
+
+The C++ kernel::
+
+    const auto kernel = [](auto & input, const auto k_it) {
+        volatile size_t I = k_it;
+        pstl::elem_t a{};
+        for (auto i = 0; i < I; ++i) { a++; }
+        input = a;
+    };
+
+stores ``k_it`` through a volatile (so the trip count cannot be constant-
+folded), increments an accumulator ``k_it`` times and writes it back. Its
+functional result is every element becoming ``k_it``; its cost scales
+linearly in ``k_it``. The paper uses ``k_it = 1`` (memory-bound map) and
+``k_it = 1000`` (compute-bound map).
+
+**GPU volatile quirk** (Section 5.8): nvc++ targeting the GPU ignores the
+volatile -- with a compile-time-known trip count the loop is optimised
+away entirely for ``int``, for ``double`` whenever ``k_it < 65001`` (a
+magic number in the compiler), and never for 32-bit ``float``.
+``listing1_kernel(..., target="gpu")`` reproduces exactly that rule.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms._ops import ElementOp
+from repro.errors import ConfigurationError
+from repro.types import ElemType, FLOAT64
+
+import numpy as np
+
+__all__ = [
+    "listing1_kernel",
+    "gpu_loop_elided",
+    "KERNEL_BASE_INSTR",
+    "KERNEL_INSTR_PER_ITER",
+    "NVC_GPU_DOUBLE_ELISION_LIMIT",
+]
+
+#: Volatile store/load, zero-init, loop setup, final store.
+KERNEL_BASE_INSTR = 6.0
+#: Increment + compare + branch per loop iteration.
+KERNEL_INSTR_PER_ITER = 3.0
+#: The compiler's "magic number" for double loops on the GPU target.
+NVC_GPU_DOUBLE_ELISION_LIMIT = 65001
+
+
+def gpu_loop_elided(k_it: int, elem: ElemType) -> bool:
+    """Whether nvc++ optimises the Listing-1 loop away on the GPU target."""
+    if elem.name == "int" or elem.name == "int64_t":
+        return True
+    if elem.name == "double":
+        return k_it < NVC_GPU_DOUBLE_ELISION_LIMIT
+    if elem.name == "float":
+        return False
+    raise ConfigurationError(f"unknown element type {elem.name!r}")
+
+
+def listing1_kernel(
+    k_it: int, elem: ElemType = FLOAT64, target: str = "cpu"
+) -> ElementOp:
+    """Build the Listing-1 kernel as an :class:`ElementOp`.
+
+    ``target`` is ``"cpu"`` or ``"gpu"``; the GPU target applies the
+    volatile-elision rule above. The functional result is unchanged by
+    elision (the loop computes ``k_it`` either way) -- only the cost drops.
+    """
+    if k_it < 0:
+        raise ConfigurationError(f"k_it must be non-negative, got {k_it}")
+    if target not in ("cpu", "gpu"):
+        raise ConfigurationError(f"target must be 'cpu' or 'gpu', got {target!r}")
+
+    effective_k = k_it
+    if target == "gpu" and gpu_loop_elided(k_it, elem):
+        effective_k = 0
+
+    instr = KERNEL_BASE_INSTR + KERNEL_INSTR_PER_ITER * effective_k
+    if elem.is_float:
+        fp = float(effective_k)
+    else:
+        # Integer increments are plain ALU instructions, not FP events.
+        instr += float(effective_k)
+        fp = 0.0
+
+    def apply(values: np.ndarray) -> np.ndarray:
+        return np.full_like(values, k_it)
+
+    return ElementOp(
+        name=f"listing1(k_it={k_it},{elem.name},{target})",
+        instr_per_elem=instr,
+        fp_per_elem=fp,
+        apply=apply,
+    )

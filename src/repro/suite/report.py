@@ -1,0 +1,101 @@
+"""Full-suite runner: execute every supported case and render one report.
+
+This is the equivalent of running the C++ pSTL-Bench binary end to end on
+one (machine, backend) pair: all registered cases at a chosen size, with
+times, throughput and instruction counts, plus a comparison column
+against the sequential baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.state import BenchResult
+from repro.errors import UnsupportedOperationError
+from repro.execution.context import ExecutionContext
+from repro.suite.cases import case_names, get_case
+from repro.suite.wrappers import run_case
+from repro.types import ElemType, FLOAT64
+from repro.util.tables import TextTable
+from repro.util.units import format_bytes, format_count, format_seconds
+
+__all__ = ["SuiteReport", "run_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Results of one full-suite run."""
+
+    machine: str
+    backend: str
+    n: int
+    results: dict[str, BenchResult]
+    baselines: dict[str, BenchResult]
+    unsupported: tuple[str, ...]
+
+    def speedup(self, case: str) -> float | None:
+        """Speedup vs the sequential baseline (None for N/A cases)."""
+        if case in self.unsupported:
+            return None
+        return self.baselines[case].mean_time / self.results[case].mean_time
+
+    def render(self) -> str:
+        """One aligned table over the whole suite."""
+        table = TextTable(
+            headers=[
+                "Case",
+                "Time",
+                "Throughput",
+                "Instructions",
+                "Speedup vs seq",
+            ],
+            title=(
+                f"pSTL-Bench full suite: {self.backend} on Mach "
+                f"{self.machine}, n={self.n}"
+            ),
+        )
+        for case in sorted(self.results):
+            r = self.results[case]
+            table.add_row(
+                [
+                    case,
+                    format_seconds(r.mean_time),
+                    f"{format_bytes(r.bytes_per_second)}/s",
+                    format_count(r.counters.instructions),
+                    f"{self.speedup(case):.1f}x",
+                ]
+            )
+        for case in self.unsupported:
+            table.add_row([case, "N/A", "N/A", "N/A", "N/A"])
+        return table.render()
+
+
+def run_suite(
+    ctx: ExecutionContext,
+    seq_ctx: ExecutionContext,
+    n: int,
+    elem: ElemType = FLOAT64,
+    min_time: float = 1.0,
+    cases: list[str] | None = None,
+) -> SuiteReport:
+    """Run every case on ``ctx``, with ``seq_ctx`` as the baseline."""
+    names = cases if cases is not None else case_names()
+    results: dict[str, BenchResult] = {}
+    baselines: dict[str, BenchResult] = {}
+    unsupported: list[str] = []
+    for name in names:
+        case = get_case(name)
+        try:
+            results[name] = run_case(case, ctx, n, elem, min_time=min_time)
+            baselines[name] = run_case(case, seq_ctx, n, elem, min_time=min_time)
+        except UnsupportedOperationError:
+            results.pop(name, None)
+            unsupported.append(name)
+    return SuiteReport(
+        machine=ctx.machine.name.replace("Mach ", ""),
+        backend=ctx.backend.name,
+        n=n,
+        results=results,
+        baselines=baselines,
+        unsupported=tuple(unsupported),
+    )

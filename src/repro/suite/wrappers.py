@@ -1,0 +1,101 @@
+"""Benchmark wrappers: Listing 3's ``wrapper`` function, reproduced.
+
+``make_bench_fn`` closes a case + context + size into a harness-ready
+function: untimed setup, a min-time measurement loop, WRAP_TIMING around
+each invocation (time + counters recorded together), and
+``SetBytesProcessed`` for throughput -- matching the C++ suite line for
+line. Because the simulation is deterministic, after ``real_iterations``
+distinct invocations the remaining iterations up to min-time are
+batch-recorded (see ``BenchState.record_report``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.state import BenchResult, BenchState
+from repro.counters.likwid import LikwidMarkers
+from repro.errors import ConfigurationError
+from repro.execution.context import ExecutionContext
+from repro.suite.cases import BenchCase
+from repro.types import ElemType, FLOAT64
+
+__all__ = ["make_bench_fn", "run_case", "measure_case"]
+
+#: Distinct real invocations before batch extrapolation kicks in.
+DEFAULT_REAL_ITERATIONS = 3
+
+
+def make_bench_fn(
+    case: BenchCase,
+    ctx: ExecutionContext,
+    n: int,
+    elem: ElemType = FLOAT64,
+    markers: LikwidMarkers | None = None,
+    real_iterations: int = DEFAULT_REAL_ITERATIONS,
+):
+    """Build a ``BenchState -> None`` function for the harness."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    if real_iterations < 1:
+        raise ConfigurationError("real_iterations must be >= 1")
+
+    def bench(state: BenchState) -> None:
+        arrays = case.setup(ctx, n, elem)
+        iteration = 0
+        last = None
+        while state.keep_running():
+            case.per_iteration_setup(ctx, arrays, iteration)
+            result = case.invoke(ctx, arrays, iteration)
+            if markers is not None:
+                with markers.region(case.name) as region:
+                    region.record(result.report)
+            if iteration + 1 >= real_iterations and result.seconds > 0:
+                # Deterministic tail: batch the remaining min-time budget.
+                remaining = max(0.0, state.min_time - state.accumulated_time)
+                repeat = 1 + min(
+                    state.max_iterations - state.iterations - 1,
+                    int(math.ceil(remaining / result.seconds)),
+                )
+                state.record_report(result.report, repeat=max(1, repeat))
+            else:
+                state.record_report(result.report)
+            iteration += 1
+            last = result
+        del last
+        state.set_bytes_processed(state.iterations * n * elem.size)
+        state.set_items_processed(state.iterations * n)
+
+    return bench
+
+
+def run_case(
+    case: BenchCase,
+    ctx: ExecutionContext,
+    n: int,
+    elem: ElemType = FLOAT64,
+    min_time: float = 5.0,
+    markers: LikwidMarkers | None = None,
+) -> BenchResult:
+    """Run one case through the harness and return its result row."""
+    state = BenchState(ranges=(n,), min_time=max(min_time, 1e-12))
+    make_bench_fn(case, ctx, n, elem, markers=markers)(state)
+    label = f"{case.name}<{ctx.backend.name}>/{n}"
+    return state.finish(label)
+
+
+def measure_case(
+    case: BenchCase,
+    ctx: ExecutionContext,
+    n: int,
+    elem: ElemType = FLOAT64,
+) -> float:
+    """Mean simulated seconds of one invocation (the figures' y-axis).
+
+    A single-invocation shortcut: the simulator is deterministic, so the
+    mean over a min-time loop equals one invocation's time. Cases whose
+    iterations differ (find's random target) still use their model-mode
+    expectation here, matching how the figures average.
+    """
+    result = run_case(case, ctx, n, elem, min_time=0.0)
+    return result.mean_time

@@ -1,0 +1,89 @@
+"""Common scalar/element types used across the suite.
+
+The paper benchmarks with 64-bit floats by default and 32-bit floats on GPUs
+(Section 5.8). ``ElemType`` captures the element types pSTL-Bench supports
+and the properties the cost model needs (size, FLOP accounting, whether the
+NVC GPU ``volatile`` elision quirk applies — see ``repro.suite.kernels``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ElemKind", "ElemType", "FLOAT32", "FLOAT64", "INT32", "INT64", "elem_type"]
+
+
+class ElemKind(enum.Enum):
+    """Classification of an element type as integer or floating point."""
+
+    INT = "int"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True)
+class ElemType:
+    """An element type usable in benchmarks.
+
+    Attributes
+    ----------
+    name:
+        Human-readable C-style name (``"double"``, ``"float"``...).
+    dtype:
+        The backing NumPy dtype used by run-mode execution.
+    size:
+        Size in bytes of one element.
+    kind:
+        Integer or floating point; drives FP-counter accounting.
+    """
+
+    name: str
+    dtype: np.dtype
+    size: int
+    kind: ElemKind
+
+    @property
+    def is_float(self) -> bool:
+        """Whether arithmetic on this type counts as floating-point ops."""
+        return self.kind is ElemKind.FLOAT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FLOAT64 = ElemType("double", np.dtype(np.float64), 8, ElemKind.FLOAT)
+FLOAT32 = ElemType("float", np.dtype(np.float32), 4, ElemKind.FLOAT)
+INT64 = ElemType("int64_t", np.dtype(np.int64), 8, ElemKind.INT)
+INT32 = ElemType("int", np.dtype(np.int32), 4, ElemKind.INT)
+
+_BY_NAME = {t.name: t for t in (FLOAT64, FLOAT32, INT64, INT32)}
+_ALIASES = {
+    "double": FLOAT64,
+    "float64": FLOAT64,
+    "f64": FLOAT64,
+    "float": FLOAT32,
+    "float32": FLOAT32,
+    "f32": FLOAT32,
+    "int": INT32,
+    "int32": INT32,
+    "i32": INT32,
+    "int64": INT64,
+    "i64": INT64,
+    "size_t": INT64,
+}
+
+
+def elem_type(name: str) -> ElemType:
+    """Look up an :class:`ElemType` by name or common alias.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.
+    """
+    key = name.strip().lower()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise KeyError(f"unknown element type {name!r}; known: {sorted(_ALIASES)}")

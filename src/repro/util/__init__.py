@@ -1,0 +1,47 @@
+"""Shared utilities: units, statistics, tables, ASCII plots, validation."""
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_count,
+    format_seconds,
+    parse_size,
+)
+from repro.util.stats import (
+    ConfidenceInterval,
+    geomean,
+    harmonic_mean,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+)
+
+__all__ = [
+    "GIB",
+    "KIB",
+    "MIB",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "parse_size",
+    "ConfidenceInterval",
+    "geomean",
+    "harmonic_mean",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "is_power_of_two",
+]

@@ -1,0 +1,101 @@
+"""Minimal ASCII line charts for terminal-friendly figure reproductions.
+
+The paper's figures are speedup and runtime charts. The benches regenerate
+the numeric series; these plots give a quick visual sanity check without a
+plotting dependency. The x-axis is rendered logarithmically when requested,
+matching the paper's log-linear speedup charts (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "line_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) series to draw."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+        if len(self.x) == 0:
+            raise ValueError(f"series {self.name!r}: empty")
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render series onto a character canvas; returns the chart as a string."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValueError("log x-axis requires positive x values")
+            return math.log2(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("log y-axis requires positive y values")
+            return math.log2(v)
+        return v
+
+    xs = [tx(v) for s in series for v in s.x]
+    ys = [ty(v) for s in series for v in s.y]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(s.x, s.y):
+            col = round((tx(xv) - xmin) / (xmax - xmin) * (width - 1))
+            row = round((ty(yv) - ymin) / (ymax - ymin) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{2**ymax:.3g}" if logy else f"{ymax:.3g}"
+    bot_label = f"{2**ymin:.3g}" if logy else f"{ymin:.3g}"
+    label_w = max(len(top_label), len(bot_label))
+    for i, row_chars in enumerate(canvas):
+        label = top_label if i == 0 else bot_label if i == height - 1 else ""
+        lines.append(f"{label:>{label_w}} |" + "".join(row_chars))
+    left = f"{2**xmin:.3g}" if logx else f"{xmin:.3g}"
+    right = f"{2**xmax:.3g}" if logx else f"{xmax:.3g}"
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * (label_w + 2) + left + " " * max(1, width - len(left) - len(right)) + right
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Small statistics helpers used by the harness and analysis layers.
+
+Implemented by hand (rather than pulling in pandas) so the library stays
+dependency-light; NumPy is used where it is a clear win.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean",
+    "median",
+    "geomean",
+    "harmonic_mean",
+    "stddev",
+    "percentile",
+    "ConfidenceInterval",
+]
+
+
+def _require_nonempty(values: Sequence[float], what: str) -> None:
+    if len(values) == 0:
+        raise ValueError(f"{what} of an empty sequence is undefined")
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    _require_nonempty(values, "mean")
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median."""
+    _require_nonempty(values, "median")
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; standard for averaging speedups across benchmarks."""
+    _require_nonempty(values, "geomean")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; appropriate for averaging rates (e.g., bandwidths)."""
+    _require_nonempty(values, "harmonic mean")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("harmonic mean requires strictly positive values")
+    return float(len(arr) / np.sum(1.0 / arr))
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); zero for a single observation."""
+    _require_nonempty(values, "stddev")
+    if len(values) == 1:
+        return 0.0
+    return float(np.std(np.asarray(values, dtype=float), ddof=1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile, ``0 <= q <= 100``."""
+    _require_nonempty(values, "percentile")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric normal-approximation confidence interval for a mean."""
+
+    center: float
+    halfwidth: float
+    level: float
+
+    @property
+    def low(self) -> float:
+        return self.center - self.halfwidth
+
+    @property
+    def high(self) -> float:
+        return self.center + self.halfwidth
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @classmethod
+    def from_samples(
+        cls, values: Sequence[float], level: float = 0.95
+    ) -> "ConfidenceInterval":
+        """Build a CI from samples using the normal approximation.
+
+        The simulator is deterministic, so in practice intervals collapse to
+        zero width; the type exists so reporters have one representation for
+        repeated measurements.
+        """
+        _require_nonempty(values, "confidence interval")
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"confidence level must be in (0, 1), got {level}")
+        m = mean(values)
+        if len(values) == 1:
+            return cls(center=m, halfwidth=0.0, level=level)
+        # Two-sided z value via the probit function (Acklam-style rational
+        # approximation is overkill; erfinv is available through NumPy).
+        from numpy import sqrt
+
+        z = float(math.sqrt(2.0) * _erfinv(level))
+        half = z * stddev(values) / float(sqrt(len(values)))
+        return cls(center=m, halfwidth=half, level=level)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki approximation, adequate for CIs)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError("erfinv domain is (-1, 1)")
+    a = 0.147
+    ln1mx2 = math.log(1.0 - x * x)
+    term = 2.0 / (math.pi * a) + ln1mx2 / 2.0
+    return math.copysign(math.sqrt(math.sqrt(term**2 - ln1mx2 / a) - term), x)

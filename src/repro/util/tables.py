@@ -1,0 +1,94 @@
+"""Plain-text table rendering for reporters and experiment outputs.
+
+The benchmark reporters and the Table 3-7 reproductions all print aligned
+monospace tables; this module is the single implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "render_grid"]
+
+
+@dataclass
+class TextTable:
+    """An aligned monospace table built row by row.
+
+    Parameters
+    ----------
+    headers:
+        Column headings.
+    aligns:
+        Optional per-column alignment, ``"<"`` (left) or ``">"`` (right).
+        Defaults to left for the first column and right for the rest, which
+        matches how the paper formats metric tables.
+    title:
+        Optional caption printed above the table.
+    """
+
+    headers: Sequence[str]
+    aligns: Sequence[str] | None = None
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.aligns is not None and len(self.aligns) != len(self.headers):
+            raise ValueError("aligns must match headers length")
+        for a in self.aligns or ():
+            if a not in ("<", ">"):
+                raise ValueError(f"alignment must be '<' or '>', got {a!r}")
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        aligns = list(
+            self.aligns
+            if self.aligns is not None
+            else ["<"] + [">"] * (len(self.headers) - 1)
+        )
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(
+                f"{cell:{align}{width}}"
+                for cell, align, width in zip(cells, aligns, widths)
+            ).rstrip()
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(list(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def render_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[object]],
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a labelled 2-D grid (used for the Table 5/6 reproductions)."""
+    if len(cells) != len(row_labels):
+        raise ValueError("cells must have one row per row label")
+    table = TextTable(headers=[corner, *col_labels], title=title)
+    for label, row in zip(row_labels, cells):
+        if len(row) != len(col_labels):
+            raise ValueError("each cell row must match the column labels")
+        table.add_row([label, *row])
+    return table.render()

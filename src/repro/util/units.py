@@ -1,0 +1,95 @@
+"""Byte/time/count unit helpers.
+
+The paper reports bandwidths in GB/s and GiB/s, binary sizes in MiB, and
+problem sizes as powers of two; these helpers keep formatting consistent
+across reporters and analysis tables.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_seconds",
+    "format_count",
+    "parse_size",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+
+_BINARY_STEPS = [(GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")]
+
+
+def format_bytes(nbytes: float, precision: int = 2) -> str:
+    """Render a byte count with a binary suffix (``"17.21 MiB"``)."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    for step, suffix in _BINARY_STEPS:
+        if nbytes >= step:
+            return f"{nbytes / step:.{precision}f} {suffix}"
+    return f"{nbytes:.0f} B"
+
+
+def format_seconds(seconds: float, precision: int = 3) -> str:
+    """Render a duration with an SI suffix chosen for readability."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds == 0:
+        return "0 s"
+    for scale, suffix in [(1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")]:
+        if seconds >= scale:
+            return f"{seconds / scale:.{precision}f} {suffix}"
+    return f"{seconds / 1e-9:.{precision}f} ns"
+
+
+def format_count(count: float, precision: int = 2) -> str:
+    """Render a large count the way the paper's tables do (107G, 1.72T)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    for scale, suffix in [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]:
+        if count >= scale:
+            return f"{count / scale:.{precision}f}{suffix}"
+    return f"{count:.0f}"
+
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "k": KIB,
+    "m": MIB,
+    "g": GIB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-entered size (``"2^30"``, ``"64MiB"``, ``"1048576"``).
+
+    ``2^k`` means an element *count*; byte suffixes are returned in bytes.
+    """
+    s = text.strip().lower().replace(" ", "")
+    if not s:
+        raise ValueError("empty size string")
+    if "^" in s:
+        base, _, exp = s.partition("^")
+        return int(base) ** int(exp)
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            return int(float(number) * _SIZE_SUFFIXES[suffix])
+    return int(float(s))

@@ -1,0 +1,37 @@
+"""Argument-validation helpers that raise :class:`ConfigurationError`."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "is_power_of_two",
+    "check_power_of_two",
+]
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(value: int, name: str) -> None:
+    """Require ``value`` to be a positive power of two."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")

@@ -1,0 +1,128 @@
+"""Tests for the search family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.types import FLOAT64
+
+
+def _incr(ctx, n):
+    return ctx.array_from(np.arange(1, n + 1, dtype=np.float64), FLOAT64)
+
+
+class TestFind:
+    def test_finds_first_index(self, run_ctx):
+        arr = _incr(run_ctx, 1000)
+        assert pstl.find(run_ctx, arr, 500.0).value == 499
+
+    def test_absent_returns_none(self, run_ctx):
+        arr = _incr(run_ctx, 100)
+        assert pstl.find(run_ctx, arr, 1e9).value is None
+
+    def test_duplicate_returns_first(self, run_ctx):
+        data = np.array([3.0, 7.0, 7.0, 1.0])
+        arr = run_ctx.array_from(data, FLOAT64)
+        assert pstl.find(run_ctx, arr, 7.0).value == 1
+
+    def test_model_mode_uses_expectation(self, model_ctx):
+        arr = model_ctx.allocate(1 << 20, FLOAT64)
+        r = pstl.find(model_ctx, arr, 42.0)
+        assert r.value == (1 << 19)  # n // 2
+
+    def test_early_hit_cheaper_than_late_hit(self, model_ctx):
+        arr = model_ctx.allocate(1 << 24, FLOAT64)
+        early = pstl.find(model_ctx, arr, 0.0, expected_position=100).seconds
+        late = pstl.find(
+            model_ctx, arr, 0.0, expected_position=(1 << 24) - 1
+        ).seconds
+        assert late > early
+
+    def test_scanned_work_half_of_full(self, seq_ctx):
+        n = 1 << 20
+        arr = seq_ctx.allocate(n, FLOAT64)
+        rep = pstl.find(seq_ctx, arr, 1.0).report
+        assert rep.counters.bytes_read == pytest.approx(8 * (n // 2 + 1), rel=0.01)
+
+
+class TestFindIfFamily:
+    def test_find_if(self, run_ctx):
+        arr = _incr(run_ctx, 100)
+        assert pstl.find_if(run_ctx, arr, pstl.greater_than(50.0)).value == 50
+
+    def test_find_if_not(self, run_ctx):
+        arr = _incr(run_ctx, 100)
+        assert pstl.find_if_not(run_ctx, arr, pstl.less_than(10.0)).value == 9
+
+    def test_any_of_true(self, run_ctx):
+        arr = _incr(run_ctx, 64)
+        assert pstl.any_of(run_ctx, arr, pstl.equals(7.0)).value is True
+
+    def test_any_of_false(self, run_ctx):
+        arr = _incr(run_ctx, 64)
+        assert pstl.any_of(run_ctx, arr, pstl.equals(-1.0)).value is False
+
+    def test_all_of(self, run_ctx):
+        arr = _incr(run_ctx, 64)
+        assert pstl.all_of(run_ctx, arr, pstl.greater_than(0.0)).value is True
+        assert pstl.all_of(run_ctx, arr, pstl.less_than(10.0)).value is False
+
+    def test_none_of(self, run_ctx):
+        arr = _incr(run_ctx, 64)
+        assert pstl.none_of(run_ctx, arr, pstl.equals(-1.0)).value is True
+        assert pstl.none_of(run_ctx, arr, pstl.equals(5.0)).value is False
+
+
+class TestCount:
+    def test_count_value(self, run_ctx):
+        data = np.array([1.0, 2.0, 1.0, 1.0])
+        arr = run_ctx.array_from(data, FLOAT64)
+        assert pstl.count(run_ctx, arr, 1.0).value == 3
+
+    def test_count_if(self, run_ctx):
+        arr = _incr(run_ctx, 100)
+        assert pstl.count_if(run_ctx, arr, pstl.less_than(11.0)).value == 10
+
+    def test_count_scans_everything(self, seq_ctx):
+        n = 1 << 18
+        arr = seq_ctx.allocate(n, FLOAT64)
+        rep = pstl.count(seq_ctx, arr, 1.0).report
+        assert rep.counters.bytes_read == pytest.approx(8 * n)
+
+
+class TestBandwidthBound:
+    def test_find_speedup_capped_by_stream(self, mach_b):
+        """Section 5.3: find speedup ~6 at 64 threads, STREAM cap ~7.8."""
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+
+        n = 1 << 30
+        seq = ExecutionContext(mach_b, get_backend("gcc-seq"), threads=1)
+        par = ExecutionContext(mach_b, get_backend("gcc-tbb"), threads=64)
+        ts = pstl.find(seq, seq.allocate(n, FLOAT64), 1.0).seconds
+        tp = pstl.find(par, par.allocate(n, FLOAT64), 1.0).seconds
+        assert 3.0 < ts / tp < mach_b.ideal_bandwidth_speedup()
+
+
+@settings(max_examples=25)
+@given(
+    n=st.integers(min_value=2, max_value=2000),
+    pos=st.integers(min_value=0, max_value=1999),
+    threads=st.sampled_from([1, 3, 8]),
+)
+def test_find_correct_for_any_position(n, pos, threads):
+    """Property: find locates a unique sentinel wherever it is."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    pos = pos % n
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    data = np.zeros(n)
+    data[pos] = 1.0
+    arr = ctx.array_from(data, FLOAT64)
+    assert pstl.find(ctx, arr, 1.0).value == pos

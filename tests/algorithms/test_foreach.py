@@ -1,0 +1,92 @@
+"""Tests for for_each / for_each_n."""
+
+import numpy as np
+import pytest
+
+from repro import pstl
+from repro.errors import ConfigurationError
+from repro.suite.kernels import listing1_kernel
+from repro.types import FLOAT64
+
+
+class TestSemantics:
+    def test_listing1_result_is_k_it(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(100, dtype=np.float64), FLOAT64)
+        pstl.for_each(run_ctx, arr, listing1_kernel(7))
+        assert np.all(arr.data == 7.0)
+
+    def test_custom_op_applied_per_chunk(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(1000, dtype=np.float64), FLOAT64)
+        pstl.for_each(run_ctx, arr, pstl.SQUARE)
+        assert np.allclose(arr.data, np.arange(1000, dtype=np.float64) ** 2)
+
+    def test_for_each_n_prefix_only(self, run_ctx):
+        arr = run_ctx.array_from(np.ones(16), FLOAT64)
+        pstl.for_each_n(run_ctx, arr, 8, pstl.NEGATE)
+        assert np.all(arr.data[:8] == -1.0)
+        assert np.all(arr.data[8:] == 1.0)
+
+    def test_for_each_n_bounds(self, run_ctx):
+        arr = run_ctx.allocate(8, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.for_each_n(run_ctx, arr, 9, pstl.NEGATE)
+
+    def test_returns_none_value(self, run_ctx):
+        arr = run_ctx.allocate(8, FLOAT64)
+        assert pstl.for_each(run_ctx, arr, listing1_kernel(1)).value is None
+
+
+class TestCostModel:
+    def test_k1000_costs_more_than_k1(self, model_ctx):
+        arr = model_ctx.allocate(1 << 24, FLOAT64)
+        t1 = pstl.for_each(model_ctx, arr, listing1_kernel(1)).seconds
+        t1000 = pstl.for_each(model_ctx, arr, listing1_kernel(1000)).seconds
+        assert t1000 > 50 * t1
+
+    def test_fp_counter_is_k_per_element(self, model_ctx):
+        n = 1 << 20
+        arr = model_ctx.allocate(n, FLOAT64)
+        rep = pstl.for_each(model_ctx, arr, listing1_kernel(3)).report
+        assert rep.counters.fp_scalar == pytest.approx(3 * n)
+
+    def test_traffic_read_plus_write(self, seq_ctx):
+        n = 1 << 20
+        arr = seq_ctx.allocate(n, FLOAT64)
+        rep = pstl.for_each(seq_ctx, arr, listing1_kernel(1)).report
+        assert rep.counters.data_volume == pytest.approx(16 * n)
+
+    def test_parallel_faster_at_scale(self, model_ctx, seq_ctx):
+        big = 1 << 28
+        tp = pstl.for_each(
+            model_ctx, model_ctx.allocate(big, FLOAT64), listing1_kernel(1)
+        ).seconds
+        ts = pstl.for_each(
+            seq_ctx, seq_ctx.allocate(big, FLOAT64), listing1_kernel(1)
+        ).seconds
+        assert ts > 3 * tp
+
+    def test_sequential_faster_at_tiny_sizes(self, model_ctx, seq_ctx):
+        tiny = 1 << 6
+        tp = pstl.for_each(
+            model_ctx, model_ctx.allocate(tiny, FLOAT64), listing1_kernel(1)
+        ).seconds
+        ts = pstl.for_each(
+            seq_ctx, seq_ctx.allocate(tiny, FLOAT64), listing1_kernel(1)
+        ).seconds
+        assert ts < tp
+
+    def test_profile_single_parallel_phase(self, model_ctx):
+        arr = model_ctx.allocate(1 << 20, FLOAT64)
+        prof = pstl.for_each(model_ctx, arr, listing1_kernel(1)).profile
+        assert prof.alg == "for_each"
+        assert len(prof.phases) == 1
+        assert prof.threads == 32
+
+    def test_gnu_fallback_profile_is_sequential(self, mach_a, gnu):
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, gnu, threads=8, mode="model")
+        arr = ctx.allocate(1 << 9, FLOAT64)  # below the 2^10 threshold
+        prof = pstl.for_each(ctx, arr, listing1_kernel(1)).profile
+        assert prof.threads == 1
+        assert prof.regions == 0

@@ -1,0 +1,183 @@
+"""Tests for minmax, adjacent, merge, compare and reverse families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.errors import ConfigurationError
+from repro.types import FLOAT64
+
+
+class TestMinMax:
+    def test_min_element(self, run_ctx):
+        arr = run_ctx.array_from(np.array([5.0, 1.0, 3.0]), FLOAT64)
+        assert pstl.min_element(run_ctx, arr).value == 1
+
+    def test_max_element(self, run_ctx):
+        arr = run_ctx.array_from(np.array([5.0, 9.0, 3.0]), FLOAT64)
+        assert pstl.max_element(run_ctx, arr).value == 1
+
+    def test_minmax(self, run_ctx):
+        arr = run_ctx.array_from(np.array([5.0, 1.0, 9.0]), FLOAT64)
+        assert pstl.minmax_element(run_ctx, arr).value == (1, 2)
+
+    def test_reduce_cost_family(self, model_ctx):
+        arr = model_ctx.allocate(1 << 20, FLOAT64)
+        prof = pstl.min_element(model_ctx, arr).profile
+        assert prof.alg == "reduce"
+        assert len(prof.phases) == 2
+
+
+class TestAdjacent:
+    def test_adjacent_difference(self, run_ctx):
+        src = run_ctx.array_from(np.array([1.0, 4.0, 9.0, 16.0]), FLOAT64)
+        dst = run_ctx.allocate(4, FLOAT64)
+        pstl.adjacent_difference(run_ctx, src, dst)
+        assert dst.data.tolist() == [1, 3, 5, 7]
+
+    def test_adjacent_find(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 2.0, 3.0]), FLOAT64)
+        assert pstl.adjacent_find(run_ctx, arr).value == 1
+
+    def test_adjacent_find_none(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(8, dtype=np.float64), FLOAT64)
+        assert pstl.adjacent_find(run_ctx, arr).value is None
+
+    def test_size_checked(self, run_ctx):
+        with pytest.raises(ConfigurationError):
+            pstl.adjacent_difference(
+                run_ctx, run_ctx.allocate(8, FLOAT64), run_ctx.allocate(4, FLOAT64)
+            )
+
+
+class TestMerge:
+    def test_merge_two_sorted(self, run_ctx):
+        a = run_ctx.array_from(np.array([1.0, 4.0, 7.0]), FLOAT64)
+        b = run_ctx.array_from(np.array([2.0, 5.0, 6.0]), FLOAT64)
+        out = run_ctx.allocate(6, FLOAT64)
+        pstl.merge(run_ctx, a, b, out)
+        assert out.data.tolist() == [1, 2, 4, 5, 6, 7]
+
+    def test_destination_size_checked(self, run_ctx):
+        a = run_ctx.allocate(4, FLOAT64)
+        b = run_ctx.allocate(4, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.merge(run_ctx, a, b, run_ctx.allocate(7, FLOAT64))
+
+    def test_parallel_profile_has_corank(self, model_ctx):
+        a = model_ctx.allocate(1 << 20, FLOAT64)
+        b = model_ctx.allocate(1 << 20, FLOAT64)
+        out = model_ctx.allocate(1 << 21, FLOAT64)
+        prof = pstl.merge(model_ctx, a, b, out).profile
+        assert [p.name for p in prof.phases] == ["corank", "merge"]
+
+
+class TestCompare:
+    def test_equal_true(self, run_ctx):
+        data = np.arange(64, dtype=np.float64)
+        a = run_ctx.array_from(data, FLOAT64)
+        b = run_ctx.array_from(data, FLOAT64)
+        assert pstl.equal(run_ctx, a, b).value is True
+
+    def test_equal_false(self, run_ctx):
+        a = run_ctx.array_from(np.zeros(8), FLOAT64)
+        b = run_ctx.array_from(np.ones(8), FLOAT64)
+        assert pstl.equal(run_ctx, a, b).value is False
+
+    def test_equal_requires_same_length(self, run_ctx):
+        with pytest.raises(ConfigurationError):
+            pstl.equal(run_ctx, run_ctx.allocate(4, FLOAT64), run_ctx.allocate(5, FLOAT64))
+
+    def test_mismatch_position(self, run_ctx):
+        a = run_ctx.array_from(np.array([1.0, 2.0, 3.0]), FLOAT64)
+        b = run_ctx.array_from(np.array([1.0, 9.0, 3.0]), FLOAT64)
+        assert pstl.mismatch(run_ctx, a, b).value == 1
+
+    def test_mismatch_none(self, run_ctx):
+        a = run_ctx.array_from(np.ones(4), FLOAT64)
+        b = run_ctx.array_from(np.ones(4), FLOAT64)
+        assert pstl.mismatch(run_ctx, a, b).value is None
+
+    def test_lexicographical(self, run_ctx):
+        a = run_ctx.array_from(np.array([1.0, 2.0]), FLOAT64)
+        b = run_ctx.array_from(np.array([1.0, 3.0]), FLOAT64)
+        assert pstl.lexicographical_compare(run_ctx, a, b).value is True
+        assert pstl.lexicographical_compare(run_ctx, b, a).value is False
+
+    def test_lexicographical_equal_prefix(self, run_ctx):
+        a = run_ctx.array_from(np.array([1.0]), FLOAT64)
+        b = run_ctx.array_from(np.array([1.0, 2.0]), FLOAT64)
+        assert pstl.lexicographical_compare(run_ctx, a, b).value is True
+
+    def test_early_exit_cheaper(self, run_ctx):
+        n = 1 << 16
+        base = np.arange(n, dtype=np.float64)
+        early = base.copy()
+        early[1] += 1
+        a1 = run_ctx.array_from(base, FLOAT64)
+        b_same = run_ctx.array_from(base, FLOAT64)
+        b_early = run_ctx.array_from(early, FLOAT64)
+        t_full = pstl.equal(run_ctx, a1, b_same).seconds
+        t_early = pstl.equal(run_ctx, a1, b_early).seconds
+        assert t_early < t_full
+
+
+class TestReverse:
+    def test_reverse(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(9, dtype=np.float64), FLOAT64)
+        pstl.reverse(run_ctx, arr)
+        assert arr.data.tolist() == list(map(float, range(8, -1, -1)))
+
+    def test_swap_ranges(self, run_ctx):
+        a = run_ctx.array_from(np.zeros(8), FLOAT64)
+        b = run_ctx.array_from(np.ones(8), FLOAT64)
+        pstl.swap_ranges(run_ctx, a, b)
+        assert np.all(a.data == 1.0)
+        assert np.all(b.data == 0.0)
+
+    def test_swap_requires_equal_length(self, run_ctx):
+        with pytest.raises(ConfigurationError):
+            pstl.swap_ranges(
+                run_ctx, run_ctx.allocate(4, FLOAT64), run_ctx.allocate(5, FLOAT64)
+            )
+
+
+@settings(max_examples=20)
+@given(
+    a=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100),
+    b=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100),
+)
+def test_merge_property(a, b):
+    """Property: merge of two sorted lists equals sorting the union."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="run"
+    )
+    sa, sb = np.sort(np.array(a)), np.sort(np.array(b))
+    arr_a = ctx.array_from(sa, FLOAT64)
+    arr_b = ctx.array_from(sb, FLOAT64)
+    out = ctx.allocate(len(a) + len(b), FLOAT64)
+    pstl.merge(ctx, arr_a, arr_b, out)
+    assert np.allclose(out.data, np.sort(np.concatenate([sa, sb])))
+
+
+@settings(max_examples=20)
+@given(data=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=100))
+def test_reverse_involution(data):
+    """Property: reversing twice restores the input."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="run"
+    )
+    arr = ctx.array_from(np.array(data), FLOAT64)
+    pstl.reverse(ctx, arr)
+    pstl.reverse(ctx, arr)
+    assert np.allclose(arr.data, np.array(data))

@@ -1,0 +1,89 @@
+"""Tests for the operation/predicate cost descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms._ops import (
+    MAXIMUM,
+    MINIMUM,
+    MULTIPLIES,
+    NEGATE,
+    PLUS,
+    SQUARE,
+    BinaryOp,
+    ElementOp,
+    Predicate,
+    always_true,
+    equals,
+    greater_than,
+    less_than,
+)
+from repro.errors import ConfigurationError
+
+
+class TestElementOp:
+    def test_apply(self):
+        assert NEGATE(np.array([1.0, -2.0])).tolist() == [-1.0, 2.0]
+        assert SQUARE(np.array([3.0])).tolist() == [9.0]
+
+    def test_model_only_op_raises_on_call(self):
+        op = ElementOp("m", 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            op(np.array([1.0]))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElementOp("x", -1.0, 0.0)
+
+
+class TestBinaryOp:
+    def test_plus_reduce(self):
+        assert PLUS.reduce(np.arange(1, 5, dtype=float)) == 10.0
+
+    def test_reduce_empty_gives_identity(self):
+        assert PLUS.reduce(np.array([])) == 0.0
+        assert MULTIPLIES.reduce(np.array([])) == 1.0
+
+    def test_accumulate(self):
+        acc = PLUS.accumulate(np.array([1.0, 2.0, 3.0]))
+        assert acc.tolist() == [1.0, 3.0, 6.0]
+
+    def test_combine(self):
+        assert PLUS.combine(2.0, 3.0) == 5.0
+        assert MULTIPLIES.combine(2.0, 3.0) == 6.0
+
+    def test_min_max(self):
+        data = np.array([3.0, 1.0, 2.0])
+        assert MINIMUM.reduce(data) == 1.0
+        assert MAXIMUM.reduce(data) == 3.0
+
+    def test_model_only_raises(self):
+        op = BinaryOp("m", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            op.reduce(np.array([1.0]))
+
+
+class TestPredicate:
+    def test_less_than(self):
+        p = less_than(2.0)
+        assert p(np.array([1.0, 2.0, 3.0])).tolist() == [True, False, False]
+
+    def test_greater_than(self):
+        assert greater_than(0.0)(np.array([1.0, -1.0])).tolist() == [True, False]
+
+    def test_equals(self):
+        assert equals(5.0)(np.array([5.0, 4.0])).tolist() == [True, False]
+
+    def test_always_true(self):
+        p = always_true()
+        assert p(np.zeros(3)).all()
+        assert p.selectivity == 1.0
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Predicate("p", 1.0, selectivity=1.5)
+
+    def test_model_only_raises(self):
+        p = Predicate("p", 1.0)
+        with pytest.raises(ConfigurationError):
+            p(np.array([1.0]))

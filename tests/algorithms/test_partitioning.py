@@ -1,0 +1,104 @@
+"""Tests for the partitioning family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.errors import ConfigurationError
+from repro.types import FLOAT64
+
+
+class TestStablePartition:
+    def test_partitions_and_preserves_order(self, run_ctx):
+        data = np.array([5.0, 1.0, 6.0, 2.0, 7.0, 3.0])
+        arr = run_ctx.array_from(data, FLOAT64)
+        r = pstl.stable_partition(run_ctx, arr, pstl.less_than(4.0))
+        assert r.value == 3
+        assert arr.data.tolist() == [1, 2, 3, 5, 6, 7]  # relative order kept
+
+    def test_all_true(self, run_ctx):
+        arr = run_ctx.array_from(np.zeros(4), FLOAT64)
+        assert pstl.stable_partition(run_ctx, arr, pstl.less_than(1.0)).value == 4
+
+    def test_all_false(self, run_ctx):
+        arr = run_ctx.array_from(np.ones(4), FLOAT64)
+        assert pstl.stable_partition(run_ctx, arr, pstl.less_than(0.0)).value == 0
+
+    def test_scan_family_cost(self, model_ctx):
+        arr = model_ctx.allocate(1 << 22, FLOAT64)
+        prof = pstl.stable_partition(model_ctx, arr, pstl.less_than(10.0)).profile
+        assert prof.alg == "inclusive_scan"
+        assert len(prof.phases) == 3  # count / offsets / scatter
+
+
+class TestPartitionCopy:
+    def test_splits(self, run_ctx):
+        src = run_ctx.array_from(np.arange(6, dtype=np.float64), FLOAT64)
+        t = run_ctx.allocate(6, FLOAT64)
+        f = run_ctx.allocate(6, FLOAT64)
+        r = pstl.partition_copy(run_ctx, src, t, f, pstl.less_than(2.0))
+        assert r.value == (2, 4)
+        assert t.data[:2].tolist() == [0, 1]
+        assert f.data[:4].tolist() == [2, 3, 4, 5]
+
+    def test_sizes_checked(self, run_ctx):
+        src = run_ctx.allocate(8, FLOAT64)
+        small = run_ctx.allocate(4, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.partition_copy(run_ctx, src, small, small, pstl.less_than(0.0))
+
+
+class TestIsPartitioned:
+    def test_true(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 9.0, 8.0]), FLOAT64)
+        assert pstl.is_partitioned(run_ctx, arr, pstl.less_than(5.0)).value is True
+
+    def test_false(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 9.0, 2.0]), FLOAT64)
+        assert pstl.is_partitioned(run_ctx, arr, pstl.less_than(5.0)).value is False
+
+    def test_empty_prefix_ok(self, run_ctx):
+        arr = run_ctx.array_from(np.array([9.0, 8.0]), FLOAT64)
+        assert pstl.is_partitioned(run_ctx, arr, pstl.less_than(5.0)).value is True
+
+
+class TestPartitionPoint:
+    def test_point(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 9.0]), FLOAT64)
+        assert pstl.partition_point(run_ctx, arr, pstl.less_than(5.0)).value == 2
+
+    def test_all_true_returns_n(self, run_ctx):
+        arr = run_ctx.array_from(np.zeros(5), FLOAT64)
+        assert pstl.partition_point(run_ctx, arr, pstl.less_than(1.0)).value == 5
+
+    def test_logarithmic_cost(self, seq_ctx):
+        arr = seq_ctx.allocate(1 << 24, FLOAT64)
+        r = pstl.partition_point(seq_ctx, arr, pstl.less_than(0.5))
+        assert r.profile.phases[0].total_elems <= 32  # log2(2^24) + slack
+
+
+@settings(max_examples=25)
+@given(
+    data=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=120),
+    threshold=st.floats(-100, 100),
+    threads=st.sampled_from([1, 4, 8]),
+)
+def test_partition_invariants(data, threshold, threads):
+    """Property: output is a permutation, split at the returned point."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    arr = ctx.array_from(np.array(data), FLOAT64)
+    r = pstl.stable_partition(ctx, arr, pstl.less_than(threshold))
+    point = r.value
+    assert np.all(arr.data[:point] < threshold)
+    assert np.all(arr.data[point:] >= threshold)
+    assert sorted(arr.data.tolist()) == sorted(data)
+    # And is_partitioned must agree.
+    assert pstl.is_partitioned(ctx, arr, pstl.less_than(threshold)).value is True

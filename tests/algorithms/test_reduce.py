@@ -1,0 +1,105 @@
+"""Tests for reduce / transform_reduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.types import FLOAT64
+
+
+class TestSemantics:
+    def test_sum(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(1, 101, dtype=np.float64), FLOAT64)
+        assert pstl.reduce(run_ctx, arr).value == pytest.approx(5050.0)
+
+    def test_init_added(self, run_ctx):
+        arr = run_ctx.array_from(np.ones(10), FLOAT64)
+        assert pstl.reduce(run_ctx, arr, init=5.0).value == pytest.approx(15.0)
+
+    def test_product(self, run_ctx):
+        arr = run_ctx.array_from(np.array([2.0, 3.0, 4.0]), FLOAT64)
+        assert pstl.reduce(
+            run_ctx, arr, op=pstl.MULTIPLIES, init=1.0
+        ).value == pytest.approx(24.0)
+
+    def test_transform_reduce(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 3.0]), FLOAT64)
+        r = pstl.transform_reduce(run_ctx, arr, pstl.SQUARE)
+        assert r.value == pytest.approx(14.0)
+
+    def test_matches_sequential(self, run_ctx, mach_a, seq_backend):
+        from repro.execution.context import ExecutionContext
+
+        data = np.random.default_rng(3).normal(size=4096)
+        arr_p = run_ctx.array_from(data, FLOAT64)
+        seq = ExecutionContext(mach_a, seq_backend, threads=1, mode="run")
+        arr_s = seq.array_from(data, FLOAT64)
+        vp = pstl.reduce(run_ctx, arr_p).value
+        vs = pstl.reduce(seq, arr_s).value
+        assert vp == pytest.approx(vs, rel=1e-12)
+
+
+class TestProfileShape:
+    def test_parallel_has_combine_phase(self, model_ctx):
+        arr = model_ctx.allocate(1 << 24, FLOAT64)
+        prof = pstl.reduce(model_ctx, arr).profile
+        assert [p.name for p in prof.phases] == ["chunk-reduce", "combine"]
+
+    def test_sequential_single_phase(self, seq_ctx):
+        arr = seq_ctx.allocate(1 << 20, FLOAT64)
+        prof = pstl.reduce(seq_ctx, arr).profile
+        assert len(prof.phases) == 1
+
+    def test_read_only_traffic(self, seq_ctx):
+        n = 1 << 20
+        rep = pstl.reduce(seq_ctx, seq_ctx.allocate(n, FLOAT64)).report
+        assert rep.counters.bytes_written == 0.0
+        assert rep.counters.bytes_read == pytest.approx(8 * n)
+
+    def test_one_fp_op_per_element(self, seq_ctx):
+        n = 1 << 20
+        rep = pstl.reduce(seq_ctx, seq_ctx.allocate(n, FLOAT64)).report
+        assert rep.counters.fp_scalar == pytest.approx(n, rel=0.01)
+
+
+class TestPaperShapes:
+    def test_speedup_near_bandwidth_ratio_on_a(self, model_ctx, seq_ctx):
+        """Section 5.5 / Table 5: reduce speedup ~10 on Mach A."""
+        n = 1 << 30
+        ts = pstl.reduce(seq_ctx, seq_ctx.allocate(n, FLOAT64)).seconds
+        tp = pstl.reduce(model_ctx, model_ctx.allocate(n, FLOAT64)).seconds
+        assert 7 < ts / tp < 13
+
+    def test_icc_vectorizes(self, mach_a):
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, get_backend("icc-tbb"), threads=32)
+        rep = pstl.reduce(ctx, ctx.allocate(1 << 24, FLOAT64)).report
+        assert rep.counters.fp_packed_256 > 0
+        assert rep.counters.fp_scalar < rep.counters.fp_packed_256
+
+
+@settings(max_examples=25)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=512,
+    ),
+    threads=st.sampled_from([1, 2, 7, 16]),
+)
+def test_reduce_matches_numpy(data, threads):
+    """Property: parallel chunked reduce equals np.sum within tolerance."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    arr = ctx.array_from(np.array(data), FLOAT64)
+    got = pstl.reduce(ctx, arr).value
+    assert got == pytest.approx(float(np.sum(np.array(data))), rel=1e-9, abs=1e-6)

@@ -1,0 +1,130 @@
+"""Tests for the scan family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.errors import UnsupportedOperationError
+from repro.types import FLOAT64
+
+
+class TestInclusiveScan:
+    def test_prefix_sum(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(1, 9, dtype=np.float64), FLOAT64)
+        out = run_ctx.allocate(8, FLOAT64)
+        pstl.inclusive_scan(run_ctx, arr, out=out)
+        assert out.data.tolist() == [1, 3, 6, 10, 15, 21, 28, 36]
+
+    def test_in_place_default(self, run_ctx):
+        arr = run_ctx.array_from(np.ones(4), FLOAT64)
+        r = pstl.inclusive_scan(run_ctx, arr)
+        assert arr.data.tolist() == [1, 2, 3, 4]
+        assert r.value == 4.0
+
+    def test_multiply_scan(self, run_ctx):
+        arr = run_ctx.array_from(np.full(4, 2.0), FLOAT64)
+        pstl.inclusive_scan(run_ctx, arr, op=pstl.MULTIPLIES)
+        assert arr.data.tolist() == [2, 4, 8, 16]
+
+
+class TestExclusiveScan:
+    def test_shifted_with_init(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(1, 5, dtype=np.float64), FLOAT64)
+        out = run_ctx.allocate(4, FLOAT64)
+        pstl.exclusive_scan(run_ctx, arr, init=10.0, out=out)
+        assert out.data.tolist() == [10, 11, 13, 16]
+
+    def test_sequential_matches_parallel(self, run_ctx, mach_a, seq_backend):
+        from repro.execution.context import ExecutionContext
+
+        data = np.random.default_rng(0).random(1000)
+        seq = ExecutionContext(mach_a, seq_backend, threads=1, mode="run")
+        a1, o1 = run_ctx.array_from(data, FLOAT64), run_ctx.allocate(1000, FLOAT64)
+        a2, o2 = seq.array_from(data, FLOAT64), seq.allocate(1000, FLOAT64)
+        pstl.exclusive_scan(run_ctx, a1, init=1.5, out=o1)
+        pstl.exclusive_scan(seq, a2, init=1.5, out=o2)
+        assert np.allclose(o1.data, o2.data)
+
+
+class TestTransformScans:
+    def test_transform_inclusive(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 3.0]), FLOAT64)
+        out = run_ctx.allocate(3, FLOAT64)
+        pstl.transform_inclusive_scan(run_ctx, arr, pstl.SQUARE, out=out)
+        assert out.data.tolist() == [1, 5, 14]
+
+    def test_transform_exclusive(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 3.0]), FLOAT64)
+        out = run_ctx.allocate(3, FLOAT64)
+        pstl.transform_exclusive_scan(run_ctx, arr, pstl.SQUARE, init=0.0, out=out)
+        assert out.data.tolist() == [0, 1, 5]
+
+
+class TestCapabilityGaps:
+    def test_gnu_raises(self, mach_a, gnu):
+        """Section 5.4: GNU has no parallel inclusive_scan -> paper's N/A."""
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, gnu, threads=8)
+        with pytest.raises(UnsupportedOperationError):
+            pstl.inclusive_scan(ctx, ctx.allocate(1 << 20, FLOAT64))
+
+    def test_nvc_sequential_fallback(self, mach_a):
+        """Section 5.4: NVC-OMP scan runs sequentially (speedup ~0.9)."""
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, get_backend("nvc-omp"), threads=32)
+        prof = pstl.inclusive_scan(ctx, ctx.allocate(1 << 24, FLOAT64)).profile
+        assert prof.threads == 1
+
+
+class TestProfileShape:
+    def test_three_phase_parallel_scan(self, model_ctx):
+        arr = model_ctx.allocate(1 << 24, FLOAT64)
+        prof = pstl.inclusive_scan(model_ctx, arr).profile
+        assert [p.name for p in prof.phases] == [
+            "chunk-reduce",
+            "carry-scan",
+            "rescan",
+        ]
+        assert prof.regions == 2
+
+    def test_parallel_reads_twice(self, model_ctx, seq_ctx):
+        n = 1 << 24
+        par = pstl.inclusive_scan(model_ctx, model_ctx.allocate(n, FLOAT64)).report
+        seq = pstl.inclusive_scan(seq_ctx, seq_ctx.allocate(n, FLOAT64)).report
+        assert par.counters.bytes_read > 1.8 * seq.counters.bytes_read
+
+    def test_speedup_well_below_bandwidth_ratio(self, model_ctx, seq_ctx):
+        """Section 5.4: scan's extra pass keeps the speedup near ~4-5."""
+        n = 1 << 30
+        ts = pstl.inclusive_scan(seq_ctx, seq_ctx.allocate(n, FLOAT64)).seconds
+        tp = pstl.inclusive_scan(model_ctx, model_ctx.allocate(n, FLOAT64)).seconds
+        assert 2.5 < ts / tp < 7.0
+
+
+@settings(max_examples=25)
+@given(
+    data=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    threads=st.sampled_from([1, 2, 5, 8]),
+)
+def test_inclusive_scan_matches_cumsum(data, threads):
+    """Property: chunked scan equals np.cumsum for any input and team size."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    arr = ctx.array_from(np.array(data), FLOAT64)
+    out = ctx.allocate(len(data), FLOAT64)
+    pstl.inclusive_scan(ctx, arr, out=out)
+    assert np.allclose(out.data, np.cumsum(np.array(data)), atol=1e-6)

@@ -1,0 +1,112 @@
+"""Tests for the subsequence-search family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.errors import ConfigurationError
+from repro.types import FLOAT64
+
+
+class TestSearch:
+    def test_finds_first_occurrence(self, run_ctx):
+        hay = run_ctx.array_from(np.array([5.0, 1.0, 2.0, 9.0, 1.0, 2.0]), FLOAT64)
+        assert pstl.search(run_ctx, hay, [1.0, 2.0]).value == 1
+
+    def test_absent_needle(self, run_ctx):
+        hay = run_ctx.array_from(np.arange(16, dtype=np.float64), FLOAT64)
+        assert pstl.search(run_ctx, hay, [99.0]).value is None
+
+    def test_needle_longer_than_haystack(self, run_ctx):
+        hay = run_ctx.array_from(np.ones(2), FLOAT64)
+        assert pstl.search(run_ctx, hay, [1.0, 1.0, 1.0]).value is None
+
+    def test_whole_haystack_match(self, run_ctx):
+        hay = run_ctx.array_from(np.array([3.0, 4.0]), FLOAT64)
+        assert pstl.search(run_ctx, hay, [3.0, 4.0]).value == 0
+
+    def test_empty_needle_rejected(self, run_ctx):
+        hay = run_ctx.array_from(np.ones(4), FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.search(run_ctx, hay, [])
+
+    def test_model_mode_full_scan(self, model_ctx):
+        hay = model_ctx.allocate(1 << 20, FLOAT64)
+        r = pstl.search(model_ctx, hay, [1.0, 2.0])
+        assert r.value is None
+        assert r.profile.phases[0].total_elems == pytest.approx(1 << 20)
+
+
+class TestFindEnd:
+    def test_last_occurrence(self, run_ctx):
+        hay = run_ctx.array_from(np.array([1.0, 2.0, 8.0, 1.0, 2.0]), FLOAT64)
+        assert pstl.find_end(run_ctx, hay, [1.0, 2.0]).value == 3
+
+    def test_absent(self, run_ctx):
+        hay = run_ctx.array_from(np.zeros(8), FLOAT64)
+        assert pstl.find_end(run_ctx, hay, [1.0]).value is None
+
+    def test_always_full_scan(self, run_ctx):
+        """find_end can never early-exit, even with a hit at the start."""
+        hay = run_ctx.array_from(np.arange(1 << 14, dtype=np.float64), FLOAT64)
+        with_hit = pstl.find_end(run_ctx, hay, [0.0, 1.0])
+        assert with_hit.profile.phases[0].total_elems == pytest.approx(1 << 14)
+
+
+class TestFindFirstOf:
+    def test_first_of_set(self, run_ctx):
+        hay = run_ctx.array_from(np.array([7.0, 3.0, 5.0]), FLOAT64)
+        assert pstl.find_first_of(run_ctx, hay, [5.0, 3.0]).value == 1
+
+    def test_none_of_set(self, run_ctx):
+        hay = run_ctx.array_from(np.zeros(4), FLOAT64)
+        assert pstl.find_first_of(run_ctx, hay, [1.0]).value is None
+
+    def test_empty_set_rejected(self, run_ctx):
+        hay = run_ctx.array_from(np.zeros(4), FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.find_first_of(run_ctx, hay, [])
+
+
+class TestSearchN:
+    def test_run_found(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 4.0, 4.0, 4.0, 2.0]), FLOAT64)
+        assert pstl.search_n(run_ctx, arr, 3, 4.0).value == 1
+
+    def test_run_too_short(self, run_ctx):
+        arr = run_ctx.array_from(np.array([4.0, 4.0, 1.0]), FLOAT64)
+        assert pstl.search_n(run_ctx, arr, 3, 4.0).value is None
+
+    def test_count_one_is_find(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 7.0]), FLOAT64)
+        assert pstl.search_n(run_ctx, arr, 1, 7.0).value == 1
+
+    def test_count_validated(self, run_ctx):
+        arr = run_ctx.array_from(np.ones(4), FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.search_n(run_ctx, arr, 0, 1.0)
+
+
+@settings(max_examples=25)
+@given(
+    hay=st.lists(st.integers(0, 5), min_size=2, max_size=60),
+    needle=st.lists(st.integers(0, 5), min_size=1, max_size=4),
+)
+def test_search_matches_naive(hay, needle):
+    """Property: search equals a naive O(n*m) subsequence scan."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="run"
+    )
+    arr = ctx.array_from(np.array(hay, dtype=float), FLOAT64)
+    expected = None
+    for i in range(len(hay) - len(needle) + 1):
+        if hay[i : i + len(needle)] == needle:
+            expected = i
+            break
+    assert pstl.search(ctx, arr, [float(x) for x in needle]).value == expected

@@ -1,0 +1,128 @@
+"""Tests for the set operations (multiset semantics, like the STL)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.types import FLOAT64
+
+
+def _arr(ctx, values):
+    return ctx.array_from(np.array(values, dtype=float), FLOAT64)
+
+
+class TestIncludes:
+    def test_subset_true(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 2, 3])
+        b = _arr(run_ctx, [2, 3])
+        assert pstl.includes(run_ctx, a, b).value is True
+
+    def test_count_semantics(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 3])
+        b = _arr(run_ctx, [2, 2])  # needs two 2s
+        assert pstl.includes(run_ctx, a, b).value is False
+
+    def test_missing_value(self, run_ctx):
+        a = _arr(run_ctx, [1, 3])
+        b = _arr(run_ctx, [2])
+        assert pstl.includes(run_ctx, a, b).value is False
+
+
+class TestSetUnion:
+    def test_union_max_counts(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 2, 3])
+        b = _arr(run_ctx, [2, 3, 4])
+        out = run_ctx.allocate(8, FLOAT64)
+        r = pstl.set_union(run_ctx, a, b, out)
+        assert r.value == 5
+        assert out.data[:5].tolist() == [1, 2, 2, 3, 4]
+
+    def test_disjoint(self, run_ctx):
+        a = _arr(run_ctx, [1, 3])
+        b = _arr(run_ctx, [2, 4])
+        out = run_ctx.allocate(4, FLOAT64)
+        assert pstl.set_union(run_ctx, a, b, out).value == 4
+        assert out.data.tolist() == [1, 2, 3, 4]
+
+
+class TestSetIntersection:
+    def test_min_counts(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 2, 2])
+        b = _arr(run_ctx, [2, 2, 5])
+        out = run_ctx.allocate(8, FLOAT64)
+        r = pstl.set_intersection(run_ctx, a, b, out)
+        assert r.value == 2
+        assert out.data[:2].tolist() == [2, 2]
+
+    def test_empty_result(self, run_ctx):
+        a = _arr(run_ctx, [1])
+        b = _arr(run_ctx, [2])
+        out = run_ctx.allocate(2, FLOAT64)
+        assert pstl.set_intersection(run_ctx, a, b, out).value == 0
+
+
+class TestSetDifferences:
+    def test_difference(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 2, 3])
+        b = _arr(run_ctx, [2, 3])
+        out = run_ctx.allocate(8, FLOAT64)
+        r = pstl.set_difference(run_ctx, a, b, out)
+        assert r.value == 2
+        assert out.data[:2].tolist() == [1, 2]
+
+    def test_symmetric_difference(self, run_ctx):
+        a = _arr(run_ctx, [1, 2, 2])
+        b = _arr(run_ctx, [2, 4])
+        out = run_ctx.allocate(8, FLOAT64)
+        r = pstl.set_symmetric_difference(run_ctx, a, b, out)
+        assert r.value == 3
+        assert out.data[:3].tolist() == [1, 2, 4]
+
+
+class TestCostShape:
+    def test_merge_family_profile(self, model_ctx):
+        a = model_ctx.allocate(1 << 20, FLOAT64)
+        b = model_ctx.allocate(1 << 20, FLOAT64)
+        out = model_ctx.allocate(1 << 21, FLOAT64)
+        prof = pstl.set_union(model_ctx, a, b, out).profile
+        assert prof.alg == "merge"
+        assert prof.threads == model_ctx.threads
+
+
+@settings(max_examples=25)
+@given(
+    a=st.lists(st.integers(0, 8), max_size=40),
+    b=st.lists(st.integers(0, 8), max_size=40),
+)
+def test_setops_against_counter_reference(a, b):
+    """Property: all four ops match a Counter-based multiset reference."""
+    from collections import Counter
+
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    if not a or not b:
+        return
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="run"
+    )
+    sa, sb = sorted(a), sorted(b)
+    ca, cb = Counter(sa), Counter(sb)
+    arr_a = ctx.array_from(np.array(sa, dtype=float), FLOAT64)
+    arr_b = ctx.array_from(np.array(sb, dtype=float), FLOAT64)
+    out = ctx.allocate(len(a) + len(b), FLOAT64)
+
+    expect_union = sum((ca | cb).values())
+    expect_inter = sum((ca & cb).values())
+    expect_diff = sum((ca - cb).values())
+    expect_sym = sum(((ca - cb) + (cb - ca)).values())
+
+    assert pstl.set_union(ctx, arr_a, arr_b, out).value == expect_union
+    assert pstl.set_intersection(ctx, arr_a, arr_b, out).value == expect_inter
+    assert pstl.set_difference(ctx, arr_a, arr_b, out).value == expect_diff
+    assert (
+        pstl.set_symmetric_difference(ctx, arr_a, arr_b, out).value == expect_sym
+    )

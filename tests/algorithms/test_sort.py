@@ -1,0 +1,134 @@
+"""Tests for sort / stable_sort / is_sorted and the merge primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.algorithms.sort import merge_sorted_arrays
+from repro.types import FLOAT64
+
+
+class TestSortSemantics:
+    def test_sorts_permutation(self, run_ctx):
+        data = np.random.default_rng(1).permutation(10_000).astype(np.float64)
+        arr = run_ctx.array_from(data, FLOAT64)
+        pstl.sort(run_ctx, arr)
+        assert np.all(arr.data == np.arange(10_000))
+
+    def test_already_sorted(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(100, dtype=np.float64), FLOAT64)
+        pstl.sort(run_ctx, arr)
+        assert np.all(arr.data == np.arange(100))
+
+    def test_duplicates(self, run_ctx):
+        arr = run_ctx.array_from(np.array([3.0, 1.0, 3.0, 1.0]), FLOAT64)
+        pstl.sort(run_ctx, arr)
+        assert arr.data.tolist() == [1, 1, 3, 3]
+
+    def test_stable_sort_sorts(self, run_ctx):
+        data = np.random.default_rng(2).permutation(1000).astype(np.float64)
+        arr = run_ctx.array_from(data, FLOAT64)
+        pstl.stable_sort(run_ctx, arr)
+        assert np.all(np.diff(arr.data) >= 0)
+
+
+class TestMergePrimitive:
+    def test_merge(self):
+        a = np.array([1.0, 3.0, 5.0])
+        b = np.array([2.0, 4.0, 6.0])
+        assert merge_sorted_arrays(a, b).tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_merge_with_ties_stable(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([2.0, 3.0])
+        assert merge_sorted_arrays(a, b).tolist() == [1, 2, 2, 3]
+
+    def test_merge_empty_side(self):
+        a = np.array([1.0])
+        assert merge_sorted_arrays(a, np.array([])).tolist() == [1.0]
+        assert merge_sorted_arrays(np.array([]), a).tolist() == [1.0]
+
+
+class TestIsSorted:
+    def test_true(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(100, dtype=np.float64), FLOAT64)
+        assert pstl.is_sorted(run_ctx, arr).value is True
+
+    def test_false(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 3.0, 2.0]), FLOAT64)
+        assert pstl.is_sorted(run_ctx, arr).value is False
+
+    def test_until(self, run_ctx):
+        arr = run_ctx.array_from(np.array([1.0, 2.0, 3.0, 0.0, 9.0]), FLOAT64)
+        assert pstl.is_sorted_until(run_ctx, arr).value == 3
+
+    def test_until_full(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(10, dtype=np.float64), FLOAT64)
+        assert pstl.is_sorted_until(run_ctx, arr).value == 10
+
+
+class TestSortCostModel:
+    def test_paper_speedup_bands_mach_c(self, mach_c):
+        """Fig. 7 / Table 5: GNU >> quicksort family on 128 cores."""
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+
+        n = 1 << 30
+        seq = ExecutionContext(mach_c, get_backend("gcc-seq"), threads=1)
+        ts = pstl.sort(seq, seq.allocate(n, FLOAT64)).seconds
+        speedups = {}
+        for name in ("gcc-tbb", "gcc-gnu", "nvc-omp", "gcc-hpx"):
+            ctx = ExecutionContext(mach_c, get_backend(name), threads=128)
+            speedups[name] = ts / pstl.sort(ctx, ctx.allocate(n, FLOAT64)).seconds
+        assert speedups["gcc-gnu"] > 2.5 * speedups["gcc-tbb"]
+        assert speedups["nvc-omp"] < speedups["gcc-tbb"]
+        assert 5 < speedups["gcc-tbb"] < 15
+
+    def test_tbb_seq_fallback_small(self, model_ctx):
+        arr = model_ctx.allocate(512, FLOAT64)  # Section 5.6 threshold
+        assert pstl.sort(model_ctx, arr).profile.threads == 1
+
+    def test_hpx_seq_below_2_15(self, mach_a, hpx):
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, hpx, threads=32)
+        assert pstl.sort(ctx, ctx.allocate(1 << 15, FLOAT64)).profile.threads == 1
+        assert pstl.sort(ctx, ctx.allocate(1 << 16, FLOAT64)).profile.threads == 32
+
+    def test_stable_sort_slower(self, model_ctx):
+        arr = model_ctx.allocate(1 << 26, FLOAT64)
+        t = pstl.sort(model_ctx, arr).seconds
+        ts = pstl.stable_sort(model_ctx, arr).seconds
+        assert ts > t
+
+    def test_nlogn_scaling(self, seq_ctx):
+        t1 = pstl.sort(seq_ctx, seq_ctx.allocate(1 << 20, FLOAT64)).seconds
+        t2 = pstl.sort(seq_ctx, seq_ctx.allocate(1 << 24, FLOAT64)).seconds
+        ratio = t2 / t1
+        assert 16 < ratio < 16 * 1.5  # n log n: 16 * (24/20)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    ),
+    threads=st.sampled_from([1, 2, 5, 8]),
+)
+def test_sort_is_permutation_sorted(data, threads):
+    """Property: output is ascending and a permutation of the input."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    arr = ctx.array_from(np.array(data), FLOAT64)
+    pstl.sort(ctx, arr)
+    assert np.all(np.diff(arr.data) >= 0)
+    assert np.allclose(np.sort(np.array(data)), arr.data)

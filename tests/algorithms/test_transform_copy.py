@@ -1,0 +1,124 @@
+"""Tests for transform, transform_binary and the data-movement family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import pstl
+from repro.errors import ConfigurationError
+from repro.types import FLOAT64
+
+
+class TestTransform:
+    def test_unary(self, run_ctx):
+        src = run_ctx.array_from(np.arange(100, dtype=np.float64), FLOAT64)
+        dst = run_ctx.allocate(100, FLOAT64)
+        pstl.transform(run_ctx, src, dst, pstl.SQUARE)
+        assert np.allclose(dst.data, np.arange(100.0) ** 2)
+
+    def test_binary(self, run_ctx):
+        a = run_ctx.array_from(np.arange(10, dtype=np.float64), FLOAT64)
+        b = run_ctx.array_from(np.full(10, 2.0), FLOAT64)
+        dst = run_ctx.allocate(10, FLOAT64)
+        pstl.transform_binary(run_ctx, a, b, dst, pstl.PLUS)
+        assert np.allclose(dst.data, np.arange(10.0) + 2.0)
+
+    def test_size_checked(self, run_ctx):
+        src = run_ctx.allocate(10, FLOAT64)
+        dst = run_ctx.allocate(5, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.transform(run_ctx, src, dst, pstl.SQUARE)
+
+    def test_binary_lengths_checked(self, run_ctx):
+        a = run_ctx.allocate(10, FLOAT64)
+        b = run_ctx.allocate(5, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.transform_binary(run_ctx, a, b, a, pstl.PLUS)
+
+    def test_traffic_src_plus_dst(self, seq_ctx):
+        n = 1 << 18
+        src, dst = seq_ctx.allocate(n, FLOAT64), seq_ctx.allocate(n, FLOAT64)
+        rep = pstl.transform(seq_ctx, src, dst, pstl.SQUARE).report
+        assert rep.counters.bytes_read == pytest.approx(8 * n)
+        assert rep.counters.bytes_written == pytest.approx(8 * n)
+
+
+class TestCopyFamily:
+    def test_copy(self, run_ctx):
+        src = run_ctx.array_from(np.arange(64, dtype=np.float64), FLOAT64)
+        dst = run_ctx.allocate(64, FLOAT64)
+        pstl.copy(run_ctx, src, dst)
+        assert np.all(dst.data == src.data)
+
+    def test_copy_n_prefix(self, run_ctx):
+        src = run_ctx.array_from(np.arange(64, dtype=np.float64), FLOAT64)
+        dst = run_ctx.allocate(64, FLOAT64)
+        pstl.copy_n(run_ctx, src, 16, dst)
+        assert np.all(dst.data[:16] == src.data[:16])
+
+    def test_copy_if_keeps_matching(self, run_ctx):
+        src = run_ctx.array_from(np.arange(100, dtype=np.float64), FLOAT64)
+        dst = run_ctx.allocate(100, FLOAT64)
+        r = pstl.copy_if(run_ctx, src, dst, pstl.less_than(10.0))
+        assert r.value == 10
+        assert sorted(dst.data[:10].tolist()) == list(map(float, range(10)))
+
+    def test_move_aliases_copy(self, run_ctx):
+        src = run_ctx.array_from(np.ones(8), FLOAT64)
+        dst = run_ctx.allocate(8, FLOAT64)
+        pstl.move(run_ctx, src, dst)
+        assert np.all(dst.data == 1.0)
+
+    def test_fill(self, run_ctx):
+        arr = run_ctx.allocate(32, FLOAT64)
+        pstl.fill(run_ctx, arr, 3.5)
+        assert np.all(arr.data == 3.5)
+
+    def test_fill_n(self, run_ctx):
+        arr = run_ctx.allocate(32, FLOAT64)
+        pstl.fill_n(run_ctx, arr, 8, 1.0)
+        assert np.all(arr.data[:8] == 1.0)
+        assert np.all(arr.data[8:] == 0.0)
+
+    def test_generate(self, run_ctx):
+        arr = run_ctx.allocate(64, FLOAT64)
+        pstl.generate(
+            run_ctx, arr, lambda lo, hi: np.arange(lo, hi, dtype=np.float64)
+        )
+        assert np.all(arr.data == np.arange(64.0))
+
+    def test_fill_write_only_traffic(self, seq_ctx):
+        n = 1 << 18
+        rep = pstl.fill(seq_ctx, seq_ctx.allocate(n, FLOAT64), 0.0).report
+        assert rep.counters.bytes_read == 0.0
+        assert rep.counters.bytes_written == pytest.approx(8 * n)
+
+    def test_bounds_validated(self, run_ctx):
+        arr = run_ctx.allocate(8, FLOAT64)
+        with pytest.raises(ConfigurationError):
+            pstl.fill_n(run_ctx, arr, 9, 0.0)
+        with pytest.raises(ConfigurationError):
+            pstl.copy_n(run_ctx, arr, 0, arr)
+
+
+@settings(max_examples=20)
+@given(
+    data=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=200),
+    threshold=st.floats(-100, 100),
+)
+def test_copy_if_matches_filter(data, threshold):
+    """Property: copy_if output equals the order-preserving NumPy filter."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="run"
+    )
+    src = ctx.array_from(np.array(data), FLOAT64)
+    dst = ctx.allocate(len(data), FLOAT64)
+    r = pstl.copy_if(ctx, src, dst, pstl.less_than(threshold))
+    expected = np.array(data)[np.array(data) < threshold]
+    assert r.value == len(expected)
+    assert np.allclose(dst.data[: len(expected)], expected)

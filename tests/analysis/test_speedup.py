@@ -1,0 +1,89 @@
+"""Tests for speedup/efficiency analysis."""
+
+import pytest
+
+from repro.analysis.speedup import (
+    ScalingCurve,
+    efficiency,
+    max_threads_above_efficiency,
+    speedup,
+    speedup_series,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_speedup_validates(self):
+        with pytest.raises(ConfigurationError):
+            speedup(0.0, 1.0)
+
+    def test_efficiency(self):
+        assert efficiency(16.0, 2.0, 8) == 1.0
+        assert efficiency(16.0, 4.0, 8) == 0.5
+
+    def test_series(self):
+        assert speedup_series(10.0, [10.0, 5.0, 2.0]) == [1.0, 2.0, 5.0]
+
+
+class TestScalingCurve:
+    def _curve(self):
+        return ScalingCurve(
+            label="x",
+            threads=(1, 2, 4, 8, 16, 32),
+            seconds=(10.0, 5.0, 2.6, 1.5, 1.1, 1.0),
+            baseline_seconds=10.0,
+        )
+
+    def test_speedups(self):
+        s = self._curve().speedups()
+        assert s[0] == 1.0
+        assert s[-1] == 10.0
+
+    def test_max_speedup(self):
+        assert self._curve().max_speedup() == 10.0
+
+    def test_efficiencies_decreasing_here(self):
+        e = self._curve().efficiencies()
+        assert e[0] == 1.0
+        assert e[-1] == pytest.approx(10.0 / 32)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ScalingCurve("x", (1, 2), (1.0,), 1.0)
+
+
+class TestTable6Statistic:
+    def test_max_threads_above_threshold(self):
+        curve = ScalingCurve(
+            label="x",
+            threads=(1, 2, 4, 8, 16, 32),
+            seconds=(10.0, 5.0, 2.6, 1.5, 1.1, 1.0),
+            baseline_seconds=10.0,
+        )
+        # efficiencies: 1, 1, .96, .83, .57, .31 -> last >= 0.7 is 8 threads
+        assert max_threads_above_efficiency(curve, 0.70) == 8
+
+    def test_returns_one_when_never_efficient(self):
+        curve = ScalingCurve(
+            label="x", threads=(1, 2), seconds=(20.0, 15.0), baseline_seconds=10.0
+        )
+        assert max_threads_above_efficiency(curve) == 1
+
+    def test_threshold_validated(self):
+        curve = ScalingCurve("x", (1,), (1.0,), 1.0)
+        with pytest.raises(ConfigurationError):
+            max_threads_above_efficiency(curve, 0.0)
+
+    def test_non_monotone_curves_handled(self):
+        # Efficiency can recover (NUMA cliffs); take the max passing count.
+        curve = ScalingCurve(
+            label="x",
+            threads=(1, 2, 4, 8),
+            seconds=(10.0, 9.0, 3.4, 1.7),
+            baseline_seconds=10.0,
+        )
+        # efficiencies: 1.0, 0.56, 0.74, 0.74 -> 8
+        assert max_threads_above_efficiency(curve, 0.70) == 8

@@ -1,0 +1,135 @@
+"""Tests for the Backend model base class."""
+
+import pytest
+
+from repro.backends.base import Backend, SortStrategy, Support
+from repro.errors import BackendError
+from repro.execution.policy import PAR
+
+
+def _mk(**kw) -> Backend:
+    defaults = dict(name="X", compiler="cc", runtime="RT")
+    defaults.update(kw)
+    return Backend(**defaults)
+
+
+class TestOverheads:
+    def test_fork_scales_with_threads(self):
+        b = _mk(fork_base=10e-6, fork_per_thread=1e-6)
+        assert b.fork_overhead(4) == pytest.approx(14e-6)
+
+    def test_single_thread_free(self):
+        b = _mk()
+        assert b.fork_overhead(1) == 0.0
+        assert b.join_overhead(1) == 0.0
+
+    def test_sequential_backend_free(self):
+        b = _mk(is_sequential=True)
+        assert b.fork_overhead(32) == 0.0
+
+    def test_sched_no_contention(self):
+        b = _mk(sched_per_chunk=1e-6)
+        assert b.sched_overhead(100, 32) == pytest.approx(100e-6)
+
+    def test_sched_contention(self):
+        b = _mk(sched_per_chunk=1e-6, contention_exp=1.0, contention_threads=16)
+        # 1 + 32/16 = 3x
+        assert b.sched_overhead(100, 32) == pytest.approx(300e-6)
+
+    def test_sched_zero_chunks(self):
+        assert _mk().sched_overhead(0, 8) == 0.0
+
+    def test_sync_cost(self):
+        b = _mk(sync_base=1e-6, sync_per_thread=0.1e-6)
+        assert b.sync_cost(10) == pytest.approx(2e-6)
+
+
+class TestPerAlgorithmLookups:
+    def test_instr_overhead_fallback(self):
+        b = _mk(default_instr_overhead=3.0, instr_overhead={"sort": 7.0})
+        assert b.instr_overhead_per_elem("sort") == 7.0
+        assert b.instr_overhead_per_elem("reduce") == 3.0
+
+    def test_instr_overhead_per_node(self):
+        b = _mk(default_instr_overhead=2.0, instr_overhead_per_node=1.5)
+        assert b.instr_overhead_for("x", 1) == 2.0
+        assert b.instr_overhead_for("x", 8) == pytest.approx(2.0 + 7 * 1.5)
+
+    def test_bw_efficiency_decay(self):
+        b = _mk(default_bw_efficiency=0.8, numa_bw_decay=0.5)
+        assert b.bw_efficiency_at("x", 1) == pytest.approx(0.8)
+        assert b.bw_efficiency_at("x", 4) == pytest.approx(0.4)
+
+    def test_bw_decay_disabled_by_default(self):
+        b = _mk(default_bw_efficiency=0.8)
+        assert b.bw_efficiency_at("x", 8) == pytest.approx(0.8)
+
+    def test_vector_width_default_scalar(self):
+        b = _mk(vector_widths={"reduce": 256})
+        assert b.vector_width("reduce", PAR) == 256
+        assert b.vector_width("for_each", PAR) == 0
+
+    def test_seq_codegen_lookup(self):
+        b = _mk(seq_codegen={"reduce": 1.25})
+        assert b.seq_codegen_factor("reduce") == 1.25
+        assert b.seq_codegen_factor("sort") == 1.0
+
+    def test_mappings_frozen(self):
+        b = _mk(instr_overhead={"a": 1.0})
+        with pytest.raises(TypeError):
+            b.instr_overhead["a"] = 2.0
+
+
+class TestDispatchHelpers:
+    def test_support_default_parallel(self):
+        assert _mk().support("sort") is Support.PARALLEL
+
+    def test_support_override(self):
+        b = _mk(support_overrides={"inclusive_scan": Support.UNSUPPORTED})
+        assert b.support("inclusive_scan") is Support.UNSUPPORTED
+
+    def test_sequential_backend_support(self):
+        assert _mk(is_sequential=True).support("sort") is Support.SEQUENTIAL_FALLBACK
+
+    def test_runs_parallel_threshold(self):
+        b = _mk(seq_fallback_thresholds={"find": 512})
+        assert not b.runs_parallel("find", 512, 8)
+        assert b.runs_parallel("find", 513, 8)
+
+    def test_runs_parallel_needs_threads(self):
+        assert not _mk().runs_parallel("sort", 1 << 20, 1)
+
+    def test_effective_threads_uncapped(self):
+        assert _mk().effective_threads(64) == 64.0
+
+    def test_effective_threads_capped(self):
+        b = _mk(eff_thread_cap=16, eff_thread_exp=0.5)
+        assert b.effective_threads(16) == 16.0
+        assert b.effective_threads(80) == pytest.approx(24.0)
+
+
+class TestPartitioning:
+    def test_static_for_single_chunk_backends(self):
+        assert _mk(chunks_per_thread=1).partitioner().name == "static"
+
+    def test_block_cyclic_for_multi_chunk(self):
+        assert _mk(chunks_per_thread=8).partitioner().name == "block-cyclic"
+
+    def test_fixed_grain(self):
+        b = _mk(fixed_chunk_elems=1024)
+        p = b.make_partition(10_000, 4)
+        assert p.num_chunks == 10
+        assert b.num_chunks(10_000, 4) == 10
+
+    def test_num_chunks_matches_partition(self):
+        b = _mk(chunks_per_thread=8)
+        assert b.num_chunks(1 << 20, 16) == b.make_partition(1 << 20, 16).num_chunks
+
+    def test_validation(self):
+        with pytest.raises(BackendError):
+            _mk(chunks_per_thread=0)
+        with pytest.raises(BackendError):
+            _mk(default_bw_efficiency=0.0)
+
+    def test_sort_strategy_default(self):
+        assert _mk().sort_strategy is SortStrategy.PARALLEL_QUICKSORT

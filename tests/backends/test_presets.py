@@ -1,0 +1,112 @@
+"""Tests asserting the backend presets encode the paper's facts."""
+
+import pytest
+
+from repro.backends import SortStrategy, Support, get_backend
+from repro.backends.registry import PARALLEL_CPU_BACKENDS
+from repro.execution.policy import PAR
+
+
+class TestCapabilityMatrix:
+    def test_gnu_has_no_parallel_scan(self, gnu):
+        # Section 5.4: "GNU's collection does not implement inclusive_scan".
+        assert gnu.support("inclusive_scan") is Support.UNSUPPORTED
+        assert gnu.support("exclusive_scan") is Support.UNSUPPORTED
+
+    def test_nvc_scan_sequential_fallback(self):
+        nvc = get_backend("nvc-omp")
+        assert nvc.support("inclusive_scan") is Support.SEQUENTIAL_FALLBACK
+        assert not nvc.runs_parallel("inclusive_scan", 1 << 30, 64)
+
+    def test_everyone_parallelizes_for_each(self):
+        for name in PARALLEL_CPU_BACKENDS:
+            assert get_backend(name).support("for_each") is Support.PARALLEL
+
+
+class TestFallbackThresholds:
+    def test_gnu_for_each_2_10(self, gnu):
+        assert gnu.seq_fallback_threshold("for_each") == 1 << 10
+
+    def test_gnu_find_2_9(self, gnu):
+        assert gnu.seq_fallback_threshold("find") == 1 << 9
+
+    def test_tbb_sort_2_9(self, tbb):
+        assert tbb.seq_fallback_threshold("sort") == 512
+
+    def test_hpx_sort_2_15(self, hpx):
+        assert hpx.seq_fallback_threshold("sort") == 1 << 15
+
+
+class TestInstructionCalibration:
+    """Per-element instruction overheads back out Table 3's column ratios."""
+
+    def test_table3_ordering(self):
+        # ICC < GCC-TBB < NVC < GNU < HPX (instructions, Table 3)
+        overheads = {
+            name: get_backend(name).instr_overhead_per_elem("for_each")
+            for name in PARALLEL_CPU_BACKENDS
+        }
+        assert (
+            overheads["ICC-TBB"]
+            < overheads["GCC-TBB"]
+            < overheads["NVC-OMP"]
+            < overheads["GCC-GNU"]
+            < overheads["GCC-HPX"]
+        )
+
+    def test_hpx_biggest_reduce_overhead(self):
+        # Table 4: HPX executes up to ~6x more instructions for reduce.
+        hpx = get_backend("gcc-hpx").instr_overhead_per_elem("reduce")
+        for other in ("GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP"):
+            assert hpx > 5 * get_backend(other).instr_overhead_per_elem("reduce")
+
+
+class TestVectorization:
+    def test_icc_and_hpx_vectorize_reduce(self):
+        # Table 4: 26G 256-bit packed ops for ICC and HPX only.
+        assert get_backend("icc-tbb").vector_width("reduce", PAR) == 256
+        assert get_backend("gcc-hpx").vector_width("reduce", PAR) == 256
+
+    def test_others_scalar_reduce(self):
+        for name in ("gcc-tbb", "gcc-gnu", "nvc-omp"):
+            assert get_backend(name).vector_width("reduce", PAR) == 0
+
+
+class TestSortStrategies:
+    @pytest.mark.parametrize(
+        "name,strategy",
+        [
+            ("gcc-tbb", SortStrategy.PARALLEL_QUICKSORT),
+            ("icc-tbb", SortStrategy.PARALLEL_QUICKSORT),
+            ("gcc-gnu", SortStrategy.MULTIWAY_MERGESORT),
+            ("gcc-hpx", SortStrategy.TASK_QUICKSORT),
+            ("nvc-omp", SortStrategy.SERIAL_PARTITION_QUICKSORT),
+            ("gcc-seq", SortStrategy.SEQUENTIAL),
+        ],
+    )
+    def test_strategy(self, name, strategy):
+        assert get_backend(name).sort_strategy is strategy
+
+
+class TestMisc:
+    def test_seq_baseline_is_sequential(self, seq_backend):
+        assert seq_backend.is_sequential
+        assert not seq_backend.runs_parallel("sort", 1 << 30, 32)
+
+    def test_hpx_compact_affinity(self, hpx):
+        assert hpx.affinity_strategy == "compact"
+
+    def test_hpx_contention_model_active(self, hpx):
+        flat = hpx.sched_overhead(1000, 1)
+        contended = hpx.sched_overhead(1000, 64)
+        assert contended > 2 * flat
+
+    def test_nvc_best_bandwidth(self):
+        # Table 3: NVC-OMP sustains the highest bandwidth (119.1 GiB/s).
+        nvc = get_backend("nvc-omp").bw_efficiency("for_each")
+        for other in ("gcc-tbb", "gcc-gnu", "gcc-hpx", "icc-tbb"):
+            assert nvc > get_backend(other).bw_efficiency("for_each") - 1e-9
+
+    def test_nvc_weak_sequential_reduce(self):
+        # Section 5.5: NVC's sequential reduce codegen trails GCC's.
+        assert get_backend("nvc-omp").seq_codegen_factor("reduce") > 1.0

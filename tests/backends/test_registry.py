@@ -1,0 +1,53 @@
+"""Tests for the backend registry."""
+
+import pytest
+
+from repro.backends import backend_names, get_backend, register_backend
+from repro.backends.registry import PARALLEL_CPU_BACKENDS, STUDY_BACKENDS
+from repro.errors import UnknownBackendError
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expect",
+        [
+            ("gcc-tbb", "GCC-TBB"),
+            ("GCC_TBB", "GCC-TBB"),
+            ("hpx", "GCC-HPX"),
+            ("gnu", "GCC-GNU"),
+            ("seq", "GCC-SEQ"),
+            ("cuda", "NVC-CUDA"),
+        ],
+    )
+    def test_aliases(self, name, expect):
+        assert get_backend(name).name == expect
+
+    def test_unknown(self):
+        with pytest.raises(UnknownBackendError, match="known"):
+            get_backend("msvc-ppl")
+
+    def test_extension_backend_registered(self):
+        # CLANG-OMP is the future-work extension; present but not in study.
+        assert get_backend("clang-omp").name == "CLANG-OMP"
+        assert "CLANG-OMP" not in STUDY_BACKENDS
+
+    def test_fresh_instances(self):
+        assert get_backend("gcc-tbb") is not get_backend("gcc-tbb")
+
+    def test_study_lists(self):
+        assert len(PARALLEL_CPU_BACKENDS) == 5
+        assert STUDY_BACKENDS[0] == "GCC-SEQ"
+        for name in STUDY_BACKENDS:
+            assert get_backend(name).name == name
+
+    def test_names_sorted(self):
+        names = backend_names()
+        assert names == sorted(names)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend(lambda: get_backend("gcc-tbb"), "gcc-tbb")
+
+    def test_registration_requires_name(self):
+        with pytest.raises(ValueError):
+            register_backend(lambda: get_backend("gcc-tbb"))

@@ -1,0 +1,109 @@
+"""Tests for benchmark registration, running and reporters."""
+
+import json
+
+import pytest
+
+from repro.bench.registry import BenchmarkRegistry
+from repro.bench.reporters import console_report, csv_report, json_report
+from repro.bench.runner import run_benchmarks, run_one
+from repro.bench.state import BenchState
+from repro.errors import BenchmarkError
+
+
+def _timed(seconds: float):
+    def fn(state: BenchState) -> None:
+        while state.keep_running():
+            state.set_iteration_time(seconds)
+        state.set_bytes_processed(state.iterations * 1024)
+
+    return fn
+
+
+class TestRegistry:
+    def test_register_and_filter(self):
+        reg = BenchmarkRegistry()
+        reg.register("suite/sort", _timed(1.0))
+        reg.register("suite/find", _timed(1.0))
+        assert len(reg.filter("sort")) == 1
+        assert len(reg.filter("suite")) == 2
+
+    def test_duplicate_rejected(self):
+        reg = BenchmarkRegistry()
+        reg.register("a", _timed(1.0))
+        with pytest.raises(BenchmarkError):
+            reg.register("a", _timed(1.0))
+
+    def test_decorator(self):
+        reg = BenchmarkRegistry()
+
+        @reg.benchmark("deco")
+        def bench(state):
+            while state.keep_running():
+                state.set_iteration_time(1.0)
+
+        assert reg.filter("deco")
+
+    def test_instances_expand_ranges(self):
+        reg = BenchmarkRegistry()
+        d = reg.register("b", _timed(1.0), ranges=[(8,), (16,)])
+        names = [label for label, _ in d.instances()]
+        assert names == ["b/8", "b/16"]
+
+    def test_empty_ranges_rejected(self):
+        reg = BenchmarkRegistry()
+        with pytest.raises(BenchmarkError):
+            reg.register("b", _timed(1.0), ranges=[])
+
+
+class TestRunner:
+    def test_run_one(self):
+        reg = BenchmarkRegistry()
+        d = reg.register("b", _timed(0.5), min_time=2.0)
+        result = run_one(d, ())
+        assert result.iterations == 4
+        assert result.mean_time == 0.5
+
+    def test_run_benchmarks_expands(self):
+        reg = BenchmarkRegistry()
+        reg.register("b", _timed(1.0), ranges=[(1,), (2,)], min_time=1.0)
+        results = run_benchmarks(reg)
+        assert [r.name for r in results] == ["b/1", "b/2"]
+
+    def test_pattern_filter(self):
+        reg = BenchmarkRegistry()
+        reg.register("keep", _timed(1.0), min_time=1.0)
+        reg.register("drop", _timed(1.0), min_time=1.0)
+        results = run_benchmarks(reg, pattern="keep")
+        assert len(results) == 1
+
+    def test_min_time_override(self):
+        reg = BenchmarkRegistry()
+        d = reg.register("b", _timed(1.0), min_time=10.0)
+        result = run_one(d, (), min_time=2.0)
+        assert result.iterations == 2
+
+
+class TestReporters:
+    def _results(self):
+        reg = BenchmarkRegistry()
+        reg.register("bench/x", _timed(0.5), min_time=1.0)
+        return run_benchmarks(reg)
+
+    def test_console(self):
+        out = console_report(self._results(), title="T")
+        assert "bench/x" in out and out.splitlines()[0] == "T"
+        assert "Iterations" in out
+
+    def test_csv_parses(self):
+        out = csv_report(self._results())
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("name,")
+        assert lines[1].startswith("bench/x,")
+
+    def test_json_schema(self):
+        payload = json.loads(json_report(self._results()))
+        entry = payload["benchmarks"][0]
+        assert entry["name"] == "bench/x"
+        assert entry["time_unit"] == "s"
+        assert "counters" in entry

@@ -1,0 +1,114 @@
+"""Tests for the Google-Benchmark-like state machine."""
+
+import pytest
+
+from repro.bench.state import BenchState
+from repro.errors import BenchmarkError
+from repro.sim.report import Counters, SimReport
+
+
+def _report(seconds=1.0, instr=10.0):
+    return SimReport(seconds=seconds, counters=Counters(instructions=instr))
+
+
+class TestMeasurementLoop:
+    def test_runs_until_min_time(self):
+        state = BenchState(min_time=5.0)
+        while state.keep_running():
+            state.set_iteration_time(1.0)
+        assert state.iterations == 5
+
+    def test_min_one_iteration(self):
+        state = BenchState(min_time=1e-9)
+        ran = 0
+        while state.keep_running():
+            state.set_iteration_time(100.0)
+            ran += 1
+        assert ran == 1
+
+    def test_iterator_protocol(self):
+        state = BenchState(min_time=2.0)
+        for _ in state:
+            state.set_iteration_time(1.0)
+        assert state.iterations == 2
+
+    def test_max_iterations_cap(self):
+        state = BenchState(min_time=100.0, max_iterations=3)
+        while state.keep_running():
+            state.set_iteration_time(1.0)
+        assert state.iterations == 3
+
+    def test_wrap_timing_contract_enforced(self):
+        state = BenchState()
+        assert state.keep_running()
+        with pytest.raises(BenchmarkError, match="WRAP_TIMING"):
+            state.keep_running()
+
+    def test_time_outside_iteration_rejected(self):
+        with pytest.raises(BenchmarkError):
+            BenchState().set_iteration_time(1.0)
+
+
+class TestRecordReport:
+    def test_accumulates_counters_and_time(self):
+        state = BenchState(min_time=1.5)
+        while state.keep_running():
+            state.record_report(_report())
+        result = state.finish("b")
+        assert result.iterations == 2
+        assert result.counters.instructions == 20.0
+        assert result.mean_time == 1.0
+
+    def test_batch_repeat(self):
+        state = BenchState(min_time=100.0)
+        assert state.keep_running()
+        state.record_report(_report(seconds=1.0), repeat=100)
+        result = state.finish("b")
+        assert result.iterations == 100
+        assert result.total_time == 100.0
+        assert result.counters.instructions == 1000.0
+
+    def test_repeat_validated(self):
+        state = BenchState()
+        state.keep_running()
+        with pytest.raises(BenchmarkError):
+            state.record_report(_report(), repeat=0)
+
+
+class TestResults:
+    def test_bytes_per_second(self):
+        state = BenchState(min_time=1.0)
+        while state.keep_running():
+            state.set_iteration_time(2.0)
+        state.set_bytes_processed(4 << 30)
+        result = state.finish("b")
+        assert result.bytes_per_second == pytest.approx((4 << 30) / 2.0)
+
+    def test_zero_bytes_throughput(self):
+        state = BenchState(min_time=0.5)
+        while state.keep_running():
+            state.set_iteration_time(1.0)
+        assert state.finish("b").bytes_per_second == 0.0
+
+    def test_finish_requires_iterations(self):
+        with pytest.raises(BenchmarkError):
+            BenchState().finish("b")
+
+    def test_finish_mid_iteration_rejected(self):
+        state = BenchState()
+        state.keep_running()
+        with pytest.raises(BenchmarkError):
+            state.finish("b")
+
+    def test_ranges(self):
+        state = BenchState(ranges=(1 << 20, 7))
+        assert state.range(0) == 1 << 20
+        assert state.range(1) == 7
+        with pytest.raises(BenchmarkError):
+            state.range(2)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            BenchState(min_time=0.0)
+        with pytest.raises(BenchmarkError):
+            BenchState(min_iterations=5, max_iterations=1)

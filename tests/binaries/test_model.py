@@ -1,0 +1,83 @@
+"""Tests for the binary-size (compile/link) model against Table 7."""
+
+import pytest
+
+from repro.binaries import (
+    BUILD_SPECS,
+    LinkerModel,
+    ObjectFile,
+    RuntimeArchive,
+    binary_size,
+)
+from repro.errors import ConfigurationError
+from repro.util.units import MIB
+
+#: Table 7 of the paper, in MiB.
+PAPER_TABLE7 = {
+    "GCC-SEQ": 2.52,
+    "GCC-TBB": 17.21,
+    "GCC-GNU": 5.31,
+    "GCC-HPX": 61.98,
+    "ICC-TBB": 16.64,
+    "NVC-OMP": 1.81,
+    "NVC-CUDA": 7.80,
+}
+
+
+class TestTable7Reproduction:
+    @pytest.mark.parametrize("backend,paper_mib", sorted(PAPER_TABLE7.items()))
+    def test_within_five_percent(self, backend, paper_mib):
+        assert binary_size(backend) / MIB == pytest.approx(paper_mib, rel=0.05)
+
+    def test_paper_ordering(self):
+        sizes = {b: binary_size(b) for b in PAPER_TABLE7}
+        assert (
+            sizes["NVC-OMP"]
+            < sizes["GCC-SEQ"]
+            < sizes["GCC-GNU"]
+            < sizes["NVC-CUDA"]
+            < sizes["ICC-TBB"]
+            < sizes["GCC-TBB"]
+            < sizes["GCC-HPX"]
+        )
+
+    def test_hpx_dwarfs_everything(self):
+        # Section 5.7: HPX binaries reach ~62 MiB.
+        assert binary_size("GCC-HPX") > 3 * binary_size("GCC-TBB")
+
+    def test_gnu_doubles_sequential(self):
+        # Section 5.7: GNU parallel mode ~doubles the sequential binary.
+        ratio = binary_size("GCC-GNU") / binary_size("GCC-SEQ")
+        assert 1.8 < ratio < 2.5
+
+
+class TestLinkerModel:
+    def test_size_grows_per_algorithm(self):
+        spec = BUILD_SPECS["GCC-TBB"]
+        few = LinkerModel(spec)
+        few.add_algorithm("a")
+        many = LinkerModel(spec)
+        for i in range(10):
+            many.add_algorithm(f"a{i}")
+        assert many.link() - few.link() == 9 * spec.per_algorithm
+
+    def test_explicit_algorithm_list(self):
+        assert binary_size("GCC-SEQ", ["sort", "find"]) < binary_size(
+            "GCC-SEQ", ["sort", "find", "reduce"]
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            binary_size("MSVC-PPL")
+
+    def test_object_file_validation(self):
+        with pytest.raises(ConfigurationError):
+            ObjectFile("o", text_bytes=-1)
+
+    def test_archive_retention(self):
+        a = RuntimeArchive("lib", 1000, retained_fraction=0.25)
+        assert a.linked_bytes == 250
+
+    def test_archive_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeArchive("lib", 100, retained_fraction=1.5)

@@ -1,0 +1,91 @@
+"""Tests for the Likwid Marker API emulation."""
+
+import pytest
+
+from repro.counters.likwid import LikwidMarkers
+from repro.errors import CounterError
+from repro.sim.report import Counters, SimReport
+
+
+def _report(instr=100.0, seconds=0.5):
+    return SimReport(
+        seconds=seconds,
+        counters=Counters(instructions=instr, fp_scalar=10.0, bytes_read=1 << 20),
+    )
+
+
+class TestRegions:
+    def test_record_accumulates(self):
+        m = LikwidMarkers()
+        with m.region("r") as region:
+            region.record(_report())
+            region.record(_report())
+        stats = m.get("r")
+        assert stats.calls == 2
+        assert stats.counters.instructions == 200.0
+        assert stats.seconds == 1.0
+
+    def test_reentrant_across_calls(self):
+        m = LikwidMarkers()
+        for _ in range(3):
+            with m.region("r") as region:
+                region.record(_report())
+        assert m.get("r").calls == 3
+
+    def test_nested_same_region_rejected(self):
+        m = LikwidMarkers()
+        with m.region("r"):
+            with pytest.raises(CounterError):
+                m.start("r")
+
+    def test_imperative_start_stop(self):
+        m = LikwidMarkers()
+        region = m.start("r")
+        region.record(_report())
+        m.stop("r")
+        assert m.get("r").calls == 1
+
+    def test_stop_unopened_rejected(self):
+        m = LikwidMarkers()
+        with pytest.raises(CounterError):
+            m.stop("r")
+
+    def test_unknown_region(self):
+        with pytest.raises(CounterError):
+            LikwidMarkers().get("missing")
+
+    def test_regions_in_creation_order(self):
+        m = LikwidMarkers()
+        with m.region("b"):
+            pass
+        with m.region("a"):
+            pass
+        assert [r.name for r in m.regions()] == ["b", "a"]
+
+
+class TestMetrics:
+    def test_gflops(self):
+        m = LikwidMarkers()
+        with m.region("r") as region:
+            region.record(_report(seconds=1.0))
+        assert m.get("r").gflops == pytest.approx(10.0 / 1e9)
+
+    def test_bandwidth(self):
+        m = LikwidMarkers()
+        with m.region("r") as region:
+            region.record(_report(seconds=1.0))
+        assert m.get("r").bandwidth_gib == pytest.approx(1 / 1024)
+
+    def test_zero_time_safe(self):
+        m = LikwidMarkers()
+        with m.region("r"):
+            pass
+        assert m.get("r").gflops == 0.0
+
+    def test_table_renders_paper_columns(self):
+        m = LikwidMarkers()
+        with m.region("reduce") as region:
+            region.record(_report())
+        table = m.table()
+        for column in ("Instructions", "FP scalar", "FP 256-bit packed", "GFLOP/s"):
+            assert column in table

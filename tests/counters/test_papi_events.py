@@ -1,0 +1,79 @@
+"""Tests for the PAPI high-level emulation and the event vocabulary."""
+
+import pytest
+
+from repro.counters.events import EVENTS, read_event
+from repro.counters.papi import PapiHighLevel
+from repro.errors import CounterError
+from repro.sim.report import Counters, SimReport
+
+
+def _report():
+    return SimReport(
+        seconds=0.1,
+        counters=Counters(
+            instructions=1000.0,
+            fp_scalar=10.0,
+            fp_packed_256=5.0,
+            bytes_read=64.0,
+            bytes_written=32.0,
+        ),
+    )
+
+
+class TestEvents:
+    def test_tot_ins(self):
+        assert read_event(_report().counters, "PAPI_TOT_INS") == 1000.0
+
+    def test_fp_ops_weighted(self):
+        # 10 scalar + 5 * 4 lanes packed-256
+        assert read_event(_report().counters, "PAPI_FP_OPS") == 30.0
+
+    def test_volume(self):
+        assert read_event(_report().counters, "MEM_DATA_VOLUME") == 96.0
+
+    def test_unknown_event(self):
+        with pytest.raises(CounterError):
+            read_event(Counters(), "PAPI_L1_DCM")
+
+    def test_all_events_callable(self):
+        c = _report().counters
+        for name in EVENTS:
+            assert read_event(c, name) >= 0.0
+
+
+class TestPapiHighLevel:
+    def test_region_flow(self):
+        papi = PapiHighLevel(events=("PAPI_TOT_INS", "FP_PACKED_256"))
+        papi.hl_region_begin("r")
+        papi.record(_report())
+        papi.record(_report())
+        papi.hl_region_end("r")
+        values = papi.read("r")
+        assert values["PAPI_TOT_INS"] == 2000.0
+        assert values["FP_PACKED_256"] == 10.0
+        assert papi.calls("r") == 2
+
+    def test_no_nesting(self):
+        papi = PapiHighLevel()
+        papi.hl_region_begin("a")
+        with pytest.raises(CounterError):
+            papi.hl_region_begin("b")
+
+    def test_end_must_match(self):
+        papi = PapiHighLevel()
+        papi.hl_region_begin("a")
+        with pytest.raises(CounterError):
+            papi.hl_region_end("b")
+
+    def test_record_needs_open_region(self):
+        with pytest.raises(CounterError):
+            PapiHighLevel().record(_report())
+
+    def test_unknown_event_rejected_at_init(self):
+        with pytest.raises(CounterError):
+            PapiHighLevel(events=("PAPI_MADE_UP",))
+
+    def test_read_unknown_region(self):
+        with pytest.raises(CounterError):
+            PapiHighLevel().read("r")

@@ -1,0 +1,54 @@
+"""Tests for the thread-placement model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.execution.affinity import ThreadPlacement
+
+
+class TestScatter:
+    def test_round_robin(self, mach_a):
+        p = ThreadPlacement(mach_a, 4, "scatter")
+        assert [p.node_of_thread(t) for t in range(4)] == [0, 1, 0, 1]
+
+    def test_balanced_counts(self, mach_b):
+        p = ThreadPlacement(mach_b, 12, "scatter")
+        counts = p.threads_per_node
+        assert sum(counts) == 12
+        assert max(counts) - min(counts) <= 1
+
+    def test_nodes_used(self, mach_b):
+        assert ThreadPlacement(mach_b, 3, "scatter").nodes_used == 3
+        assert ThreadPlacement(mach_b, 64, "scatter").nodes_used == 8
+
+
+class TestCompact:
+    def test_fills_node_zero_first(self, mach_a):
+        p = ThreadPlacement(mach_a, 16, "compact")
+        assert p.threads_per_node == (16, 0)
+
+    def test_spills_to_next(self, mach_a):
+        p = ThreadPlacement(mach_a, 20, "compact")
+        assert p.threads_per_node == (16, 4)
+
+    def test_hpx_single_node_until_cores(self, mach_c):
+        # Compact placement keeps <=16 threads on one Zen 3 node.
+        assert ThreadPlacement(mach_c, 16, "compact").nodes_used == 1
+        assert ThreadPlacement(mach_c, 17, "compact").nodes_used == 2
+
+
+class TestValidation:
+    def test_unknown_strategy(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            ThreadPlacement(mach_a, 2, "hilbert")
+
+    def test_thread_bounds(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            ThreadPlacement(mach_a, 0)
+        with pytest.raises(ConfigurationError):
+            ThreadPlacement(mach_a, 33)
+
+    def test_thread_id_bounds(self, mach_a):
+        p = ThreadPlacement(mach_a, 2)
+        with pytest.raises(PlacementError):
+            p.node_of_thread(2)

@@ -1,0 +1,117 @@
+"""Tests for ExecutionContext: dispatch, allocation, validation."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.errors import ConfigurationError
+from repro.execution.context import RUN_MODE_MAX_ELEMS, ExecutionContext
+from repro.machines import get_machine
+from repro.types import FLOAT64
+
+
+class TestConstruction:
+    def test_threads_capped_by_cores(self, mach_a, tbb):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(mach_a, tbb, threads=64)
+
+    def test_bad_mode(self, mach_a, tbb):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(mach_a, tbb, threads=1, mode="simulate")
+
+    def test_gpu_machine_needs_cuda_backend(self, mach_d, tbb):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(mach_d, tbb, threads=1)
+
+    def test_cuda_backend_needs_gpu(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(mach_a, get_backend("nvc-cuda"), threads=1)
+
+    def test_gpu_context_ok(self, mach_d):
+        ctx = ExecutionContext(mach_d, get_backend("nvc-cuda"))
+        assert ctx.is_gpu
+
+    def test_with_copies(self, model_ctx):
+        sub = model_ctx.with_(threads=4)
+        assert sub.threads == 4
+        assert model_ctx.threads == 32
+
+
+class TestDefaultAllocator:
+    def test_parallel_backend_gets_first_touch(self, model_ctx):
+        assert model_ctx.allocator.name == "first-touch"
+
+    def test_hpx_gets_own_allocator(self, mach_a, hpx):
+        ctx = ExecutionContext(mach_a, hpx, threads=8)
+        assert ctx.allocator.name == "hpx-numa"
+
+    def test_sequential_gets_default(self, seq_ctx):
+        assert seq_ctx.allocator.name == "default"
+
+
+class TestDispatch:
+    def test_seq_policy_never_parallel(self, mach_a, tbb):
+        from repro.execution.policy import SEQ
+
+        ctx = ExecutionContext(mach_a, tbb, threads=8, policy=SEQ)
+        assert not ctx.runs_parallel("for_each", 1 << 20)
+
+    def test_single_thread_never_parallel(self, mach_a, tbb):
+        ctx = ExecutionContext(mach_a, tbb, threads=1)
+        assert not ctx.runs_parallel("for_each", 1 << 20)
+
+    def test_gnu_fallback_thresholds(self, mach_a, gnu):
+        ctx = ExecutionContext(mach_a, gnu, threads=8)
+        assert not ctx.runs_parallel("for_each", 1 << 10)  # Section 5.2
+        assert ctx.runs_parallel("for_each", (1 << 10) + 1)
+        assert not ctx.runs_parallel("find", 1 << 9)  # Section 5.3
+        assert ctx.runs_parallel("find", (1 << 9) + 1)
+
+    def test_nvc_scan_falls_back(self, mach_a):
+        ctx = ExecutionContext(mach_a, get_backend("nvc-omp"), threads=8)
+        assert not ctx.runs_parallel("inclusive_scan", 1 << 30)
+        assert ctx.runs_parallel("reduce", 1 << 30)
+
+    def test_hpx_sort_threshold(self, mach_a, hpx):
+        ctx = ExecutionContext(mach_a, hpx, threads=8)
+        assert not ctx.runs_parallel("sort", 1 << 15)  # Section 5.6
+        assert ctx.runs_parallel("sort", (1 << 15) + 1)
+
+
+class TestAllocation:
+    def test_model_mode_is_lazy(self, model_ctx):
+        arr = model_ctx.allocate(1 << 30, FLOAT64)
+        assert arr.data is None
+        assert arr.nbytes == 8 << 30
+
+    def test_run_mode_materializes(self, run_ctx):
+        arr = run_ctx.allocate(128, FLOAT64)
+        assert arr.data is not None
+
+    def test_run_mode_size_cap(self, run_ctx):
+        with pytest.raises(ConfigurationError):
+            run_ctx.allocate(RUN_MODE_MAX_ELEMS + 1, FLOAT64)
+
+    def test_array_from(self, run_ctx):
+        arr = run_ctx.array_from(np.arange(8, dtype=np.float64), FLOAT64)
+        assert arr.data.tolist() == list(range(8))
+
+    def test_placement_follows_threads(self, mach_a, tbb):
+        ctx = ExecutionContext(mach_a, tbb, threads=8)
+        arr = ctx.allocate(1 << 20, FLOAT64)
+        assert arr.placement.node_fractions == (0.5, 0.5)
+
+    def test_rng_deterministic(self, model_ctx):
+        assert model_ctx.rng().integers(0, 100) == model_ctx.rng().integers(0, 100)
+
+
+class TestGpuContext:
+    def test_no_thread_placement(self, mach_d):
+        ctx = ExecutionContext(mach_d, get_backend("nvc-cuda"))
+        with pytest.raises(ConfigurationError):
+            _ = ctx.thread_placement
+
+    def test_gpu_allocate(self, mach_d):
+        ctx = ExecutionContext(mach_d, get_backend("nvc-cuda"))
+        arr = ctx.allocate(1 << 20, FLOAT64)
+        assert arr.device_resident_fraction == 0.0

@@ -1,0 +1,111 @@
+"""Tests for chunk partitioners, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.execution.partition import (
+    BlockCyclicPartitioner,
+    Chunk,
+    Partition,
+    StaticPartitioner,
+    WorkStealingPartitioner,
+)
+
+PARTITIONERS = [
+    StaticPartitioner(),
+    BlockCyclicPartitioner(chunks_per_thread=4),
+    WorkStealingPartitioner(split_factor=8),
+]
+
+
+class TestStatic:
+    def test_one_chunk_per_thread(self):
+        p = StaticPartitioner().partition(100, 4)
+        assert p.num_chunks == 4
+        assert p.elements_per_thread() == [25, 25, 25, 25]
+
+    def test_uneven_split_balanced(self):
+        p = StaticPartitioner().partition(10, 4)
+        assert sorted(len(c) for c in p.chunks) == [2, 2, 3, 3]
+
+    def test_more_threads_than_elements(self):
+        p = StaticPartitioner().partition(2, 4)
+        assert sum(len(c) for c in p.chunks) == 2
+
+
+class TestBlockCyclic:
+    def test_chunk_count(self):
+        p = BlockCyclicPartitioner(chunks_per_thread=4).partition(1000, 4)
+        assert p.num_chunks == 16
+
+    def test_round_robin_assignment(self):
+        p = BlockCyclicPartitioner(chunks_per_thread=2).partition(100, 2)
+        assert [c.thread for c in p.chunks] == [0, 1, 0, 1]
+
+    def test_small_n_capped(self):
+        p = BlockCyclicPartitioner(chunks_per_thread=8).partition(3, 4)
+        assert p.num_chunks == 3
+
+    def test_invalid_chunks_per_thread(self):
+        with pytest.raises(ConfigurationError):
+            BlockCyclicPartitioner(chunks_per_thread=0)
+
+
+class TestWorkStealing:
+    def test_balanced_threads(self):
+        p = WorkStealingPartitioner(split_factor=8).partition(1 << 16, 8)
+        per = p.elements_per_thread()
+        assert max(per) - min(per) <= (1 << 16) // 32
+
+    def test_contiguous_runs_per_thread(self):
+        p = WorkStealingPartitioner(split_factor=4).partition(64, 4)
+        threads = [c.thread for c in p.chunks]
+        assert threads == sorted(threads)
+
+
+class TestChunkValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Chunk(index=0, start=5, stop=3, thread=0)
+
+    def test_partition_requires_contiguity(self):
+        chunks = (
+            Chunk(index=0, start=0, stop=4, thread=0),
+            Chunk(index=1, start=5, stop=8, thread=1),
+        )
+        with pytest.raises(ConfigurationError):
+            Partition(n=8, threads=2, chunks=chunks, strategy="x")
+
+    def test_partition_requires_cover(self):
+        chunks = (Chunk(index=0, start=0, stop=4, thread=0),)
+        with pytest.raises(ConfigurationError):
+            Partition(n=8, threads=1, chunks=chunks, strategy="x")
+
+    def test_thread_range_enforced(self):
+        chunks = (Chunk(index=0, start=0, stop=4, thread=5),)
+        with pytest.raises(ConfigurationError):
+            Partition(n=4, threads=2, chunks=chunks, strategy="x")
+
+    def test_chunks_of_thread(self):
+        p = BlockCyclicPartitioner(chunks_per_thread=2).partition(8, 2)
+        mine = p.chunks_of_thread(0)
+        assert all(c.thread == 0 for c in mine)
+        assert len(mine) == 2
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.name)
+@given(n=st.integers(min_value=0, max_value=100_000), threads=st.integers(1, 64))
+def test_partition_invariants(partitioner, n, threads):
+    """Every partitioner covers [0, n) exactly, in order, within threads."""
+    p = partitioner.partition(n, threads)
+    assert p.n == n
+    assert sum(len(c) for c in p.chunks) == n
+    prev = 0
+    for c in p.chunks:
+        assert c.start == prev
+        assert 0 <= c.thread < threads
+        prev = c.stop
+    assert prev == n
+    assert sum(p.elements_per_thread()) == n

@@ -1,0 +1,40 @@
+"""Tests for execution policies."""
+
+import pytest
+
+from repro.execution.policy import PAR, PAR_UNSEQ, SEQ, ExecutionPolicy
+
+
+class TestProperties:
+    def test_seq_not_parallel(self):
+        assert not SEQ.is_parallel
+        assert not SEQ.allows_vectorization
+
+    def test_par(self):
+        assert PAR.is_parallel
+        assert not PAR.allows_vectorization
+
+    def test_par_unseq(self):
+        assert PAR_UNSEQ.is_parallel
+        assert PAR_UNSEQ.allows_vectorization
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expect",
+        [
+            ("seq", SEQ),
+            ("par", PAR),
+            ("par_unseq", PAR_UNSEQ),
+            ("par-unseq", PAR_UNSEQ),
+            ("std::execution::par", PAR),
+            ("execution::seq", SEQ),
+            ("  PAR  ", PAR),
+        ],
+    )
+    def test_spellings(self, text, expect):
+        assert ExecutionPolicy.parse(text) is expect
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy.parse("unseq_par")

@@ -1,0 +1,87 @@
+"""Tests for the beyond-the-paper extensions: ARM machine, CLANG-OMP
+backend, weak scaling."""
+
+import pytest
+
+from repro.backends import STUDY_BACKENDS, get_backend
+from repro.experiments.fig1 import allocator_speedup
+from repro.experiments.weak_scaling import run_weak_scaling, weak_scaling
+from repro.machines import get_machine
+from repro.machines.presets import ALL_CPU_MACHINES
+
+
+class TestArmMachine:
+    def test_registered_with_aliases(self):
+        for name in ("arm", "altra", "mach-arm"):
+            assert get_machine(name).name == "Mach ARM"
+
+    def test_single_numa_node(self):
+        arm = get_machine("arm")
+        assert arm.num_numa_nodes == 1
+        assert arm.total_cores == 80
+
+    def test_no_turbo_no_boost(self):
+        arm = get_machine("arm")
+        assert arm.seq_turbo_factor == 1.0
+        assert arm.node_bw_boost == 1.0
+
+    def test_not_in_paper_machine_list(self):
+        assert "ARM" not in ALL_CPU_MACHINES
+
+    def test_allocator_effect_vanishes(self):
+        """Model prediction: no NUMA -> no Fig. 1 effect."""
+        ratio = allocator_speedup("arm", "GCC-TBB", "reduce", threads=80, size_exp=26)
+        assert ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_stream_anchors(self):
+        from repro.machines import stream_bandwidth
+
+        arm = get_machine("arm")
+        assert stream_bandwidth(arm, 1) == pytest.approx(36e9)
+        assert stream_bandwidth(arm, 80) == pytest.approx(175e9)
+
+
+class TestClangBackend:
+    def test_registered(self):
+        assert get_backend("clang-omp").name == "CLANG-OMP"
+        assert get_backend("llvm-omp").name == "CLANG-OMP"
+
+    def test_excluded_from_study(self):
+        assert "CLANG-OMP" not in STUDY_BACKENDS
+
+    def test_overhead_between_tbb_and_gnu(self):
+        clang = get_backend("clang-omp").instr_overhead_per_elem("for_each")
+        tbb = get_backend("gcc-tbb").instr_overhead_per_elem("for_each")
+        gnu = get_backend("gcc-gnu").instr_overhead_per_elem("for_each")
+        assert tbb < clang < gnu
+
+    def test_runs_headline_cases(self):
+        from repro.experiments.common import make_ctx
+        from repro.suite.cases import HEADLINE_CASES, get_case
+        from repro.suite.wrappers import measure_case
+
+        ctx = make_ctx("A", "clang-omp")
+        for case in HEADLINE_CASES:
+            assert measure_case(get_case(case), ctx, 1 << 20) > 0
+
+
+class TestWeakScaling:
+    def test_curve_shape(self):
+        curve = weak_scaling("A", "GCC-TBB", "reduce", base_exp=20)
+        assert curve.threads[0] == 1 and curve.threads[-1] == 32
+        assert curve.sizes == tuple((1 << 20) * t for t in curve.threads)
+        assert curve.efficiencies()[0] == 1.0
+
+    def test_run_weak_scaling_renders(self):
+        result = run_weak_scaling(machine="A", base_exp=20, cases=("reduce",))
+        assert "Weak scaling" in result.rendered
+        assert result.data
+
+    def test_unsupported_cases_skipped(self):
+        result = run_weak_scaling(
+            machine="A",
+            base_exp=18,
+            cases=("inclusive_scan",),
+            backends=("GCC-GNU",),
+        )
+        assert result.data == {}

@@ -1,0 +1,46 @@
+"""Tests for the shared two-panel driver behind Figures 4-7."""
+
+import pytest
+
+from repro.experiments.panels import AlgoPanels, run_panels
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return run_panels("A", "reduce", size_exp=22, size_step=6)
+
+
+class TestRunPanels:
+    def test_problem_panel_includes_sequential(self, panels):
+        assert "GCC-SEQ" in panels.problem
+
+    def test_scaling_panel_excludes_sequential(self, panels):
+        assert "GCC-SEQ" not in panels.scaling
+
+    def test_all_parallel_backends_present(self, panels):
+        for backend in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP"):
+            assert backend in panels.scaling
+
+    def test_icc_dropped_on_mach_b(self):
+        panels_b = run_panels("B", "reduce", size_exp=20, size_step=8)
+        assert "ICC-TBB" not in panels_b.scaling
+        assert "ICC-TBB" not in panels_b.problem
+
+    def test_unsupported_algorithm_dropped(self):
+        panels_scan = run_panels("A", "inclusive_scan", size_exp=20, size_step=8)
+        assert "GCC-GNU" not in panels_scan.scaling
+        assert panels_scan.problem["GCC-GNU"].xs() == []
+
+    def test_scaling_curves_start_at_one_thread(self, panels):
+        for curve in panels.scaling.values():
+            assert curve.threads[0] == 1
+
+    def test_rendered_has_both_charts(self, panels):
+        out = panels.rendered()
+        assert "time vs size" in out
+        assert "speedup vs threads" in out
+
+    def test_is_dataclass_with_fields(self, panels):
+        assert isinstance(panels, AlgoPanels)
+        assert panels.machine == "A"
+        assert panels.case_name == "reduce"

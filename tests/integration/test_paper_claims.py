@@ -1,0 +1,197 @@
+"""Integration tests: the paper's headline qualitative claims, full scale.
+
+Each test cites the paper section whose claim it checks. These run the
+real experiment pipeline in model mode at n = 2^30 (fast: the simulator
+is analytic).
+"""
+
+import pytest
+
+from repro.experiments.common import make_ctx, seq_baseline_seconds
+from repro.experiments.fig1 import allocator_speedup
+from repro.experiments.fig3 import foreach_scaling_curve
+from repro.experiments.table3 import counters_for_case
+from repro.experiments.table5 import cell_speedup
+from repro.experiments.table6 import cell_max_threads
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+
+N30 = 1 << 30
+
+
+class TestSection51Allocator:
+    """Fig. 1: the custom allocator's wins and non-effects."""
+
+    def test_for_each_k1_large_gain(self):
+        # Paper: up to +63 %.
+        ratio = allocator_speedup("A", "GCC-TBB", "for_each_k1")
+        assert 1.4 < ratio < 1.9
+
+    def test_reduce_large_gain(self):
+        # Paper: up to +50 %.
+        ratio = allocator_speedup("A", "GCC-TBB", "reduce")
+        assert 1.3 < ratio < 1.9
+
+    def test_k1000_no_effect(self):
+        assert allocator_speedup("A", "GCC-TBB", "for_each_k1000") == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_sort_small_effect(self):
+        assert allocator_speedup("A", "GCC-TBB", "sort") < 1.3
+
+    def test_find_and_scan_benefit_least(self):
+        """Paper reports outright losses for find/scan; our model keeps
+        them as the clearly smallest beneficiaries (see EXPERIMENTS.md)."""
+        ratios = {
+            case: allocator_speedup("A", "GCC-TBB", case)
+            for case in ("find", "for_each_k1", "inclusive_scan", "reduce", "sort")
+        }
+        assert ratios["find"] < ratios["sort"] < ratios["for_each_k1"]
+        assert ratios["inclusive_scan"] < ratios["sort"]
+
+
+class TestSection52ForEach:
+    """Figs. 2-3 and Table 3."""
+
+    def test_nvc_fastest_parallel_k1(self):
+        times = {
+            b: measure_case(get_case("for_each_k1"), make_ctx("A", b), N30)
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+        }
+        assert times["NVC-OMP"] == min(times.values())
+
+    def test_hpx_slowest_parallel_k1(self):
+        times = {
+            b: measure_case(get_case("for_each_k1"), make_ctx("A", b), N30)
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+        }
+        assert times["GCC-HPX"] == max(times.values())
+
+    def test_k1000_near_ideal_on_c(self):
+        """Section 5.2: 102-106.7 speedup for non-HPX; HPX ~84.8 (66 % eff)."""
+        for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+            s = cell_speedup("C", backend, "for_each_k1000")
+            assert 90 < s < 120
+        hpx = cell_speedup("C", "GCC-HPX", "for_each_k1000")
+        assert 70 < hpx < 95
+        assert hpx < cell_speedup("C", "GCC-TBB", "for_each_k1000")
+
+    def test_hpx_flat_scaling_beyond_16_threads(self):
+        """Fig. 3: HPX speedup nearly constant past 16 threads (k_it=1)."""
+        curve = foreach_scaling_curve("B", "GCC-HPX", 1)
+        by_threads = dict(zip(curve.threads, curve.speedups()))
+        assert by_threads[64] < by_threads[16] * 2.0
+
+    def test_table3_instruction_ordering(self):
+        instr = {
+            b: counters_for_case("A", b, "for_each_k1").counters.instructions
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+        }
+        assert instr["ICC-TBB"] < instr["GCC-TBB"] < instr["NVC-OMP"]
+        assert instr["NVC-OMP"] < instr["GCC-GNU"] < instr["GCC-HPX"]
+        # Paper: HPX up to 147 % more instructions than ICC-TBB.
+        assert 2.0 < instr["GCC-HPX"] / instr["ICC-TBB"] < 3.0
+
+    def test_table3_fp_scalar_identical_everywhere(self):
+        # Table 3: 107G scalar FP for every backend (1 op/elem x 100 calls).
+        for b in ("GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP"):
+            stats = counters_for_case("A", b, "for_each_k1")
+            assert stats.counters.fp_scalar == pytest.approx(100 * N30)
+
+
+class TestSection53Find:
+    def test_max_speedup_about_six_on_b(self):
+        s = cell_speedup("B", "GCC-TBB", "find")
+        assert 4.0 < s < 8.0
+
+    def test_speedup_below_stream_ratio(self, mach_b):
+        s = cell_speedup("B", "GCC-TBB", "find")
+        assert s < mach_b.ideal_bandwidth_speedup()
+
+
+class TestSection54Scan:
+    def test_tbb_scan_speedup_about_five_on_c(self):
+        s = cell_speedup("C", "GCC-TBB", "inclusive_scan")
+        assert 2.0 < s < 7.0
+
+    def test_nvc_scan_no_speedup(self):
+        for machine in ("A", "B", "C"):
+            s = cell_speedup(machine, "NVC-OMP", "inclusive_scan")
+            assert 0.6 < s < 1.2
+
+
+class TestSection55Reduce:
+    def test_group_one_near_ten_on_a(self):
+        for backend in ("GCC-TBB", "GCC-GNU", "NVC-OMP"):
+            s = cell_speedup("A", backend, "reduce")
+            assert 8 < s < 13
+
+    def test_hpx_worst_on_a(self):
+        speedups = {
+            b: cell_speedup("A", b, "reduce")
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+        }
+        assert speedups["GCC-HPX"] == min(speedups.values())
+
+    def test_table4_vectorization_split(self):
+        icc = counters_for_case("A", "ICC-TBB", "reduce").counters
+        tbb = counters_for_case("A", "GCC-TBB", "reduce").counters
+        hpx = counters_for_case("A", "GCC-HPX", "reduce").counters
+        assert icc.fp_packed_256 > 0 and icc.fp_scalar < 1e9
+        assert hpx.fp_packed_256 > 0
+        assert tbb.fp_packed_256 == 0 and tbb.fp_scalar == pytest.approx(100 * N30)
+
+    def test_table4_hpx_most_instructions(self):
+        instr = {
+            b: counters_for_case("A", b, "reduce").counters.instructions
+            for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+        }
+        assert instr["GCC-HPX"] > 3 * max(
+            v for b, v in instr.items() if b != "GCC-HPX"
+        )
+        assert instr["ICC-TBB"] == min(instr.values())
+
+
+class TestSection56Sort:
+    def test_gnu_dominates_at_high_threads(self):
+        for machine in ("A", "B", "C"):
+            speedups = {
+                b: cell_speedup(machine, b, "sort")
+                for b in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP")
+            }
+            assert speedups["GCC-GNU"] == max(speedups.values())
+            assert speedups["GCC-GNU"] > 2 * speedups["GCC-TBB"]
+
+    def test_nvc_weakest_scaling(self):
+        assert cell_speedup("C", "NVC-OMP", "sort") < cell_speedup(
+            "C", "GCC-TBB", "sort"
+        )
+
+    def test_quicksort_family_capped_near_ten(self):
+        for machine in ("A", "B", "C"):
+            s = cell_speedup(machine, "GCC-TBB", "sort")
+            assert 6 < s < 14
+
+
+class TestSection57Efficiency:
+    def test_backends_rarely_efficient_past_16_threads(self):
+        """Table 6: memory-bound algorithms stop being efficient around
+        the per-NUMA-node core count."""
+        inefficient = 0
+        total = 0
+        for case in ("find", "for_each_k1", "inclusive_scan", "reduce"):
+            for backend in ("GCC-TBB", "GCC-GNU", "GCC-HPX", "NVC-OMP"):
+                v = cell_max_threads("C", backend, case)
+                if v is None:
+                    continue
+                total += 1
+                if v <= 16:
+                    inefficient += 1
+        assert inefficient / total > 0.7
+
+    def test_compute_bound_case_scales_fully(self):
+        for machine, cores in (("A", 32), ("B", 64), ("C", 128)):
+            assert (
+                cell_max_threads(machine, "GCC-TBB", "for_each_k1000") == cores
+            )

@@ -1,0 +1,90 @@
+"""Tests for repro.machines.cache."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.cache import CacheHierarchy, CacheLevel
+
+
+def _hier():
+    return CacheHierarchy(
+        (
+            CacheLevel(1, 32 * 1024, 1, 100e9),
+            CacheLevel(2, 1024 * 1024, 1, 50e9),
+            CacheLevel(3, 16 * 1024 * 1024, 8, 25e9),
+        )
+    )
+
+
+class TestCacheLevel:
+    def test_total_size_private(self):
+        lvl = CacheLevel(2, 1024, 1, 1e9)
+        assert lvl.total_size(16) == 16 * 1024
+
+    def test_total_size_shared(self):
+        lvl = CacheLevel(3, 1 << 20, 8, 1e9)
+        assert lvl.total_size(16) == 2 << 20
+
+    def test_total_size_fewer_cores_than_sharing(self):
+        lvl = CacheLevel(3, 1 << 20, 8, 1e9)
+        assert lvl.total_size(4) == 1 << 20  # at least one instance
+
+    def test_invalid_level(self):
+        with pytest.raises(MachineError):
+            CacheLevel(4, 1024, 1, 1e9)
+
+    def test_invalid_size(self):
+        with pytest.raises(MachineError):
+            CacheLevel(1, 0, 1, 1e9)
+
+    def test_total_size_rejects_nonpositive_cores(self):
+        with pytest.raises(MachineError):
+            CacheLevel(1, 1024, 1, 1e9).total_size(0)
+
+
+class TestCacheHierarchy:
+    def test_level_lookup(self):
+        assert _hier().level(2).size_per_instance == 1024 * 1024
+
+    def test_missing_level(self):
+        h = CacheHierarchy((CacheLevel(1, 1024, 1, 1e9),))
+        with pytest.raises(MachineError):
+            h.level(3)
+
+    def test_llc(self):
+        assert _hier().llc.level == 3
+
+    def test_ordering_enforced(self):
+        with pytest.raises(MachineError):
+            CacheHierarchy(
+                (CacheLevel(2, 1024, 1, 1e9), CacheLevel(1, 512, 1, 1e9))
+            )
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(MachineError):
+            CacheHierarchy(
+                (CacheLevel(1, 1024, 1, 1e9), CacheLevel(1, 512, 1, 1e9))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(MachineError):
+            CacheHierarchy(())
+
+    def test_fitting_level_l1(self):
+        assert _hier().fitting_level(16 * 1024, 1).level == 1
+
+    def test_fitting_level_l3(self):
+        assert _hier().fitting_level(12 << 20, 8).level == 3
+
+    def test_fitting_level_aggregate_scales_with_cores(self):
+        h = _hier()
+        ws = 4 << 20  # 4 MiB: spills L2 of 1 core, fits aggregate L2 of 8
+        assert h.fitting_level(ws, 1).level == 3
+        assert h.fitting_level(ws, 8).level == 2
+
+    def test_fitting_level_dram(self):
+        assert _hier().fitting_level(1 << 34, 8) is None
+
+    def test_fitting_level_negative_rejected(self):
+        with pytest.raises(MachineError):
+            _hier().fitting_level(-1, 1)

@@ -1,0 +1,63 @@
+"""Validation tests for the CpuMachine / GpuMachine dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines import get_machine
+
+
+class TestCpuValidation:
+    def test_bad_simd_width(self, mach_a):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_a, simd_width_bits=192)
+
+    def test_allcore_below_single_rejected(self, mach_a):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_a, stream_bw_allcores=1e9)
+
+    def test_remote_factor_bounds(self, mach_a):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_a, remote_bw_factor=0.0)
+
+    def test_turbo_below_one_rejected(self, mach_a):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_a, seq_turbo_factor=0.9)
+
+    def test_node_boost_below_one_rejected(self, mach_a):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_a, node_bw_boost=0.5)
+
+    def test_node_bandwidth(self, mach_a):
+        assert mach_a.node_bandwidth == pytest.approx(135e9 / 2)
+
+    def test_scalar_rate(self, mach_a):
+        assert mach_a.scalar_instr_rate == pytest.approx(2.1e9 * 2.0)
+
+    def test_simd_lanes(self, mach_a):
+        assert mach_a.simd_lanes(8) == 8  # 512-bit / 64-bit
+        assert mach_a.simd_lanes(4) == 16
+
+    def test_simd_lanes_validates(self, mach_a):
+        with pytest.raises(MachineError):
+            mach_a.simd_lanes(0)
+
+
+class TestGpuValidation:
+    def test_fp64_ratio_bounds(self, mach_d):
+        with pytest.raises(MachineError):
+            dataclasses.replace(mach_d, fp64_ratio=0.0)
+
+    def test_compute_rate_validates_elem_size(self, mach_d):
+        with pytest.raises(MachineError):
+            mach_d.compute_rate(0)
+
+    def test_total_cores_alias(self, mach_d):
+        assert mach_d.total_cores == mach_d.cuda_cores
+
+    def test_positive_fields_enforced(self, mach_d):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises((MachineError, ConfigurationError)):
+            dataclasses.replace(mach_d, pcie_bandwidth=0.0)

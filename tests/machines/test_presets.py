@@ -1,0 +1,84 @@
+"""Tests for the machine presets against the paper's Table 2."""
+
+import pytest
+
+from repro.machines import presets
+
+
+class TestMachA:
+    def test_table2_row(self, mach_a):
+        assert mach_a.arch == "Skylake"
+        assert mach_a.frequency_hz == pytest.approx(2.10e9)
+        assert mach_a.total_cores == 32
+        assert mach_a.topology.sockets == 2
+        assert mach_a.num_numa_nodes == 2
+        assert mach_a.stream_bw_1core == pytest.approx(11.7e9)
+        assert mach_a.stream_bw_allcores == pytest.approx(135e9)
+
+    def test_memory_totals(self, mach_a):
+        # Table 2: 48 GiB, 1.5 GiB per core.
+        assert mach_a.topology.total_memory == 48 << 30
+        per_core = mach_a.topology.total_memory / mach_a.total_cores
+        assert per_core == pytest.approx(1.5 * (1 << 30))
+
+
+class TestMachB:
+    def test_table2_row(self, mach_b):
+        assert mach_b.arch == "Zen 1"
+        assert mach_b.total_cores == 64
+        assert mach_b.num_numa_nodes == 8
+        assert mach_b.stream_bw_1core == pytest.approx(26.0e9)
+        assert mach_b.stream_bw_allcores == pytest.approx(204e9)
+
+    def test_bandwidth_ratio_near_seven(self, mach_b):
+        # Section 5.3: STREAM predicts ~7x on Mach B.
+        assert mach_b.ideal_bandwidth_speedup() == pytest.approx(7.85, rel=0.01)
+
+    def test_memory_per_core(self, mach_b):
+        per_core = mach_b.topology.total_memory / mach_b.total_cores
+        assert per_core == pytest.approx(0.5 * (1 << 30))
+
+
+class TestMachC:
+    def test_table2_row(self, mach_c):
+        assert mach_c.arch == "Zen 3"
+        assert mach_c.total_cores == 128
+        assert mach_c.num_numa_nodes == 8
+        assert mach_c.stream_bw_allcores == pytest.approx(249e9)
+        assert mach_c.topology.total_memory == 512 << 30
+
+    def test_llc_capacity_near_2_26_doubles(self, mach_c):
+        # Section 5.4: 2^26 doubles = 512 MiB is the LLC capacity scale.
+        agg_l3 = mach_c.caches.llc.total_size(mach_c.total_cores)
+        assert (1 << 29) / 2 <= agg_l3 <= (1 << 29) * 2
+
+
+class TestGpus:
+    def test_mach_d(self, mach_d):
+        assert mach_d.cuda_cores == 2560
+        assert mach_d.mem_bytes == 16 << 30
+        assert mach_d.mem_bandwidth == pytest.approx(264e9)
+
+    def test_mach_e(self):
+        e = presets.mach_e()
+        assert e.cuda_cores == 1280
+        assert e.frequency_hz == pytest.approx(1.77e9)
+        assert e.mem_bytes == 8 << 30
+
+    def test_fp64_derated(self, mach_d):
+        assert mach_d.compute_rate(8) < mach_d.compute_rate(4)
+
+    def test_fp32_full_rate(self, mach_d):
+        expected = (
+            mach_d.cuda_cores
+            * mach_d.frequency_hz
+            * mach_d.flops_per_core_per_cycle
+        )
+        assert mach_d.compute_rate(4) == pytest.approx(expected)
+
+
+class TestHostCpu:
+    def test_modest_host(self):
+        host = presets.gpu_host_cpu()
+        assert host.total_cores == 16
+        assert host.num_numa_nodes == 1

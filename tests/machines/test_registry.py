@@ -1,0 +1,46 @@
+"""Tests for the machine registry."""
+
+import pytest
+
+from repro.errors import UnknownMachineError
+from repro.machines import get_machine, machine_names, register_machine
+from repro.machines.cpu import CpuMachine
+from repro.machines.gpu import GpuMachine
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["A", "a", "mach-a", "Mach A", "skylake"])
+    def test_aliases_mach_a(self, name):
+        assert get_machine(name).name == "Mach A"
+
+    @pytest.mark.parametrize("name,expect", [("zen1", "Mach B"), ("zen3", "Mach C")])
+    def test_arch_aliases(self, name, expect):
+        assert get_machine(name).name == expect
+
+    def test_gpus_are_gpu_machines(self):
+        assert isinstance(get_machine("D"), GpuMachine)
+        assert isinstance(get_machine("tesla"), GpuMachine)
+        assert isinstance(get_machine("ampere"), GpuMachine)
+
+    def test_cpus_are_cpu_machines(self):
+        for name in ("A", "B", "C", "gpu-host"):
+            assert isinstance(get_machine(name), CpuMachine)
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(UnknownMachineError, match="known"):
+            get_machine("Mach Z")
+
+    def test_names_listed(self):
+        names = machine_names()
+        assert "mach-a" in names and "zen3" in names
+
+    def test_fresh_instances(self):
+        assert get_machine("A") is not get_machine("A")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_machine(lambda: get_machine("A"), "a")
+
+    def test_registration_requires_name(self):
+        with pytest.raises(ValueError):
+            register_machine(lambda: get_machine("A"))

@@ -1,0 +1,93 @@
+"""Tests for the STREAM bandwidth model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machines import get_machine
+from repro.machines.stream import (
+    run_stream_kernel,
+    stream_bandwidth,
+    stream_scaling_curve,
+    threads_per_node,
+)
+
+
+class TestAnchors:
+    """The curve must pass exactly through the two published points."""
+
+    @pytest.mark.parametrize(
+        "mach,bw1,bwall",
+        [("A", 11.7e9, 135e9), ("B", 26.0e9, 204e9), ("C", 42.6e9, 249e9)],
+    )
+    def test_single_core_anchor(self, mach, bw1, bwall):
+        m = get_machine(mach)
+        assert stream_bandwidth(m, 1) == pytest.approx(bw1)
+
+    @pytest.mark.parametrize(
+        "mach,bwall", [("A", 135e9), ("B", 204e9), ("C", 249e9)]
+    )
+    def test_all_core_anchor(self, mach, bwall):
+        m = get_machine(mach)
+        assert stream_bandwidth(m, m.total_cores) == pytest.approx(bwall)
+
+
+class TestCurveShape:
+    def test_monotone_nondecreasing(self, mach_a):
+        curve = stream_scaling_curve(mach_a)
+        bws = [bw for _, bw in curve]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_default_thread_counts_are_powers_of_two(self, mach_b):
+        counts = [t for t, _ in stream_scaling_curve(mach_b)]
+        assert counts[0] == 1 and counts[-1] == 64
+        assert counts == sorted(counts)
+
+    def test_thread_range_validated(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            stream_bandwidth(mach_a, 0)
+        with pytest.raises(ConfigurationError):
+            stream_bandwidth(mach_a, 33)
+
+
+class TestThreadsPerNode:
+    def test_scatter_balances(self, mach_a):
+        assert threads_per_node(mach_a, 4) == [2, 2]
+
+    def test_compact_fills_first(self, mach_a):
+        assert threads_per_node(mach_a, 4, scatter=False) == [4, 0]
+
+    def test_compact_spills(self, mach_a):
+        assert threads_per_node(mach_a, 20, scatter=False) == [16, 4]
+
+    def test_total_preserved(self, mach_c):
+        assert sum(threads_per_node(mach_c, 77)) == 77
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_scatter_cover_property(threads):
+    """Scatter placement always sums to the requested thread count."""
+    m = get_machine("A")
+    per = threads_per_node(m, threads)
+    assert sum(per) == threads
+    assert max(per) - min(per) <= 1  # balanced
+
+
+class TestStreamKernels:
+    def test_copy_bandwidth_matches_model(self, mach_a):
+        res = run_stream_kernel(mach_a, "copy", 1 << 24, 32)
+        assert res.bandwidth == pytest.approx(stream_bandwidth(mach_a, 32))
+
+    def test_triad_moves_more_bytes(self, mach_a):
+        copy = run_stream_kernel(mach_a, "copy", 1 << 20, 1)
+        triad = run_stream_kernel(mach_a, "triad", 1 << 20, 1)
+        assert triad.bytes_moved > copy.bytes_moved
+
+    def test_unknown_kernel(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            run_stream_kernel(mach_a, "daxpy", 1024, 1)
+
+    def test_size_validated(self, mach_a):
+        with pytest.raises(ConfigurationError):
+            run_stream_kernel(mach_a, "copy", 0, 1)

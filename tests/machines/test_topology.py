@@ -1,0 +1,73 @@
+"""Tests for repro.machines.topology."""
+
+import pytest
+
+from repro.errors import MachineError, PlacementError
+from repro.machines.topology import NumaNode, Topology
+
+
+class TestNumaNode:
+    def test_requires_cores(self):
+        with pytest.raises(MachineError):
+            NumaNode(0, (), 1 << 30)
+
+    def test_requires_memory(self):
+        with pytest.raises(MachineError):
+            NumaNode(0, (0,), 0)
+
+
+class TestTopology:
+    def test_uniform_shape(self):
+        t = Topology.uniform(2, 4, 8, 4 << 30)
+        assert t.num_nodes == 8
+        assert t.total_cores == 64
+        assert t.cores_per_node == 8
+        assert t.sockets == 2
+
+    def test_total_memory(self):
+        t = Topology.uniform(2, 1, 16, 24 << 30)
+        assert t.total_memory == 48 << 30
+
+    def test_node_of_core(self):
+        t = Topology.uniform(2, 4, 8, 1 << 30)
+        assert t.node_of_core(0) == 0
+        assert t.node_of_core(8) == 1
+        assert t.node_of_core(63) == 7
+
+    def test_node_of_core_out_of_range(self):
+        t = Topology.uniform(1, 1, 4, 1 << 30)
+        with pytest.raises(PlacementError):
+            t.node_of_core(4)
+
+    def test_nodes_in_socket(self):
+        t = Topology.uniform(2, 4, 8, 1 << 30)
+        first = t.nodes_in_socket(0)
+        assert [n.node_id for n in first] == [0, 1, 2, 3]
+        second = t.nodes_in_socket(1)
+        assert [n.node_id for n in second] == [4, 5, 6, 7]
+
+    def test_nodes_in_socket_range(self):
+        t = Topology.uniform(2, 1, 4, 1 << 30)
+        with pytest.raises(PlacementError):
+            t.nodes_in_socket(2)
+
+    def test_nodes_must_divide_sockets(self):
+        nodes = tuple(
+            NumaNode(i, (i,), 1 << 30) for i in range(3)
+        )
+        with pytest.raises(MachineError):
+            Topology(sockets=2, nodes=nodes)
+
+    def test_core_ids_must_be_dense(self):
+        nodes = (NumaNode(0, (0, 2), 1 << 30),)
+        with pytest.raises(MachineError):
+            Topology(sockets=1, nodes=nodes)
+
+    def test_node_ids_must_be_dense(self):
+        nodes = (NumaNode(1, (0,), 1 << 30),)
+        with pytest.raises(MachineError):
+            Topology(sockets=1, nodes=nodes)
+
+    def test_smt_validated(self):
+        with pytest.raises(MachineError):
+            Topology.uniform(1, 1, 2, 1 << 30, smt=0)

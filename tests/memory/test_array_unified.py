@@ -1,0 +1,105 @@
+"""Tests for SimArray and the CUDA unified-memory residency model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.array import SimArray
+from repro.memory.layout import PagePlacement
+from repro.memory.unified import UnifiedMemory
+from repro.types import FLOAT32, FLOAT64
+
+
+def _arr(n=1024, elem=FLOAT64, data=False):
+    return SimArray(
+        n=n,
+        elem=elem,
+        placement=PagePlacement.single_node(0, 1, "default"),
+        data=np.zeros(n, dtype=elem.dtype) if data else None,
+    )
+
+
+class TestSimArray:
+    def test_nbytes(self):
+        assert _arr(100).nbytes == 800
+        assert _arr(100, FLOAT32).nbytes == 400
+
+    def test_materialized_flag(self):
+        assert not _arr().materialized
+        assert _arr(data=True).materialized
+
+    def test_require_data_raises_for_model_arrays(self):
+        with pytest.raises(AllocationError):
+            _arr().require_data()
+
+    def test_view_returns_buffer(self):
+        a = _arr(16, data=True)
+        a.view()[0] = 3.0
+        assert a.data[0] == 3.0
+
+    def test_dtype_checked(self):
+        with pytest.raises(AllocationError):
+            SimArray(
+                n=4,
+                elem=FLOAT64,
+                placement=PagePlacement.single_node(0, 1, "x"),
+                data=np.zeros(4, dtype=np.float32),
+            )
+
+    def test_length_checked(self):
+        with pytest.raises(AllocationError):
+            SimArray(
+                n=4,
+                elem=FLOAT64,
+                placement=PagePlacement.single_node(0, 1, "x"),
+                data=np.zeros(5),
+            )
+
+    def test_size_positive(self):
+        with pytest.raises(AllocationError):
+            _arr(0)
+
+
+class TestUnifiedMemory:
+    def test_first_touch_migrates_everything(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        a = _arr(1 << 20)
+        cost = um.to_device(a)
+        assert cost.bytes_moved == a.nbytes
+        assert cost.seconds == pytest.approx(a.nbytes / mach_d.pcie_bandwidth)
+        assert a.device_resident_fraction == 1.0
+
+    def test_chained_call_is_free(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        a = _arr(1 << 20)
+        um.to_device(a)
+        second = um.to_device(a)
+        assert second.bytes_moved == 0
+        assert second.seconds == 0.0
+
+    def test_host_touch_resets_residency(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        a = _arr(1 << 20)
+        um.to_device(a)
+        back = um.to_host(a)
+        assert back.bytes_moved == a.nbytes
+        assert a.device_resident_fraction == 0.0
+        assert um.to_device(a).bytes_moved == a.nbytes
+
+    def test_to_host_of_nonresident_is_free(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        a = _arr(64)
+        assert um.to_host(a).bytes_moved == 0
+
+    def test_capacity_enforced(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        too_big = (mach_d.mem_bytes // FLOAT64.size) + 1
+        with pytest.raises(AllocationError):
+            um.to_device(_arr(too_big))
+
+    def test_evict_clears_without_transfer(self, mach_d):
+        um = UnifiedMemory(mach_d)
+        a = _arr(64)
+        um.to_device(a)
+        um.evict(a)
+        assert a.device_resident_fraction == 0.0

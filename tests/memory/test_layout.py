@@ -1,0 +1,101 @@
+"""Tests for page placement descriptors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.memory.layout import PAGE_SIZE, PagePlacement
+
+
+class TestConstruction:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(PlacementError):
+            PagePlacement((0.5, 0.2), "x")
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(PlacementError):
+            PagePlacement((1.5, -0.5), "x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            PagePlacement((), "x")
+
+    def test_single_node(self):
+        p = PagePlacement.single_node(1, 4, "default")
+        assert p.node_fractions == (0.0, 1.0, 0.0, 0.0)
+        assert p.fraction_on(1) == 1.0
+
+    def test_single_node_range_checked(self):
+        with pytest.raises(PlacementError):
+            PagePlacement.single_node(4, 4, "x")
+
+    def test_proportional(self):
+        p = PagePlacement.proportional([1, 3], "first-touch")
+        assert p.node_fractions == (0.25, 0.75)
+
+    def test_proportional_rejects_zero_weights(self):
+        with pytest.raises(PlacementError):
+            PagePlacement.proportional([0, 0], "x")
+
+    def test_from_page_nodes(self):
+        p = PagePlacement.from_page_nodes([0, 0, 1, 1], 2, "x")
+        assert p.node_fractions == (0.5, 0.5)
+        assert p.page_nodes == (0, 0, 1, 1)
+
+    def test_from_page_nodes_validates_range(self):
+        with pytest.raises(PlacementError):
+            PagePlacement.from_page_nodes([0, 3], 2, "x")
+
+    def test_fraction_on_range(self):
+        p = PagePlacement.single_node(0, 2, "x")
+        with pytest.raises(PlacementError):
+            p.fraction_on(2)
+
+
+class TestLocality:
+    def test_matched_uniform(self):
+        p = PagePlacement.proportional([1, 1], "first-touch")
+        assert p.locality_for_threads([1, 1]) == pytest.approx(0.5)
+
+    def test_all_on_node0(self):
+        p = PagePlacement.single_node(0, 2, "default")
+        assert p.locality_for_threads([2, 0]) == pytest.approx(1.0)
+        assert p.locality_for_threads([0, 2]) == pytest.approx(0.0)
+
+    def test_length_checked(self):
+        p = PagePlacement.single_node(0, 2, "x")
+        with pytest.raises(PlacementError):
+            p.locality_for_threads([1])
+
+    def test_requires_threads(self):
+        p = PagePlacement.single_node(0, 2, "x")
+        with pytest.raises(PlacementError):
+            p.locality_for_threads([0, 0])
+
+
+class TestPages:
+    def test_pages_for_rounds_up(self):
+        p = PagePlacement.single_node(0, 1, "x")
+        assert p.pages_for(1) == 1
+        assert p.pages_for(PAGE_SIZE) == 1
+        assert p.pages_for(PAGE_SIZE + 1) == 2
+
+    def test_pages_for_zero(self):
+        p = PagePlacement.single_node(0, 1, "x")
+        assert p.pages_for(0) == 1
+
+    def test_pages_for_negative(self):
+        p = PagePlacement.single_node(0, 1, "x")
+        with pytest.raises(PlacementError):
+            p.pages_for(-1)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=8)
+)
+def test_proportional_always_valid(weights):
+    """Any positive weight vector yields a valid placement summing to 1."""
+    p = PagePlacement.proportional(weights, "x")
+    assert abs(sum(p.node_fractions) - 1.0) < 1e-9
+    assert all(f >= 0 for f in p.node_fractions)

@@ -1,0 +1,141 @@
+"""Tests for the NUMA bandwidth-sharing model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.memory.layout import PagePlacement
+from repro.sim.bandwidth import dram_memory_time
+
+
+def _single_node(num=2):
+    return PagePlacement.single_node(0, num, "default")
+
+
+def _spread(num=2):
+    return PagePlacement.proportional([1.0] * num, "first-touch")
+
+
+class TestDefaultAllocatorBound:
+    """All pages on node 0: the node constraint dominates (Fig. 1)."""
+
+    def test_node0_bound(self, mach_a):
+        nbytes = 1e9
+        times = dram_memory_time(
+            mach_a,
+            _single_node(),
+            thread_bytes={t: nbytes / 32 for t in range(32)},
+            thread_nodes={t: t % 2 for t in range(32)},
+            matched_quality=None,
+            bw_efficiency=1.0,
+        )
+        node_cap = mach_a.node_bw_boost * mach_a.node_bandwidth
+        assert times.per_node == pytest.approx(nbytes / node_cap)
+        assert times.total >= times.global_dram
+        assert times.bottleneck in ("per-node", "interconnect")
+
+    def test_remote_half_crosses_interconnect(self, mach_a):
+        times = dram_memory_time(
+            mach_a,
+            _single_node(),
+            thread_bytes={0: 100.0, 1: 100.0},
+            thread_nodes={0: 0, 1: 1},
+            matched_quality=None,
+            bw_efficiency=1.0,
+        )
+        # Thread 1's 100 bytes are all remote.
+        assert times.interconnect == pytest.approx(100.0 / mach_a.interconnect_bw)
+
+
+class TestMatchedPlacement:
+    """Parallel first-touch: the global constraint dominates."""
+
+    def test_full_bandwidth_at_perfect_quality(self, mach_a):
+        nbytes = 1e9
+        times = dram_memory_time(
+            mach_a,
+            _spread(),
+            thread_bytes={t: nbytes / 32 for t in range(32)},
+            thread_nodes={t: t % 2 for t in range(32)},
+            matched_quality=1.0,
+            bw_efficiency=1.0,
+        )
+        assert times.total == pytest.approx(nbytes / mach_a.stream_bw_allcores)
+
+    def test_allocator_effect_direction(self, mach_a):
+        """Custom allocator must be faster than default for balanced maps."""
+        kwargs = dict(
+            thread_bytes={t: 1e8 for t in range(32)},
+            thread_nodes={t: t % 2 for t in range(32)},
+            bw_efficiency=1.0,
+        )
+        t_default = dram_memory_time(
+            mach_a, _single_node(), matched_quality=None, **kwargs
+        ).total
+        t_custom = dram_memory_time(
+            mach_a, _spread(), matched_quality=0.93, **kwargs
+        ).total
+        assert t_default > t_custom
+        # Fig 1 magnitude: ~1.6x, certainly < 2x.
+        assert 1.2 < t_default / t_custom < 2.0
+
+    def test_lower_quality_is_slower(self, mach_b):
+        kwargs = dict(
+            thread_bytes={t: 1e8 for t in range(64)},
+            thread_nodes={t: t % 8 for t in range(64)},
+            bw_efficiency=1.0,
+        )
+        t_good = dram_memory_time(
+            mach_b, _spread(8), matched_quality=0.95, **kwargs
+        ).total
+        t_bad = dram_memory_time(
+            mach_b, _spread(8), matched_quality=0.3, **kwargs
+        ).total
+        assert t_bad > t_good
+
+
+class TestValidation:
+    def test_requires_traffic(self, mach_a):
+        with pytest.raises(SimulationError):
+            dram_memory_time(mach_a, _single_node(), {}, {}, None, 1.0)
+
+    def test_bw_efficiency_bounds(self, mach_a):
+        with pytest.raises(SimulationError):
+            dram_memory_time(
+                mach_a, _single_node(), {0: 1.0}, {0: 0}, None, 0.0
+            )
+
+    def test_quality_bounds(self, mach_a):
+        with pytest.raises(SimulationError):
+            dram_memory_time(
+                mach_a, _spread(), {0: 1.0}, {0: 0}, 1.5, 1.0
+            )
+
+    def test_negative_bytes_rejected(self, mach_a):
+        with pytest.raises(SimulationError):
+            dram_memory_time(
+                mach_a, _single_node(), {0: -1.0}, {0: 0}, None, 1.0
+            )
+
+
+@given(
+    nbytes=st.floats(min_value=1e6, max_value=1e10),
+    threads=st.integers(min_value=1, max_value=32),
+    quality=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_time_positive_and_bounded_below_by_peak(nbytes, threads, quality):
+    """Memory time is positive and never beats the machine's peak bandwidth."""
+    from repro.machines import get_machine
+
+    m = get_machine("A")
+    times = dram_memory_time(
+        m,
+        _spread(),
+        thread_bytes={t: nbytes / threads for t in range(threads)},
+        thread_nodes={t: t % 2 for t in range(threads)},
+        matched_quality=quality,
+        bw_efficiency=1.0,
+    )
+    assert times.total > 0
+    assert times.total >= nbytes / m.stream_bw_allcores - 1e-12

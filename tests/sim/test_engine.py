@@ -1,0 +1,182 @@
+"""Tests for the CPU cost engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backends import get_backend
+from repro.errors import SimulationError
+from repro.execution.policy import PAR
+from repro.machines import get_machine
+from repro.memory.layout import PagePlacement
+from repro.sim.engine import simulate_cpu
+from repro.sim.work import ChunkWork, Phase, PhaseKind, WorkProfile
+from repro.types import FLOAT64
+
+
+def _compute_profile(threads=4, instr_per_elem=100.0, elems=1_000_000, fp=0.0):
+    """A pure-compute parallel profile with even chunks."""
+    per = elems // threads
+    chunks = tuple(
+        ChunkWork(
+            thread=t,
+            elems=per,
+            instr=per * instr_per_elem,
+            fp_ops=per * fp,
+        )
+        for t in range(threads)
+    )
+    phase = Phase(name="work", kind=PhaseKind.PARALLEL, chunks=chunks)
+    return WorkProfile(
+        alg="for_each",
+        n=elems,
+        elem=FLOAT64,
+        threads=threads,
+        policy=PAR,
+        phases=(phase,),
+        regions=1,
+    )
+
+
+def _memory_profile(machine, threads=32, nbytes=8 << 30, policy="first-touch"):
+    per = nbytes / threads
+    placement = (
+        PagePlacement.proportional([1.0] * machine.topology.num_nodes, policy)
+        if policy == "first-touch"
+        else PagePlacement.single_node(0, machine.topology.num_nodes, policy)
+    )
+    chunks = tuple(
+        ChunkWork(thread=t, elems=per / 8, instr=0.0, bytes_read=per)
+        for t in range(threads)
+    )
+    phase = Phase(
+        name="stream",
+        kind=PhaseKind.PARALLEL,
+        chunks=chunks,
+        placement=placement,
+        working_set=float(nbytes),
+    )
+    return WorkProfile(
+        alg="reduce",
+        n=nbytes // 8,
+        elem=FLOAT64,
+        threads=threads,
+        policy=PAR,
+        phases=(phase,),
+        regions=1,
+    )
+
+
+class TestComputeScaling:
+    def test_compute_time_matches_rate(self, mach_a, seq_backend):
+        prof = _compute_profile(threads=1, instr_per_elem=10, elems=1_000_000)
+        rep = simulate_cpu(mach_a, seq_backend, prof)
+        rate = mach_a.frequency_hz * mach_a.ipc * mach_a.seq_turbo_factor
+        assert rep.seconds == pytest.approx(1e7 / rate, rel=1e-6)
+
+    def test_parallel_speedup(self, mach_a, tbb):
+        t1 = simulate_cpu(mach_a, tbb, _compute_profile(threads=1)).seconds
+        t16 = simulate_cpu(mach_a, tbb, _compute_profile(threads=16)).seconds
+        assert 8 < t1 / t16 <= 16 * mach_a.seq_turbo_factor + 1e-9
+
+    def test_fork_join_charged_once_per_region(self, mach_a, tbb):
+        prof = _compute_profile(threads=8, elems=8)  # tiny work
+        rep = simulate_cpu(mach_a, tbb, prof)
+        assert rep.fork_join_seconds == pytest.approx(
+            tbb.fork_overhead(8) + tbb.join_overhead(8)
+        )
+
+    def test_turbo_only_single_thread(self, mach_b, tbb):
+        # Same total work, but single-thread profiles run at boost clock.
+        prof1 = _compute_profile(threads=1, elems=1_000_000)
+        rate_boost = simulate_cpu(mach_b, tbb, prof1).phases[0].compute_seconds
+        prof2 = _compute_profile(threads=2, elems=2_000_000)
+        rate_base = simulate_cpu(mach_b, tbb, prof2).phases[0].compute_seconds
+        # per-thread work equal; 2-thread phase is slower per element by turbo.
+        assert rate_base / rate_boost == pytest.approx(
+            mach_b.seq_turbo_factor, rel=1e-6
+        )
+
+
+class TestMemoryModel:
+    def test_matched_faster_than_default(self, mach_a, tbb):
+        t_default = simulate_cpu(
+            mach_a, tbb, _memory_profile(mach_a, policy="default")
+        ).seconds
+        t_custom = simulate_cpu(
+            mach_a, tbb, _memory_profile(mach_a, policy="first-touch")
+        ).seconds
+        assert t_default > t_custom
+
+    def test_cache_resident_faster_than_dram(self, mach_a, tbb):
+        small = _memory_profile(mach_a, threads=8, nbytes=1 << 20)
+        big = _memory_profile(mach_a, threads=8, nbytes=8 << 30)
+        t_small = simulate_cpu(mach_a, tbb, small).phases[0].memory_seconds
+        t_big = simulate_cpu(mach_a, tbb, big).phases[0].memory_seconds
+        # Per-byte service cost must be lower when cache-resident.
+        assert t_small / (1 << 20) < t_big / (8 << 30)
+
+    def test_memory_bound_speedup_capped_by_stream(self, mach_b, tbb):
+        t1 = simulate_cpu(mach_b, tbb, _memory_profile(mach_b, threads=1)).seconds
+        t64 = simulate_cpu(mach_b, tbb, _memory_profile(mach_b, threads=64)).seconds
+        assert t1 / t64 < mach_b.ideal_bandwidth_speedup() * 1.35
+
+
+class TestCounters:
+    def test_instruction_accounting_includes_overhead(self, mach_a, tbb):
+        prof = _compute_profile(threads=2, instr_per_elem=10, elems=1000)
+        rep = simulate_cpu(mach_a, tbb, prof)
+        expected = 1000 * (10 + tbb.instr_overhead_for("for_each", 2))
+        assert rep.counters.instructions == pytest.approx(expected)
+
+    def test_vectorized_fp_recorded_packed(self, mach_a):
+        icc = get_backend("icc-tbb")
+        prof = _compute_profile(threads=2, instr_per_elem=1, elems=1024, fp=1.0)
+        prof = WorkProfile(
+            alg="reduce",
+            n=prof.n,
+            elem=prof.elem,
+            threads=prof.threads,
+            policy=prof.policy,
+            phases=prof.phases,
+            regions=prof.regions,
+        )
+        rep = simulate_cpu(mach_a, icc, prof)
+        assert rep.counters.fp_packed_256 == pytest.approx(1024 / 4)
+        assert rep.counters.fp_scalar == 0.0
+
+    def test_scalar_fp_recorded_scalar(self, mach_a, tbb):
+        prof = _compute_profile(threads=2, instr_per_elem=1, elems=1024, fp=1.0)
+        rep = simulate_cpu(mach_a, tbb, prof)
+        assert rep.counters.fp_scalar == pytest.approx(1024)
+        assert rep.counters.fp_packed_256 == 0.0
+
+
+class TestValidation:
+    def test_too_many_threads(self, mach_a, tbb):
+        prof = _compute_profile(threads=64)
+        with pytest.raises(SimulationError):
+            simulate_cpu(mach_a, tbb, prof)
+
+
+@given(
+    threads=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    instr=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_time_monotone_in_work(threads, instr):
+    """Doubling per-element instructions never makes the phase faster."""
+    m = get_machine("A")
+    b = get_backend("gcc-tbb")
+    t1 = simulate_cpu(m, b, _compute_profile(threads, instr)).seconds
+    t2 = simulate_cpu(m, b, _compute_profile(threads, instr * 2)).seconds
+    assert t2 >= t1 - 1e-15
+
+
+@given(nbytes=st.sampled_from([1 << 26, 1 << 28, 1 << 30, 1 << 33]))
+def test_memory_time_monotone_in_bytes(nbytes):
+    """More traffic never takes less time (fixed machine/threads)."""
+    m = get_machine("A")
+    b = get_backend("gcc-tbb")
+    t1 = simulate_cpu(m, b, _memory_profile(m, nbytes=nbytes)).seconds
+    t2 = simulate_cpu(m, b, _memory_profile(m, nbytes=nbytes * 2)).seconds
+    assert t2 >= t1

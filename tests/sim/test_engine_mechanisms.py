@@ -1,0 +1,142 @@
+"""Focused tests for individual cost-engine mechanisms."""
+
+import dataclasses
+
+import pytest
+
+from repro import pstl
+from repro.backends import get_backend
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.suite.kernels import listing1_kernel
+from repro.types import FLOAT64
+
+
+def _ctx(machine="A", backend="gcc-tbb", threads=32, **backend_changes):
+    b = get_backend(backend)
+    if backend_changes:
+        b = dataclasses.replace(b, **backend_changes)
+    return ExecutionContext(get_machine(machine), b, threads=threads)
+
+
+class TestSeqCodegenFactor:
+    def test_nvc_sequential_reduce_slower(self):
+        """Section 5.5: NVC's sequential code trails GCC's."""
+        n = 1 << 24
+        gcc = ExecutionContext(get_machine("A"), get_backend("gcc-seq"), threads=1)
+        nvc = ExecutionContext(get_machine("A"), get_backend("nvc-omp"), threads=1)
+        t_gcc = pstl.reduce(gcc, gcc.allocate(n, FLOAT64)).seconds
+        t_nvc = pstl.reduce(nvc, nvc.allocate(n, FLOAT64)).seconds
+        assert t_nvc > t_gcc
+
+    def test_factor_scales_sequential_time(self):
+        n = 1 << 20
+        base = _ctx(threads=1)
+        slow = _ctx(threads=1, default_seq_codegen=2.0)
+        t_base = pstl.for_each(base, base.allocate(n, FLOAT64), listing1_kernel(1000)).seconds
+        t_slow = pstl.for_each(slow, slow.allocate(n, FLOAT64), listing1_kernel(1000)).seconds
+        assert t_slow == pytest.approx(2.0 * t_base, rel=0.01)
+
+
+class TestIpcFactor:
+    def test_hpx_ipc_penalty_visible_in_compute(self):
+        n = 1 << 22
+        hpx = _ctx(backend="gcc-hpx", threads=16)
+        fast_hpx = _ctx(backend="gcc-hpx", threads=16, default_ipc_factor=1.0)
+        kernel = listing1_kernel(1000)
+        t = pstl.for_each(hpx, hpx.allocate(n, FLOAT64), kernel).seconds
+        t_fast = pstl.for_each(fast_hpx, fast_hpx.allocate(n, FLOAT64), kernel).seconds
+        assert t > t_fast
+
+
+class TestEffectiveThreads:
+    def test_cap_slows_wide_teams(self):
+        n = 1 << 24
+        capped = _ctx(eff_thread_cap=8, eff_thread_exp=0.5)
+        free = _ctx()
+        kernel = listing1_kernel(1000)
+        t_capped = pstl.for_each(capped, capped.allocate(n, FLOAT64), kernel).seconds
+        t_free = pstl.for_each(free, free.allocate(n, FLOAT64), kernel).seconds
+        assert t_capped > 2 * t_free
+
+    def test_cap_inactive_below_threshold(self):
+        n = 1 << 22
+        capped = _ctx(threads=8, eff_thread_cap=8, eff_thread_exp=0.5)
+        free = _ctx(threads=8)
+        kernel = listing1_kernel(1000)
+        t_capped = pstl.for_each(capped, capped.allocate(n, FLOAT64), kernel).seconds
+        t_free = pstl.for_each(free, free.allocate(n, FLOAT64), kernel).seconds
+        assert t_capped == pytest.approx(t_free, rel=1e-9)
+
+
+class TestSchedContention:
+    def test_contention_multiplies_sched_cost(self):
+        n = 1 << 22
+        calm = _ctx(
+            backend="gcc-hpx", threads=32, contention_exp=0.0, fixed_chunk_elems=4096
+        )
+        contended = _ctx(
+            backend="gcc-hpx", threads=32, contention_exp=2.0, fixed_chunk_elems=4096
+        )
+        kernel = listing1_kernel(1)
+        t_calm = pstl.for_each(calm, calm.allocate(n, FLOAT64), kernel).seconds
+        t_cont = pstl.for_each(
+            contended, contended.allocate(n, FLOAT64), kernel
+        ).seconds
+        assert t_cont > t_calm
+
+
+class TestSpreadPenaltyScaling:
+    def test_penalty_weight_shrinks_with_node_count(self):
+        """The find penalty is full on 2-node A, quartered on 8-node B."""
+        n = 1 << 28
+        t = {}
+        for mach in ("A", "B"):
+            machine = get_machine(mach)
+            ctx = ExecutionContext(machine, get_backend("gcc-tbb"), threads=2)
+            plain = pstl.count(ctx, ctx.allocate(n, FLOAT64), 1.0).seconds
+            # count has no penalty; find does. Compare their ratio per machine.
+            found = pstl.find(ctx, ctx.allocate(n, FLOAT64), 1.0).seconds
+            t[mach] = found / plain
+        # find scans half the data; without penalty the ratio would be ~0.5
+        # everywhere. The penalty lifts A's ratio more than B's.
+        assert t["A"] > t["B"]
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self, model_ctx):
+        arr1 = model_ctx.allocate(1 << 26, FLOAT64)
+        arr2 = model_ctx.allocate(1 << 26, FLOAT64)
+        r1 = pstl.inclusive_scan(model_ctx, arr1).report
+        r2 = pstl.inclusive_scan(model_ctx, arr2).report
+        assert r1.seconds == r2.seconds
+        assert r1.counters == r2.counters
+
+    def test_fresh_contexts_agree(self):
+        t1 = pstl.reduce(_ctx(), _ctx().allocate(1 << 24, FLOAT64)).seconds
+        t2 = pstl.reduce(_ctx(), _ctx().allocate(1 << 24, FLOAT64)).seconds
+        assert t1 == t2
+
+
+class TestCrossMachineConsistency:
+    def test_more_bandwidth_less_memory_time(self):
+        """Same memory-bound work is faster on the higher-bandwidth box."""
+        n = 1 << 28
+        times = {}
+        for mach in ("A", "C"):
+            machine = get_machine(mach)
+            ctx = ExecutionContext(machine, get_backend("gcc-tbb"), threads=32)
+            times[mach] = pstl.reduce(ctx, ctx.allocate(n, FLOAT64)).seconds
+        assert times["C"] < times["A"]
+
+    def test_more_cores_less_compute_time(self):
+        n = 1 << 22
+        kernel = listing1_kernel(1000)
+        t = {}
+        for mach in ("A", "C"):
+            machine = get_machine(mach)
+            ctx = ExecutionContext(
+                machine, get_backend("gcc-tbb"), threads=machine.total_cores
+            )
+            t[mach] = pstl.for_each(ctx, ctx.allocate(n, FLOAT64), kernel).seconds
+        assert t["C"] < t["A"]

@@ -1,0 +1,77 @@
+"""Tests for Counters and SimReport."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.report import Counters, PhaseReport, SimReport
+
+
+class TestCounters:
+    def test_addition(self):
+        a = Counters(instructions=10, fp_scalar=5, bytes_read=100)
+        b = Counters(instructions=1, fp_packed_256=2, bytes_written=50)
+        c = a + b
+        assert c.instructions == 11
+        assert c.fp_scalar == 5
+        assert c.fp_packed_256 == 2
+        assert c.data_volume == 150
+
+    def test_scaled(self):
+        c = Counters(instructions=3, bytes_read=8).scaled(100)
+        assert c.instructions == 300
+        assert c.bytes_read == 800
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            Counters().scaled(-1)
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(SimulationError):
+            Counters(instructions=-1)
+
+    def test_flops_weights_packed_lanes(self):
+        c = Counters(fp_scalar=4, fp_packed_128=2, fp_packed_256=1)
+        assert c.flops == 4 + 2 * 2 + 4 * 1
+
+    def test_gflops(self):
+        c = Counters(fp_scalar=2e9)
+        assert c.gflops(1.0) == pytest.approx(2.0)
+
+    def test_bandwidth_gib(self):
+        c = Counters(bytes_read=1 << 30)
+        assert c.bandwidth_gib(1.0) == pytest.approx(1.0)
+
+    def test_rates_require_positive_time(self):
+        with pytest.raises(SimulationError):
+            Counters().gflops(0.0)
+        with pytest.raises(SimulationError):
+            Counters().bandwidth_gib(-1.0)
+
+
+class TestSimReport:
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            SimReport(seconds=-1.0, counters=Counters())
+
+    def test_with_extra_seconds(self):
+        r = SimReport(seconds=1.0, counters=Counters())
+        r2 = r.with_extra_seconds(0.5, migration=0.5)
+        assert r2.seconds == 1.5
+        assert r2.migration_seconds == 0.5
+        assert r.seconds == 1.0  # original untouched
+
+    def test_extra_must_be_nonnegative(self):
+        r = SimReport(seconds=1.0, counters=Counters())
+        with pytest.raises(SimulationError):
+            r.with_extra_seconds(-0.1)
+
+    def test_phase_report_validation(self):
+        with pytest.raises(SimulationError):
+            PhaseReport(
+                name="p",
+                seconds=-1.0,
+                compute_seconds=0,
+                memory_seconds=0,
+                overhead_seconds=0,
+                counters=Counters(),
+            )

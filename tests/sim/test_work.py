@@ -1,0 +1,91 @@
+"""Tests for the WorkProfile IR."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.execution.policy import PAR
+from repro.sim.work import ChunkWork, Phase, PhaseKind, WorkProfile
+from repro.types import FLOAT64
+
+
+def _chunk(thread=0, elems=10.0, instr=10.0, **kw):
+    return ChunkWork(thread=thread, elems=elems, instr=instr, **kw)
+
+
+def _phase(kind=PhaseKind.PARALLEL, chunks=None, **kw):
+    return Phase(name="p", kind=kind, chunks=chunks or (_chunk(),), **kw)
+
+
+class TestChunkWork:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            _chunk(instr=-1.0)
+        with pytest.raises(SimulationError):
+            ChunkWork(thread=-1, elems=1, instr=1)
+
+
+class TestPhase:
+    def test_requires_chunks(self):
+        with pytest.raises(SimulationError):
+            Phase(name="p", kind=PhaseKind.PARALLEL, chunks=())
+
+    def test_sequential_single_thread_enforced(self):
+        with pytest.raises(SimulationError):
+            Phase(
+                name="p",
+                kind=PhaseKind.SEQUENTIAL,
+                chunks=(_chunk(thread=0), _chunk(thread=1)),
+            )
+
+    def test_totals(self):
+        p = _phase(
+            chunks=(
+                _chunk(elems=5, bytes_read=40.0),
+                _chunk(thread=1, elems=3, bytes_written=24.0),
+            )
+        )
+        assert p.total_elems == 8
+        assert p.total_bytes == 64
+
+    def test_spread_penalty_lower_bound(self):
+        with pytest.raises(SimulationError):
+            _phase(spread_penalty=0.5)
+
+
+class TestWorkProfile:
+    def _profile(self, threads=2, phases=None, regions=1):
+        return WorkProfile(
+            alg="reduce",
+            n=100,
+            elem=FLOAT64,
+            threads=threads,
+            policy=PAR,
+            phases=phases or (_phase(chunks=(_chunk(), _chunk(thread=1))),),
+            regions=regions,
+        )
+
+    def test_valid(self):
+        p = self._profile()
+        assert p.is_parallel
+
+    def test_thread_ids_bounded(self):
+        with pytest.raises(SimulationError):
+            self._profile(threads=1)
+
+    def test_needs_phases(self):
+        with pytest.raises(SimulationError):
+            WorkProfile(
+                alg="x", n=1, elem=FLOAT64, threads=1, policy=PAR, phases=()
+            )
+
+    def test_zero_regions_not_parallel(self):
+        p = WorkProfile(
+            alg="x",
+            n=1,
+            elem=FLOAT64,
+            threads=1,
+            policy=PAR,
+            phases=(_phase(kind=PhaseKind.SEQUENTIAL),),
+            regions=0,
+        )
+        assert not p.is_parallel

@@ -1,0 +1,103 @@
+"""Tests for the benchmark cases and Listing-3 wrappers."""
+
+import pytest
+
+from repro.counters.likwid import LikwidMarkers
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.suite.cases import HEADLINE_CASES, case_names, get_case
+from repro.suite.wrappers import make_bench_fn, measure_case, run_case
+from repro.bench.state import BenchState
+from repro.types import FLOAT64
+
+
+class TestCaseRegistry:
+    def test_headline_cases_present(self):
+        for name in HEADLINE_CASES:
+            assert get_case(name).name == name
+
+    def test_extended_set_present(self):
+        for name in ("transform", "copy", "fill", "count", "merge", "min_element"):
+            assert get_case(name) is not None
+
+    def test_unknown_case(self):
+        with pytest.raises(ConfigurationError):
+            get_case("quantum_sort")
+
+    def test_names_sorted(self):
+        assert case_names() == sorted(case_names())
+
+    def test_at_least_17_supported_cases(self):
+        # Table 1 gray set: the suite supports a meaningful subset.
+        assert len(case_names()) >= 17
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("name", HEADLINE_CASES)
+    def test_headline_cases_run_in_model_mode(self, model_ctx, name):
+        result = run_case(get_case(name), model_ctx, 1 << 20, min_time=0.0)
+        assert result.mean_time > 0
+        assert result.iterations >= 1
+
+    @pytest.mark.parametrize("name", ["reduce", "sort", "for_each_k1"])
+    def test_cases_run_in_run_mode(self, run_ctx, name):
+        result = run_case(get_case(name), run_ctx, 1 << 12, min_time=0.0)
+        assert result.mean_time > 0
+
+    def test_gnu_scan_raises(self, mach_a, gnu):
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, gnu, threads=8)
+        with pytest.raises(UnsupportedOperationError):
+            run_case(get_case("inclusive_scan"), ctx, 1 << 20, min_time=0.0)
+
+    def test_min_time_loop_batches(self, model_ctx):
+        result = run_case(get_case("reduce"), model_ctx, 1 << 26, min_time=5.0)
+        assert result.total_time >= 5.0
+        assert result.iterations > 3
+
+    def test_bytes_processed_set(self, model_ctx):
+        n = 1 << 20
+        result = run_case(get_case("reduce"), model_ctx, n, min_time=0.0)
+        assert result.bytes_processed == result.iterations * n * 8
+
+    def test_markers_capture_regions(self, model_ctx):
+        markers = LikwidMarkers()
+        run_case(get_case("reduce"), model_ctx, 1 << 20, markers=markers, min_time=0.0)
+        assert markers.get("reduce").calls >= 1
+
+
+class TestMeasureCase:
+    def test_deterministic(self, model_ctx):
+        case = get_case("for_each_k1")
+        t1 = measure_case(case, model_ctx, 1 << 24)
+        t2 = measure_case(case, model_ctx, 1 << 24)
+        assert t1 == t2
+
+    def test_scales_with_n(self, model_ctx):
+        case = get_case("reduce")
+        t_small = measure_case(case, model_ctx, 1 << 20)
+        t_big = measure_case(case, model_ctx, 1 << 28)
+        assert t_big > 10 * t_small
+
+
+class TestBenchFnContract:
+    def test_bench_fn_obeys_state_protocol(self, model_ctx):
+        fn = make_bench_fn(get_case("reduce"), model_ctx, 1 << 20)
+        state = BenchState(ranges=(1 << 20,), min_time=0.5)
+        fn(state)
+        result = state.finish("x")
+        assert result.total_time >= 0.5
+
+    def test_invalid_n_rejected(self, model_ctx):
+        with pytest.raises(ConfigurationError):
+            make_bench_fn(get_case("reduce"), model_ctx, 0)
+
+    def test_real_iterations_validated(self, model_ctx):
+        with pytest.raises(ConfigurationError):
+            make_bench_fn(get_case("reduce"), model_ctx, 8, real_iterations=0)
+
+    def test_elem_override(self, model_ctx):
+        from repro.types import FLOAT32
+
+        result = run_case(get_case("reduce"), model_ctx, 1 << 20, elem=FLOAT32, min_time=0.0)
+        assert result.bytes_processed == result.iterations * (1 << 20) * 4

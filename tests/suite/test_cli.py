@@ -1,0 +1,88 @@
+"""Tests for the pstl-bench CLI."""
+
+import pytest
+
+from repro.suite.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.machine == "A"
+        assert args.backend == "gcc-tbb"
+        assert args.mode == "model"
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--machine", "C",
+                "--backend", "all",
+                "--case", "sort",
+                "--threads", "64",
+                "--size", "2^20",
+                "--sweep", "threads",
+                "--format", "json",
+            ]
+        )
+        assert args.size == "2^20"
+        assert args.sweep == "threads"
+
+
+class TestMain:
+    def test_single_point_console(self, capsys):
+        rc = main(["--case", "reduce", "--size", "2^20", "--min-time", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reduce<GCC-TBB>" in out
+
+    def test_csv_format(self, capsys):
+        rc = main(
+            ["--case", "reduce", "--size", "2^16", "--min-time", "0.001", "--format", "csv"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("name,")
+
+    def test_json_format(self, capsys):
+        import json
+
+        rc = main(
+            ["--case", "fill", "--size", "2^16", "--min-time", "0.001", "--format", "json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmarks"]
+
+    def test_all_backends_handles_na(self, capsys):
+        rc = main(
+            [
+                "--backend", "all",
+                "--case", "inclusive_scan",
+                "--size", "2^16",
+                "--min-time", "0.001",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "N/A" in captured.err  # GNU's missing scan is reported
+        assert "inclusive_scan<GCC-TBB>" in captured.out
+
+    def test_size_sweep(self, capsys):
+        rc = main(["--case", "reduce", "--sweep", "sizes", "--min-time", "0.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n=8" in out and f"n={1 << 30}" in out
+
+    def test_thread_sweep(self, capsys):
+        rc = main(
+            ["--case", "reduce", "--sweep", "threads", "--size", "2^20", "--machine", "A"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "t=1" in out and "t=32" in out
+
+    def test_unknown_machine_exit_code(self, capsys):
+        assert main(["--machine", "Z9"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_case_exit_code(self):
+        assert main(["--case", "bogo_sort"]) == 2

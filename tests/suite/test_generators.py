@@ -1,0 +1,82 @@
+"""Tests for the input generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.suite.generators import (
+    generate_increment,
+    random_target,
+    reshuffle,
+    shuffled_permutation,
+)
+from repro.types import FLOAT64
+
+
+class TestGenerateIncrement:
+    def test_values_one_to_n(self, run_ctx):
+        arr = generate_increment(run_ctx, 100)
+        assert arr.data[0] == 1.0
+        assert arr.data[-1] == 100.0
+
+    def test_model_mode_lazy(self, model_ctx):
+        arr = generate_increment(model_ctx, 1 << 30)
+        assert arr.data is None
+        assert arr.n == 1 << 30
+
+    def test_size_validated(self, run_ctx):
+        with pytest.raises(ConfigurationError):
+            generate_increment(run_ctx, 0)
+
+
+class TestShuffledPermutation:
+    def test_is_permutation(self, run_ctx):
+        arr = shuffled_permutation(run_ctx, 1000)
+        assert sorted(arr.data.tolist()) == list(map(float, range(1, 1001)))
+
+    def test_actually_shuffled(self, run_ctx):
+        arr = shuffled_permutation(run_ctx, 1000)
+        assert not np.all(arr.data == np.arange(1, 1001))
+
+    def test_deterministic_per_seed(self, run_ctx):
+        a = shuffled_permutation(run_ctx, 100)
+        b = shuffled_permutation(run_ctx, 100)
+        assert np.all(a.data == b.data)
+
+
+class TestReshuffle:
+    def test_changes_order_preserves_set(self, run_ctx):
+        arr = shuffled_permutation(run_ctx, 500)
+        before = arr.data.copy()
+        reshuffle(run_ctx, arr, iteration=1)
+        assert not np.all(arr.data == before)
+        assert sorted(arr.data.tolist()) == sorted(before.tolist())
+
+    def test_deterministic_per_iteration(self, run_ctx):
+        a = shuffled_permutation(run_ctx, 100)
+        b = shuffled_permutation(run_ctx, 100)
+        reshuffle(run_ctx, a, 3)
+        reshuffle(run_ctx, b, 3)
+        assert np.all(a.data == b.data)
+
+    def test_noop_in_model_mode(self, model_ctx):
+        arr = model_ctx.allocate(100, FLOAT64)
+        reshuffle(model_ctx, arr, 0)  # must not raise
+
+
+class TestRandomTarget:
+    def test_target_in_value_range(self, run_ctx):
+        arr = generate_increment(run_ctx, 1000)
+        for it in range(10):
+            t = random_target(run_ctx, arr, it)
+            assert 1.0 <= t <= 1000.0
+            assert t == int(t)
+
+    def test_deterministic(self, run_ctx):
+        arr = generate_increment(run_ctx, 1000)
+        assert random_target(run_ctx, arr, 5) == random_target(run_ctx, arr, 5)
+
+    def test_varies_by_iteration(self, run_ctx):
+        arr = generate_increment(run_ctx, 10_000)
+        targets = {random_target(run_ctx, arr, it) for it in range(20)}
+        assert len(targets) > 10

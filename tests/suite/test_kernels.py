@@ -1,0 +1,85 @@
+"""Tests for the Listing 1 kernel and the GPU volatile-elision quirk."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.suite.kernels import (
+    KERNEL_BASE_INSTR,
+    KERNEL_INSTR_PER_ITER,
+    NVC_GPU_DOUBLE_ELISION_LIMIT,
+    gpu_loop_elided,
+    listing1_kernel,
+)
+from repro.types import FLOAT32, FLOAT64, INT32
+
+
+class TestCpuKernel:
+    def test_cost_linear_in_k(self):
+        k1 = listing1_kernel(1)
+        k1000 = listing1_kernel(1000)
+        assert k1.instr_per_elem == KERNEL_BASE_INSTR + KERNEL_INSTR_PER_ITER
+        assert k1000.instr_per_elem == pytest.approx(
+            KERNEL_BASE_INSTR + 1000 * KERNEL_INSTR_PER_ITER
+        )
+
+    def test_fp_ops_equal_k_for_floats(self):
+        assert listing1_kernel(7, FLOAT64).fp_per_elem == 7.0
+        assert listing1_kernel(7, FLOAT32).fp_per_elem == 7.0
+
+    def test_int_increments_are_not_fp(self):
+        k = listing1_kernel(7, INT32)
+        assert k.fp_per_elem == 0.0
+        # the increments are still executed, as ALU instructions
+        assert k.instr_per_elem > listing1_kernel(7, FLOAT64).instr_per_elem
+
+    def test_functional_result_is_k(self):
+        k = listing1_kernel(42)
+        out = k(np.zeros(4))
+        assert np.all(out == 42.0)
+
+    def test_k_zero(self):
+        k = listing1_kernel(0)
+        assert k.fp_per_elem == 0.0
+        assert np.all(k(np.ones(3)) == 0.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            listing1_kernel(-1)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            listing1_kernel(1, FLOAT64, target="fpga")
+
+
+class TestGpuVolatileQuirk:
+    """Section 5.8: nvc++ ignores volatile on the GPU target."""
+
+    def test_int_always_elided(self):
+        assert gpu_loop_elided(1, INT32)
+        assert gpu_loop_elided(10**9, INT32)
+
+    def test_double_elided_below_magic_number(self):
+        assert gpu_loop_elided(NVC_GPU_DOUBLE_ELISION_LIMIT - 1, FLOAT64)
+        assert not gpu_loop_elided(NVC_GPU_DOUBLE_ELISION_LIMIT, FLOAT64)
+
+    def test_float_never_elided(self):
+        assert not gpu_loop_elided(1, FLOAT32)
+        assert not gpu_loop_elided(10**6, FLOAT32)
+
+    def test_gpu_double_kernel_cost_collapses(self):
+        k = listing1_kernel(1000, FLOAT64, target="gpu")
+        assert k.fp_per_elem == 0.0
+        assert k.instr_per_elem == KERNEL_BASE_INSTR
+
+    def test_gpu_double_kernel_above_limit_full_cost(self):
+        k = listing1_kernel(70_000, FLOAT64, target="gpu")
+        assert k.fp_per_elem == 70_000
+
+    def test_gpu_float_kernel_keeps_cost(self):
+        k = listing1_kernel(1000, FLOAT32, target="gpu")
+        assert k.fp_per_elem == 1000.0
+
+    def test_elision_preserves_functional_result(self):
+        k = listing1_kernel(1000, FLOAT64, target="gpu")
+        assert np.all(k(np.zeros(3)) == 1000.0)

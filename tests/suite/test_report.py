@@ -1,0 +1,61 @@
+"""Tests for the full-suite runner."""
+
+import pytest
+
+from repro.suite.cases import case_names
+from repro.suite.report import run_suite
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    machine = get_machine("A")
+    ctx = ExecutionContext(machine, get_backend("gcc-tbb"), threads=32)
+    seq = ExecutionContext(machine, get_backend("gcc-seq"), threads=1)
+    return run_suite(ctx, seq, n=1 << 20, min_time=0.0)
+
+
+class TestRunSuite:
+    def test_covers_all_cases(self, report):
+        assert len(report.results) + len(report.unsupported) == len(case_names())
+
+    def test_no_unsupported_for_tbb(self, report):
+        assert report.unsupported == ()
+
+    def test_speedups_computable(self, report):
+        for case in report.results:
+            assert report.speedup(case) > 0
+
+    def test_render_mentions_every_case(self, report):
+        rendered = report.render()
+        for case in case_names():
+            assert case in rendered
+
+    def test_gnu_marks_scans_na(self):
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+        from repro.machines import get_machine
+
+        machine = get_machine("A")
+        ctx = ExecutionContext(machine, get_backend("gcc-gnu"), threads=32)
+        seq = ExecutionContext(machine, get_backend("gcc-seq"), threads=1)
+        report = run_suite(
+            ctx, seq, n=1 << 18, min_time=0.0, cases=["inclusive_scan", "reduce"]
+        )
+        assert report.unsupported == ("inclusive_scan",)
+        assert report.speedup("inclusive_scan") is None
+        assert "N/A" in report.render()
+
+    def test_case_subset(self):
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+        from repro.machines import get_machine
+
+        machine = get_machine("A")
+        ctx = ExecutionContext(machine, get_backend("gcc-tbb"), threads=8)
+        seq = ExecutionContext(machine, get_backend("gcc-seq"), threads=1)
+        report = run_suite(ctx, seq, n=1 << 16, min_time=0.0, cases=["sort"])
+        assert set(report.results) == {"sort"}

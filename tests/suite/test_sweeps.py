@@ -1,0 +1,78 @@
+"""Tests for problem-size and strong-scaling sweeps."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.suite.cases import get_case
+from repro.suite.sweeps import (
+    problem_scaling,
+    problem_sizes,
+    strong_scaling,
+    thread_counts,
+)
+
+
+class TestGrids:
+    def test_default_sizes_paper_range(self):
+        sizes = problem_sizes()
+        assert sizes[0] == 8  # 2^3
+        assert sizes[-1] == 1 << 30
+        assert len(sizes) == 28
+
+    def test_size_step(self):
+        sizes = problem_sizes(step=3)
+        assert sizes[0] == 8 and sizes[1] == 64
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            problem_sizes(min_exp=5, max_exp=3)
+
+    def test_thread_counts_powers_plus_max(self):
+        assert thread_counts(32) == [1, 2, 4, 8, 16, 32]
+        assert thread_counts(24) == [1, 2, 4, 8, 16, 24]
+        assert thread_counts(1) == [1]
+
+    def test_thread_counts_validated(self):
+        with pytest.raises(ConfigurationError):
+            thread_counts(0)
+
+
+class TestProblemScaling:
+    def test_monotone_at_scale(self, model_ctx):
+        sweep = problem_scaling(
+            get_case("reduce"), model_ctx, sizes=[1 << e for e in range(20, 29, 2)]
+        )
+        ys = sweep.ys()
+        assert all(b > a for a, b in zip(ys, ys[1:]))
+
+    def test_unsupported_marks_points(self, mach_a, gnu):
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_a, gnu, threads=8)
+        sweep = problem_scaling(get_case("inclusive_scan"), ctx, sizes=[64, 128])
+        assert sweep.xs() == []
+        assert all(not p.supported for p in sweep.points)
+        assert all(math.isnan(p.seconds) for p in sweep.points)
+
+
+class TestStrongScaling:
+    def test_speedup_improves_with_threads(self, model_ctx):
+        sweep = strong_scaling(
+            get_case("for_each_k1000"), model_ctx, 1 << 26, threads=[1, 4, 16, 32]
+        )
+        ys = sweep.ys()
+        assert ys[0] > ys[-1]
+
+    def test_label_carries_backend(self, model_ctx):
+        sweep = strong_scaling(get_case("reduce"), model_ctx, 1 << 20, threads=[1, 2])
+        assert "GCC-TBB" in sweep.label
+
+    def test_gpu_rejected(self, mach_d):
+        from repro.backends import get_backend
+        from repro.execution.context import ExecutionContext
+
+        ctx = ExecutionContext(mach_d, get_backend("nvc-cuda"))
+        with pytest.raises(ConfigurationError):
+            strong_scaling(get_case("reduce"), ctx, 1 << 20)

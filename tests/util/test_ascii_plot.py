@@ -1,0 +1,57 @@
+"""Tests for repro.util.ascii_plot."""
+
+import pytest
+
+from repro.util.ascii_plot import Series, line_plot
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [], [])
+
+
+class TestLinePlot:
+    def test_basic_plot_contains_markers_and_legend(self):
+        s = Series("speedup", [1, 2, 4, 8], [1.0, 2.0, 3.5, 6.0])
+        out = line_plot([s])
+        assert "o" in out
+        assert "speedup" in out
+
+    def test_multiple_series_distinct_markers(self):
+        a = Series("a", [1, 2], [1.0, 2.0])
+        b = Series("b", [1, 2], [2.0, 1.0])
+        out = line_plot([a, b])
+        assert "o a" in out and "x b" in out
+
+    def test_log_axes(self):
+        s = Series("s", [8, 1 << 30], [1e-6, 1.0])
+        out = line_plot([s], logx=True, logy=True)
+        assert isinstance(out, str) and len(out.splitlines()) > 5
+
+    def test_log_rejects_nonpositive(self):
+        s = Series("s", [0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            line_plot([s], logx=True)
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_tiny_canvas_rejected(self):
+        s = Series("s", [1], [1.0])
+        with pytest.raises(ValueError):
+            line_plot([s], width=4, height=2)
+
+    def test_constant_series_ok(self):
+        s = Series("flat", [1, 2, 3], [5.0, 5.0, 5.0])
+        out = line_plot([s])
+        assert "flat" in out
+
+    def test_title(self):
+        s = Series("s", [1, 2], [1.0, 2.0])
+        assert line_plot([s], title="T").splitlines()[0] == "T"

@@ -1,0 +1,96 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    ConfidenceInterval,
+    geomean,
+    harmonic_mean,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_median_odd(self):
+        assert median([5.0, 1.0, 3.0]) == pytest.approx(3.0)
+
+    def test_median_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([40.0, 60.0]) == pytest.approx(48.0)
+
+    def test_stddev_single_sample_is_zero(self):
+        assert stddev([3.0]) == 0.0
+
+    def test_stddev_known(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 50) == pytest.approx(50.0)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_rejected(self):
+        for fn in (mean, median, geomean, harmonic_mean, stddev):
+            with pytest.raises(ValueError):
+                fn([])
+
+
+class TestConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        ci = ConfidenceInterval.from_samples([5.0])
+        assert ci.center == 5.0
+        assert ci.halfwidth == 0.0
+
+    def test_contains_center(self):
+        ci = ConfidenceInterval.from_samples([1.0, 2.0, 3.0])
+        assert ci.contains(ci.center)
+        assert ci.low <= 2.0 <= ci.high
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval.from_samples([1.0, 2.0], level=1.5)
+
+    def test_wider_at_higher_level(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        ci90 = ConfidenceInterval.from_samples(samples, level=0.90)
+        ci99 = ConfidenceInterval.from_samples(samples, level=0.99)
+        assert ci99.halfwidth > ci90.halfwidth
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+def test_mean_bounds(values):
+    """Mean lies within [min, max] of the sample."""
+    m = mean(values)
+    assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+def test_hm_le_gm_le_am(values):
+    """Classic mean inequality chain: harmonic <= geometric <= arithmetic."""
+    hm = harmonic_mean(values)
+    gm = geomean(values)
+    am = mean(values)
+    assert hm <= gm * (1 + 1e-9)
+    assert gm <= am * (1 + 1e-9)

@@ -1,0 +1,69 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import TextTable, render_grid
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(headers=["Name", "Value"])
+        table.add_row(["a", 1])
+        table.add_row(["bb", 22])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert "----" in lines[1]
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("bb")
+
+    def test_title(self):
+        table = TextTable(headers=["x"], title="My Table")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_alignment_default_right_for_values(self):
+        table = TextTable(headers=["Name", "Val"])
+        table.add_row(["a", 5])
+        row = table.render().splitlines()[-1]
+        assert row.endswith("5")
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable(headers=["a"], aligns=["^"])
+
+    def test_aligns_length_checked(self):
+        with pytest.raises(ValueError):
+            TextTable(headers=["a", "b"], aligns=["<"])
+
+    def test_wide_cells_expand_columns(self):
+        table = TextTable(headers=["h"])
+        table.add_row(["wide-cell-content"])
+        rule_line = table.render().splitlines()[1]
+        assert len(rule_line) >= len("wide-cell-content")
+
+
+class TestRenderGrid:
+    def test_grid_shape(self):
+        out = render_grid(["r1", "r2"], ["c1", "c2"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "c1" in lines[0] and "c2" in lines[0]
+        assert lines[2].startswith("r1")
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_grid(["r1"], ["c1"], [[1], [2]])
+
+    def test_mismatched_cols_rejected(self):
+        with pytest.raises(ValueError):
+            render_grid(["r1"], ["c1", "c2"], [[1]])
+
+    def test_title_rendered(self):
+        out = render_grid(["r"], ["c"], [[0]], title="G")
+        assert out.splitlines()[0] == "G"

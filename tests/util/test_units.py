@@ -1,0 +1,97 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_count,
+    format_seconds,
+    parse_size,
+)
+
+
+class TestFormatBytes:
+    def test_mib(self):
+        assert format_bytes(int(17.21 * MIB)) == "17.21 MiB"
+
+    def test_gib(self):
+        assert format_bytes(2 * GIB) == "2.00 GiB"
+
+    def test_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib_boundary(self):
+        assert format_bytes(KIB) == "1.00 KiB"
+
+    def test_precision(self):
+        assert format_bytes(1536, precision=1) == "1.5 KiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.500 s"
+
+    def test_millis(self):
+        assert format_seconds(0.0042) == "4.200 ms"
+
+    def test_micros(self):
+        assert format_seconds(3.5e-6) == "3.500 us"
+
+    def test_nanos(self):
+        assert format_seconds(2e-9) == "2.000 ns"
+
+    def test_zero(self):
+        assert format_seconds(0) == "0 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-0.1)
+
+
+class TestFormatCount:
+    def test_tera(self):
+        assert format_count(1.72e12) == "1.72T"
+
+    def test_giga(self):
+        assert format_count(107e9) == "107.00G"
+
+    def test_small(self):
+        assert format_count(42) == "42"
+
+    def test_kilo(self):
+        assert format_count(1500) == "1.50K"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_count(-5)
+
+
+class TestParseSize:
+    def test_power_of_two(self):
+        assert parse_size("2^30") == 1 << 30
+
+    def test_plain_integer(self):
+        assert parse_size("1048576") == 1048576
+
+    def test_mib_suffix(self):
+        assert parse_size("64MiB") == 64 * MIB
+
+    def test_decimal_suffix(self):
+        assert parse_size("1.5gib") == int(1.5 * GIB)
+
+    def test_short_suffix_is_binary(self):
+        assert parse_size("4k") == 4 * KIB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size(" 2^10 ") == 1024
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("")

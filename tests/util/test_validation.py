@@ -1,0 +1,51 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    is_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(0.1, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(-1, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        check_in_range(0, 0, 1, "x")
+        check_in_range(1, 0, 1, "x")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.1, 0, 1, "x")
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1 << 30])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, (1 << 30) - 1])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+    def test_check_raises(self):
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(3, "n")
+
+    def test_check_accepts(self):
+        check_power_of_two(8, "n")

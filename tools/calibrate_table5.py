@@ -1,0 +1,39 @@
+"""Calibration helper: our Table 5 vs the paper's, with ratios."""
+from repro.experiments.table5 import cell_speedup
+
+PAPER = {
+ ("GCC-TBB","find"): (8.9,5.8,4.7), ("GCC-TBB","for_each_k1"): (14.2,6.1,8.5),
+ ("GCC-TBB","for_each_k1000"): (32.5,54.9,102.0), ("GCC-TBB","inclusive_scan"): (4.5,3.1,4.7),
+ ("GCC-TBB","reduce"): (10.0,5.1,6.9), ("GCC-TBB","sort"): (9.7,9.4,10.6),
+ ("GCC-GNU","find"): (8.0,3.2,2.2), ("GCC-GNU","for_each_k1"): (15.0,7.8,9.1),
+ ("GCC-GNU","for_each_k1000"): (32.5,54.9,106.5), ("GCC-GNU","inclusive_scan"): None,
+ ("GCC-GNU","reduce"): (11.0,4.7,6.0), ("GCC-GNU","sort"): (25.4,26.9,66.6),
+ ("GCC-HPX","find"): (6.4,1.4,1.1), ("GCC-HPX","for_each_k1"): (7.2,1.8,1.4),
+ ("GCC-HPX","for_each_k1000"): (32.4,43.7,84.8), ("GCC-HPX","inclusive_scan"): (3.0,0.9,1.0),
+ ("GCC-HPX","reduce"): (7.3,0.9,1.2), ("GCC-HPX","sort"): (10.1,8.0,8.1),
+ ("ICC-TBB","find"): (9.0,None,4.8), ("ICC-TBB","for_each_k1"): (13.9,None,8.2),
+ ("ICC-TBB","for_each_k1000"): (32.5,None,106.7), ("ICC-TBB","inclusive_scan"): (4.5,None,4.7),
+ ("ICC-TBB","reduce"): (10.2,None,6.8), ("ICC-TBB","sort"): (10.1,None,9.0),
+ ("NVC-OMP","find"): (6.1,1.4,1.2), ("NVC-OMP","for_each_k1"): (22.1,15.0,13.0),
+ ("NVC-OMP","for_each_k1000"): (32.0,54.8,106.5), ("NVC-OMP","inclusive_scan"): (0.9,0.8,0.9),
+ ("NVC-OMP","reduce"): (11.0,4.8,11.9), ("NVC-OMP","sort"): (7.1,6.3,6.7),
+}
+
+MACHS = ("A","B","C")
+bad = 0; total = 0
+for (backend, case), paper in sorted(PAPER.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+    row = []
+    for i, m in enumerate(MACHS):
+        p = paper[i] if paper else None
+        ours = cell_speedup(m, backend, case)
+        if p is None or ours is None:
+            row.append("   N/A    ")
+            continue
+        ratio = ours / p
+        total += 1
+        flag = " "
+        if not (0.55 <= ratio <= 1.8):
+            flag = "*"; bad += 1
+        row.append(f"{ours:5.1f}/{p:5.1f}{flag}")
+    print(f"{case:16s} {backend:8s} " + "  ".join(row))
+print(f"\nout-of-band cells: {bad}/{total}")
