@@ -4,7 +4,19 @@ Asserts: at k_it = 1, NVC-OMP reaches the best speedup and HPX is nearly
 flat past 16 threads; at k_it = 1000, everyone is near-ideal except HPX,
 and on Mach C the parallel efficiencies land in the paper's 66 % (HPX) vs
 79-83 % (others) bands.
+
+Also runnable as a script to capture an execution trace of the sweep
+(see docs/OBSERVABILITY.md)::
+
+    python benchmarks/bench_fig3_foreach_strong.py --trace fig3.json
 """
+
+import sys
+
+if __name__ == "__main__":  # allow running without an installed repro
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import pytest
 
@@ -70,3 +82,48 @@ def test_k1_speedups_far_from_ideal(curves):
     for machine, cores in (("A", 32), ("B", 64), ("C", 128)):
         top = curves[(machine, "GCC-TBB", 1)].max_speedup()
         assert top < cores * 0.75
+
+
+def main(argv=None) -> int:
+    """Trace one fig3 strong-scaling curve and optionally export it.
+
+    ``--trace out.json`` writes a Chrome trace-event file (open it in
+    Perfetto): one ``for_each`` call span per thread count, each holding
+    its phase spans and one lane per simulated thread.
+    """
+    import argparse
+
+    from repro.trace import Tracer, use_tracer, write_chrome_trace
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--machine", default="A", help="machine preset (A/B/C)")
+    parser.add_argument("--backend", default="GCC-TBB", help="parallel backend")
+    parser.add_argument("--k", type=int, default=1000, choices=(1, 1000),
+                        help="kernel intensity k_it")
+    parser.add_argument("--size", type=int, default=30,
+                        help="log2 problem size (paper uses 30)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="write a Chrome trace-event file of the sweep")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            curve = foreach_scaling_curve(
+                args.machine, args.backend, args.k, args.size
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for threads, speedup in zip(curve.threads, curve.speedups()):
+        print(f"t={threads:4d}  speedup={speedup:7.2f}")
+    if args.trace:
+        n_spans = write_chrome_trace(tracer, args.trace)
+        print(f"trace: {n_spans} spans -> {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Capture execution traces in both modes and export them for Perfetto.
+
+    python examples/trace_and_visualize.py
+
+Demonstrates the observability layer (docs/OBSERVABILITY.md):
+
+1. trace a **model-mode** paper-scale call and print the span timeline;
+2. trace a **run-mode** call (real NumPy data) -- same spans, because
+   both modes build the same work profiles;
+3. aggregate a traced min-time benchmark loop into the breakdown table;
+4. write a Chrome trace-event JSON to open at https://ui.perfetto.dev.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ExecutionContext, pstl
+from repro.analysis.breakdown import render_phase_shares
+from repro.backends import get_backend
+from repro.machines import get_machine
+from repro.suite.cases import get_case
+from repro.suite.wrappers import run_case
+from repro.trace import Tracer, aggregate_phases, use_tracer, write_chrome_trace
+from repro.types import FLOAT64
+
+
+def show_spans(tracer: Tracer, limit: int = 12) -> None:
+    """Print the first spans of a trace, one line each."""
+    for span in tracer.spans[:limit]:
+        print(
+            f"  {span.track:<10} {span.category:<9} {span.name:<14} "
+            f"start={span.start * 1e3:9.4f} ms  dur={span.duration * 1e3:9.4f} ms"
+        )
+    if len(tracer.spans) > limit:
+        print(f"  ... {len(tracer.spans) - limit} more spans")
+
+
+def main() -> None:
+    machine = get_machine("A")  # 32-core Skylake (Table 2)
+    backend = get_backend("gcc-tbb")
+
+    # --- 1. model mode: paper-scale, nothing materialised ------------------
+    ctx = ExecutionContext(machine, backend, threads=8, mode="model")
+    with use_tracer(Tracer()) as tracer:
+        arr = ctx.allocate(1 << 26, FLOAT64)
+        result = pstl.reduce(ctx, arr)
+    print(f"model-mode reduce(2^26): {result.seconds * 1e3:.3f} ms simulated")
+    show_spans(tracer)
+    # Expected shape: one "reduce" call span on the main track, a
+    # "chunk-reduce" + "combine" phase pair on the phases track, one lane
+    # span per simulated thread (thread 0..7), and a fork/join overhead
+    # span. chunk-reduce is memory-bound (attributes carry the split).
+
+    # --- 2. run mode: same spans over real data ----------------------------
+    run_ctx = ctx.with_(mode="run")
+    with use_tracer(Tracer()) as run_tracer:
+        data = run_ctx.array_from(
+            np.arange(1, 65537, dtype=np.float64), FLOAT64
+        )
+        total = pstl.reduce(run_ctx, data)
+    print(f"\nrun-mode reduce(1..65536) = {total.value:.0f}")
+    show_spans(run_tracer)
+    # Expected: identical span structure (call/phase/lane/fork-join) --
+    # run and model mode build the same work profiles, so the trace only
+    # differs in n and the resulting durations.
+
+    # --- 3. a traced benchmark loop, aggregated ----------------------------
+    with use_tracer(Tracer()) as bench_tracer:
+        row = run_case(get_case("for_each_k1"), ctx, 1 << 26, min_time=0.05)
+    print(
+        f"\nbenchmark {row.name}: {row.iterations} iterations, "
+        f"{len(bench_tracer.spans)} spans"
+    )
+    print(
+        render_phase_shares(
+            aggregate_phases(bench_tracer),
+            title="where the traced session's time went",
+        )
+    )
+    # Expected: a bench:for_each... span wrapping warmup/measure spans and
+    # one for_each call span per real invocation; the table shows the map
+    # phase dominating with fork/join a small overhead share.
+
+    # --- 4. export for Perfetto / chrome://tracing -------------------------
+    out = Path(tempfile.gettempdir()) / "repro_trace_example.json"
+    n_spans = write_chrome_trace(bench_tracer, str(out))
+    print(f"wrote {n_spans} spans to {out} -- open at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,18 +4,24 @@ Answers "where did the time go?" for one algorithm call: per phase, the
 compute vs memory vs scheduling split, plus fork/join and (GPU)
 migration costs -- rendered as a table. Used by examples and handy when
 extending the backend models.
+
+Two inputs produce the same :class:`PhaseShare` rows: a single
+:class:`~repro.sim.report.SimReport` (:func:`breakdown`) or a whole
+traced session aggregated by ``repro.trace.metrics.aggregate_phases``;
+:func:`render_phase_shares` renders either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.report import SimReport
 from repro.util.tables import TextTable
 from repro.util.units import format_seconds
 
-__all__ = ["PhaseShare", "breakdown", "render_breakdown"]
+__all__ = ["PhaseShare", "breakdown", "render_breakdown", "render_phase_shares"]
 
 
 @dataclass(frozen=True)
@@ -71,12 +77,20 @@ def breakdown(report: SimReport) -> list[PhaseShare]:
     return shares
 
 
-def render_breakdown(report: SimReport, title: str | None = None) -> str:
-    """Aligned where-did-the-time-go table."""
+def render_phase_shares(
+    shares: Sequence[PhaseShare], title: str | None = None
+) -> str:
+    """Aligned where-did-the-time-go table over prepared share rows.
+
+    Accepts the output of :func:`breakdown` or of
+    ``repro.trace.metrics.aggregate_phases`` (a traced session's
+    phase totals), so one renderer serves both the single-invocation
+    and the whole-trace views.
+    """
     table = TextTable(
         headers=["Phase", "Time", "Share", "Bound by"], title=title
     )
-    for share in breakdown(report):
+    for share in shares:
         table.add_row(
             [
                 share.name,
@@ -86,3 +100,8 @@ def render_breakdown(report: SimReport, title: str | None = None) -> str:
             ]
         )
     return table.render()
+
+
+def render_breakdown(report: SimReport, title: str | None = None) -> str:
+    """Aligned where-did-the-time-go table for one invocation."""
+    return render_phase_shares(breakdown(report), title=title)

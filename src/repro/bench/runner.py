@@ -1,4 +1,11 @@
-"""Benchmark runner: executes a registry and collects results."""
+"""Benchmark runner: executes a registry and collects results.
+
+When the global tracer is enabled (``repro.trace``), every benchmark
+instance is wrapped in a ``bench:<name>`` span recording its iteration
+count and accumulated simulated seconds, so a traced registry run shows
+each instance's measurement window on the timeline (the warmup/measure
+split inside the window is emitted by ``repro.suite.wrappers``).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from typing import Sequence
 
 from repro.bench.registry import BenchmarkDef, BenchmarkRegistry
 from repro.bench.state import BenchResult, BenchState
+from repro.trace.core import get_tracer
 
 __all__ = ["run_benchmarks", "run_one"]
 
@@ -17,14 +25,57 @@ def run_one(
     min_time: float | None = None,
     max_iterations: int = 1_000_000_000,
 ) -> BenchResult:
-    """Run a single benchmark instance to completion."""
+    """Run a single benchmark instance to completion.
+
+    Parameters
+    ----------
+    definition:
+        The registered benchmark: its ``fn(state)`` body is called once
+        and drives the min-time iteration loop itself via
+        :class:`~repro.bench.state.BenchState` (the Google-Benchmark
+        contract -- the body loops ``while state.keep_running()``).
+    ranges:
+        Range arguments for this instance (problem size, thread count,
+        ...), exposed to the body as ``state.range(i)``. Usually one
+        entry of ``definition.instances()``.
+    name:
+        Display name for the result row; defaults to
+        ``definition.name``. :func:`run_benchmarks` passes the expanded
+        per-instance label (``"name/1024"``).
+    min_time:
+        Minimum *simulated* seconds the measurement loop must accumulate
+        before stopping (the suite's ``--benchmark_min_time`` analogue);
+        ``None`` uses ``definition.min_time`` (default 5.0 s).
+    max_iterations:
+        Hard cap on loop iterations, applied even if ``min_time`` was
+        not reached (guards against zero-cost bodies).
+
+    Returns
+    -------
+    BenchResult
+        The frozen aggregate (iterations, mean/total simulated time,
+        throughput inputs, accumulated counters) for this instance.
+    """
     state = BenchState(
         ranges=tuple(ranges),
         min_time=min_time if min_time is not None else definition.min_time,
         max_iterations=max_iterations,
     )
-    definition.fn(state)
-    return state.finish(name or definition.name)
+    label = name or definition.name
+    tracer = get_tracer()
+    if not tracer.enabled:
+        definition.fn(state)
+        return state.finish(label)
+    with tracer.span(
+        f"bench:{label}",
+        category="bench",
+        benchmark=definition.name,
+        ranges=list(ranges),
+    ) as span:
+        definition.fn(state)
+        span.set_attribute("iterations", state.iterations)
+        span.set_attribute("simulated_seconds", state.accumulated_time)
+    return state.finish(label)
 
 
 def run_benchmarks(
@@ -33,7 +84,13 @@ def run_benchmarks(
     min_time: float | None = None,
     max_iterations: int = 1_000_000_000,
 ) -> list[BenchResult]:
-    """Run all (matching) registered benchmarks, expanding range sweeps."""
+    """Run all (matching) registered benchmarks, expanding range sweeps.
+
+    ``pattern`` is a substring filter on benchmark names (empty = all);
+    ``min_time``/``max_iterations`` override per-instance loop bounds as
+    in :func:`run_one`. Returns one :class:`BenchResult` per expanded
+    (benchmark, ranges) instance, in registration order.
+    """
     results: list[BenchResult] = []
     for definition in registry.filter(pattern) if pattern else registry.benchmarks:
         for label, ranges in definition.instances():

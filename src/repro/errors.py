@@ -60,5 +60,9 @@ class BenchmarkError(ReproError):
     """Benchmark harness misuse (duplicate registration, bad ranges...)."""
 
 
+class TraceError(ReproError):
+    """Tracer misuse (unbalanced begin/end, negative durations...)."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""

@@ -32,6 +32,7 @@ from repro.sim.engine import simulate_cpu
 from repro.sim.gpu import GpuExecution, simulate_gpu
 from repro.sim.report import SimReport
 from repro.sim.work import WorkProfile
+from repro.trace.core import get_tracer
 from repro.types import ElemType
 
 __all__ = ["ExecutionContext", "RUN_MODE_MAX_ELEMS"]
@@ -165,10 +166,36 @@ class ExecutionContext:
     def simulate(
         self, profile: WorkProfile, arrays: tuple[SimArray, ...] = ()
     ) -> SimReport:
-        """Cost a work profile on this context's machine."""
-        if self.is_gpu:
-            return simulate_gpu(self.machine, profile, arrays, self.gpu_options)
-        return simulate_cpu(self.machine, self.backend, profile)
+        """Cost a work profile on this context's machine.
+
+        When the global tracer is enabled (``repro.trace``), the call is
+        wrapped in a root span named after the algorithm, carrying this
+        context's machine/backend/threads/mode/policy attributes; the
+        engine's phase and lane spans nest inside it on the timeline.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            if self.is_gpu:
+                return simulate_gpu(self.machine, profile, arrays, self.gpu_options)
+            return simulate_cpu(self.machine, self.backend, profile)
+        with tracer.span(
+            profile.alg,
+            category="call",
+            machine=self.machine.name,
+            backend=self.backend.name,
+            threads=self.threads,
+            mode=self.mode,
+            policy=self.policy.value,
+            n=profile.n,
+        ) as span:
+            if self.is_gpu:
+                report = simulate_gpu(
+                    self.machine, profile, arrays, self.gpu_options
+                )
+            else:
+                report = simulate_cpu(self.machine, self.backend, profile)
+            span.set_attribute("seconds", report.seconds)
+        return report
 
     def rng(self) -> np.random.Generator:
         """Deterministic per-context RNG (data generation, shuffles)."""

@@ -4,6 +4,14 @@ Roofline-style: each thread's phase time is the max of its instruction
 time and its memory time; the phase is the slowest thread, further bounded
 by the NUMA constraints of ``repro.sim.bandwidth``; fork/join, scheduling
 and synchronisation overheads are added per the backend model.
+
+When the process-global tracer is enabled (``repro.trace``), the engine
+additionally emits one span per phase on the "phases" track (attributes:
+compute vs memory vs overhead seconds and the binding bound) and one lane
+span per simulated thread (that thread's instruction time vs memory
+time), then advances the simulated clock by the phase cost; fork/join is
+a trailing overhead span. With the default null tracer all of this is
+skipped behind a single ``enabled`` check per invocation.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from repro.sim.bandwidth import MATCHED_POLICIES, dram_memory_time
 from repro.sim.interfaces import BackendModel
 from repro.sim.report import Counters, PhaseReport, SimReport
 from repro.sim.work import Phase, PhaseKind, WorkProfile
+from repro.trace.core import PHASE_TRACK, get_tracer, thread_track
 
 __all__ = ["simulate_cpu"]
 
@@ -68,6 +77,7 @@ def simulate_cpu(
     phase_reports: list[PhaseReport] = []
     total_counters = Counters()
     total_time = 0.0
+    tracer = get_tracer()
 
     for phase in profile.phases:
         ctr = {
@@ -119,6 +129,7 @@ def simulate_cpu(
         # Memory time: cache-resident phases stream from the fitting cache
         # level; DRAM phases go through the NUMA bandwidth model.
         memory_time = 0.0
+        lane_mem: dict[int, float] = {}
         total_phase_bytes = sum(mem_bytes.values())
         if total_phase_bytes > 0.0 and phase.placement is not None:
             active = max(1, len({c.thread for c in phase.chunks}))
@@ -126,9 +137,9 @@ def simulate_cpu(
             if level is not None:
                 bw = level.bandwidth_per_core
                 memory_time = max(b / bw for b in mem_bytes.values())
+                lane_mem = {t: mem_bytes.get(t, 0.0) / bw for t in instr_time}
                 per_thread_roofline = max(
-                    max(instr_time.get(t, 0.0), mem_bytes.get(t, 0.0) / bw)
-                    for t in instr_time
+                    max(instr_time[t], lane_mem[t]) for t in instr_time
                 )
             else:
                 thread_nodes = {
@@ -160,9 +171,9 @@ def simulate_cpu(
                 scale = (
                     per_thread_bw_time / max(1e-30, max(mem_bytes.values()))
                 )
+                lane_mem = {t: mem_bytes.get(t, 0.0) * scale for t in instr_time}
                 per_thread_roofline = max(
-                    max(instr_time.get(t, 0.0), mem_bytes.get(t, 0.0) * scale)
-                    for t in instr_time
+                    max(instr_time[t], lane_mem[t]) for t in instr_time
                 )
                 per_thread_roofline = max(
                     per_thread_roofline,
@@ -209,6 +220,42 @@ def simulate_cpu(
             )
         )
 
+        if tracer.enabled:
+            if overhead_time >= max(compute_time, memory_time):
+                bound = "overhead"
+            elif compute_time >= memory_time:
+                bound = "compute"
+            else:
+                bound = "memory"
+            start = tracer.clock
+            tracer.record(
+                phase.name,
+                phase_time,
+                category="phase",
+                track=PHASE_TRACK,
+                start=start,
+                kind=phase.kind.value,
+                bound=bound,
+                compute_seconds=compute_time,
+                memory_seconds=memory_time,
+                overhead_seconds=overhead_time,
+                instructions=ctr["instructions"],
+                bytes_read=ctr["bytes_read"],
+                bytes_written=ctr["bytes_written"],
+            )
+            for t in sorted(instr_time):
+                mem_t = lane_mem.get(t, 0.0)
+                tracer.record(
+                    phase.name,
+                    max(instr_time[t], mem_t),
+                    category="lane",
+                    track=thread_track(t),
+                    start=start,
+                    instruction_seconds=instr_time[t],
+                    memory_seconds=mem_t,
+                )
+            tracer.advance(phase_time)
+
     fork_join = 0.0
     if profile.is_parallel:
         fork_join = profile.regions * (
@@ -216,6 +263,16 @@ def simulate_cpu(
             + backend.join_overhead(profile.threads)
         )
     total_time += fork_join
+    if tracer.enabled and fork_join > 0.0:
+        tracer.record(
+            "fork/join",
+            fork_join,
+            category="overhead",
+            track=PHASE_TRACK,
+            regions=profile.regions,
+            threads=profile.threads,
+        )
+        tracer.advance(fork_join)
 
     return SimReport(
         seconds=total_time,

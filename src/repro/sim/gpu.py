@@ -17,6 +17,7 @@ from repro.memory.array import SimArray
 from repro.memory.unified import UnifiedMemory
 from repro.sim.report import Counters, PhaseReport, SimReport
 from repro.sim.work import PhaseKind, WorkProfile
+from repro.trace.core import PHASE_TRACK, get_tracer
 
 __all__ = ["GpuExecution", "simulate_gpu"]
 
@@ -54,6 +55,22 @@ def simulate_gpu(
     kernel_time = 0.0
     launches = max(1, profile.regions)
 
+    tracer = get_tracer()
+    if tracer.enabled:
+        if migration > 0.0:
+            tracer.record(
+                "um-migration", migration, category="overhead", track=PHASE_TRACK,
+                arrays=len(arrays),
+            )
+            tracer.advance(migration)
+        launch_seconds = launches * gpu.kernel_launch_latency
+        if launch_seconds > 0.0:
+            tracer.record(
+                "kernel-launch", launch_seconds, category="overhead",
+                track=PHASE_TRACK, launches=launches,
+            )
+            tracer.advance(launch_seconds)
+
     for phase in profile.phases:
         instr = sum(c.instr for c in phase.chunks)
         fp = sum(c.fp_ops for c in phase.chunks)
@@ -86,11 +103,33 @@ def simulate_gpu(
                 counters=counters,
             )
         )
+        if tracer.enabled:
+            tracer.record(
+                phase.name,
+                seconds,
+                category="phase",
+                track=PHASE_TRACK,
+                kind=phase.kind.value,
+                bound="compute" if compute >= memory else "memory",
+                compute_seconds=compute,
+                memory_seconds=memory,
+                overhead_seconds=0.0,
+                instructions=instr + fp,
+                bytes_read=bytes_read,
+                bytes_written=bytes_written,
+            )
+            tracer.advance(seconds)
 
     transfer_back = 0.0
     if options.transfer_back:
         for array in arrays:
             transfer_back += um.to_host(array).seconds
+    if tracer.enabled and transfer_back > 0.0:
+        tracer.record(
+            "d2h-transfer", transfer_back, category="overhead",
+            track=PHASE_TRACK, arrays=len(arrays),
+        )
+        tracer.advance(transfer_back)
 
     launch = launches * gpu.kernel_launch_latency
     total = migration + launch + kernel_time + transfer_back

@@ -17,7 +17,27 @@ __all__ = ["Counters", "PhaseReport", "SimReport"]
 
 @dataclass(frozen=True)
 class Counters:
-    """Hardware-counter style event totals."""
+    """Hardware-counter style event totals.
+
+    Attributes
+    ----------
+    instructions:
+        Total retired instructions (count). Mirrors the Likwid
+        ``INSTR_RETIRED_ANY`` column of Tables 3/4 -- per-backend
+        differences here (1.55T vs 3.83T for ``for_each``) are the
+        paper's main evidence for runtime bookkeeping overhead.
+    fp_scalar:
+        Scalar double-precision FP operations (count); Tables 3/4's
+        "FP scalar" column.
+    fp_packed_128 / fp_packed_256:
+        Packed 128-bit / 256-bit FP *instructions* (count, lanes NOT
+        multiplied in): one 256-bit op here is 4 double lanes. Tables
+        3/4 use these to show which backends vectorise (ICC/HPX emit
+        256-bit packed ops for ``reduce``; the rest stay scalar).
+    bytes_read / bytes_written:
+        DRAM traffic in bytes, after backend traffic factors; their sum
+        is Tables 3/4's "memory data volume" column.
+    """
 
     instructions: float = 0.0
     fp_scalar: float = 0.0
@@ -96,7 +116,35 @@ class Counters:
 
 @dataclass(frozen=True)
 class PhaseReport:
-    """Timing/counter breakdown for one phase of a work profile."""
+    """Timing/counter breakdown for one phase of a work profile.
+
+    Attributes
+    ----------
+    name:
+        Phase name from the work profile ("main-loop", "chunk-reduce",
+        "combine"...).
+    seconds:
+        Total simulated cost of the phase, in seconds: the roofline
+        maximum of compute vs memory time, plus scheduling and
+        synchronisation overhead (and any NUMA spread penalty).
+    compute_seconds:
+        Slowest thread's instruction-execution time, in seconds --
+        intrinsic work plus the backend's per-element overhead, which is
+        how Table 3/4 instruction-count differences become time.
+    memory_seconds:
+        The phase's bandwidth-bound time, in seconds, under the NUMA
+        bandwidth model (or the fitting cache level's bandwidth). When
+        this exceeds ``compute_seconds`` the phase is memory-bound --
+        the regime behind the paper's STREAM-ratio speedup ceilings
+        (Figs 4-6).
+    overhead_seconds:
+        Scheduling (per-chunk dispatch) plus synchronisation cost, in
+        seconds; the component the paper blames for HPX's flat k_it=1
+        curves (Fig. 3).
+    counters:
+        Hardware-counter totals attributed to this phase (the per-phase
+        slice of Tables 3/4).
+    """
 
     name: str
     seconds: float
@@ -112,7 +160,32 @@ class PhaseReport:
 
 @dataclass(frozen=True)
 class SimReport:
-    """Full result of simulating one algorithm invocation."""
+    """Full result of simulating one algorithm invocation.
+
+    Attributes
+    ----------
+    seconds:
+        End-to-end simulated wall time of the call, in seconds: sum of
+        phase times plus fork/join (and GPU launch/migration) costs.
+        This is the quantity behind every figure's y-axis and the
+        speedup ratios of Table 5.
+    counters:
+        Hardware-counter totals over all phases; scaled by the call
+        count, these reproduce Tables 3 and 4.
+    phases:
+        Per-phase breakdown, in execution order (see
+        :class:`PhaseReport`); ``repro.analysis.breakdown`` renders it,
+        and the tracer mirrors it as timeline spans.
+    fork_join_seconds:
+        Total thread-team fork + join overhead, in seconds (kernel
+        launch latency on GPUs). Dominates low-intensity small-n runs --
+        the left side of Fig. 2 where sequential wins below 2^10.
+    migration_seconds:
+        GPU unified-memory page migration plus forced device-to-host
+        transfer time, in seconds (0 for CPU runs); the term that
+        separates Fig. 9a (forced transfers) from Fig. 9b (chained
+        kernels).
+    """
 
     seconds: float
     counters: Counters

@@ -5,12 +5,14 @@ Examples::
     pstl-bench --machine A --backend gcc-tbb --case reduce --threads 32
     pstl-bench --machine C --backend all --case sort --size 2^30
     pstl-bench --machine B --backend gcc-gnu --case for_each_k1 --sweep sizes
+    pstl-bench --machine A --backend gcc-tbb --case for_each_k1 --trace out.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.backends import PARALLEL_CPU_BACKENDS, get_backend
 from repro.bench.reporters import console_report, csv_report, json_report
@@ -20,6 +22,7 @@ from repro.machines import get_machine
 from repro.suite.cases import case_names, get_case
 from repro.suite.sweeps import problem_scaling, problem_sizes, strong_scaling
 from repro.suite.wrappers import run_case
+from repro.trace import Tracer, use_tracer, write_chrome_trace
 from repro.types import elem_type
 from repro.util.units import parse_size
 
@@ -54,60 +57,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--mode", choices=["model", "run"], default="model")
     parser.add_argument("--format", choices=["console", "csv", "json"], default="console")
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="capture an execution trace and write it as Chrome trace-event "
+        "JSON (open in Perfetto or chrome://tracing; see docs/OBSERVABILITY.md)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else None
     try:
-        machine = get_machine(args.machine)
-        backends = (
-            list(PARALLEL_CPU_BACKENDS) if args.backend == "all" else [args.backend]
-        )
-        case = get_case(args.case)
-        elem = elem_type(args.dtype)
-        n = parse_size(args.size)
-
-        results = []
-        for backend_name in backends:
-            backend = get_backend(backend_name)
-            threads = args.threads or machine.total_cores
-            ctx = ExecutionContext(
-                machine, backend, threads=threads, mode=args.mode
-            )
-            if args.sweep == "sizes":
-                sweep = problem_scaling(case, ctx, problem_sizes(), elem)
-                for point in sweep.points:
-                    print(
-                        f"{sweep.label} n={point.x}: "
-                        + (f"{point.seconds:.6g} s" if point.supported else "N/A")
-                    )
-                continue
-            if args.sweep == "threads":
-                sweep = strong_scaling(case, ctx, n, elem=elem)
-                for point in sweep.points:
-                    print(
-                        f"{sweep.label} t={point.x}: "
-                        + (f"{point.seconds:.6g} s" if point.supported else "N/A")
-                    )
-                continue
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            code = _run(args)
+        if tracer is not None and code == 0:
             try:
-                results.append(run_case(case, ctx, n, elem, min_time=args.min_time))
-            except UnsupportedOperationError as exc:
-                print(f"{backend.name}: N/A ({exc})", file=sys.stderr)
-
-        if results:
-            if args.format == "csv":
-                print(csv_report(results), end="")
-            elif args.format == "json":
-                print(json_report(results))
-            else:
-                print(console_report(results))
-        return 0
+                n_spans = write_chrome_trace(tracer, args.trace)
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                return 2
+            print(f"trace: {n_spans} spans -> {args.trace}", file=sys.stderr)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    """Execute one parsed CLI invocation (tracing already installed)."""
+    machine = get_machine(args.machine)
+    backends = (
+        list(PARALLEL_CPU_BACKENDS) if args.backend == "all" else [args.backend]
+    )
+    case = get_case(args.case)
+    elem = elem_type(args.dtype)
+    n = parse_size(args.size)
+
+    results = []
+    for backend_name in backends:
+        backend = get_backend(backend_name)
+        threads = args.threads or machine.total_cores
+        ctx = ExecutionContext(
+            machine, backend, threads=threads, mode=args.mode
+        )
+        if args.sweep == "sizes":
+            sweep = problem_scaling(case, ctx, problem_sizes(), elem)
+            for point in sweep.points:
+                print(
+                    f"{sweep.label} n={point.x}: "
+                    + (f"{point.seconds:.6g} s" if point.supported else "N/A")
+                )
+            continue
+        if args.sweep == "threads":
+            sweep = strong_scaling(case, ctx, n, elem=elem)
+            for point in sweep.points:
+                print(
+                    f"{sweep.label} t={point.x}: "
+                    + (f"{point.seconds:.6g} s" if point.supported else "N/A")
+                )
+            continue
+        try:
+            results.append(run_case(case, ctx, n, elem, min_time=args.min_time))
+        except UnsupportedOperationError as exc:
+            print(f"{backend.name}: N/A ({exc})", file=sys.stderr)
+
+    if results:
+        if args.format == "csv":
+            print(csv_report(results), end="")
+        elif args.format == "json":
+            print(json_report(results))
+        else:
+            print(console_report(results))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

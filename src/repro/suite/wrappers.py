@@ -18,6 +18,7 @@ from repro.counters.likwid import LikwidMarkers
 from repro.errors import ConfigurationError
 from repro.execution.context import ExecutionContext
 from repro.suite.cases import BenchCase
+from repro.trace.core import get_tracer
 from repro.types import ElemType, FLOAT64
 
 __all__ = ["make_bench_fn", "run_case", "measure_case"]
@@ -41,27 +42,38 @@ def make_bench_fn(
         raise ConfigurationError("real_iterations must be >= 1")
 
     def bench(state: BenchState) -> None:
-        arrays = case.setup(ctx, n, elem)
+        tracer = get_tracer()
+        # Untimed setup = the warmup the harness excludes from measurement
+        # (zero simulated duration: allocation/generation is not costed).
+        with tracer.span("warmup", category="bench"):
+            arrays = case.setup(ctx, n, elem)
+        measure = tracer.begin("measure", category="bench") if tracer.enabled else None
         iteration = 0
         last = None
-        while state.keep_running():
-            case.per_iteration_setup(ctx, arrays, iteration)
-            result = case.invoke(ctx, arrays, iteration)
-            if markers is not None:
-                with markers.region(case.name) as region:
-                    region.record(result.report)
-            if iteration + 1 >= real_iterations and result.seconds > 0:
-                # Deterministic tail: batch the remaining min-time budget.
-                remaining = max(0.0, state.min_time - state.accumulated_time)
-                repeat = 1 + min(
-                    state.max_iterations - state.iterations - 1,
-                    int(math.ceil(remaining / result.seconds)),
-                )
-                state.record_report(result.report, repeat=max(1, repeat))
-            else:
-                state.record_report(result.report)
-            iteration += 1
-            last = result
+        try:
+            while state.keep_running():
+                case.per_iteration_setup(ctx, arrays, iteration)
+                result = case.invoke(ctx, arrays, iteration)
+                if markers is not None:
+                    with markers.region(case.name) as region:
+                        region.record(result.report)
+                if iteration + 1 >= real_iterations and result.seconds > 0:
+                    # Deterministic tail: batch the remaining min-time budget.
+                    remaining = max(0.0, state.min_time - state.accumulated_time)
+                    repeat = 1 + min(
+                        state.max_iterations - state.iterations - 1,
+                        int(math.ceil(remaining / result.seconds)),
+                    )
+                    state.record_report(result.report, repeat=max(1, repeat))
+                else:
+                    state.record_report(result.report)
+                iteration += 1
+                last = result
+        finally:
+            if measure is not None:
+                measure.set_attribute("real_invocations", iteration)
+                measure.set_attribute("iterations", state.iterations)
+                tracer.end()
         del last
         state.set_bytes_processed(state.iterations * n * elem.size)
         state.set_items_processed(state.iterations * n)

@@ -1,0 +1,131 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+Converts :class:`~repro.trace.core.SpanRecord` timelines into the JSON
+trace-event format both viewers load: one complete (``"ph": "X"``) event
+per span with microsecond timestamps, plus metadata events that name and
+order the tracks. Each tracer track becomes one ``tid`` row, so the
+viewer shows the call/bench structure ("main"), the engine's phase
+sequence ("phases") and one lane per simulated thread, exactly as the
+cost model scheduled them.
+
+Simulated seconds map to trace microseconds (the format's native unit);
+a 2 ms simulated ``for_each`` renders as a 2 ms slice.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.trace.core import MAIN_TRACK, PHASE_TRACK, SpanRecord, Tracer
+
+__all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace"]
+
+#: Synthetic process id for the whole simulation (one process, many tracks).
+TRACE_PID = 1
+
+_SECONDS_TO_US = 1e6
+
+
+def _coerce_spans(source: Tracer | Iterable[SpanRecord]) -> tuple[SpanRecord, ...]:
+    """Accept either a tracer or an iterable of spans."""
+    if isinstance(source, Tracer):
+        return source.spans
+    return tuple(source)
+
+
+def _track_order(spans: Sequence[SpanRecord]) -> list[str]:
+    """Stable track ordering: main, phases, thread lanes by id, rest by appearance."""
+    seen: list[str] = []
+    for span in spans:
+        if span.track not in seen:
+            seen.append(span.track)
+    fixed = [t for t in (MAIN_TRACK, PHASE_TRACK) if t in seen]
+    threads = sorted(
+        (t for t in seen if t.startswith("thread ")),
+        key=lambda t: (len(t), t),
+    )
+    rest = [t for t in seen if t not in fixed and t not in threads]
+    return fixed + threads + rest
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values into JSON-encodable shapes."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def chrome_trace_events(source: Tracer | Iterable[SpanRecord]) -> list[dict]:
+    """The ``traceEvents`` list: metadata events then one ``X`` event per span."""
+    spans = _coerce_spans(source)
+    tids = {track: tid for tid, track in enumerate(_track_order(spans))}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulator"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": tids[span.track],
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": span.start * _SECONDS_TO_US,
+                "dur": span.duration * _SECONDS_TO_US,
+                "args": {k: _jsonable(v) for k, v in span.attributes.items()},
+            }
+        )
+    return events
+
+
+def to_chrome_trace(source: Tracer | Iterable[SpanRecord]) -> dict:
+    """The full trace document (JSON-object form Perfetto accepts)."""
+    return {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated seconds", "producer": "repro.trace"},
+    }
+
+
+def write_chrome_trace(
+    source: Tracer | Iterable[SpanRecord], path: str
+) -> int:
+    """Write the trace to ``path``; returns the number of span events.
+
+    Open the result at https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    document = to_chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=None, separators=(",", ":"))
+        fh.write("\n")
+    return sum(1 for e in document["traceEvents"] if e["ph"] == "X")

@@ -1,0 +1,334 @@
+"""Span-based tracing over the *simulated* timeline.
+
+The simulator has no useful wall clock: every interesting duration is a
+*simulated* quantity produced by the cost engine. The tracer therefore
+keeps its own clock in simulated seconds, advanced explicitly by the
+instrumented layers (the CPU/GPU cost engines advance it by each phase's
+cost; everything above them inherits the resulting timeline). Spans come
+in two flavours:
+
+* **enclosing spans** (:meth:`Tracer.span` / :meth:`Tracer.begin` +
+  :meth:`Tracer.end`) bracket a region of execution -- an algorithm call,
+  a benchmark's measurement loop -- and take their duration from how far
+  the clock moved while they were open;
+* **leaf spans** (:meth:`Tracer.record`) carry an explicit duration --
+  one engine phase, one thread's lane within a phase, a fork/join gap.
+
+Spans live on named **tracks** ("main" for calls and harness structure,
+"phases" for the engine's phase sequence, ``"thread 3"`` for simulated
+thread 3's lane). The Chrome-trace exporter maps each track to its own
+row in Perfetto / ``chrome://tracing``.
+
+The process-global tracer defaults to :data:`NULL_TRACER`, whose methods
+do nothing and allocate nothing; instrumented hot paths additionally
+guard on :attr:`Tracer.enabled` so that building span names/attributes is
+skipped entirely when tracing is off. Enable tracing either with
+:func:`use_tracer` (scoped) or :func:`set_tracer` (manual).
+
+Typical use::
+
+    from repro.trace import Tracer, use_tracer, write_chrome_trace
+
+    with use_tracer(Tracer()) as tracer:
+        pstl.reduce(ctx, arr)          # all layers emit spans
+    write_chrome_trace(tracer, "reduce.json")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import TraceError
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MAIN_TRACK",
+    "PHASE_TRACK",
+    "thread_track",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: Track for algorithm calls and harness structure (root spans).
+MAIN_TRACK = "main"
+#: Track for the engine's phase sequence (one span per costed phase).
+PHASE_TRACK = "phases"
+
+
+def thread_track(thread: int) -> str:
+    """The track name for simulated thread ``thread``'s lane spans."""
+    return f"thread {thread}"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span on the simulated timeline.
+
+    Attributes
+    ----------
+    name:
+        Display name ("for_each", "main-loop", "fork/join"...).
+    category:
+        Coarse type used for filtering/export: ``"call"`` (one algorithm
+        invocation), ``"phase"`` (one engine phase), ``"lane"`` (one
+        thread's share of a phase), ``"overhead"`` (fork/join, launches,
+        migrations), ``"bench"`` (harness structure).
+    start:
+        Start time in simulated seconds since the tracer was created.
+    duration:
+        Span length in simulated seconds (0 is legal: untimed setup).
+    track:
+        Timeline row this span renders on (see module docstring).
+    depth:
+        Nesting depth at emission (0 = top level); purely informational.
+    attributes:
+        Free-form key/value payload; exported as Chrome-trace ``args``.
+    """
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    track: str
+    depth: int
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        """Span end time in simulated seconds."""
+        return self.start + self.duration
+
+
+class _OpenSpan:
+    """Handle for a span begun but not yet ended (mutable attributes)."""
+
+    __slots__ = ("name", "category", "track", "start", "depth", "attributes")
+
+    def __init__(
+        self, name: str, category: str, track: str, start: float, depth: int,
+        attributes: dict,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.depth = depth
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the span before it closes."""
+        self.attributes[key] = value
+
+
+class Tracer:
+    """Collects spans against a simulated-seconds clock.
+
+    Not thread-safe by design: the simulator itself is single-threaded
+    (simulated threads are data, not OS threads), so one tracer observes
+    one deterministic timeline.
+    """
+
+    #: Instrumented code guards span construction on this flag, so a
+    #: disabled tracer costs one attribute read per potential span.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._clock: float = 0.0
+        self._spans: list[SpanRecord] = []
+        self._stack: list[_OpenSpan] = []
+
+    # --- clock -------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Current simulated time in seconds (monotonically advanced)."""
+        return self._clock
+
+    def advance(self, seconds: float) -> None:
+        """Move the simulated clock forward by ``seconds`` (>= 0)."""
+        if seconds < 0:
+            raise TraceError("cannot advance the trace clock backwards")
+        self._clock += seconds
+
+    # --- enclosing spans ---------------------------------------------------
+    def begin(
+        self, name: str, *, category: str = "", track: str = MAIN_TRACK,
+        **attributes: Any,
+    ) -> _OpenSpan:
+        """Open an enclosing span at the current clock; pair with :meth:`end`."""
+        span = _OpenSpan(
+            name, category, track, self._clock, len(self._stack), dict(attributes)
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, **attributes: Any) -> SpanRecord:
+        """Close the innermost open span; duration = clock movement since begin."""
+        if not self._stack:
+            raise TraceError("end() with no open span")
+        open_span = self._stack.pop()
+        open_span.attributes.update(attributes)
+        record = SpanRecord(
+            name=open_span.name,
+            category=open_span.category,
+            start=open_span.start,
+            duration=self._clock - open_span.start,
+            track=open_span.track,
+            depth=open_span.depth,
+            attributes=open_span.attributes,
+        )
+        self._spans.append(record)
+        return record
+
+    @contextmanager
+    def span(
+        self, name: str, *, category: str = "", track: str = MAIN_TRACK,
+        **attributes: Any,
+    ) -> Iterator[_OpenSpan]:
+        """Context-manager form of :meth:`begin`/:meth:`end`.
+
+        Yields the open span so the body can ``set_attribute`` results
+        that are only known at the end (iteration counts, seconds).
+        """
+        handle = self.begin(name, category=category, track=track, **attributes)
+        try:
+            yield handle
+        finally:
+            self.end()
+
+    # --- leaf spans --------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        duration: float,
+        *,
+        category: str = "",
+        track: str = MAIN_TRACK,
+        start: float | None = None,
+        **attributes: Any,
+    ) -> SpanRecord:
+        """Record a completed span with an explicit ``duration``.
+
+        ``start`` defaults to the current clock; the clock is *not*
+        advanced (callers advance it once per timeline step so that
+        overlapping lanes share one phase's start).
+        """
+        if duration < 0:
+            raise TraceError("span duration must be non-negative")
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=self._clock if start is None else start,
+            duration=duration,
+            track=track,
+            depth=len(self._stack),
+            attributes=dict(attributes) if attributes else {},
+        )
+        self._spans.append(record)
+        return record
+
+    # --- results -----------------------------------------------------------
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """All finished spans, in completion order."""
+        return tuple(self._spans)
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans begun but not yet ended."""
+        return len(self._stack)
+
+    def clear(self) -> None:
+        """Drop all finished spans and reset the clock (open spans too)."""
+        self._spans.clear()
+        self._stack.clear()
+        self._clock = 0.0
+
+
+class _NullSpan:
+    """Shared do-nothing open-span handle (also its own context manager)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute (tracing disabled)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is installed by
+    default; its ``span``/``record`` return shared singletons so the
+    disabled path never allocates span state. Hot loops should still
+    guard on :attr:`enabled` to skip building names and attributes.
+    """
+
+    enabled = False
+
+    def advance(self, seconds: float) -> None:
+        """No-op (clock stays at 0)."""
+
+    def begin(self, name: str, **kwargs: Any) -> _NullSpan:  # type: ignore[override]
+        """Return the shared null handle; nothing is recorded."""
+        return _NULL_SPAN
+
+    def end(self, **attributes: Any) -> None:  # type: ignore[override]
+        """No-op."""
+
+    def span(self, name: str, **kwargs: Any) -> _NullSpan:  # type: ignore[override]
+        """Return the shared null context manager; nothing is recorded."""
+        return _NULL_SPAN
+
+    def record(self, name: str, duration: float, **kwargs: Any) -> None:  # type: ignore[override]
+        """No-op."""
+
+
+#: The process-default tracer (disabled).
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (:data:`NULL_TRACER` unless enabled)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` globally (``None`` = disable); returns the previous one."""
+    global _active
+    previous = _active
+    _active = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scoped tracing: install ``tracer`` (a fresh one if ``None``), restore after.
+
+    ::
+
+        with use_tracer() as tracer:
+            pstl.for_each(ctx, arr, kernel)
+        print(len(tracer.spans))
+    """
+    active = Tracer() if tracer is None else tracer
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

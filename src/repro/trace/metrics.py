@@ -1,0 +1,114 @@
+"""Flat metrics views over a trace: rows, CSV, and phase aggregation.
+
+The Chrome-trace export (``repro.trace.chrome``) answers "show me the
+timeline"; this module answers "give me the numbers". It flattens spans
+into plain dict rows (one per span, attributes inlined) suitable for CSV
+or a dataframe, and aggregates phase/overhead spans into the
+:class:`~repro.analysis.breakdown.PhaseShare` shape so a whole traced
+session -- many iterations, many calls -- can be summarised by the same
+where-did-the-time-go table that ``repro.analysis.breakdown`` renders
+for a single :class:`~repro.sim.report.SimReport`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable
+
+from repro.trace.core import SpanRecord, Tracer
+
+__all__ = ["metrics_rows", "metrics_csv", "aggregate_phases"]
+
+#: Fixed leading columns of every metrics row; attributes follow.
+BASE_COLUMNS = ("name", "category", "track", "start", "duration", "depth")
+
+
+def _coerce_spans(source: Tracer | Iterable[SpanRecord]) -> tuple[SpanRecord, ...]:
+    """Accept either a tracer or an iterable of spans."""
+    if isinstance(source, Tracer):
+        return source.spans
+    return tuple(source)
+
+
+def metrics_rows(
+    source: Tracer | Iterable[SpanRecord], category: str | None = None
+) -> list[dict]:
+    """One flat dict per span: base columns plus inlined attributes.
+
+    Attribute keys that collide with a base column are prefixed with
+    ``attr_``. Filter with ``category`` (e.g. ``"phase"`` for the
+    engine-phase rows that mirror Table 3/4's per-phase counters).
+    """
+    rows: list[dict] = []
+    for span in _coerce_spans(source):
+        if category is not None and span.category != category:
+            continue
+        row = {
+            "name": span.name,
+            "category": span.category,
+            "track": span.track,
+            "start": span.start,
+            "duration": span.duration,
+            "depth": span.depth,
+        }
+        for key, value in span.attributes.items():
+            row[f"attr_{key}" if key in BASE_COLUMNS else key] = value
+        rows.append(row)
+    return rows
+
+
+def metrics_csv(
+    source: Tracer | Iterable[SpanRecord], category: str | None = None
+) -> str:
+    """The metrics rows as CSV text (union of all columns, base first)."""
+    rows = metrics_rows(source, category=category)
+    columns = list(BASE_COLUMNS)
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def aggregate_phases(
+    source: Tracer | Iterable[SpanRecord],
+) -> list["PhaseShare"]:
+    """Aggregate phase/overhead spans into breakdown rows.
+
+    Groups ``"phase"`` and ``"overhead"`` spans by name across *all*
+    traced invocations, sums their simulated seconds, and returns
+    :class:`~repro.analysis.breakdown.PhaseShare` rows whose shares are
+    relative to the grouped total -- the traced-session analogue of
+    :func:`repro.analysis.breakdown.breakdown`. The dominant bound of a
+    group is the bound of the majority of its seconds.
+    """
+    from repro.analysis.breakdown import PhaseShare
+
+    seconds: dict[str, float] = {}
+    bound_seconds: dict[str, dict[str, float]] = {}
+    for span in _coerce_spans(source):
+        if span.category not in ("phase", "overhead"):
+            continue
+        seconds[span.name] = seconds.get(span.name, 0.0) + span.duration
+        bound = span.attributes.get("bound", "overhead")
+        per = bound_seconds.setdefault(span.name, {})
+        per[bound] = per.get(bound, 0.0) + span.duration
+    total = sum(seconds.values())
+    shares: list[PhaseShare] = []
+    for name, secs in seconds.items():
+        dominant = max(bound_seconds[name], key=bound_seconds[name].get)
+        shares.append(
+            PhaseShare(
+                name=name,
+                seconds=secs,
+                share=secs / total if total > 0 else 0.0,
+                bound_by=dominant,
+            )
+        )
+    return shares

@@ -1,0 +1,39 @@
+"""Tier-1 shim for ``tools/check_docs.py``.
+
+Runs the docs lint inside the test suite: README/OBSERVABILITY python
+fences must execute, and every public symbol of ``repro.trace`` must be
+documented.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[1] / "tools" / "check_docs.py"
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+@pytest.mark.parametrize("rel", check_docs.FENCE_FILES)
+def test_doc_fences_execute(rel):
+    path = check_docs.REPO / rel
+    assert path.exists(), f"{rel} missing"
+    assert check_docs.extract_fences(path), f"{rel} has no python fences"
+    errors = check_docs.run_fences(path)
+    assert not errors, "\n".join(errors)
+
+
+def test_trace_public_api_documented():
+    errors = check_docs.check_docstrings()
+    assert not errors, "\n".join(errors)

@@ -1,0 +1,109 @@
+"""Chrome trace-event export: schema validity and track mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.chrome import TRACE_PID
+
+
+def sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("reduce", category="call", machine="Mach A", threads=2):
+        tr.record("main-loop", 1.0, category="phase", track="phases", bound="memory")
+        tr.record("main-loop", 0.9, category="lane", track="thread 0")
+        tr.record("main-loop", 1.0, category="lane", track="thread 1")
+        tr.advance(1.0)
+        tr.record("fork/join", 0.1, category="overhead", track="phases")
+        tr.advance(0.1)
+    return tr
+
+
+class TestSchema:
+    def test_document_shape(self):
+        doc = to_chrome_trace(sample_tracer())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        json.dumps(doc)  # round-trippable
+
+    def test_complete_events_have_required_keys(self):
+        events = chrome_trace_events(sample_tracer())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 5
+        for e in xs:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(e)
+            assert e["pid"] == TRACE_PID
+            assert isinstance(e["tid"], int)
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace_events(sample_tracer())
+        loop = [e for e in events if e["ph"] == "X" and e["cat"] == "phase"][0]
+        assert loop["dur"] == pytest.approx(1.0 * 1e6)
+        fj = [e for e in events if e["name"] == "fork/join"][0]
+        assert fj["ts"] == pytest.approx(1.0 * 1e6)
+
+    def test_metadata_names_every_track(self):
+        events = chrome_trace_events(sample_tracer())
+        names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert names == {"main", "phases", "thread 0", "thread 1"}
+        sort_events = [e for e in events if e.get("name") == "thread_sort_index"]
+        assert len(sort_events) == 4
+
+    def test_track_order_main_phases_threads(self):
+        events = chrome_trace_events(sample_tracer())
+        tid_of = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e.get("name") == "thread_name"
+        }
+        assert tid_of["main"] < tid_of["phases"] < tid_of["thread 0"] < tid_of["thread 1"]
+
+    def test_thread_tracks_sort_numerically(self):
+        tr = Tracer()
+        for t in (0, 2, 10, 1):
+            tr.record("p", 1.0, category="lane", track=f"thread {t}")
+        events = chrome_trace_events(tr)
+        tid_of = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e.get("name") == "thread_name"
+        }
+        assert (
+            tid_of["thread 0"]
+            < tid_of["thread 1"]
+            < tid_of["thread 2"]
+            < tid_of["thread 10"]
+        )
+
+    def test_args_are_jsonable(self):
+        tr = Tracer()
+        tr.record("s", 1.0, ranges=(1, 2), policy=object())
+        (event,) = [e for e in chrome_trace_events(tr) if e["ph"] == "X"]
+        json.dumps(event)
+        assert event["args"]["ranges"] == [1, 2]
+        assert isinstance(event["args"]["policy"], str)
+
+
+class TestWrite:
+    def test_write_returns_span_count_and_parses(self, tmp_path):
+        out = tmp_path / "trace.json"
+        n = write_chrome_trace(sample_tracer(), str(out))
+        assert n == 5
+        doc = json.loads(out.read_text())
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 5
+
+    def test_accepts_span_iterables(self, tmp_path):
+        spans = sample_tracer().spans
+        out = tmp_path / "trace.json"
+        assert write_chrome_trace(spans, str(out)) == len(spans)

@@ -1,0 +1,148 @@
+"""Instrumented layers: engine phases/lanes, context root spans, bench spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pstl
+from repro.backends import get_backend
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.suite.cases import get_case
+from repro.suite.wrappers import run_case
+from repro.trace import Tracer, use_tracer
+from repro.types import FLOAT64
+
+
+def traced_reduce(threads=8, n=1 << 22):
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="model"
+    )
+    with use_tracer(Tracer()) as tracer:
+        result = pstl.reduce(ctx, ctx.allocate(n, FLOAT64))
+    return tracer, result
+
+
+class TestEngineSpans:
+    def test_root_span_covers_the_call(self):
+        tracer, result = traced_reduce()
+        (call,) = [s for s in tracer.spans if s.category == "call"]
+        assert call.name == "reduce"
+        assert call.start == 0.0
+        assert call.duration == pytest.approx(result.seconds)
+        assert tracer.clock == pytest.approx(result.seconds)
+
+    def test_root_span_attributes(self):
+        tracer, result = traced_reduce(threads=8)
+        (call,) = [s for s in tracer.spans if s.category == "call"]
+        assert call.attributes["machine"] == get_machine("A").name
+        assert call.attributes["backend"] == "GCC-TBB"
+        assert call.attributes["threads"] == 8
+        assert call.attributes["mode"] == "model"
+        assert call.attributes["policy"] == "par"
+        assert call.attributes["seconds"] == pytest.approx(result.seconds)
+
+    def test_one_phase_span_per_report_phase(self):
+        tracer, result = traced_reduce()
+        phase_spans = [s for s in tracer.spans if s.category == "phase"]
+        assert [s.name for s in phase_spans] == [p.name for p in result.report.phases]
+        for span, phase in zip(phase_spans, result.report.phases):
+            assert span.duration == pytest.approx(phase.seconds)
+            assert span.attributes["compute_seconds"] == pytest.approx(
+                phase.compute_seconds
+            )
+            assert span.attributes["memory_seconds"] == pytest.approx(
+                phase.memory_seconds
+            )
+            assert span.attributes["bound"] in ("compute", "memory", "overhead")
+
+    def test_phases_tile_the_timeline(self):
+        tracer, result = traced_reduce()
+        timeline = [
+            s for s in tracer.spans if s.category in ("phase", "overhead")
+        ]
+        timeline.sort(key=lambda s: s.start)
+        cursor = 0.0
+        for span in timeline:
+            assert span.start == pytest.approx(cursor)
+            cursor = span.end
+        assert cursor == pytest.approx(result.seconds)
+
+    def test_lane_span_per_thread(self):
+        tracer, _ = traced_reduce(threads=8)
+        lanes = [s for s in tracer.spans if s.category == "lane"]
+        main_phase_lanes = [s for s in lanes if s.name == "chunk-reduce"]
+        assert {s.track for s in main_phase_lanes} == {
+            f"thread {t}" for t in range(8)
+        }
+        for lane in lanes:
+            expect = max(
+                lane.attributes["instruction_seconds"],
+                lane.attributes["memory_seconds"],
+            )
+            assert lane.duration == pytest.approx(expect)
+
+    def test_fork_join_overhead_span(self):
+        tracer, result = traced_reduce()
+        (fj,) = [s for s in tracer.spans if s.name == "fork/join"]
+        assert fj.category == "overhead"
+        assert fj.duration == pytest.approx(result.report.fork_join_seconds)
+
+    def test_disabled_tracer_emits_nothing(self):
+        ctx = ExecutionContext(
+            get_machine("A"), get_backend("gcc-tbb"), threads=8, mode="model"
+        )
+        result = pstl.reduce(ctx, ctx.allocate(1 << 22, FLOAT64))
+        assert result.seconds > 0  # runs fine with the default null tracer
+
+
+class TestGpuSpans:
+    def test_gpu_phase_and_overhead_spans(self):
+        ctx = ExecutionContext(
+            get_machine("D"), get_backend("nvc-cuda"), threads=1, mode="model"
+        )
+        with use_tracer(Tracer()) as tracer:
+            result = pstl.reduce(ctx, ctx.allocate(1 << 24, FLOAT64))
+        assert tracer.clock == pytest.approx(result.seconds)
+        names = {s.name for s in tracer.spans if s.category == "overhead"}
+        assert "kernel-launch" in names
+        assert any(s.category == "phase" for s in tracer.spans)
+
+
+class TestBenchSpans:
+    def test_run_case_emits_bench_structure(self):
+        ctx = ExecutionContext(
+            get_machine("A"), get_backend("gcc-tbb"), threads=8, mode="model"
+        )
+        with use_tracer(Tracer()) as tracer:
+            row = run_case(
+                get_case("for_each_k1"), ctx, 1 << 22, min_time=0.001
+            )
+        bench = [s for s in tracer.spans if s.category == "bench"]
+        by_name = {s.name: s for s in bench}
+        assert set(by_name) >= {"warmup", "measure"}
+        assert by_name["measure"].attributes["iterations"] == row.iterations
+        assert by_name["measure"].attributes["real_invocations"] >= 1
+        calls = [s for s in tracer.spans if s.category == "call"]
+        assert len(calls) == by_name["measure"].attributes["real_invocations"]
+
+    def test_run_one_wraps_registry_instances(self):
+        from repro.bench.registry import BenchmarkRegistry
+        from repro.bench.runner import run_benchmarks
+
+        reg = BenchmarkRegistry()
+
+        def fn(state):
+            while state.keep_running():
+                state.set_iteration_time(0.25)
+
+        reg.register("trivial", fn, ranges=[(4,), (8,)], min_time=0.5)
+        with use_tracer(Tracer()) as tracer:
+            results = run_benchmarks(reg)
+        spans = [s for s in tracer.spans if s.name.startswith("bench:")]
+        assert [s.name for s in spans] == ["bench:trivial/4", "bench:trivial/8"]
+        for span, row in zip(spans, results):
+            assert span.attributes["iterations"] == row.iterations
+            assert span.attributes["simulated_seconds"] == pytest.approx(
+                row.total_time
+            )

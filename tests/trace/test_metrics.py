@@ -1,0 +1,101 @@
+"""Metrics views: flat rows, CSV, and phase aggregation."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.trace import Tracer, aggregate_phases, metrics_csv, metrics_rows
+from repro.trace.metrics import BASE_COLUMNS
+
+
+def sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("reduce", category="call", threads=4):
+        tr.record("main-loop", 3.0, category="phase", track="phases", bound="memory")
+        tr.advance(3.0)
+        tr.record("main-loop", 1.0, category="phase", track="phases", bound="compute")
+        tr.advance(1.0)
+        tr.record("fork/join", 0.5, category="overhead", track="phases")
+        tr.advance(0.5)
+    return tr
+
+
+class TestRows:
+    def test_one_row_per_span_with_base_columns(self):
+        rows = metrics_rows(sample_tracer())
+        assert len(rows) == 4
+        for row in rows:
+            assert set(BASE_COLUMNS) <= set(row)
+
+    def test_attributes_are_inlined(self):
+        rows = metrics_rows(sample_tracer(), category="call")
+        (row,) = rows
+        assert row["threads"] == 4
+        assert row["duration"] == pytest.approx(4.5)
+
+    def test_category_filter(self):
+        rows = metrics_rows(sample_tracer(), category="phase")
+        assert [r["name"] for r in rows] == ["main-loop", "main-loop"]
+        assert all(r["category"] == "phase" for r in rows)
+
+    def test_colliding_attribute_keys_get_prefixed(self):
+        tr = Tracer()
+        tr.record("s", 1.0, depth="shadow", extra=2)
+        (row,) = metrics_rows(tr)
+        assert row["depth"] == 0
+        assert row["attr_depth"] == "shadow"
+        assert row["extra"] == 2
+
+    def test_accepts_span_iterables(self):
+        spans = sample_tracer().spans
+        assert len(metrics_rows(spans)) == len(spans)
+
+
+class TestCsv:
+    def test_csv_round_trips(self):
+        text = metrics_csv(sample_tracer())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        assert parsed[0]["name"] == "main-loop"
+        header = text.splitlines()[0].split(",")
+        assert header[: len(BASE_COLUMNS)] == list(BASE_COLUMNS)
+
+    def test_missing_attributes_are_blank(self):
+        text = metrics_csv(sample_tracer())
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        fj = [r for r in parsed if r["name"] == "fork/join"][0]
+        assert fj["bound"] == ""
+
+
+class TestAggregatePhases:
+    def test_groups_by_name_and_sums_seconds(self):
+        shares = aggregate_phases(sample_tracer())
+        by_name = {s.name: s for s in shares}
+        assert by_name["main-loop"].seconds == pytest.approx(4.0)
+        assert by_name["fork/join"].seconds == pytest.approx(0.5)
+
+    def test_shares_sum_to_one(self):
+        shares = aggregate_phases(sample_tracer())
+        assert sum(s.share for s in shares) == pytest.approx(1.0)
+
+    def test_majority_bound_wins(self):
+        shares = aggregate_phases(sample_tracer())
+        by_name = {s.name: s for s in shares}
+        assert by_name["main-loop"].bound_by == "memory"  # 3.0 memory vs 1.0 compute
+        assert by_name["fork/join"].bound_by == "overhead"
+
+    def test_call_and_lane_spans_are_excluded(self):
+        shares = aggregate_phases(sample_tracer())
+        assert {s.name for s in shares} == {"main-loop", "fork/join"}
+
+    def test_empty_trace(self):
+        assert aggregate_phases(Tracer()) == []
+
+    def test_feeds_render_phase_shares(self):
+        from repro.analysis.breakdown import render_phase_shares
+
+        text = render_phase_shares(aggregate_phases(sample_tracer()))
+        assert "main-loop" in text and "fork/join" in text

@@ -1,0 +1,84 @@
+"""Disabled-path discipline: tracing off must cost (almost) nothing.
+
+Guards the contract documented in docs/OBSERVABILITY.md §5: the global
+tracer defaults to a no-op, instrumented hot paths bail out on a single
+``enabled`` check, and a run with tracing disabled allocates no spans.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends import get_backend
+from repro.bench.registry import BenchmarkRegistry
+from repro.bench.runner import run_benchmarks
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.suite.cases import get_case
+from repro.suite.wrappers import run_case
+from repro.trace import NULL_TRACER, Tracer, get_tracer, use_tracer
+
+
+def registry() -> BenchmarkRegistry:
+    reg = BenchmarkRegistry()
+
+    def fn(state):
+        while state.keep_running():
+            state.set_iteration_time(0.01)
+
+    reg.register("noop", fn, ranges=[(1,), (2,)], min_time=0.1)
+    return reg
+
+
+def workload() -> None:
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=8, mode="model"
+    )
+    run_case(get_case("for_each_k1"), ctx, 1 << 20, min_time=0.001)
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_disabled(self):
+        tracer = get_tracer()
+        assert tracer is NULL_TRACER
+        assert not tracer.enabled
+
+    def test_full_run_leaves_null_tracer_empty(self):
+        run_benchmarks(registry())
+        workload()
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.clock == 0.0
+        assert NULL_TRACER.open_spans == 0
+
+    def test_disabled_is_not_slower_than_enabled(self):
+        """Enabled tracing does strictly more work; disabled must not lose.
+
+        A generous bound (not the ±5 % acceptance check, which needs a
+        quiet machine) that still catches the failure mode that matters:
+        the *disabled* path growing allocations or bookkeeping.
+        """
+
+        def timed(enabled: bool) -> float:
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                if enabled:
+                    with use_tracer(Tracer()):
+                        run_benchmarks(registry())
+                else:
+                    run_benchmarks(registry())
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        timed(False)  # warm caches before measuring
+        disabled = timed(False)
+        enabled = timed(True)
+        assert disabled <= enabled * 1.5 + 0.01
+
+
+class TestEnabledSanity:
+    def test_enabled_run_does_emit(self):
+        with use_tracer(Tracer()) as tracer:
+            workload()
+        assert tracer.spans
+        assert get_tracer() is NULL_TRACER  # restored afterwards

@@ -1,0 +1,142 @@
+"""Tracer core: spans, nesting, clock, the global tracer, the no-op path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    thread_track,
+    use_tracer,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Tracer().clock == 0.0
+
+    def test_advance_accumulates(self):
+        tr = Tracer()
+        tr.advance(1.5)
+        tr.advance(0.25)
+        assert tr.clock == 1.75
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(TraceError):
+            Tracer().advance(-1.0)
+
+
+class TestSpans:
+    def test_enclosing_span_measures_clock_movement(self):
+        tr = Tracer()
+        with tr.span("outer", category="call"):
+            tr.advance(2.0)
+        (span,) = tr.spans
+        assert span.name == "outer"
+        assert span.start == 0.0
+        assert span.duration == 2.0
+        assert span.end == 2.0
+
+    def test_nesting_depth_recorded(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                tr.advance(1.0)
+            tr.record("leaf", 0.5)
+        inner, leaf, outer = tr.spans
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert leaf.depth == 1
+
+    def test_attributes_at_begin_and_end(self):
+        tr = Tracer()
+        with tr.span("s", category="bench", machine="A") as handle:
+            handle.set_attribute("iterations", 7)
+        (span,) = tr.spans
+        assert span.attributes == {"machine": "A", "iterations": 7}
+        assert span.category == "bench"
+
+    def test_record_leaf_with_explicit_start(self):
+        tr = Tracer()
+        tr.advance(1.0)
+        span = tr.record("lane", 0.5, track=thread_track(3), start=0.25, x=1)
+        assert span.start == 0.25
+        assert span.duration == 0.5
+        assert span.track == "thread 3"
+        assert span.attributes == {"x": 1}
+        assert tr.clock == 1.0  # record does not advance
+
+    def test_record_rejects_negative_duration(self):
+        with pytest.raises(TraceError):
+            Tracer().record("bad", -0.1)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(TraceError):
+            Tracer().end()
+
+    def test_span_closed_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("failing"):
+                tr.advance(1.0)
+                raise ValueError("boom")
+        assert tr.open_spans == 0
+        (span,) = tr.spans
+        assert span.duration == 1.0
+
+    def test_clear_resets_everything(self):
+        tr = Tracer()
+        tr.record("x", 1.0)
+        tr.advance(1.0)
+        tr.clear()
+        assert tr.spans == ()
+        assert tr.clock == 0.0
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert prev is NULL_TRACER
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        with use_tracer() as tr:
+            assert get_tracer() is tr
+            assert tr.enabled
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer():
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        null = NullTracer()
+        assert not null.enabled
+        null.advance(5.0)
+        null.record("ignored", 1.0, category="phase")
+        with null.span("also-ignored", machine="A") as handle:
+            handle.set_attribute("k", 1)
+        null.end()  # no-op, does not raise
+        assert null.spans == ()
+        assert null.clock == 0.0
+
+    def test_span_handle_is_shared_singleton(self):
+        null = NullTracer()
+        assert null.span("a") is null.span("b") is null.begin("c")
