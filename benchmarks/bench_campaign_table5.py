@@ -1,0 +1,87 @@
+"""Campaign cache: a warm Table 5 re-run is >=10x faster and bit-identical.
+
+The orchestration subsystem's performance guarantee. The first run of
+the Table 5 grid (108 tasks, 99 executed) costs real simulator work; the
+second run against the same store must be served *entirely* from the
+content-addressed cache -- zero simulator invocations -- which makes it
+an order of magnitude faster and, because the simulator is
+deterministic, numerically indistinguishable from the cold run.
+
+Process-pool scaling is asserted only for *correctness* (identical
+grids): wall-clock pool speedup tracks the host's core count, and CI
+containers may expose a single core where a pool can only add overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign, speedup_grid
+from repro.experiments.table5 import table5_campaign_spec, table5_result
+
+SIZE_EXP = 26  # big enough for the cold run to dominate cache overhead
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm():
+    spec = table5_campaign_spec(SIZE_EXP)
+    store = ResultStore(None)
+
+    t0 = time.perf_counter()
+    cold = run_campaign(spec, store=store)
+    cold_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_campaign(spec, store=store)
+    warm_wall = time.perf_counter() - t0
+
+    print(f"\ncold: {cold.stats.summary()}  ({cold_wall:.3f}s wall)")
+    print(f"warm: {warm.stats.summary()}  ({warm_wall:.3f}s wall)")
+    print(f"cache speedup: {cold_wall / warm_wall:.1f}x")
+    return cold, warm, cold_wall, warm_wall
+
+
+def test_bench_campaign_cache(benchmark, cold_and_warm):
+    """Benchmark the warm path: a full Table 5 run served from cache."""
+    _, _, _, _ = cold_and_warm
+    spec = table5_campaign_spec(SIZE_EXP)
+    store = ResultStore(None)
+    run_campaign(spec, store=store)  # populate
+    warm = benchmark.pedantic(
+        run_campaign, args=(spec,), kwargs=dict(store=store),
+        rounds=1, iterations=1,
+    )
+    assert warm.stats.executed == 0
+
+
+def test_warm_run_is_pure_cache(cold_and_warm):
+    cold, warm, _, _ = cold_and_warm
+    assert warm.stats.executed == 0  # zero simulator invocations
+    assert warm.stats.cache_hits == cold.stats.executed == 99
+
+
+def test_warm_run_at_least_10x_faster(cold_and_warm):
+    _, _, cold_wall, warm_wall = cold_and_warm
+    assert cold_wall >= 10 * warm_wall, (
+        f"cache speedup only {cold_wall / warm_wall:.1f}x "
+        f"({cold_wall:.3f}s cold vs {warm_wall:.3f}s warm)"
+    )
+
+
+def test_warm_values_bit_identical(cold_and_warm):
+    cold, warm, _, _ = cold_and_warm
+    cold_grid = speedup_grid(cold)
+    warm_grid = speedup_grid(warm)
+    assert cold_grid == warm_grid  # exact float equality, not approximate
+    assert table5_result(cold, SIZE_EXP).rendered == \
+        table5_result(warm, SIZE_EXP).rendered
+
+
+def test_pool_grid_identical_to_serial():
+    """workers=4 must change wall-clock only, never a single value."""
+    spec = table5_campaign_spec(14)  # small: this is a correctness check
+    serial = run_campaign(spec, workers=0)
+    pooled = run_campaign(spec, workers=4)
+    assert speedup_grid(serial) == speedup_grid(pooled)
+    assert pooled.stats.executed == serial.stats.executed
+    assert pooled.stats.failed == 0

@@ -1,0 +1,68 @@
+"""Campaign orchestration: plan, execute, cache, and query benchmark sweeps.
+
+pSTL-Bench's evaluation is a large grid -- machines x backends x cases x
+sizes x threads -- and the C++ suite ships a campaign runner that
+executes the whole matrix per (compiler, backend) pair and persists the
+results. This package is that runner for the reproduction, built as four
+layers:
+
+* :mod:`repro.campaign.spec` -- declarative sweep specifications;
+* :mod:`repro.campaign.plan` -- expansion into a deterministic task DAG
+  with capability pruning and shared-baseline deduplication;
+* :mod:`repro.campaign.store` + :mod:`repro.campaign.fingerprint` --
+  content-addressed result cache keyed by (point, model fingerprint),
+  plus the append-only journal that makes runs resumable;
+* :mod:`repro.campaign.executor` / :mod:`repro.campaign.query` --
+  process-pool execution with timeout/retry/graceful failure, and
+  derivations back into the experiment grid shapes.
+
+The ``pstl-campaign`` CLI (:mod:`repro.campaign.cli`) fronts all of it:
+``run``, ``status``, ``resume`` and ``query`` subcommands. See
+docs/CAMPAIGNS.md for the full story, including a worked Table 5
+example.
+"""
+
+from repro.campaign.executor import (
+    CampaignOutcome,
+    CampaignStats,
+    execute_point,
+    load_campaign,
+    point_context,
+    run_campaign,
+)
+from repro.campaign.fingerprint import model_fingerprint
+from repro.campaign.plan import CampaignPlan, PointTask, plan_campaign, task_id_for
+from repro.campaign.query import (
+    bench_rows,
+    efficiency_grid,
+    filter_results,
+    grid_key,
+    speedup_grid,
+)
+from repro.campaign.spec import CampaignSpec, PointSpec
+from repro.campaign.store import Journal, PointResult, ResultStore, cache_key
+
+__all__ = [
+    "CampaignSpec",
+    "PointSpec",
+    "CampaignPlan",
+    "PointTask",
+    "plan_campaign",
+    "task_id_for",
+    "CampaignOutcome",
+    "CampaignStats",
+    "run_campaign",
+    "load_campaign",
+    "execute_point",
+    "point_context",
+    "ResultStore",
+    "Journal",
+    "PointResult",
+    "cache_key",
+    "model_fingerprint",
+    "speedup_grid",
+    "efficiency_grid",
+    "filter_results",
+    "bench_rows",
+    "grid_key",
+]

@@ -1,0 +1,238 @@
+"""``pstl-campaign`` command-line entry point.
+
+Examples::
+
+    pstl-campaign run --spec table5 --dir campaigns/t5 --workers 4
+    pstl-campaign run --spec table5 --dir campaigns/t5 --workers 4   # warm: all cache hits
+    pstl-campaign status campaigns/t5
+    pstl-campaign resume campaigns/t5 --workers 4
+    pstl-campaign query campaigns/t5 --backend GCC-TBB --format csv
+    pstl-campaign run --spec-file mysweep.json --dir campaigns/mine
+
+Exit codes: 0 = success, 1 = campaign finished but some points FAILED,
+2 = bad invocation or corrupt campaign state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.bench.reporters import csv_report, json_report
+from repro.campaign.executor import load_campaign, run_campaign
+from repro.campaign.query import bench_rows, filter_results, speedup_grid
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import FAILED, Journal, read_spec
+from repro.errors import ReproError
+from repro.trace import Tracer, use_tracer, write_chrome_trace
+
+__all__ = ["main", "build_parser"]
+
+#: Named grid specs: spec builder + outcome renderer, resolved lazily so
+#: importing the CLI does not pull in the experiment drivers.
+_NAMED_SPECS = ("table5", "table6")
+
+
+def _named_spec(name: str, size_exp: int):
+    """(spec, render) for one of the named paper grids."""
+    if name == "table5":
+        from repro.experiments.table5 import table5_campaign_spec, table5_result
+
+        return table5_campaign_spec(size_exp), table5_result
+    if name == "table6":
+        from repro.experiments.table6 import table6_campaign_spec, table6_result
+
+        return table6_campaign_spec(size_exp), table6_result
+    raise ReproError(f"unknown named spec {name!r}; known: {_NAMED_SPECS}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="pstl-campaign",
+        description="Plan, execute, cache and query pSTL-Bench campaigns "
+        "(parallel sweeps with a content-addressed result cache; "
+        "see docs/CAMPAIGNS.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="plan and execute a campaign")
+    run.add_argument("--spec", choices=_NAMED_SPECS, default=None,
+                     help="a named paper grid")
+    run.add_argument("--spec-file", default=None,
+                     help="JSON CampaignSpec file (alternative to --spec)")
+    run.add_argument("--size-exp", type=int, default=30,
+                     help="problem-size exponent for named specs (default 2^30)")
+    run.add_argument("--dir", default=None,
+                     help="campaign directory (spec.json, journal, cache); "
+                     "omit for a throwaway in-memory run")
+    run.add_argument("--workers", type=int, default=4,
+                     help="process-pool width; 0/1 = run inline (default 4)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-task wall-clock budget in seconds (pool mode)")
+    run.add_argument("--retries", type=int, default=1,
+                     help="re-executions of a failed point (default 1)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip tasks already journaled in --dir")
+    run.add_argument("--trace", metavar="OUT.json", default=None,
+                     help="write a Chrome trace of the campaign "
+                     "(plan/execute/cache-hit/cache-miss spans)")
+
+    resume = sub.add_parser("resume", help="continue an interrupted campaign")
+    resume.add_argument("dir", help="campaign directory to resume")
+    resume.add_argument("--workers", type=int, default=4)
+    resume.add_argument("--timeout", type=float, default=None)
+    resume.add_argument("--retries", type=int, default=1)
+
+    status = sub.add_parser("status", help="summarise a campaign directory")
+    status.add_argument("dir", help="campaign directory")
+
+    query = sub.add_parser("query", help="filter and report stored results")
+    query.add_argument("dir", help="campaign directory")
+    query.add_argument("--machine", default=None)
+    query.add_argument("--backend", default=None)
+    query.add_argument("--case", default=None)
+    query.add_argument("--status", default=None,
+                       choices=["done", "na", "failed"])
+    query.add_argument("--format", choices=["console", "csv", "json"],
+                       default="console")
+    return parser
+
+
+def _print_outcome(outcome, render=None) -> None:
+    """Shared run/resume reporting."""
+    if render is not None:
+        print(render(outcome).rendered)
+    else:
+        grid = speedup_grid(outcome)
+        for key in sorted(grid):
+            value = grid[key]
+            print(f"{key} = " + ("N/A" if value is None else f"{value:.2f}x"))
+    print(f"campaign: {outcome.stats.summary()}", file=sys.stderr)
+
+
+def _failures(outcome) -> int:
+    """Count of FAILED points (drives the exit code)."""
+    return sum(1 for r in outcome.results.values() if r.status == FAILED)
+
+
+def _cmd_run(args) -> int:
+    """``pstl-campaign run``."""
+    if (args.spec is None) == (args.spec_file is None):
+        print("error: pass exactly one of --spec / --spec-file", file=sys.stderr)
+        return 2
+    render = None
+    if args.spec is not None:
+        spec, render = _named_spec(args.spec, args.size_exp)
+    else:
+        with open(args.spec_file, encoding="utf-8") as fh:
+            try:
+                spec = CampaignSpec.from_dict(json.load(fh))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"invalid spec file {args.spec_file}: {exc}"
+                ) from None
+    tracer = Tracer() if args.trace else None
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        outcome = run_campaign(
+            spec,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            campaign_dir=args.dir,
+            resume=args.resume,
+        )
+    if tracer is not None:
+        n_spans = write_chrome_trace(tracer, args.trace)
+        print(f"trace: {n_spans} spans -> {args.trace}", file=sys.stderr)
+    _print_outcome(outcome, render)
+    return 1 if _failures(outcome) else 0
+
+
+def _cmd_resume(args) -> int:
+    """``pstl-campaign resume``: reload spec.json and continue."""
+    spec = CampaignSpec.from_dict(read_spec(Path(args.dir) / "spec.json"))
+    outcome = run_campaign(
+        spec,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        campaign_dir=args.dir,
+        resume=True,
+    )
+    _print_outcome(outcome)
+    return 1 if _failures(outcome) else 0
+
+
+def _cmd_status(args) -> int:
+    """``pstl-campaign status``: plan vs journal bookkeeping."""
+    outcome = load_campaign(args.dir)
+    entries = Journal(Path(args.dir) / "journal.jsonl").entries()
+    by_status: dict[str, int] = {}
+    for result in outcome.results.values():
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+    pending = [t for t in outcome.plan.tasks if t.task_id not in outcome.results]
+    print(f"campaign: {outcome.spec.name}")
+    print(f"planned:  {len(outcome.plan.tasks)} tasks "
+          f"({len(outcome.plan.baselines)} shared baselines, "
+          f"{len(outcome.plan.pruned)} pruned N/A)")
+    print(f"journal:  {len(entries)} entries")
+    for status in ("done", "na", "failed"):
+        if by_status.get(status):
+            print(f"  {status:6s} {by_status[status]}")
+    print(f"pending:  {len(pending)}")
+    if pending:
+        print("resume with: pstl-campaign resume " + str(args.dir))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """``pstl-campaign query``: filtered rows through the reporters."""
+    outcome = load_campaign(args.dir)
+    pairs = filter_results(
+        outcome, machine=args.machine, backend=args.backend,
+        case=args.case, status=args.status,
+    )
+    if args.format == "csv":
+        print(csv_report(bench_rows(pairs)), end="")
+        return 0
+    if args.format == "json":
+        print(json_report(bench_rows(pairs)))
+        return 0
+    for task, result in pairs:
+        p = task.point
+        label = f"{p.case}<{p.backend}>@Mach{p.machine}/{p.threads}t/n=2^{p.size_exp}"
+        if result.status == "done":
+            print(f"{label}: {result.seconds:.6g} s"
+                  + (" (cached)" if result.cached else ""))
+        else:
+            print(f"{label}: {result.status.upper()} ({result.error})")
+    if not pairs:
+        print("no stored results match", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "resume": _cmd_resume,
+        "status": _cmd_status,
+        "query": _cmd_query,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,460 @@
+"""Campaign executor: run planned points on a process pool, cached.
+
+The simulator is deterministic and CPU-bound, so unlike most Python
+workloads a :class:`~concurrent.futures.ProcessPoolExecutor` buys real
+wall-clock speedup: each worker process costs points independently and
+ships back a tiny ``{status, seconds, error}`` dict. The executor walks
+the plan's topological waves (shared baselines first, then measures),
+and for every task:
+
+1. serves it from the content-addressed store when the (point, model
+   fingerprint) key is present -- a *cache hit* span, zero simulator
+   invocations;
+2. otherwise executes it (inline for ``workers <= 1``, on the pool
+   otherwise) with a per-task timeout and bounded retry -- a *cache
+   miss* span whose duration is the point's simulated seconds;
+3. journals the terminal outcome, making an interrupted campaign
+   resumable: ``resume=True`` re-plans deterministically and skips every
+   task the journal already holds.
+
+Failures degrade gracefully: a point that raises (or times out) after
+its retries is recorded as ``failed`` with its error string and the
+campaign carries on -- one bad cell never aborts a 90-cell grid.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.backends import get_backend
+from repro.campaign.plan import CampaignPlan, PointTask, plan_campaign
+from repro.campaign.spec import CampaignSpec, PointSpec
+from repro.campaign.store import (
+    DONE,
+    FAILED,
+    NA,
+    Journal,
+    PointResult,
+    ResultStore,
+    read_spec,
+    write_spec,
+)
+from repro.errors import CampaignError, ReproError, UnsupportedOperationError
+from repro.execution.context import ExecutionContext
+from repro.machines import get_machine
+from repro.memory.allocators import (
+    DefaultAllocator,
+    HpxNumaAllocator,
+    InterleavedAllocator,
+    ParallelFirstTouchAllocator,
+)
+from repro.suite.cases import get_case
+from repro.suite.wrappers import run_case
+from repro.trace import get_tracer
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignStats",
+    "run_campaign",
+    "load_campaign",
+    "execute_point",
+    "point_context",
+]
+
+#: Named allocators a point may request (None = backend default).
+_ALLOCATORS: Mapping[str, Callable] = {
+    "default": DefaultAllocator,
+    "first-touch": ParallelFirstTouchAllocator,
+    "hpx": HpxNumaAllocator,
+    "interleaved": InterleavedAllocator,
+}
+
+
+def point_context(point: PointSpec) -> ExecutionContext:
+    """Build the execution context one point describes."""
+    machine = get_machine(point.machine)
+    backend = get_backend(point.backend)
+    threads = 1 if backend.is_sequential else point.threads
+    allocator = None
+    if point.allocator is not None:
+        allocator = _ALLOCATORS[point.allocator]()
+    return ExecutionContext(
+        machine, backend, threads=threads, allocator=allocator, mode=point.mode
+    )
+
+
+def execute_point(payload: dict) -> dict:
+    """Cost one point; the process-pool worker entry (module-level, picklable).
+
+    Returns the cacheable ``{status, seconds, error}`` payload. Capability
+    gaps surface as ``na`` (the paper's N/A cells); any other failure --
+    model bug, bad spec value -- becomes ``failed`` with the error text,
+    never an exception that would poison the pool.
+    """
+    try:
+        point = PointSpec.from_dict(payload)
+        ctx = point_context(point)
+        result = run_case(
+            get_case(point.case), ctx, point.n, min_time=point.min_time
+        )
+        return {"status": DONE, "seconds": result.mean_time, "error": None}
+    except UnsupportedOperationError as exc:
+        return {"status": NA, "seconds": None, "error": str(exc)}
+    except ReproError as exc:
+        return {"status": FAILED, "seconds": None,
+                "error": f"{type(exc).__name__}: {exc}"}
+    except Exception as exc:  # noqa: BLE001 - worker boundary, degrade gracefully
+        return {"status": FAILED, "seconds": None,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+@dataclass
+class CampaignStats:
+    """Counters describing where one run's results came from."""
+
+    planned: int = 0
+    pruned: int = 0
+    cache_hits: int = 0
+    journal_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.planned} tasks: {self.pruned} pruned N/A, "
+            f"{self.journal_hits} from journal, {self.cache_hits} cache hits, "
+            f"{self.executed} executed, {self.failed} failed"
+        )
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    plan: CampaignPlan
+    results: dict[str, PointResult] = field(default_factory=dict)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def result_for(self, task: PointTask) -> PointResult | None:
+        """The result recorded for ``task`` (None only after a crash)."""
+        return self.results.get(task.task_id)
+
+    def seconds(self, task_id: str) -> float | None:
+        """Simulated seconds of a done task, else None."""
+        result = self.results.get(task_id)
+        return result.seconds if result is not None and result.status == DONE else None
+
+
+def _trace_point(task: PointTask, result: PointResult) -> None:
+    """Emit one cache-hit/cache-miss span for a finished task."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    if task.pruned is not None:
+        name = "pruned"
+    elif result.cached:
+        name = "cache-hit"
+    else:
+        name = "cache-miss"
+    duration = 0.0
+    if not result.cached and result.seconds is not None:
+        duration = result.seconds
+        tracer.advance(duration)
+        start = tracer.clock - duration
+    else:
+        start = tracer.clock
+    tracer.record(
+        name, duration, category="campaign", track="campaign", start=start,
+        task=task.task_id, kind=task.kind, status=result.status,
+        machine=task.point.machine, backend=task.point.backend,
+        case=task.point.case, n=task.point.n, threads=task.point.threads,
+    )
+
+
+def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | None,
+            task: PointTask, result: PointResult) -> None:
+    """Finalize one task: cache it, journal it, trace it, count it."""
+    outcome.results[task.task_id] = result
+    key = None
+    if result.status != FAILED and not result.cached and task.pruned is None:
+        key = store.put(task.point, result.payload())
+    elif task.pruned is None:
+        key = store.key_for(task.point)
+    if journal is not None:
+        journal.append({
+            "task_id": task.task_id,
+            "status": result.status,
+            "key": key,
+            "seconds": result.seconds,
+            "error": result.error,
+            "cached": result.cached,
+        })
+    _trace_point(task, result)
+
+
+def _execute_serial(tasks: list[PointTask], retries: int) -> dict[str, dict]:
+    """Run tasks inline (workers <= 1); returns task_id -> payload."""
+    out: dict[str, dict] = {}
+    for task in tasks:
+        payload = execute_point(task.point.to_dict())
+        attempt = 0
+        while payload["status"] == FAILED and attempt < retries:
+            attempt += 1
+            payload = execute_point(task.point.to_dict())
+        payload["attempts"] = attempt + 1
+        out[task.task_id] = payload
+    return out
+
+
+def _execute_pool(tasks: list[PointTask], pool: ProcessPoolExecutor,
+                  timeout: float | None, retries: int) -> dict[str, dict]:
+    """Run one wave on the pool with per-task timeout and bounded retry."""
+    out: dict[str, dict] = {}
+    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
+    pending: dict[Future, PointTask] = {
+        pool.submit(execute_point, t.point.to_dict()): t for t in tasks
+    }
+    while pending:
+        finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+        if not finished:
+            # Nothing completed within the per-task budget: every pending
+            # point has now been waiting >= timeout, so fail them all.
+            for fut, task in pending.items():
+                fut.cancel()
+                out[task.task_id] = {
+                    "status": FAILED, "seconds": None,
+                    "error": f"timeout after {timeout:g}s",
+                    "attempts": attempts[task.task_id],
+                }
+            return out
+        for fut in finished:
+            task = pending.pop(fut)
+            exc = fut.exception()
+            if exc is not None:
+                payload = {"status": FAILED, "seconds": None,
+                           "error": f"{type(exc).__name__}: {exc}"}
+            else:
+                payload = fut.result()
+            if payload["status"] == FAILED and attempts[task.task_id] <= retries:
+                attempts[task.task_id] += 1
+                pending[pool.submit(execute_point, task.point.to_dict())] = task
+                continue
+            payload["attempts"] = attempts[task.task_id]
+            out[task.task_id] = payload
+    return out
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: ResultStore | None = None,
+    workers: int = 0,
+    timeout: float | None = None,
+    retries: int = 1,
+    campaign_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    progress: Callable[[PointTask, PointResult], None] | None = None,
+) -> CampaignOutcome:
+    """Plan and execute ``spec``; returns the full outcome.
+
+    Parameters
+    ----------
+    store:
+        Result cache; defaults to ``<campaign_dir>/cache`` when a
+        directory is given, else an in-memory store.
+    workers:
+        Process-pool width. ``0``/``1`` executes inline in this process
+        (deterministic, no fork) -- the right choice for tests and tiny
+        grids; ``>= 2`` runs points concurrently.
+    timeout:
+        Per-task wall-clock budget in seconds (pool mode only); a point
+        that exceeds it is recorded as failed.
+    retries:
+        How many times a failed point is re-executed before its failure
+        is journaled as terminal.
+    campaign_dir:
+        Run directory holding ``spec.json`` + ``journal.jsonl`` (and the
+        default cache). Required for ``resume``.
+    resume:
+        Skip every task whose terminal entry the journal already holds,
+        loading its result from the cache instead of recomputing.
+    progress:
+        Optional callback invoked with every (task, result) as recorded.
+    """
+    if retries < 0:
+        raise CampaignError("retries must be >= 0")
+    if workers < 0:
+        raise CampaignError("workers must be >= 0")
+    journal: Journal | None = None
+    if campaign_dir is not None:
+        root = Path(campaign_dir)
+        spec_path = root / "spec.json"
+        if spec_path.exists():
+            on_disk = read_spec(spec_path)
+            if CampaignSpec.from_dict(on_disk).canonical() != spec.canonical():
+                raise CampaignError(
+                    f"{root} already holds a different campaign "
+                    f"({on_disk.get('name')!r}); use a fresh directory"
+                )
+        else:
+            write_spec(spec_path, spec.to_dict())
+        journal = Journal(root / "journal.jsonl")
+        if store is None:
+            store = ResultStore(root / "cache")
+    if store is None:
+        store = ResultStore(None)
+    if resume and journal is None:
+        raise CampaignError("resume requires a campaign_dir")
+
+    tracer = get_tracer()
+    outcome = None
+    span = tracer.begin("campaign.run", category="campaign", track="campaign",
+                        campaign=spec.name) if tracer.enabled else None
+    try:
+        outcome = _run(spec, store, workers, timeout, retries, journal, resume,
+                       progress)
+    finally:
+        if span is not None:
+            if outcome is not None:
+                span.set_attribute("tasks", outcome.stats.planned)
+                span.set_attribute("executed", outcome.stats.executed)
+                span.set_attribute("cache_hits", outcome.stats.cache_hits)
+            tracer.end()
+    return outcome
+
+
+def _run(spec, store, workers, timeout, retries, journal, resume, progress):
+    """The executor body (directory/span plumbing handled by the caller)."""
+    plan = plan_campaign(spec)
+    outcome = CampaignOutcome(spec=spec, plan=plan)
+    outcome.stats.planned = len(plan.tasks)
+
+    journaled: dict[str, dict] = {}
+    if resume and journal is not None:
+        journaled = journal.completed_ids()
+
+    def finish(task: PointTask, result: PointResult) -> None:
+        _record(outcome, store, journal, task, result)
+        if progress is not None:
+            progress(task, result)
+
+    tracer = get_tracer()
+    pool: ProcessPoolExecutor | None = None
+    try:
+        span = tracer.begin("campaign.execute", category="campaign",
+                            track="campaign") if tracer.enabled else None
+        try:
+            for wave in _all_waves(plan):
+                to_run: list[PointTask] = []
+                for task in wave:
+                    if task.pruned is not None:
+                        outcome.stats.pruned += 1
+                        finish(task, PointResult(
+                            task_id=task.task_id, point=task.point, status=NA,
+                            error=task.pruned, attempts=0,
+                        ))
+                        continue
+                    if task.task_id in journaled:
+                        entry = journaled[task.task_id]
+                        cached = store.result_for(task.task_id, task.point)
+                        if cached is not None:
+                            outcome.stats.journal_hits += 1
+                            finish(task, cached)
+                            continue
+                        if entry["status"] == NA:
+                            # N/A needs no cache object to be trustworthy.
+                            outcome.stats.journal_hits += 1
+                            finish(task, PointResult(
+                                task_id=task.task_id, point=task.point,
+                                status=NA, error=entry.get("error"),
+                                cached=True, attempts=0,
+                            ))
+                            continue
+                        # Journaled but evicted from cache: recompute.
+                    cached = store.result_for(task.task_id, task.point)
+                    if cached is not None:
+                        outcome.stats.cache_hits += 1
+                        finish(task, cached)
+                        continue
+                    to_run.append(task)
+                if not to_run:
+                    continue
+                if workers >= 2:
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                    payloads = _execute_pool(to_run, pool, timeout, retries)
+                else:
+                    payloads = _execute_serial(to_run, retries)
+                for task in to_run:
+                    payload = payloads[task.task_id]
+                    outcome.stats.executed += 1
+                    if payload["status"] == FAILED:
+                        outcome.stats.failed += 1
+                    finish(task, PointResult(
+                        task_id=task.task_id, point=task.point,
+                        status=payload["status"], seconds=payload["seconds"],
+                        error=payload["error"],
+                        attempts=payload.get("attempts", 1),
+                    ))
+        finally:
+            if span is not None:
+                tracer.end()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return outcome
+
+
+def load_campaign(campaign_dir: str | os.PathLike,
+                  store: ResultStore | None = None) -> CampaignOutcome:
+    """Reconstruct a campaign's outcome from disk without executing.
+
+    Re-plans from ``spec.json`` (deterministic, so task ids line up),
+    then fills in whatever the journal and cache already hold: pruned
+    tasks, journaled N/As, and cached results. Tasks with no terminal
+    record stay absent from ``outcome.results`` -- that's the pending
+    set a ``resume`` would run.
+    """
+    root = Path(campaign_dir)
+    spec = CampaignSpec.from_dict(read_spec(root / "spec.json"))
+    if store is None:
+        store = ResultStore(root / "cache")
+    plan = plan_campaign(spec)
+    outcome = CampaignOutcome(spec=spec, plan=plan)
+    outcome.stats.planned = len(plan.tasks)
+    journaled = Journal(root / "journal.jsonl").completed_ids()
+    for task in plan.tasks:
+        if task.pruned is not None:
+            outcome.stats.pruned += 1
+            outcome.results[task.task_id] = PointResult(
+                task_id=task.task_id, point=task.point, status=NA,
+                error=task.pruned, attempts=0,
+            )
+            continue
+        cached = store.result_for(task.task_id, task.point)
+        if cached is not None:
+            outcome.stats.cache_hits += 1
+            outcome.results[task.task_id] = cached
+            continue
+        entry = journaled.get(task.task_id)
+        if entry is not None and entry["status"] == NA:
+            outcome.stats.journal_hits += 1
+            outcome.results[task.task_id] = PointResult(
+                task_id=task.task_id, point=task.point, status=NA,
+                error=entry.get("error"), cached=True, attempts=0,
+            )
+    return outcome
+
+
+def _all_waves(plan: CampaignPlan):
+    """Pruned tasks first (cheap N/A records), then the plan's waves."""
+    pruned = tuple(plan.pruned)
+    if pruned:
+        yield pruned
+    yield from plan.waves()

@@ -1,0 +1,64 @@
+"""Model-version fingerprint: the cache-invalidation half of the store.
+
+A cached result is only valid while the performance model that produced
+it is unchanged. Rather than asking humans to bump a version constant on
+every calibration tweak, the fingerprint hashes the *source text* of
+every model-bearing subpackage (machines, backends, cost engine,
+algorithms, memory, execution, suite) plus the package version. Any
+edit to any of those files changes the fingerprint, which changes every
+cache key, which transparently invalidates the entire cache -- stale
+hits are structurally impossible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["model_fingerprint", "MODEL_PACKAGES"]
+
+#: Subpackages whose source participates in the fingerprint. These are
+#: exactly the layers a simulated point's value depends on; docs, tests,
+#: reporters and the campaign subsystem itself are deliberately outside.
+MODEL_PACKAGES = (
+    "algorithms",
+    "backends",
+    "execution",
+    "machines",
+    "memory",
+    "sim",
+    "suite",
+    "types.py",
+)
+
+
+def _iter_sources(root: Path):
+    """Yield (relative path, bytes) for every model source file, sorted."""
+    for entry in MODEL_PACKAGES:
+        path = root / entry
+        if path.is_file():
+            yield entry, path.read_bytes()
+        else:
+            for py in sorted(path.rglob("*.py")):
+                yield str(py.relative_to(root)), py.read_bytes()
+
+
+@lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Stable hex digest of (package version, model source files).
+
+    Cached per process: the source tree does not change under a running
+    campaign, and hashing ~100 files on every point would dominate small
+    runs.
+    """
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    digest.update(f"repro=={__version__}".encode())
+    for rel, data in _iter_sources(root):
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(data)
+    return digest.hexdigest()[:20]

@@ -1,0 +1,233 @@
+"""Result persistence: content-addressed cache + append-only journal.
+
+**Cache.** Every finished point is stored under a key derived from the
+point's canonical JSON *and* the model-version fingerprint
+(`repro.campaign.fingerprint`). Identical (point, model) pairs therefore
+always collide onto the same object -- a re-run is a pure cache hit --
+while any model change shifts every key and transparently invalidates
+the whole cache. Objects live as small JSON files fanned out over a
+two-hex-digit directory level (``objects/ab/abcdef....json``), or in a
+plain dict when the store is constructed without a root (tests,
+throwaway runs).
+
+**Journal.** Each campaign run appends one JSON line per finished task
+to ``journal.jsonl``. The journal is the resume log: an interrupted
+campaign re-plans (deterministically), drops every task whose terminal
+entry is already journaled, and executes only the remainder. Torn final
+lines from a killed process are tolerated and skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign.fingerprint import model_fingerprint
+from repro.campaign.spec import PointSpec, canonical_json
+from repro.errors import CampaignError
+
+__all__ = [
+    "PointResult",
+    "ResultStore",
+    "Journal",
+    "cache_key",
+    "write_spec",
+    "read_spec",
+]
+
+#: Terminal point statuses.
+DONE = "done"
+NA = "na"
+FAILED = "failed"
+_STATUSES = (DONE, NA, FAILED)
+
+
+def cache_key(point: PointSpec, fingerprint: str) -> str:
+    """Content hash of (point identity, model fingerprint)."""
+    payload = canonical_json({"point": point.to_dict(), "model": fingerprint})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Terminal outcome of one point-task.
+
+    ``seconds`` is the mean simulated seconds of one invocation (the
+    figures' y-axis) for ``done`` points, ``None`` otherwise. ``cached``
+    and ``attempts`` describe *this run* and are excluded from the cached
+    payload, so cache-served results compare bit-identical to computed
+    ones.
+    """
+
+    task_id: str
+    point: PointSpec
+    status: str
+    seconds: float | None = None
+    error: str | None = None
+    cached: bool = False
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise CampaignError(f"invalid point status {self.status!r}")
+        if self.status == DONE and self.seconds is None:
+            raise CampaignError("done points must carry seconds")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point produced a value (N/A counts as resolved)."""
+        return self.status in (DONE, NA)
+
+    def payload(self) -> dict[str, Any]:
+        """The cacheable slice: status/seconds/error only."""
+        return {"status": self.status, "seconds": self.seconds, "error": self.error}
+
+
+class ResultStore:
+    """Content-addressed point-result cache (on disk or in memory)."""
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 fingerprint: str | None = None) -> None:
+        """``root=None`` keeps objects in a dict; else under ``root/objects``."""
+        self.root = Path(root) if root is not None else None
+        self.fingerprint = fingerprint if fingerprint is not None else model_fingerprint()
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        if self.root is not None:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    def key_for(self, point: PointSpec) -> str:
+        """This store's cache key for ``point``."""
+        return cache_key(point, self.fingerprint)
+
+    def _object_path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def load_key(self, key: str) -> dict | None:
+        """Fetch a raw cached payload by key (None if absent/corrupt)."""
+        if self.root is None:
+            return self._memory.get(key)
+        path = self._object_path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return None  # torn write: treat as a miss and recompute
+
+    def get(self, point: PointSpec) -> dict | None:
+        """Cached payload for ``point`` under the current model, or None."""
+        payload = self.load_key(self.key_for(point))
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(self, point: PointSpec, payload: Mapping[str, Any]) -> str:
+        """Store ``payload`` for ``point``; returns the cache key."""
+        key = self.key_for(point)
+        record = {
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "point": point.to_dict(),
+            "result": dict(payload),
+        }
+        if self.root is None:
+            self._memory[key] = record
+        else:
+            path = self._object_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)  # atomic publish: readers never see a torn object
+        self.writes += 1
+        return key
+
+    def result_for(self, task_id: str, point: PointSpec) -> PointResult | None:
+        """Reconstruct a :class:`PointResult` from cache (marked cached)."""
+        record = self.get(point)
+        if record is None:
+            return None
+        result = record["result"]
+        return PointResult(
+            task_id=task_id, point=point, status=result["status"],
+            seconds=result["seconds"], error=result.get("error"),
+            cached=True, attempts=0,
+        )
+
+
+class Journal:
+    """Append-only run log; one JSON object per line."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        """Bind to ``path`` (created lazily on first append)."""
+        self.path = Path(path)
+
+    def append(self, entry: Mapping[str, Any]) -> None:
+        """Append one entry and flush it to disk immediately."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(canonical_json(dict(entry)) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def entries(self) -> list[dict]:
+        """All intact entries, in append order (torn tail lines skipped)."""
+        if not self.path.exists():
+            return []
+        out: list[dict] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # interrupted mid-write; the task will re-run
+        return out
+
+    def completed_ids(self) -> dict[str, dict]:
+        """task_id -> latest terminal entry (failed tasks are *not* terminal).
+
+        Failed entries are excluded on purpose: resuming a campaign
+        retries its failures, matching the executor's bounded-retry
+        policy rather than freezing a transient fault forever.
+        """
+        done: dict[str, dict] = {}
+        for entry in self.entries():
+            tid = entry.get("task_id")
+            status = entry.get("status")
+            if not tid or status not in _STATUSES:
+                continue
+            if status == FAILED:
+                done.pop(tid, None)
+            else:
+                done[tid] = entry
+        return done
+
+
+def write_spec(path: Path, spec_payload: Mapping[str, Any]) -> None:
+    """Persist a campaign's spec.json (pretty, stable key order)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dict(spec_payload), sort_keys=True, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def read_spec(path: Path) -> dict:
+    """Load a campaign's spec.json."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CampaignError(f"no campaign spec at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"corrupt campaign spec at {path}: {exc}") from None

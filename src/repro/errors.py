@@ -66,3 +66,7 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class CampaignError(ReproError):
+    """A benchmark campaign was mis-specified or its on-disk state is bad."""

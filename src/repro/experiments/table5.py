@@ -3,10 +3,21 @@
 Grid: 6 algorithm configurations x 5 parallel backends x 3 machines, at
 n = 2^30 with all cores. Cells the paper marks N/A are reproduced as
 N/A: GNU has no parallel scan, and ICC was not installed on Mach B.
+
+The grid is built through the campaign subsystem (`repro.campaign`): the
+planner prunes the N/A cells up front and deduplicates the 18 shared
+``GCC-SEQ`` baselines the 90 speedup cells divide by, and the executor
+can run the points on a process pool and serve repeats from the
+content-addressed cache. ``run_table5()`` with default arguments is the
+same serial, uncached computation as before -- pass ``store`` and
+``workers`` to get caching and parallelism (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
 
+from repro.campaign.executor import CampaignOutcome, ResultStore, run_campaign
+from repro.campaign.query import speedup_grid
+from repro.campaign.spec import CampaignSpec
 from repro.errors import UnsupportedOperationError
 from repro.experiments.common import (
     ExperimentResult,
@@ -20,7 +31,13 @@ from repro.suite.cases import get_case
 from repro.suite.wrappers import measure_case
 from repro.util.tables import render_grid
 
-__all__ = ["run_table5", "MACHINES", "ICC_AVAILABLE"]
+__all__ = [
+    "run_table5",
+    "table5_campaign_spec",
+    "table5_result",
+    "MACHINES",
+    "ICC_AVAILABLE",
+]
 
 MACHINES = ("A", "B", "C")
 
@@ -28,10 +45,34 @@ MACHINES = ("A", "B", "C")
 ICC_AVAILABLE = {"A": True, "B": False, "C": True}
 
 
+def _unavailable_pairs() -> tuple[tuple[str, str], ...]:
+    """(machine, backend) pairs absent from the paper's toolchain matrix."""
+    return tuple(
+        (machine, "ICC-TBB") for machine in MACHINES if not ICC_AVAILABLE[machine]
+    )
+
+
+def table5_campaign_spec(size_exp: int = 30) -> CampaignSpec:
+    """The declarative Table 5 grid as a campaign spec."""
+    return CampaignSpec(
+        name=f"table5-2^{size_exp}",
+        machines=MACHINES,
+        backends=PARALLEL_CPU_BACKENDS,
+        cases=HEADLINE_CASES,
+        size_exps=(size_exp,),
+        threads=(None,),  # all cores, matching Section 4.1
+        exclude=_unavailable_pairs(),
+    )
+
+
 def cell_speedup(
     machine: str, backend: str, case_name: str, size_exp: int = 30
 ) -> float | None:
-    """One grid cell; ``None`` renders as N/A."""
+    """One grid cell computed directly; ``None`` renders as N/A.
+
+    The single-cell path the unit tests exercise; ``run_table5`` computes
+    the same value through the campaign planner/executor.
+    """
     if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
         return None
     n = paper_size(size_exp)
@@ -45,15 +86,9 @@ def cell_speedup(
     return base / par
 
 
-def run_table5(size_exp: int = 30) -> ExperimentResult:
-    """Regenerate Table 5; cells are 'A|B|C' strings like the paper's."""
-    grid: dict[str, dict[str, float | None]] = {}
-    for backend in PARALLEL_CPU_BACKENDS:
-        for case_name in HEADLINE_CASES:
-            for machine in MACHINES:
-                grid[f"{backend}/{case_name}/{machine}"] = cell_speedup(
-                    machine, backend, case_name, size_exp
-                )
+def table5_result(outcome: CampaignOutcome, size_exp: int = 30) -> ExperimentResult:
+    """Render a Table 5 campaign outcome; cells are 'A|B|C' like the paper's."""
+    grid = speedup_grid(outcome)
 
     def fmt(value: float | None) -> str:
         return "N/A" if value is None else f"{value:.1f}"
@@ -61,7 +96,8 @@ def run_table5(size_exp: int = 30) -> ExperimentResult:
     cells = [
         [
             " | ".join(
-                fmt(grid[f"{backend}/{case_name}/{machine}"]) for machine in MACHINES
+                fmt(grid.get(f"{backend}/{case_name}/{machine}"))
+                for machine in MACHINES
             )
             for case_name in HEADLINE_CASES
         ]
@@ -79,3 +115,19 @@ def run_table5(size_exp: int = 30) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="table5", title="Speedup vs sequential", data=grid, rendered=rendered
     )
+
+
+def run_table5(
+    size_exp: int = 30,
+    *,
+    store: ResultStore | None = None,
+    workers: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table 5 through the campaign subsystem.
+
+    Defaults reproduce the legacy serial behaviour (in-memory store, no
+    process pool); a persistent ``store`` makes re-runs cache hits and
+    ``workers >= 2`` executes the grid concurrently.
+    """
+    outcome = run_campaign(table5_campaign_spec(size_exp), store=store, workers=workers)
+    return table5_result(outcome, size_exp)

@@ -5,11 +5,19 @@ Efficiency is measured against the GCC sequential baseline (like Table
 threads efficiently -- the per-NUMA-node core count of Mach A and Mach C
 -- except for the compute-bound for_each (k_it = 1000), which stays
 efficient at full machine width.
+
+Like Table 5, the grid runs through `repro.campaign`: the spec's thread
+axis is the union of every machine's power-of-two sweep (the planner
+drops counts wider than a machine), baselines are shared, and the query
+layer folds the stored points back into per-cell scaling curves.
 """
 
 from __future__ import annotations
 
 from repro.analysis.speedup import ScalingCurve, max_threads_above_efficiency
+from repro.campaign.executor import CampaignOutcome, ResultStore, run_campaign
+from repro.campaign.query import efficiency_grid
+from repro.campaign.spec import CampaignSpec
 from repro.errors import UnsupportedOperationError
 from repro.experiments.common import (
     ExperimentResult,
@@ -19,20 +27,52 @@ from repro.experiments.common import (
     paper_size,
     seq_baseline_seconds,
 )
-from repro.experiments.table5 import ICC_AVAILABLE, MACHINES
+from repro.experiments.table5 import ICC_AVAILABLE, MACHINES, _unavailable_pairs
+from repro.machines import get_machine
 from repro.suite.cases import get_case
-from repro.suite.sweeps import strong_scaling
+from repro.suite.sweeps import strong_scaling, thread_counts
 from repro.util.tables import render_grid
 
-__all__ = ["run_table6", "cell_max_threads", "EFFICIENCY_THRESHOLD"]
+__all__ = [
+    "run_table6",
+    "table6_campaign_spec",
+    "table6_result",
+    "cell_max_threads",
+    "EFFICIENCY_THRESHOLD",
+]
 
 EFFICIENCY_THRESHOLD = 0.70
+
+
+def table6_campaign_spec(size_exp: int = 30) -> CampaignSpec:
+    """The Table 6 strong-scaling grid as a campaign spec.
+
+    The thread axis is the union of each machine's 1, 2, 4, ..., #cores
+    sweep; the planner skips counts a machine cannot hold, so Mach A
+    (32 cores) contributes 6 points per cell while Mach C contributes 8.
+    """
+    counts: set[int] = set()
+    for machine in MACHINES:
+        counts.update(thread_counts(get_machine(machine).total_cores))
+    return CampaignSpec(
+        name=f"table6-2^{size_exp}",
+        machines=MACHINES,
+        backends=PARALLEL_CPU_BACKENDS,
+        cases=HEADLINE_CASES,
+        size_exps=(size_exp,),
+        threads=tuple(sorted(counts)),
+        exclude=_unavailable_pairs(),
+    )
 
 
 def cell_max_threads(
     machine: str, backend: str, case_name: str, size_exp: int = 30
 ) -> int | None:
-    """One Table 6 cell; ``None`` renders as N/A."""
+    """One Table 6 cell computed directly; ``None`` renders as N/A.
+
+    The single-cell path the unit tests exercise; ``run_table6`` computes
+    the same value through the campaign planner/executor.
+    """
     if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
         return None
     n = paper_size(size_exp)
@@ -53,15 +93,9 @@ def cell_max_threads(
     return max_threads_above_efficiency(curve, EFFICIENCY_THRESHOLD)
 
 
-def run_table6(size_exp: int = 30) -> ExperimentResult:
-    """Regenerate Table 6."""
-    grid: dict[str, int | None] = {}
-    for backend in PARALLEL_CPU_BACKENDS:
-        for case_name in HEADLINE_CASES:
-            for machine in MACHINES:
-                grid[f"{backend}/{case_name}/{machine}"] = cell_max_threads(
-                    machine, backend, case_name, size_exp
-                )
+def table6_result(outcome: CampaignOutcome, size_exp: int = 30) -> ExperimentResult:
+    """Render a Table 6 campaign outcome."""
+    grid = efficiency_grid(outcome, EFFICIENCY_THRESHOLD)
 
     def fmt(v: int | None) -> str:
         return "N/A" if v is None else str(v)
@@ -69,7 +103,8 @@ def run_table6(size_exp: int = 30) -> ExperimentResult:
     cells = [
         [
             " | ".join(
-                fmt(grid[f"{backend}/{case_name}/{machine}"]) for machine in MACHINES
+                fmt(grid.get(f"{backend}/{case_name}/{machine}"))
+                for machine in MACHINES
             )
             for case_name in HEADLINE_CASES
         ]
@@ -90,3 +125,14 @@ def run_table6(size_exp: int = 30) -> ExperimentResult:
         data=grid,
         rendered=rendered,
     )
+
+
+def run_table6(
+    size_exp: int = 30,
+    *,
+    store: ResultStore | None = None,
+    workers: int = 0,
+) -> ExperimentResult:
+    """Regenerate Table 6 through the campaign subsystem."""
+    outcome = run_campaign(table6_campaign_spec(size_exp), store=store, workers=workers)
+    return table6_result(outcome, size_exp)

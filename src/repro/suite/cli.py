@@ -16,6 +16,7 @@ from contextlib import nullcontext
 
 from repro.backends import PARALLEL_CPU_BACKENDS, get_backend
 from repro.bench.reporters import console_report, csv_report, json_report
+from repro.bench.state import BenchResult
 from repro.errors import ReproError, UnsupportedOperationError
 from repro.execution.context import ExecutionContext
 from repro.machines import get_machine
@@ -26,7 +27,12 @@ from repro.trace import Tracer, use_tracer, write_chrome_trace
 from repro.types import elem_type
 from repro.util.units import parse_size
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "sweep_bench_rows", "EXIT_ALL_NA"]
+
+#: Exit code for "every requested backend was N/A" -- distinct from 0
+#: (measured something) and 2 (bad invocation), so scripts driving
+#: ``--backend all`` can tell an empty grid cell from success.
+EXIT_ALL_NA = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +93,25 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def sweep_bench_rows(sweep, variable: str) -> list[BenchResult]:
+    """A sweep's supported points as reporter-ready rows.
+
+    Each point becomes one single-iteration row named
+    ``<sweep label>/<variable>=<x>`` so ``--sweep`` output flows through
+    the same csv/json reporters as single-point runs.
+    """
+    return [
+        BenchResult(
+            name=f"{sweep.label}/{variable}={point.x}",
+            iterations=1,
+            total_time=point.seconds,
+            mean_time=point.seconds,
+        )
+        for point in sweep.points
+        if point.supported
+    ]
+
+
 def _run(args: argparse.Namespace) -> int:
     """Execute one parsed CLI invocation (tracing already installed)."""
     machine = get_machine(args.machine)
@@ -98,31 +123,41 @@ def _run(args: argparse.Namespace) -> int:
     n = parse_size(args.size)
 
     results = []
+    measured = 0  # backends that produced at least one value
+    unavailable: list[str] = []  # backends whose every point was N/A
     for backend_name in backends:
         backend = get_backend(backend_name)
         threads = args.threads or machine.total_cores
         ctx = ExecutionContext(
             machine, backend, threads=threads, mode=args.mode
         )
-        if args.sweep == "sizes":
-            sweep = problem_scaling(case, ctx, problem_sizes(), elem)
-            for point in sweep.points:
-                print(
-                    f"{sweep.label} n={point.x}: "
-                    + (f"{point.seconds:.6g} s" if point.supported else "N/A")
-                )
-            continue
-        if args.sweep == "threads":
-            sweep = strong_scaling(case, ctx, n, elem=elem)
-            for point in sweep.points:
-                print(
-                    f"{sweep.label} t={point.x}: "
-                    + (f"{point.seconds:.6g} s" if point.supported else "N/A")
-                )
+        if args.sweep != "none":
+            if args.sweep == "sizes":
+                sweep = problem_scaling(case, ctx, problem_sizes(), elem)
+                variable = "n"
+            else:
+                sweep = strong_scaling(case, ctx, n, elem=elem)
+                variable = "t"
+            if not any(point.supported for point in sweep.points):
+                unavailable.append(backend.name)
+                print(f"{backend.name}: N/A (no supported points in "
+                      f"{args.sweep} sweep)", file=sys.stderr)
+                continue
+            measured += 1
+            if args.format == "console":
+                for point in sweep.points:
+                    print(
+                        f"{sweep.label} {variable}={point.x}: "
+                        + (f"{point.seconds:.6g} s" if point.supported else "N/A")
+                    )
+            else:
+                results.extend(sweep_bench_rows(sweep, variable))
             continue
         try:
             results.append(run_case(case, ctx, n, elem, min_time=args.min_time))
+            measured += 1
         except UnsupportedOperationError as exc:
+            unavailable.append(backend.name)
             print(f"{backend.name}: N/A ({exc})", file=sys.stderr)
 
     if results:
@@ -132,6 +167,14 @@ def _run(args: argparse.Namespace) -> int:
             print(json_report(results))
         else:
             print(console_report(results))
+    if measured == 0 and unavailable:
+        print(
+            f"error: no data: all requested backends are N/A for "
+            f"{case.name!r} on machine {machine.name!r} "
+            f"({', '.join(unavailable)})",
+            file=sys.stderr,
+        )
+        return EXIT_ALL_NA
     return 0
 
 

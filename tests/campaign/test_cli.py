@@ -1,0 +1,119 @@
+"""`pstl-campaign` CLI: run/status/resume/query and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import executor as executor_mod
+from repro.campaign.cli import main
+from repro.campaign.store import FAILED
+
+
+SPEC = {
+    "name": "cli-tiny",
+    "machines": ["A"],
+    "backends": ["GCC-TBB", "GCC-GNU"],
+    "cases": ["reduce", "inclusive_scan"],
+    "size_exps": [12],
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    return path
+
+
+def test_run_spec_file(spec_file, tmp_path, capsys):
+    rc = main(["run", "--spec-file", str(spec_file),
+               "--dir", str(tmp_path / "c"), "--workers", "0"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "GCC-TBB/reduce/A" in captured.out
+    assert "inclusive_scan" in captured.out  # N/A cell still listed
+    assert "executed" in captured.err
+
+
+def test_run_requires_exactly_one_spec_source(spec_file, capsys):
+    assert main(["run"]) == 2
+    assert main(["run", "--spec", "table5", "--spec-file", str(spec_file)]) == 2
+
+
+def test_run_named_spec_renders_table(tmp_path, capsys):
+    rc = main(["run", "--spec", "table5", "--size-exp", "12",
+               "--dir", str(tmp_path / "t5"), "--workers", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+    assert "N/A" in out  # ICC-on-B / GNU-scan cells
+
+
+def test_status_and_query(spec_file, tmp_path, capsys):
+    cdir = tmp_path / "c"
+    main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+          "--workers", "0"])
+    capsys.readouterr()
+
+    assert main(["status", str(cdir)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out
+    assert "pending:  0" in out
+
+    assert main(["query", str(cdir), "--case", "reduce"]) == 0
+    out = capsys.readouterr().out
+    assert "reduce<GCC-TBB>@MachA" in out
+
+    assert main(["query", str(cdir), "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("name,iterations,")
+
+    assert main(["query", str(cdir), "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)["benchmarks"]
+    assert rows and all(row["iterations"] == 1 for row in rows)
+
+
+def test_warm_rerun_and_resume(spec_file, tmp_path, capsys):
+    cdir = tmp_path / "c"
+    main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+          "--workers", "0"])
+    capsys.readouterr()
+    rc = main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+               "--workers", "0", "--resume"])
+    assert rc == 0
+    assert "0 executed" in capsys.readouterr().err
+    rc = main(["resume", str(cdir), "--workers", "0"])
+    assert rc == 0
+    assert "0 executed" in capsys.readouterr().err
+
+
+def test_trace_output(spec_file, tmp_path):
+    trace = tmp_path / "trace.json"
+    rc = main(["run", "--spec-file", str(spec_file),
+               "--dir", str(tmp_path / "c"), "--workers", "0",
+               "--trace", str(trace)])
+    assert rc == 0
+    events = json.loads(trace.read_text(encoding="utf-8"))["traceEvents"]
+    names = {e.get("name") for e in events}
+    assert {"campaign.run", "campaign.plan", "cache-miss"} <= names
+
+
+def test_failures_exit_code_1(spec_file, tmp_path, monkeypatch, capsys):
+    def always_fail(payload):
+        return {"status": FAILED, "seconds": None, "error": "boom"}
+
+    monkeypatch.setattr(executor_mod, "execute_point", always_fail)
+    rc = main(["run", "--spec-file", str(spec_file),
+               "--dir", str(tmp_path / "c"), "--workers", "0",
+               "--retries", "0"])
+    assert rc == 1
+
+
+def test_bad_state_exit_code_2(tmp_path, capsys):
+    assert main(["status", str(tmp_path / "nothing")]) == 2
+    assert "error:" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["run", "--spec-file", str(bad), "--workers", "0"]) == 2

@@ -1,0 +1,94 @@
+"""Query layer: campaign outcomes reproduce the legacy grid values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.query import bench_rows, cell_curves, efficiency_grid, filter_results, speedup_grid
+from repro.campaign.store import DONE, NA, ResultStore
+from repro.experiments.table5 import cell_speedup, table5_campaign_spec
+from repro.experiments.table6 import (
+    EFFICIENCY_THRESHOLD,
+    cell_max_threads,
+    table6_campaign_spec,
+)
+
+SIZE_EXP = 14
+
+
+@pytest.fixture(scope="module")
+def table5_outcome():
+    return run_campaign(table5_campaign_spec(SIZE_EXP))
+
+
+@pytest.fixture(scope="module")
+def table6_outcome():
+    return run_campaign(table6_campaign_spec(SIZE_EXP))
+
+
+def test_speedup_grid_matches_single_cell_path(table5_outcome):
+    grid = speedup_grid(table5_outcome)
+    assert len(grid) == 90
+    # exact equality: the campaign runs the same simulator on the same points
+    assert grid["GCC-TBB/reduce/A"] == cell_speedup("A", "GCC-TBB", "reduce", SIZE_EXP)
+    assert grid["NVC-OMP/sort/C"] == cell_speedup("C", "NVC-OMP", "sort", SIZE_EXP)
+    assert grid["GCC-GNU/inclusive_scan/B"] is None  # capability N/A
+    assert grid["ICC-TBB/reduce/B"] is None  # ICC absent on Mach B
+
+
+def test_full_grid_equality_with_legacy(table5_outcome):
+    grid = speedup_grid(table5_outcome)
+    for key, value in grid.items():
+        backend, case, machine = key.split("/")
+        legacy = cell_speedup(machine, backend, case, SIZE_EXP)
+        assert value == legacy, key
+
+
+def test_efficiency_grid_matches_single_cell_path(table6_outcome):
+    grid = efficiency_grid(table6_outcome, EFFICIENCY_THRESHOLD)
+    for key, value in grid.items():
+        backend, case, machine = key.split("/")
+        legacy = cell_max_threads(machine, backend, case, SIZE_EXP)
+        assert value == legacy, key
+
+
+def test_cell_curves_shape(table6_outcome):
+    curves = cell_curves(table6_outcome)
+    curve = curves["GCC-TBB/reduce/C"]
+    # Mach C sweeps 1..128 in powers of two
+    assert curve.threads == (1, 2, 4, 8, 16, 32, 64, 128)
+    assert len(curve.seconds) == 8
+    assert curve.baseline_seconds > 0
+    assert curve.scaling_curve().threads == curve.threads
+
+
+def test_filter_results(table5_outcome):
+    pairs = filter_results(table5_outcome, machine="a", backend="gcc-tbb")
+    assert len(pairs) == 6  # six cases
+    assert all(t.point.machine == "A" for t, _ in pairs)
+    nas = filter_results(table5_outcome, status=NA)
+    assert len(nas) == 9
+    everything = filter_results(table5_outcome, kind=None)
+    assert len(everything) == 108
+
+
+def test_bench_rows_shape(table5_outcome):
+    pairs = filter_results(table5_outcome, machine="A", case="reduce", status=DONE)
+    rows = bench_rows(pairs)
+    assert rows
+    for row in rows:
+        assert "reduce<" in row.name and "@MachA" in row.name
+        assert row.iterations == 1
+        assert row.mean_time > 0
+
+
+def test_store_shared_across_specs_reuses_baselines():
+    """Table 5 and Table 6 share (machine, case, n) baselines via the cache."""
+    store = ResultStore(None)
+    run_campaign(table5_campaign_spec(SIZE_EXP), store=store)
+    before = store.writes
+    second = run_campaign(table6_campaign_spec(SIZE_EXP), store=store)
+    # every Table 6 baseline was already cached by Table 5
+    assert second.stats.cache_hits >= len(second.plan.baselines)
+    assert store.writes > before  # but the thread sweep itself was new

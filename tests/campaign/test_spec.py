@@ -1,0 +1,83 @@
+"""Spec serialisation: canonical identity, roundtrips, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, PointSpec, canonical_json
+from repro.errors import CampaignError
+
+
+def test_point_roundtrip():
+    point = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                      size_exp=20, threads=8)
+    assert PointSpec.from_dict(point.to_dict()) == point
+
+
+def test_point_canonical_is_deterministic():
+    a = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                  size_exp=20, threads=8)
+    b = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                  size_exp=20, threads=8)
+    assert a.canonical() == b.canonical()
+    assert '"machine":"A"' in a.canonical()  # compact, sorted keys
+
+
+def test_point_n_property():
+    point = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                      size_exp=10, threads=1)
+    assert point.n == 1024
+
+
+def test_point_rejects_unknown_fields():
+    payload = {"machine": "A", "backend": "GCC-TBB", "case": "reduce",
+               "size_exp": 20, "threads": 8, "bogus": 1}
+    with pytest.raises(CampaignError, match="bogus"):
+        PointSpec.from_dict(payload)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"threads": 0},
+    {"size_exp": -1},
+    {"mode": "hardware"},
+    {"allocator": "slab"},
+    {"min_time": -0.1},
+])
+def test_point_validation(kwargs):
+    base = dict(machine="A", backend="GCC-TBB", case="reduce",
+                size_exp=20, threads=8)
+    base.update(kwargs)
+    with pytest.raises(CampaignError):
+        PointSpec(**base)
+
+
+def test_campaign_roundtrip_normalises_to_tuples():
+    spec = CampaignSpec(name="t", machines=["A", "B"], backends=["GCC-TBB"],
+                        cases=["reduce"], threads=[None, 4],
+                        exclude=[["B", "ICC-TBB"]])
+    assert spec.machines == ("A", "B")
+    assert spec.threads == (None, 4)
+    assert spec.exclude == (("B", "ICC-TBB"),)
+    again = CampaignSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.canonical() == spec.canonical()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"name": ""},
+    {"machines": ()},
+    {"threads": (0,)},
+    {"size_exps": (-3,)},
+    {"modes": ("hardware",)},
+    {"exclude": (("B",),)},
+])
+def test_campaign_validation(kwargs):
+    base = dict(name="t", machines=("A",), backends=("GCC-TBB",),
+                cases=("reduce",))
+    base.update(kwargs)
+    with pytest.raises(CampaignError):
+        CampaignSpec(**base)
+
+
+def test_canonical_json_is_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})

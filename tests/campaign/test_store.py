@@ -1,0 +1,101 @@
+"""Store: content addressing, fingerprint invalidation, journal tolerance."""
+
+from __future__ import annotations
+
+from repro.campaign.fingerprint import model_fingerprint
+from repro.campaign.store import DONE, FAILED, Journal, NA, PointResult, ResultStore, cache_key
+from repro.campaign.spec import PointSpec
+
+
+POINT = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                  size_exp=12, threads=32)
+
+
+def test_cache_key_depends_on_point_and_fingerprint():
+    other = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                      size_exp=12, threads=16)
+    assert cache_key(POINT, "f1") == cache_key(POINT, "f1")
+    assert cache_key(POINT, "f1") != cache_key(other, "f1")
+    assert cache_key(POINT, "f1") != cache_key(POINT, "f2")
+
+
+def test_model_fingerprint_is_stable():
+    assert model_fingerprint() == model_fingerprint()
+    assert len(model_fingerprint()) == 20
+
+
+def test_disk_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    payload = {"status": DONE, "seconds": 1.5, "error": None}
+    key = store.put(POINT, payload)
+    assert store.load_key(key)["result"] == payload
+    assert store.get(POINT)["result"] == payload
+    # objects are fanned out under a two-hex-digit level
+    assert (tmp_path / "cache" / "objects" / key[:2] / f"{key}.json").exists()
+
+
+def test_memory_store_roundtrip():
+    store = ResultStore(None)
+    store.put(POINT, {"status": DONE, "seconds": 2.0, "error": None})
+    result = store.result_for("tid", POINT)
+    assert result.seconds == 2.0
+    assert result.cached is True
+    assert store.hits == 1 and store.writes == 1
+
+
+def test_fingerprint_change_invalidates(tmp_path):
+    old = ResultStore(tmp_path / "cache", fingerprint="model-v1")
+    old.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    new = ResultStore(tmp_path / "cache", fingerprint="model-v2")
+    assert new.get(POINT) is None
+    assert new.misses == 1
+
+
+def test_corrupt_object_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    path = tmp_path / "cache" / "objects" / key[:2] / f"{key}.json"
+    path.write_text("{torn", encoding="utf-8")
+    assert store.get(POINT) is None
+
+
+def test_cached_payload_excludes_run_bookkeeping():
+    fresh = PointResult(task_id="t", point=POINT, status=DONE, seconds=3.0,
+                        cached=False, attempts=2)
+    served = PointResult(task_id="t", point=POINT, status=DONE, seconds=3.0,
+                         cached=True, attempts=0)
+    assert fresh.payload() == served.payload()
+
+
+def test_journal_append_and_replay(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"task_id": "a", "status": DONE, "seconds": 1.0})
+    journal.append({"task_id": "b", "status": NA})
+    assert [e["task_id"] for e in journal.entries()] == ["a", "b"]
+    done = journal.completed_ids()
+    assert set(done) == {"a", "b"}
+
+
+def test_journal_tolerates_torn_tail(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"task_id": "a", "status": DONE, "seconds": 1.0})
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"task_id": "b", "sta')  # killed mid-write
+    assert [e["task_id"] for e in journal.entries()] == ["a"]
+    assert set(journal.completed_ids()) == {"a"}
+
+
+def test_journal_failed_entries_are_not_terminal(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"task_id": "a", "status": DONE, "seconds": 1.0})
+    journal.append({"task_id": "b", "status": FAILED, "error": "boom"})
+    assert set(journal.completed_ids()) == {"a"}  # b will be retried on resume
+    # a later success supersedes the failure
+    journal.append({"task_id": "b", "status": DONE, "seconds": 2.0})
+    assert set(journal.completed_ids()) == {"a", "b"}
+
+
+def test_missing_journal_is_empty(tmp_path):
+    journal = Journal(tmp_path / "nope.jsonl")
+    assert journal.entries() == []
+    assert journal.completed_ids() == {}

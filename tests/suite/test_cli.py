@@ -86,3 +86,62 @@ class TestMain:
 
     def test_unknown_case_exit_code(self):
         assert main(["--case", "bogo_sort"]) == 2
+
+    def test_all_backends_na_exits_3(self, capsys):
+        # GNU has no parallel inclusive_scan: the single requested backend
+        # yields nothing, which must not look like success (exit 0).
+        rc = main(
+            ["--backend", "gcc-gnu", "--case", "inclusive_scan",
+             "--size", "2^16", "--min-time", "0.001"]
+        )
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no data" in captured.err
+        assert "GCC-GNU" in captured.err
+
+    def test_all_na_sweep_exits_3(self, capsys):
+        rc = main(
+            ["--backend", "gcc-gnu", "--case", "inclusive_scan",
+             "--sweep", "threads", "--size", "2^16"]
+        )
+        assert rc == 3
+        assert "no data" in capsys.readouterr().err
+
+
+class TestSweepFormats:
+    def test_size_sweep_csv(self, capsys):
+        rc = main(
+            ["--case", "reduce", "--sweep", "sizes", "--format", "csv"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("name,")
+        assert "/n=8," in out
+        assert f"/n={1 << 30}," in out
+
+    def test_thread_sweep_json(self, capsys):
+        import json
+
+        rc = main(
+            ["--case", "reduce", "--sweep", "threads", "--size", "2^20",
+             "--machine", "A", "--format", "json"]
+        )
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)["benchmarks"]
+        assert len(rows) == 6  # 1, 2, 4, 8, 16, 32 threads on Mach A
+        assert all("/t=" in row["name"] for row in rows)
+        assert all(row["iterations"] == 1 for row in rows)
+
+    def test_sweep_csv_skips_unsupported_points(self, capsys):
+        # GNU sort is supported but GNU inclusive_scan is not; an all-backend
+        # sweep keeps the supported backends' rows and reports N/A on stderr.
+        rc = main(
+            ["--backend", "all", "--case", "inclusive_scan",
+             "--sweep", "threads", "--size", "2^16", "--format", "csv"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("name,")
+        assert "GCC-GNU" not in captured.out
+        assert "GCC-GNU" in captured.err

@@ -1,8 +1,8 @@
 """Tier-1 shim for ``tools/check_docs.py``.
 
-Runs the docs lint inside the test suite: README/OBSERVABILITY python
-fences must execute, and every public symbol of ``repro.trace`` must be
-documented.
+Runs the docs lint inside the test suite: README/OBSERVABILITY/CAMPAIGNS
+python fences must execute, and every public symbol of ``repro.trace``
+and ``repro.campaign`` must be documented.
 """
 
 from __future__ import annotations
@@ -34,6 +34,7 @@ def test_doc_fences_execute(rel):
     assert not errors, "\n".join(errors)
 
 
-def test_trace_public_api_documented():
-    errors = check_docs.check_docstrings()
+@pytest.mark.parametrize("package", check_docs.DOCSTRING_PACKAGES)
+def test_public_api_documented(package):
+    errors = check_docs.check_docstrings(package)
     assert not errors, "\n".join(errors)

@@ -30,10 +30,13 @@ REPO = Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
 
 #: Files whose ``python`` fences must execute cleanly.
-FENCE_FILES = ("README.md", "docs/OBSERVABILITY.md")
+FENCE_FILES = ("README.md", "docs/OBSERVABILITY.md", "docs/CAMPAIGNS.md")
 
-#: Package whose public API must be fully documented.
-DOCSTRING_PACKAGE = "repro.trace"
+#: Packages whose public API must be fully documented.
+DOCSTRING_PACKAGES = ("repro.trace", "repro.campaign")
+
+#: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
+DOCSTRING_PACKAGE = DOCSTRING_PACKAGES[0]
 
 _FENCE_RE = re.compile(r"^```(\w*)\s*$")
 
@@ -143,14 +146,16 @@ def main() -> int:
     errors: list[str] = []
     for rel in FENCE_FILES:
         errors.extend(run_fences(REPO / rel))
-    errors.extend(check_docstrings())
+    for package in DOCSTRING_PACKAGES:
+        errors.extend(check_docstrings(package))
     if errors:
         print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
         for err in errors:
             print(f"  {err}", file=sys.stderr)
         return 1
     fences = sum(len(extract_fences(REPO / rel)) for rel in FENCE_FILES)
-    print(f"check_docs: OK ({fences} fences executed, {DOCSTRING_PACKAGE} documented)")
+    print(f"check_docs: OK ({fences} fences executed, "
+          f"{', '.join(DOCSTRING_PACKAGES)} documented)")
     return 0
 
 
