@@ -212,10 +212,22 @@ def find_if_not(ctx: ExecutionContext, arr: SimArray, pred: Predicate) -> AlgoRe
 
 
 def _expected_hit(n: int, selectivity: float) -> int | None:
-    """Expected first-hit position for a predicate of given selectivity."""
-    if selectivity <= 0.0:
+    """Expected first-hit position for a predicate of given selectivity.
+
+    Always either ``None`` (no expected match: empty input or selectivity
+    zero) or a valid index in ``[0, n)``. The edges need care: ``n <= 0``
+    must not produce ``min(n - 1, ...) = -1``; a selectivity small enough
+    that ``1/s`` overflows to inf must clamp to the last index rather
+    than raise; and a predicate matching everything hits index 0.
+    """
+    if n <= 0 or selectivity <= 0.0:
         return None
-    return min(n - 1, int(round(1.0 / selectivity)))
+    if selectivity >= 1.0:
+        return 0
+    expected = 1.0 / selectivity
+    if expected >= n:  # also covers inf from denormal selectivity
+        return n - 1
+    return min(n - 1, max(0, int(round(expected))))
 
 
 def _find_pred(

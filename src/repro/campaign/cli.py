@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-executions of a failed point (default 1)")
     run.add_argument("--resume", action="store_true",
                      help="skip tasks already journaled in --dir")
+    run.add_argument("--no-batch", action="store_true",
+                     help="force the scalar per-point executor instead of "
+                     "the vectorized curve-at-a-time path (bit-identical "
+                     "results; debugging aid)")
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome trace of the campaign "
                      "(plan/execute/cache-hit/cache-miss spans)")
@@ -86,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--workers", type=int, default=4)
     resume.add_argument("--timeout", type=float, default=None)
     resume.add_argument("--retries", type=int, default=1)
+    resume.add_argument("--no-batch", action="store_true",
+                        help="force the scalar per-point executor")
 
     status = sub.add_parser("status", help="summarise a campaign directory")
     status.add_argument("dir", help="campaign directory")
@@ -144,6 +150,7 @@ def _cmd_run(args) -> int:
             retries=args.retries,
             campaign_dir=args.dir,
             resume=args.resume,
+            batch=not args.no_batch,
         )
     if tracer is not None:
         n_spans = write_chrome_trace(tracer, args.trace)
@@ -162,6 +169,7 @@ def _cmd_resume(args) -> int:
         retries=args.retries,
         campaign_dir=args.dir,
         resume=True,
+        batch=not args.no_batch,
     )
     _print_outcome(outcome)
     return 1 if _failures(outcome) else 0

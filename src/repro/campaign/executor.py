@@ -62,6 +62,7 @@ __all__ = [
     "run_campaign",
     "load_campaign",
     "execute_point",
+    "execute_curve",
     "point_context",
 ]
 
@@ -110,6 +111,70 @@ def execute_point(payload: dict) -> dict:
     except Exception as exc:  # noqa: BLE001 - worker boundary, degrade gracefully
         return {"status": FAILED, "seconds": None,
                 "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _curve_key(task: PointTask) -> tuple:
+    """Grouping key: points of one sweep curve share this tuple."""
+    point = task.point
+    return (point.machine, point.backend, point.case, point.allocator, point.mode)
+
+
+def _group_curves(tasks: list[PointTask]) -> list[list[PointTask]]:
+    """Split a wave into curves (shared machine/backend/case/allocator/mode)."""
+    groups: dict[tuple, list[PointTask]] = {}
+    for task in tasks:
+        groups.setdefault(_curve_key(task), []).append(task)
+    return list(groups.values())
+
+
+def execute_curve(payloads: list[dict]) -> list[dict]:
+    """Cost a curve of points sharing (machine, backend, case, allocator, mode).
+
+    The batch counterpart of :func:`execute_point` and, like it, a
+    module-level picklable pool-worker entry: one submission covers a
+    whole sweep curve instead of one cell. Each point goes through the
+    vectorized ``repro.sim.batch`` path when eligible (model mode,
+    ``min_time == 0``, a :data:`~repro.suite.batch.BATCH_CASES` case) and
+    falls back to the scalar :func:`execute_point` otherwise; both paths
+    return bit-identical seconds, so cached results stay coherent across
+    paths. Returns one payload per input, in order. When tracing is
+    enabled (serial in-process execution), one ``sim.batch`` span is
+    recorded per curve.
+    """
+    from repro.suite.batch import BATCH_TRACK, batch_supported, measure_case_batch
+
+    out: list[dict] = []
+    batch_total = 0.0
+    batch_points = 0
+    first = None
+    for payload in payloads:
+        try:
+            point = PointSpec.from_dict(payload)
+            ctx = point_context(point)
+            if point.min_time == 0.0 and batch_supported(point.case, ctx):
+                first = first or point
+                seconds = measure_case_batch(point.case, ctx, point.n)
+                batch_total += seconds
+                batch_points += 1
+                out.append({"status": DONE, "seconds": seconds, "error": None})
+            else:
+                out.append(execute_point(payload))
+        except UnsupportedOperationError as exc:
+            out.append({"status": NA, "seconds": None, "error": str(exc)})
+        except ReproError as exc:
+            out.append({"status": FAILED, "seconds": None,
+                        "error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            out.append({"status": FAILED, "seconds": None,
+                        "error": f"{type(exc).__name__}: {exc}"})
+    tracer = get_tracer()
+    if tracer.enabled and batch_points:
+        tracer.record(
+            "sim.batch", batch_total, category="batch", track=BATCH_TRACK,
+            machine=first.machine, backend=first.backend, case=first.case,
+            points=batch_points,
+        )
+    return out
 
 
 @dataclass
@@ -178,15 +243,22 @@ def _trace_point(task: PointTask, result: PointResult) -> None:
 
 
 def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | None,
-            task: PointTask, result: PointResult) -> None:
-    """Finalize one task: cache it, journal it, trace it, count it."""
+            task: PointTask, result: PointResult,
+            journal_new: bool = True) -> None:
+    """Finalize one task: cache it, journal it, trace it, count it.
+
+    ``journal_new=False`` marks a result that was *reconstructed from* the
+    journal (a resume's journal hit): it is already durable, so appending
+    it again would only grow the journal with duplicate terminal rows on
+    every resume.
+    """
     outcome.results[task.task_id] = result
     key = None
     if result.status != FAILED and not result.cached and task.pruned is None:
         key = store.put(task.point, result.payload())
     elif task.pruned is None:
         key = store.key_for(task.point)
-    if journal is not None:
+    if journal is not None and journal_new:
         journal.append({
             "task_id": task.task_id,
             "status": result.status,
@@ -209,6 +281,72 @@ def _execute_serial(tasks: list[PointTask], retries: int) -> dict[str, dict]:
             payload = execute_point(task.point.to_dict())
         payload["attempts"] = attempt + 1
         out[task.task_id] = payload
+    return out
+
+
+def _execute_serial_batch(tasks: list[PointTask], retries: int) -> dict[str, dict]:
+    """Serial curve-at-a-time execution; failed points retry scalar."""
+    out: dict[str, dict] = {}
+    for group in _group_curves(tasks):
+        results = execute_curve([t.point.to_dict() for t in group])
+        for task, payload in zip(group, results):
+            attempt = 0
+            while payload["status"] == FAILED and attempt < retries:
+                attempt += 1
+                payload = execute_point(task.point.to_dict())
+            payload["attempts"] = attempt + 1
+            out[task.task_id] = payload
+    return out
+
+
+def _execute_pool_batch(tasks: list[PointTask], pool: ProcessPoolExecutor,
+                        timeout: float | None, retries: int) -> dict[str, dict]:
+    """Pool execution with one submission per curve; retries are per-point.
+
+    A curve future that fails or times out marks all its points; each
+    failed point is then retried individually through the scalar
+    :func:`execute_point` path (up to ``retries`` total re-executions),
+    so one bad point never re-runs a whole curve.
+    """
+    out: dict[str, dict] = {}
+    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
+    pending: dict[Future, list[PointTask] | PointTask] = {
+        pool.submit(execute_curve, [t.point.to_dict() for t in group]): group
+        for group in _group_curves(tasks)
+    }
+    while pending:
+        finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+        if not finished:
+            for fut, val in pending.items():
+                fut.cancel()
+                group = val if isinstance(val, list) else [val]
+                for task in group:
+                    out[task.task_id] = {
+                        "status": FAILED, "seconds": None,
+                        "error": f"timeout after {timeout:g}s",
+                        "attempts": attempts[task.task_id],
+                    }
+            return out
+        for fut in finished:
+            val = pending.pop(fut)
+            group = val if isinstance(val, list) else [val]
+            exc = fut.exception()
+            if exc is not None:
+                payloads = [
+                    {"status": FAILED, "seconds": None,
+                     "error": f"{type(exc).__name__}: {exc}"}
+                    for _ in group
+                ]
+            else:
+                result = fut.result()
+                payloads = result if isinstance(val, list) else [result]
+            for task, payload in zip(group, payloads):
+                if payload["status"] == FAILED and attempts[task.task_id] <= retries:
+                    attempts[task.task_id] += 1
+                    pending[pool.submit(execute_point, task.point.to_dict())] = task
+                    continue
+                payload["attempts"] = attempts[task.task_id]
+                out[task.task_id] = payload
     return out
 
 
@@ -260,6 +398,7 @@ def run_campaign(
     campaign_dir: str | os.PathLike | None = None,
     resume: bool = False,
     progress: Callable[[PointTask, PointResult], None] | None = None,
+    batch: bool = True,
 ) -> CampaignOutcome:
     """Plan and execute ``spec``; returns the full outcome.
 
@@ -286,6 +425,11 @@ def run_campaign(
         loading its result from the cache instead of recomputing.
     progress:
         Optional callback invoked with every (task, result) as recorded.
+    batch:
+        Execute whole curves per task through the vectorized
+        ``repro.sim.batch`` path (bit-identical seconds; failed points
+        retry through the scalar path). ``False`` forces the scalar
+        per-point path everywhere -- the ``--no-batch`` debugging mode.
     """
     if retries < 0:
         raise CampaignError("retries must be >= 0")
@@ -318,7 +462,7 @@ def run_campaign(
                         campaign=spec.name) if tracer.enabled else None
     try:
         outcome = _run(spec, store, workers, timeout, retries, journal, resume,
-                       progress)
+                       progress, batch)
     finally:
         if span is not None:
             if outcome is not None:
@@ -329,7 +473,8 @@ def run_campaign(
     return outcome
 
 
-def _run(spec, store, workers, timeout, retries, journal, resume, progress):
+def _run(spec, store, workers, timeout, retries, journal, resume, progress,
+         batch=True):
     """The executor body (directory/span plumbing handled by the caller)."""
     plan = plan_campaign(spec)
     outcome = CampaignOutcome(spec=spec, plan=plan)
@@ -339,8 +484,9 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress):
     if resume and journal is not None:
         journaled = journal.completed_ids()
 
-    def finish(task: PointTask, result: PointResult) -> None:
-        _record(outcome, store, journal, task, result)
+    def finish(task: PointTask, result: PointResult,
+               journal_new: bool = True) -> None:
+        _record(outcome, store, journal, task, result, journal_new)
         if progress is not None:
             progress(task, result)
 
@@ -358,14 +504,14 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress):
                         finish(task, PointResult(
                             task_id=task.task_id, point=task.point, status=NA,
                             error=task.pruned, attempts=0,
-                        ))
+                        ), journal_new=task.task_id not in journaled)
                         continue
                     if task.task_id in journaled:
                         entry = journaled[task.task_id]
                         cached = store.result_for(task.task_id, task.point)
                         if cached is not None:
                             outcome.stats.journal_hits += 1
-                            finish(task, cached)
+                            finish(task, cached, journal_new=False)
                             continue
                         if entry["status"] == NA:
                             # N/A needs no cache object to be trustworthy.
@@ -374,7 +520,7 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress):
                                 task_id=task.task_id, point=task.point,
                                 status=NA, error=entry.get("error"),
                                 cached=True, attempts=0,
-                            ))
+                            ), journal_new=False)
                             continue
                         # Journaled but evicted from cache: recompute.
                     cached = store.result_for(task.task_id, task.point)
@@ -388,9 +534,11 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress):
                 if workers >= 2:
                     if pool is None:
                         pool = ProcessPoolExecutor(max_workers=workers)
-                    payloads = _execute_pool(to_run, pool, timeout, retries)
+                    run_pool = _execute_pool_batch if batch else _execute_pool
+                    payloads = run_pool(to_run, pool, timeout, retries)
                 else:
-                    payloads = _execute_serial(to_run, retries)
+                    run_serial = _execute_serial_batch if batch else _execute_serial
+                    payloads = run_serial(to_run, retries)
                 for task in to_run:
                     payload = payloads[task.task_id]
                     outcome.stats.executed += 1

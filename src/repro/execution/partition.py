@@ -57,18 +57,34 @@ class Partition:
             raise ConfigurationError("n must be non-negative")
         if self.threads <= 0:
             raise ConfigurationError("threads must be positive")
-        covered = 0
-        prev_stop = 0
         for chunk in self.chunks:
-            if chunk.start != prev_stop:
-                raise ConfigurationError("chunks must be contiguous and ordered")
             if chunk.thread >= self.threads:
                 raise ConfigurationError("chunk assigned to out-of-range thread")
-            covered += len(chunk)
-            prev_stop = chunk.stop
-        if covered != self.n:
+            if chunk.stop > self.n:
+                raise ConfigurationError(
+                    f"chunk [{chunk.start}, {chunk.stop}) exceeds n={self.n}"
+                )
+        # The chunks must tile [0, n) exactly, but their *sequence* order is
+        # a scheduling detail (block-cyclic partitions listed per-thread are
+        # just as valid as the same chunks in ascending-start order), so
+        # validate against the sorted view: no gaps, no overlaps, full
+        # coverage. Empty chunks carry no elements and may sit anywhere.
+        cursor = 0
+        for chunk in sorted(
+            (c for c in self.chunks if len(c) > 0), key=lambda c: c.start
+        ):
+            if chunk.start < cursor:
+                raise ConfigurationError(
+                    f"chunks overlap at [{chunk.start}, {cursor})"
+                )
+            if chunk.start > cursor:
+                raise ConfigurationError(
+                    f"chunks leave [{cursor}, {chunk.start}) uncovered"
+                )
+            cursor = chunk.stop
+        if cursor != self.n:
             raise ConfigurationError(
-                f"chunks cover {covered} elements, expected {self.n}"
+                f"chunks cover [0, {cursor}), expected [0, {self.n})"
             )
 
     @property

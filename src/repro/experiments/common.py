@@ -75,8 +75,20 @@ def make_ctx(
 
 
 def seq_baseline_seconds(
-    machine: str, case_name: str, n: int, elem: ElemType = FLOAT64
+    machine: str,
+    case_name: str,
+    n: int,
+    elem: ElemType = FLOAT64,
+    batch: bool | None = None,
 ) -> float:
-    """GCC sequential baseline time (Table 5's denominator)."""
+    """GCC sequential baseline time (Table 5's denominator).
+
+    ``batch`` picks the evaluation path as in ``suite.sweeps`` (``None``
+    auto-selects the vectorized path; both paths agree bitwise).
+    """
+    from repro.suite.batch import measure_case_batch, use_batch_path
+
     ctx = make_ctx(machine, "gcc-seq", threads=1)
+    if use_batch_path(batch, case_name, ctx):
+        return measure_case_batch(case_name, ctx, n, elem)
     return measure_case(get_case(case_name), ctx, n, elem)

@@ -34,11 +34,17 @@ def allocator_speedup(
     case_name: str,
     threads: int = 32,
     size_exp: int = 30,
+    batch: bool | None = None,
 ) -> float | None:
-    """T_default / T_custom; > 1 means the custom allocator helps."""
+    """T_default / T_custom; > 1 means the custom allocator helps.
+
+    ``batch`` selects the scalar/vectorized evaluation path (both agree
+    bitwise; ``None`` auto-selects).
+    """
     n = paper_size(size_exp)
     case = get_case(case_name)
     from repro.errors import UnsupportedOperationError
+    from repro.suite.batch import measure_case_batch, use_batch_path
 
     try:
         default_ctx = make_ctx(
@@ -47,21 +53,29 @@ def allocator_speedup(
         custom_ctx = make_ctx(
             machine, backend, threads=threads, allocator=ParallelFirstTouchAllocator()
         )
-        t_default = measure_case(case, default_ctx, n)
-        t_custom = measure_case(case, custom_ctx, n)
+        if use_batch_path(batch, case_name, default_ctx):
+            t_default = measure_case_batch(case_name, default_ctx, n)
+            t_custom = measure_case_batch(case_name, custom_ctx, n)
+        else:
+            t_default = measure_case(case, default_ctx, n)
+            t_custom = measure_case(case, custom_ctx, n)
     except UnsupportedOperationError:
         return None
     return t_default / t_custom
 
 
-def run_fig1(threads: int = 32, size_exp: int = 30) -> ExperimentResult:
+def run_fig1(
+    threads: int = 32, size_exp: int = 30, batch: bool | None = None
+) -> ExperimentResult:
     """Regenerate Fig. 1's allocator-speedup bars."""
     data: dict[str, float | None] = {}
     cells = []
     for backend in FIG1_BACKENDS:
         row = []
         for case_name in FIG1_CASES:
-            ratio = allocator_speedup("A", backend, case_name, threads, size_exp)
+            ratio = allocator_speedup(
+                "A", backend, case_name, threads, size_exp, batch=batch
+            )
             data[f"{backend}/{case_name}"] = ratio
             row.append("N/A" if ratio is None else f"{ratio:.2f}x")
         cells.append(row)

@@ -21,6 +21,7 @@ def foreach_problem_series(
     k_it: int,
     backends: tuple[str, ...] = FIG2_BACKENDS,
     size_step: int = 1,
+    batch: bool | None = None,
 ):
     """One panel of Fig. 2: {backend: SweepResult} for a machine and k_it."""
     sizes = problem_sizes(step=size_step)
@@ -28,7 +29,7 @@ def foreach_problem_series(
     out = {}
     for backend in backends:
         ctx = make_ctx(machine, backend)
-        out[backend] = problem_scaling(case, ctx, sizes)
+        out[backend] = problem_scaling(case, ctx, sizes, batch=batch)
     return out
 
 
@@ -36,6 +37,7 @@ def run_fig2(
     machines: tuple[str, ...] = ("A", "B", "C"),
     k_values: tuple[int, ...] = (1, 1000),
     size_step: int = 1,
+    batch: bool | None = None,
 ) -> ExperimentResult:
     """Regenerate all panels of Fig. 2."""
     panels = {}
@@ -43,7 +45,7 @@ def run_fig2(
     for machine in machines:
         for k_it in k_values:
             series_by_backend = foreach_problem_series(
-                machine, k_it, size_step=size_step
+                machine, k_it, size_step=size_step, batch=batch
             )
             panels[f"{machine}/k{k_it}"] = series_by_backend
             chart_series = [

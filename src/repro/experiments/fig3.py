@@ -26,14 +26,18 @@ __all__ = ["run_fig3", "foreach_scaling_curve"]
 
 
 def foreach_scaling_curve(
-    machine: str, backend: str, k_it: int, size_exp: int = 30
+    machine: str,
+    backend: str,
+    k_it: int,
+    size_exp: int = 30,
+    batch: bool | None = None,
 ) -> ScalingCurve:
     """One strong-scaling curve of Fig. 3."""
     n = paper_size(size_exp)
     case = get_case(f"for_each_k{k_it}")
     ctx = make_ctx(machine, backend)
-    sweep = strong_scaling(case, ctx, n)
-    baseline = seq_baseline_seconds(machine, f"for_each_k{k_it}", n)
+    sweep = strong_scaling(case, ctx, n, batch=batch)
+    baseline = seq_baseline_seconds(machine, f"for_each_k{k_it}", n, batch=batch)
     return ScalingCurve(
         label=f"{backend}/k{k_it}/{machine}",
         threads=tuple(sweep.xs()),
@@ -46,6 +50,7 @@ def run_fig3(
     machines: tuple[str, ...] = ("A", "B", "C"),
     k_values: tuple[int, ...] = (1, 1000),
     size_exp: int = 30,
+    batch: bool | None = None,
 ) -> ExperimentResult:
     """Regenerate all panels of Fig. 3."""
     curves: dict[str, ScalingCurve] = {}
@@ -56,7 +61,9 @@ def run_fig3(
             for backend in PARALLEL_CPU_BACKENDS:
                 if backend == "ICC-TBB" and machine == "B":
                     continue  # not installed on Mach B (Table 2)
-                curve = foreach_scaling_curve(machine, backend, k_it, size_exp)
+                curve = foreach_scaling_curve(
+                    machine, backend, k_it, size_exp, batch=batch
+                )
                 curves[curve.label] = curve
                 panel.append(
                     Series(

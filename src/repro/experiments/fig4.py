@@ -14,9 +14,9 @@ from repro.experiments.panels import run_panels
 __all__ = ["run_fig4"]
 
 
-def run_fig4(size_step: int = 1) -> ExperimentResult:
+def run_fig4(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 4."""
-    panels = run_panels("B", "find", size_step=size_step)
+    panels = run_panels("B", "find", size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig4",
         title="find on Mach B (Zen 1)",

@@ -14,9 +14,9 @@ from repro.experiments.panels import run_panels
 __all__ = ["run_fig5"]
 
 
-def run_fig5(size_step: int = 1) -> ExperimentResult:
+def run_fig5(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 5."""
-    panels = run_panels("C", "inclusive_scan", size_step=size_step)
+    panels = run_panels("C", "inclusive_scan", size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig5",
         title="inclusive_scan on Mach C (Zen 3)",

@@ -14,9 +14,9 @@ from repro.experiments.panels import run_panels
 __all__ = ["run_fig6"]
 
 
-def run_fig6(size_step: int = 1) -> ExperimentResult:
+def run_fig6(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 6."""
-    panels = run_panels("A", "reduce", size_step=size_step)
+    panels = run_panels("A", "reduce", size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig6",
         title="reduce on Mach A (Skylake)",

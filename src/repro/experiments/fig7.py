@@ -15,9 +15,9 @@ from repro.experiments.panels import run_panels
 __all__ = ["run_fig7"]
 
 
-def run_fig7(size_step: int = 1) -> ExperimentResult:
+def run_fig7(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 7."""
-    panels = run_panels("C", "sort", size_step=size_step)
+    panels = run_panels("C", "sort", size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig7",
         title="sort on Mach C (Zen 3)",

@@ -42,7 +42,9 @@ def gpu_ctx(machine: str, transfer_back: bool = True) -> ExecutionContext:
 
 
 def run_fig8(
-    k_values: tuple[int, ...] = FIG8_KITS, size_step: int = 2
+    k_values: tuple[int, ...] = FIG8_KITS,
+    size_step: int = 2,
+    batch: bool | None = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 8's panels (one per k_it)."""
     sizes = problem_sizes(max_exp=GPU_MAX_EXP, step=size_step)
@@ -52,10 +54,10 @@ def run_fig8(
         case = _case_for_each(k_it)
         series = {}
         series["GCC-SEQ (host)"] = problem_scaling(
-            case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32
+            case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32, batch=batch
         )
         series["NVC-OMP (host)"] = problem_scaling(
-            case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32
+            case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32, batch=batch
         )
         series["NVC-CUDA (Mach D)"] = problem_scaling(
             case, gpu_ctx("D"), sizes, FLOAT32

@@ -38,7 +38,7 @@ def chained_gpu_reduce_seconds(
     return result.mean_time
 
 
-def run_fig9(size_step: int = 2) -> ExperimentResult:
+def run_fig9(size_step: int = 2, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 9."""
     sizes = problem_sizes(max_exp=GPU_MAX_EXP, step=size_step)
     case = get_case("reduce")
@@ -52,8 +52,12 @@ def run_fig9(size_step: int = 2) -> ExperimentResult:
             "NVC-CUDA (Mach D)": [],
             "NVC-CUDA (Mach E)": [],
         }
-        cpu_seq = problem_scaling(case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32)
-        cpu_par = problem_scaling(case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32)
+        cpu_seq = problem_scaling(
+            case, make_ctx("gpu-host", "gcc-seq"), sizes, FLOAT32, batch=batch
+        )
+        cpu_par = problem_scaling(
+            case, make_ctx("gpu-host", "nvc-omp"), sizes, FLOAT32, batch=batch
+        )
         series["GCC-SEQ (host)"] = list(zip(cpu_seq.xs(), cpu_seq.ys()))
         series["NVC-OMP (host)"] = list(zip(cpu_par.xs(), cpu_par.ys()))
         for gpu_name, key in (("D", "NVC-CUDA (Mach D)"), ("E", "NVC-CUDA (Mach E)")):

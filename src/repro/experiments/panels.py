@@ -62,8 +62,13 @@ def run_panels(
     size_exp: int = 30,
     size_step: int = 1,
     backends: tuple[str, ...] = PARALLEL_CPU_BACKENDS,
+    batch: bool | None = None,
 ) -> AlgoPanels:
-    """Build both panels for (machine, algorithm)."""
+    """Build both panels for (machine, algorithm).
+
+    ``batch`` selects the scalar/vectorized sweep path (bit-identical
+    results; ``None`` auto-selects, ``False`` forces the scalar loop).
+    """
     case = get_case(case_name)
     n = paper_size(size_exp)
     available = tuple(
@@ -74,15 +79,15 @@ def run_panels(
     for backend in ("GCC-SEQ", *available):
         ctx = make_ctx(machine, backend)
         problem[backend] = problem_scaling(
-            case, ctx, problem_sizes(step=size_step)
+            case, ctx, problem_sizes(step=size_step), batch=batch
         )
 
     scaling: dict[str, ScalingCurve] = {}
-    baseline = seq_baseline_seconds(machine, case_name, n)
+    baseline = seq_baseline_seconds(machine, case_name, n, batch=batch)
     for backend in available:
         ctx = make_ctx(machine, backend)
         try:
-            sweep = strong_scaling(case, ctx, n)
+            sweep = strong_scaling(case, ctx, n, batch=batch)
         except UnsupportedOperationError:
             continue
         if not sweep.xs():

@@ -66,23 +66,34 @@ def table5_campaign_spec(size_exp: int = 30) -> CampaignSpec:
 
 
 def cell_speedup(
-    machine: str, backend: str, case_name: str, size_exp: int = 30
+    machine: str,
+    backend: str,
+    case_name: str,
+    size_exp: int = 30,
+    batch: bool | None = None,
 ) -> float | None:
     """One grid cell computed directly; ``None`` renders as N/A.
 
     The single-cell path the unit tests exercise; ``run_table5`` computes
-    the same value through the campaign planner/executor.
+    the same value through the campaign planner/executor. ``batch``
+    selects the scalar/vectorized evaluation path (bit-identical; ``None``
+    auto-selects).
     """
+    from repro.suite.batch import measure_case_batch, use_batch_path
+
     if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
         return None
     n = paper_size(size_exp)
     case = get_case(case_name)
     try:
         ctx = make_ctx(machine, backend)
-        par = measure_case(case, ctx, n)
+        if use_batch_path(batch, case_name, ctx):
+            par = measure_case_batch(case_name, ctx, n)
+        else:
+            par = measure_case(case, ctx, n)
     except UnsupportedOperationError:
         return None
-    base = seq_baseline_seconds(machine, case_name, n)
+    base = seq_baseline_seconds(machine, case_name, n, batch=batch)
     return base / par
 
 
@@ -122,12 +133,16 @@ def run_table5(
     *,
     store: ResultStore | None = None,
     workers: int = 0,
+    batch: bool = True,
 ) -> ExperimentResult:
     """Regenerate Table 5 through the campaign subsystem.
 
     Defaults reproduce the legacy serial behaviour (in-memory store, no
     process pool); a persistent ``store`` makes re-runs cache hits and
-    ``workers >= 2`` executes the grid concurrently.
+    ``workers >= 2`` executes the grid concurrently. ``batch=False``
+    forces the scalar per-point executor (results are bit-identical).
     """
-    outcome = run_campaign(table5_campaign_spec(size_exp), store=store, workers=workers)
+    outcome = run_campaign(
+        table5_campaign_spec(size_exp), store=store, workers=workers, batch=batch
+    )
     return table5_result(outcome, size_exp)

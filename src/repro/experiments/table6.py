@@ -66,12 +66,18 @@ def table6_campaign_spec(size_exp: int = 30) -> CampaignSpec:
 
 
 def cell_max_threads(
-    machine: str, backend: str, case_name: str, size_exp: int = 30
+    machine: str,
+    backend: str,
+    case_name: str,
+    size_exp: int = 30,
+    batch: bool | None = None,
 ) -> int | None:
     """One Table 6 cell computed directly; ``None`` renders as N/A.
 
     The single-cell path the unit tests exercise; ``run_table6`` computes
-    the same value through the campaign planner/executor.
+    the same value through the campaign planner/executor. ``batch``
+    selects the scalar/vectorized evaluation path (bit-identical; ``None``
+    auto-selects).
     """
     if backend == "ICC-TBB" and not ICC_AVAILABLE[machine]:
         return None
@@ -79,7 +85,7 @@ def cell_max_threads(
     case = get_case(case_name)
     try:
         ctx = make_ctx(machine, backend)
-        sweep = strong_scaling(case, ctx, n)
+        sweep = strong_scaling(case, ctx, n, batch=batch)
     except UnsupportedOperationError:
         return None
     if not sweep.xs():
@@ -88,7 +94,7 @@ def cell_max_threads(
         label=f"{backend}/{case_name}/{machine}",
         threads=tuple(sweep.xs()),
         seconds=tuple(sweep.ys()),
-        baseline_seconds=seq_baseline_seconds(machine, case_name, n),
+        baseline_seconds=seq_baseline_seconds(machine, case_name, n, batch=batch),
     )
     return max_threads_above_efficiency(curve, EFFICIENCY_THRESHOLD)
 
@@ -132,7 +138,13 @@ def run_table6(
     *,
     store: ResultStore | None = None,
     workers: int = 0,
+    batch: bool = True,
 ) -> ExperimentResult:
-    """Regenerate Table 6 through the campaign subsystem."""
-    outcome = run_campaign(table6_campaign_spec(size_exp), store=store, workers=workers)
+    """Regenerate Table 6 through the campaign subsystem.
+
+    ``batch=False`` forces the scalar per-point executor (bit-identical).
+    """
+    outcome = run_campaign(
+        table6_campaign_spec(size_exp), store=store, workers=workers, batch=batch
+    )
     return table6_result(outcome, size_exp)

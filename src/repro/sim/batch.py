@@ -1,0 +1,632 @@
+"""Vectorized batch evaluation path for the CPU cost engine.
+
+``repro.sim.engine.simulate_cpu`` walks a :class:`~repro.sim.work.WorkProfile`
+chunk object by chunk object -- for a paper-scale sweep that is tens of
+thousands of ``ChunkWork``/``Chunk`` allocations per curve, and profiling
+shows those allocations (not the arithmetic) dominate sweep wall-clock.
+This module provides the same cost model over *array* profiles: one NumPy
+array per chunk field, per-chunk arithmetic as elementwise array ops, and
+per-thread/per-phase folds as ``np.cumsum`` reductions.
+
+**Bit-identical by construction.** The batch engine is a second
+implementation of the cost model, so any divergence from the scalar
+engine is a bug in one of them (see ``tools/diffcheck.py``). Every
+floating-point operation here reproduces the scalar engine's operations
+exactly:
+
+* elementwise IEEE-754 ops (``a * b``, ``a / b``, ``a + b``) are
+  bit-identical whether issued from Python floats or float64 arrays;
+* order-sensitive accumulations (``acc += x`` loops) are reproduced with
+  ``np.cumsum``, which is a sequential left fold -- **never** ``np.sum``
+  or ``np.add.reduce``, whose pairwise summation rounds differently;
+* per-thread left folds use an occurrence-slot matrix cumsummed along
+  the slot axis; padding slots hold ``+0.0``, and ``x + 0.0 == x``
+  exactly for the non-negative partial sums that occur here;
+* dict-ordered folds over threads (``sum(mem_bytes.values())`` and the
+  NUMA node-demand accumulation) follow the scalar engine's dict
+  insertion order, i.e. first appearance of each thread in chunk order.
+
+The engine itself emits no per-phase trace spans (that is the scalar
+engine's job); batch callers wrap whole curves in a single ``sim.batch``
+span instead (see ``repro.suite.batch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.execution.affinity import ThreadPlacement
+from repro.machines.cpu import CpuMachine
+from repro.memory.layout import PagePlacement
+from repro.sim.bandwidth import MATCHED_POLICIES, MemoryTimes
+from repro.sim.engine import _lanes
+from repro.sim.interfaces import BackendModel
+from repro.sim.report import Counters, PhaseReport, SimReport
+from repro.sim.work import ChunkWork, Phase, PhaseKind, WorkProfile
+from repro.types import ElemType
+
+__all__ = [
+    "ChunkArrays",
+    "ArrayPhase",
+    "ArrayProfile",
+    "partition_arrays",
+    "simulate_cpu_arrays",
+    "profile_to_arrays",
+    "arrays_to_profile",
+]
+
+
+@dataclass(frozen=True)
+class ChunkArrays:
+    """Per-chunk work of one phase, one float64 array per field.
+
+    The arrays are parallel: entry ``i`` describes chunk ``i`` in the
+    scalar engine's chunk order (which is also execution order for the
+    order-sensitive folds). ``thread`` is int64.
+    """
+
+    thread: np.ndarray
+    elems: np.ndarray
+    instr: np.ndarray
+    fp_ops: np.ndarray
+    bytes_read: np.ndarray
+    bytes_written: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.thread), len(self.elems), len(self.instr),
+            len(self.fp_ops), len(self.bytes_read), len(self.bytes_written),
+        }
+        if lengths != {len(self.thread)} or len(self.thread) == 0:
+            raise ConfigurationError("chunk arrays must be non-empty and aligned")
+        if np.any(self.thread < 0):
+            raise ConfigurationError("thread ids must be non-negative")
+        for name in ("elems", "instr", "fp_ops", "bytes_read", "bytes_written"):
+            if np.any(getattr(self, name) < 0):
+                raise ConfigurationError(f"chunk {name} must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.thread)
+
+    @classmethod
+    def from_per_elem(
+        cls,
+        thread: np.ndarray,
+        elems: np.ndarray,
+        instr: float,
+        fp: float = 0.0,
+        read: float = 0.0,
+        write: float = 0.0,
+    ) -> "ChunkArrays":
+        """Chunks whose costs are ``elems`` times a per-element cost.
+
+        Mirrors how ``repro.algorithms._build.parallel_phase`` derives
+        each :class:`~repro.sim.work.ChunkWork` from a ``PerElem``: each
+        field is the elementwise product ``elems * per_elem.<field>``.
+        """
+        return cls(
+            thread=np.asarray(thread, dtype=np.int64),
+            elems=elems,
+            instr=elems * instr,
+            fp_ops=elems * fp,
+            bytes_read=elems * read,
+            bytes_written=elems * write,
+        )
+
+
+@dataclass(frozen=True)
+class ArrayPhase:
+    """Array-backed counterpart of :class:`~repro.sim.work.Phase`."""
+
+    name: str
+    kind: PhaseKind
+    chunks: ChunkArrays
+    placement: PagePlacement | None
+    working_set: float
+    sched_chunks: int = 0
+    sync_points: int = 0
+    spread_penalty: float = 1.0
+    apply_instr_overhead: bool = True
+    vectorizable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.spread_penalty < 1.0:
+            raise ConfigurationError("spread_penalty must be >= 1")
+
+
+@dataclass(frozen=True)
+class ArrayProfile:
+    """Array-backed counterpart of :class:`~repro.sim.work.WorkProfile`."""
+
+    alg: str
+    n: int
+    elem: ElemType
+    threads: int
+    policy: object
+    phases: tuple[ArrayPhase, ...]
+    regions: int = 1
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether any phase runs on more than one thread."""
+        return self.regions > 0 and any(
+            p.kind is PhaseKind.PARALLEL for p in self.phases
+        )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized partitioning
+# ---------------------------------------------------------------------------
+
+def _even_bounds_arrays(n: int, parts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``repro.execution.partition._even_bounds``: (starts, sizes)."""
+    base, extra = divmod(n, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    starts = np.zeros(parts, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    return starts, sizes
+
+
+def partition_arrays(
+    backend: BackendModel, n: int, threads: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Partition [0, n) the way ``backend.make_partition`` would, as arrays.
+
+    Returns ``(starts, sizes, thread_ids, num_chunks)`` replicating the
+    exact integer arithmetic of the static, block-cyclic, work-stealing
+    and fixed-grain partitioners, without materialising ``Chunk`` objects.
+    """
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    if threads <= 0:
+        raise ConfigurationError("threads must be positive")
+    grain = getattr(backend, "fixed_chunk_elems", 0)
+    if grain:
+        max_chunks = backend.max_chunks
+        parts = min(max_chunks, max(1, -(-n // grain))) if n else 1
+        starts, sizes = _even_bounds_arrays(n, parts)
+        thread_ids = np.arange(parts, dtype=np.int64) % threads
+        return starts, sizes, thread_ids, parts
+    chunks_per_thread = getattr(backend, "chunks_per_thread", 1)
+    if chunks_per_thread <= 1:
+        parts = threads
+        starts, sizes = _even_bounds_arrays(n, parts)
+        thread_ids = np.arange(parts, dtype=np.int64)
+        return starts, sizes, thread_ids, parts
+    parts = min(max(1, n), threads * chunks_per_thread)
+    starts, sizes = _even_bounds_arrays(n, parts)
+    thread_ids = np.arange(parts, dtype=np.int64) % threads
+    return starts, sizes, thread_ids, parts
+
+
+# ---------------------------------------------------------------------------
+# Exact fold helpers
+# ---------------------------------------------------------------------------
+
+def _fold(values: np.ndarray) -> float:
+    """Sequential left-fold sum (bit-identical to ``acc += x`` loops)."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+def _thread_layout(thread: np.ndarray):
+    """Execution-order layout of the chunk->thread assignment.
+
+    Returns ``(thread_order, tidx, slot)`` where ``thread_order`` lists
+    the distinct thread ids in first-appearance order (the scalar
+    engine's dict insertion order), ``tidx[i]`` is chunk ``i``'s index
+    into ``thread_order`` and ``slot[i]`` counts that chunk's earlier
+    same-thread chunks.
+    """
+    uniq, first_idx, inverse = np.unique(
+        thread, return_index=True, return_inverse=True
+    )
+    appearance = np.argsort(first_idx, kind="stable")
+    # Map sorted-unique positions to first-appearance positions.
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[appearance] = np.arange(len(uniq), dtype=np.int64)
+    tidx = rank[inverse]
+    thread_order = uniq[appearance]
+
+    order = np.argsort(tidx, kind="stable")
+    sorted_t = tidx[order]
+    boundary = np.empty(len(sorted_t), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_t[1:] != sorted_t[:-1]
+    group_starts = np.flatnonzero(boundary)
+    start_per_elem = np.repeat(
+        group_starts,
+        np.diff(np.concatenate([group_starts, [len(sorted_t)]])),
+    )
+    ranks = np.arange(len(sorted_t), dtype=np.int64) - start_per_elem
+    slot = np.empty(len(sorted_t), dtype=np.int64)
+    slot[order] = ranks
+    return thread_order, tidx, slot
+
+
+def _thread_fold(
+    values: np.ndarray, tidx: np.ndarray, slot: np.ndarray, num_threads: int
+) -> np.ndarray:
+    """Per-thread sequential left-fold of ``values`` over chunk order.
+
+    Builds a (slots, threads) matrix with each thread's contributions in
+    occurrence order and cumulative-sums down the slot axis; the padding
+    zeros are exact for the non-negative partials folded here.
+    """
+    depth = int(slot.max()) + 1 if len(slot) else 1
+    if depth == 1:
+        out = np.zeros(num_threads)
+        out[tidx] = values
+        return out
+    matrix = np.zeros((depth, num_threads))
+    matrix[slot, tidx] = values
+    return np.cumsum(matrix, axis=0)[-1]
+
+
+# ---------------------------------------------------------------------------
+# NUMA bandwidth model (array form of repro.sim.bandwidth.dram_memory_time)
+# ---------------------------------------------------------------------------
+
+def _dram_memory_time_arrays(
+    machine: CpuMachine,
+    placement: PagePlacement,
+    thread_bytes: np.ndarray,
+    thread_nodes: np.ndarray,
+    matched_quality: float | None,
+    bw_efficiency: float,
+) -> MemoryTimes:
+    """``dram_memory_time`` over thread arrays in dict-insertion order.
+
+    ``thread_bytes``/``thread_nodes`` are indexed by the engine's
+    first-appearance thread order, so the node-demand and remote-bytes
+    folds reproduce the scalar implementation's accumulation order.
+    """
+    if len(thread_bytes) == 0:
+        raise SimulationError("phase has no memory traffic to time")
+    if not 0.0 < bw_efficiency <= 1.0:
+        raise SimulationError(f"bw_efficiency must be in (0, 1], got {bw_efficiency}")
+    if matched_quality is not None and not 0.0 <= matched_quality <= 1.0:
+        raise SimulationError("matched_quality must be in [0, 1]")
+    if np.any(thread_bytes < 0):
+        raise SimulationError("thread bytes must be non-negative")
+
+    nnodes = machine.topology.num_nodes
+    nbytes = thread_bytes
+    count = len(nbytes)
+    active = nbytes > 0.0
+
+    if matched_quality is not None:
+        local = np.full(count, matched_quality)
+    else:
+        fractions = np.asarray(placement.node_fractions, dtype=float)
+        local = fractions[thread_nodes]
+    remote = 1.0 - local
+
+    remote_bytes = _fold(np.where(active, nbytes * remote, 0.0))
+
+    stream_bw = (
+        machine.stream_bw_1core
+        * (local + remote * machine.remote_bw_factor)
+        * bw_efficiency
+    )
+    per_thread_time = float(
+        np.max(np.where(active, nbytes / stream_bw, 0.0), initial=0.0)
+    )
+
+    # Node demand: each thread first adds its local share to its own node,
+    # then its remote shares -- two fold rows per thread keep the per-cell
+    # accumulation order identical to the scalar loop.
+    rows = np.zeros((2 * count, nnodes))
+    idx = np.arange(count)
+    rows[2 * idx, thread_nodes] = np.where(active, nbytes * local, 0.0)
+    remote_active = active & (remote > 0.0)
+    if matched_quality is not None:
+        others = nnodes - 1
+        if others > 0:
+            share = np.where(remote_active, nbytes * remote / others, 0.0)
+            spread = np.tile(share[:, None], (1, nnodes))
+            spread[idx, thread_nodes] = 0.0
+            rows[2 * idx + 1] = spread
+        else:
+            rows[2 * idx + 1, thread_nodes] = np.where(
+                remote_active, nbytes * remote, 0.0
+            )
+    else:
+        denom = np.maximum(1e-30, 1.0 - local)
+        for j in range(nnodes):
+            vals = nbytes * placement.fraction_on(j) / denom * remote
+            vals = np.where(remote_active & (thread_nodes != j), vals, 0.0)
+            rows[2 * idx + 1, j] = vals
+    node_demand = np.cumsum(rows, axis=0)[-1]
+
+    total_bytes = _fold(nbytes)
+    node_cap = (
+        machine.node_bw_boost
+        * (machine.stream_bw_allcores / nnodes)
+        * bw_efficiency
+    )
+    global_cap = machine.stream_bw_allcores * bw_efficiency
+    node_cap = min(node_cap, global_cap)
+
+    per_node_time = float(np.max(node_demand / node_cap, initial=0.0))
+    global_time = total_bytes / global_cap
+    interconnect_time = remote_bytes / machine.interconnect_bw
+
+    return MemoryTimes(
+        per_thread=per_thread_time,
+        per_node=per_node_time,
+        global_dram=global_time,
+        interconnect=interconnect_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The batch engine
+# ---------------------------------------------------------------------------
+
+def simulate_cpu_arrays(
+    machine: CpuMachine, backend: BackendModel, profile: ArrayProfile
+) -> SimReport:
+    """Cost an :class:`ArrayProfile`; bit-identical to ``simulate_cpu``.
+
+    Produces the same :class:`~repro.sim.report.SimReport` (every float
+    field bit-for-bit equal) as the scalar engine would for the
+    equivalent :class:`~repro.sim.work.WorkProfile` -- the property the
+    differential harness (``tools/diffcheck.py``) enforces. Unlike the
+    scalar engine it never emits per-phase trace spans; batch callers
+    record one ``sim.batch`` span per curve instead.
+    """
+    if profile.threads > machine.total_cores:
+        raise SimulationError(
+            f"profile uses {profile.threads} threads but {machine.name} "
+            f"has {machine.total_cores} cores"
+        )
+
+    placement = ThreadPlacement(
+        machine, profile.threads, strategy=backend.affinity_strategy
+    )
+    turbo = machine.seq_turbo_factor if profile.threads == 1 else 1.0
+    base_rate = machine.frequency_hz * machine.ipc * turbo
+
+    alg = profile.alg
+    phase_reports: list[PhaseReport] = []
+    total_counters = Counters()
+    total_time = 0.0
+
+    for phase in profile.phases:
+        ca = phase.chunks
+        lanes = _lanes(machine, backend, phase, profile)
+        rate = base_rate * backend.ipc_factor(alg)
+        if phase.kind is PhaseKind.SEQUENTIAL:
+            rate /= backend.seq_codegen_factor(alg)
+
+        traffic = backend.traffic_factor(alg)
+        overhead_per_elem = backend.instr_overhead_for(
+            alg, machine.topology.num_nodes
+        )
+        if phase.apply_instr_overhead:
+            overhead = ca.elems * overhead_per_elem
+        else:
+            overhead = np.zeros(len(ca))
+        has_fp = ca.fp_ops > 0.0
+        executed = np.where(has_fp, ca.fp_ops / lanes, 0.0)
+        instrs = ca.instr + overhead + executed
+        read_traffic = ca.bytes_read * traffic
+        write_traffic = ca.bytes_written * traffic
+
+        ctr = {
+            "instructions": _fold(instrs),
+            "fp_scalar": 0.0,
+            "fp_packed_128": 0.0,
+            "fp_packed_256": 0.0,
+            "bytes_read": _fold(read_traffic),
+            "bytes_written": _fold(write_traffic),
+        }
+        if lanes <= 1:
+            ctr["fp_scalar"] = _fold(np.where(has_fp, ca.fp_ops, 0.0))
+        elif lanes == 2:
+            ctr["fp_packed_128"] = _fold(executed)
+        else:
+            ctr["fp_packed_256"] = _fold(executed)
+
+        thread_order, tidx, slot = _thread_layout(ca.thread)
+        num_threads = len(thread_order)
+        instr_time = _thread_fold(instrs / rate, tidx, slot, num_threads)
+        mem_bytes = _thread_fold(
+            (ca.bytes_read + ca.bytes_written) * traffic, tidx, slot, num_threads
+        )
+
+        compute_time = float(instr_time.max()) if num_threads else 0.0
+        if phase.kind is PhaseKind.PARALLEL and profile.threads > 1:
+            scaling = profile.threads / backend.effective_threads(profile.threads)
+            if scaling > 1.0:
+                compute_time *= scaling
+                instr_time = instr_time * scaling
+
+        memory_time = 0.0
+        total_phase_bytes = _fold(mem_bytes)
+        if total_phase_bytes > 0.0 and phase.placement is not None:
+            active = max(1, num_threads)
+            level = machine.caches.fitting_level(int(phase.working_set), active)
+            if level is not None:
+                bw = level.bandwidth_per_core
+                lane_mem = mem_bytes / bw
+                memory_time = float(lane_mem.max())
+                per_thread_roofline = float(
+                    np.maximum(instr_time, lane_mem).max()
+                )
+            else:
+                thread_nodes = np.array(
+                    [
+                        placement.node_of_thread(int(t) % profile.threads)
+                        for t in thread_order
+                    ],
+                    dtype=np.int64,
+                )
+                active_nodes = len(set(thread_nodes.tolist()))
+                matched = None
+                if phase.placement.policy in MATCHED_POLICIES:
+                    matched = backend.numa_quality(alg) ** max(0, active_nodes - 1)
+                times = _dram_memory_time_arrays(
+                    machine,
+                    phase.placement,
+                    mem_bytes,
+                    thread_nodes,
+                    matched_quality=matched,
+                    bw_efficiency=backend.bw_efficiency_at(alg, active_nodes),
+                )
+                memory_time = times.total
+                scale = times.per_thread / max(1e-30, float(mem_bytes.max()))
+                lane_mem = mem_bytes * scale
+                per_thread_roofline = float(
+                    np.maximum(instr_time, lane_mem).max()
+                )
+                per_thread_roofline = max(
+                    per_thread_roofline,
+                    times.per_node,
+                    times.global_dram,
+                    times.interconnect,
+                )
+        else:
+            per_thread_roofline = compute_time
+
+        phase_time = max(compute_time, per_thread_roofline)
+
+        if (
+            phase.spread_penalty > 1.0
+            and phase.placement is not None
+            and max(phase.placement.node_fractions) < 1.0 - 1e-3
+        ):
+            weight = min(1.0, 2.0 / machine.topology.num_nodes)
+            phase_time *= 1.0 + (phase.spread_penalty - 1.0) * weight
+
+        overhead_time = 0.0
+        if phase.sched_chunks:
+            overhead_time += backend.sched_overhead(phase.sched_chunks, profile.threads)
+        if phase.sync_points:
+            overhead_time += phase.sync_points * backend.sync_cost(profile.threads)
+        phase_time += overhead_time
+
+        phase_counters = Counters(**ctr)
+        total_counters = total_counters + phase_counters
+        total_time += phase_time
+        phase_reports.append(
+            PhaseReport(
+                name=phase.name,
+                seconds=phase_time,
+                compute_seconds=compute_time,
+                memory_seconds=memory_time,
+                overhead_seconds=overhead_time,
+                counters=phase_counters,
+            )
+        )
+
+    fork_join = 0.0
+    if profile.is_parallel:
+        fork_join = profile.regions * (
+            backend.fork_overhead(profile.threads)
+            + backend.join_overhead(profile.threads)
+        )
+    total_time += fork_join
+
+    return SimReport(
+        seconds=total_time,
+        counters=total_counters,
+        phases=tuple(phase_reports),
+        fork_join_seconds=fork_join,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Converters (differential-harness plumbing)
+# ---------------------------------------------------------------------------
+
+def profile_to_arrays(profile: WorkProfile) -> ArrayProfile:
+    """Convert a scalar :class:`WorkProfile` to its array form losslessly."""
+    phases = []
+    for phase in profile.phases:
+        chunks = ChunkArrays(
+            thread=np.array([c.thread for c in phase.chunks], dtype=np.int64),
+            elems=np.array([c.elems for c in phase.chunks]),
+            instr=np.array([c.instr for c in phase.chunks]),
+            fp_ops=np.array([c.fp_ops for c in phase.chunks]),
+            bytes_read=np.array([c.bytes_read for c in phase.chunks]),
+            bytes_written=np.array([c.bytes_written for c in phase.chunks]),
+        )
+        phases.append(
+            ArrayPhase(
+                name=phase.name,
+                kind=phase.kind,
+                chunks=chunks,
+                placement=phase.placement,
+                working_set=phase.working_set,
+                sched_chunks=phase.sched_chunks,
+                sync_points=phase.sync_points,
+                spread_penalty=phase.spread_penalty,
+                apply_instr_overhead=phase.apply_instr_overhead,
+                vectorizable=phase.vectorizable,
+            )
+        )
+    return ArrayProfile(
+        alg=profile.alg,
+        n=profile.n,
+        elem=profile.elem,
+        threads=profile.threads,
+        policy=profile.policy,
+        phases=tuple(phases),
+        regions=profile.regions,
+        notes=tuple(profile.notes),
+    )
+
+
+def arrays_to_profile(profile: ArrayProfile) -> WorkProfile:
+    """Materialise an :class:`ArrayProfile` as a scalar ``WorkProfile``.
+
+    Test-only plumbing: lets the differential harness run the scalar
+    engine on profiles that the batch builders produced, proving the
+    builders (not just the engine) equivalent to the scalar path.
+    """
+    phases = []
+    for phase in profile.phases:
+        ca = phase.chunks
+        chunks = tuple(
+            ChunkWork(
+                thread=int(ca.thread[i]),
+                elems=float(ca.elems[i]),
+                instr=float(ca.instr[i]),
+                fp_ops=float(ca.fp_ops[i]),
+                bytes_read=float(ca.bytes_read[i]),
+                bytes_written=float(ca.bytes_written[i]),
+            )
+            for i in range(len(ca))
+        )
+        phases.append(
+            Phase(
+                name=phase.name,
+                kind=phase.kind,
+                chunks=chunks,
+                placement=phase.placement,
+                working_set=phase.working_set,
+                sched_chunks=phase.sched_chunks,
+                sync_points=phase.sync_points,
+                spread_penalty=phase.spread_penalty,
+                apply_instr_overhead=phase.apply_instr_overhead,
+                vectorizable=phase.vectorizable,
+            )
+        )
+    return WorkProfile(
+        alg=profile.alg,
+        n=profile.n,
+        elem=profile.elem,
+        threads=profile.threads,
+        policy=profile.policy,
+        phases=tuple(phases),
+        regions=profile.regions,
+        notes=tuple(profile.notes),
+    )

@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep problem sizes or thread counts instead of a single point",
     )
     parser.add_argument("--mode", choices=["model", "run"], default="model")
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force the scalar per-point sweep path instead of the "
+        "vectorized repro.sim.batch path (bit-identical results; "
+        "debugging aid)",
+    )
     parser.add_argument("--format", choices=["console", "csv", "json"], default="console")
     parser.add_argument(
         "--trace",
@@ -132,11 +139,12 @@ def _run(args: argparse.Namespace) -> int:
             machine, backend, threads=threads, mode=args.mode
         )
         if args.sweep != "none":
+            batch = False if args.no_batch else None
             if args.sweep == "sizes":
-                sweep = problem_scaling(case, ctx, problem_sizes(), elem)
+                sweep = problem_scaling(case, ctx, problem_sizes(), elem, batch=batch)
                 variable = "n"
             else:
-                sweep = strong_scaling(case, ctx, n, elem=elem)
+                sweep = strong_scaling(case, ctx, n, elem=elem, batch=batch)
                 variable = "t"
             if not any(point.supported for point in sweep.points):
                 unavailable.append(backend.name)

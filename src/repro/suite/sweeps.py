@@ -84,15 +84,35 @@ def problem_scaling(
     ctx: ExecutionContext,
     sizes: list[int] | None = None,
     elem: ElemType = FLOAT64,
+    batch: bool | None = None,
 ) -> SweepResult:
-    """Time vs problem size at fixed thread count (Figs 2, 4a, 5a, 6a)."""
+    """Time vs problem size at fixed thread count (Figs 2, 4a, 5a, 6a).
+
+    ``batch`` selects the evaluation path: ``None`` (auto) uses the
+    vectorized ``repro.sim.batch`` path when the case supports it and
+    tracing is off, ``True`` requests it explicitly, ``False`` forces the
+    scalar per-point path (the ``--no-batch`` debugging escape hatch).
+    Both paths produce bit-identical seconds.
+    """
+    from repro.suite.batch import batch_problem_scaling, use_batch_path
+
     sizes = sizes if sizes is not None else problem_sizes()
     points = []
-    for n in sizes:
-        try:
-            points.append(SweepPoint(x=n, seconds=measure_case(case, ctx, n, elem)))
-        except UnsupportedOperationError:
-            points.append(SweepPoint(x=n, seconds=float("nan"), supported=False))
+    if use_batch_path(batch, case.name, ctx):
+        points = [
+            SweepPoint(x=x, seconds=seconds, supported=supported)
+            for x, seconds, supported in batch_problem_scaling(
+                case.name, ctx, sizes, elem
+            )
+        ]
+    else:
+        for n in sizes:
+            try:
+                points.append(
+                    SweepPoint(x=n, seconds=measure_case(case, ctx, n, elem))
+                )
+            except UnsupportedOperationError:
+                points.append(SweepPoint(x=n, seconds=float("nan"), supported=False))
     return SweepResult(
         label=f"{case.name}<{ctx.backend.name}>@{ctx.threads}t",
         variable="size",
@@ -106,18 +126,33 @@ def strong_scaling(
     n: int,
     threads: list[int] | None = None,
     elem: ElemType = FLOAT64,
+    batch: bool | None = None,
 ) -> SweepResult:
-    """Time vs thread count at fixed size (Figs 3, 4b, 5b, 6b, 7b)."""
+    """Time vs thread count at fixed size (Figs 3, 4b, 5b, 6b, 7b).
+
+    ``batch`` selects the scalar/vectorized evaluation path exactly as in
+    :func:`problem_scaling`.
+    """
+    from repro.suite.batch import batch_strong_scaling, use_batch_path
+
     if ctx.is_gpu:
         raise ConfigurationError("strong scaling sweeps are CPU experiments")
     threads = threads if threads is not None else thread_counts(ctx.machine.total_cores)
     points = []
-    for t in threads:
-        sub = ctx.with_(threads=t)
-        try:
-            points.append(SweepPoint(x=t, seconds=measure_case(case, sub, n, elem)))
-        except UnsupportedOperationError:
-            points.append(SweepPoint(x=t, seconds=float("nan"), supported=False))
+    if use_batch_path(batch, case.name, ctx):
+        points = [
+            SweepPoint(x=x, seconds=seconds, supported=supported)
+            for x, seconds, supported in batch_strong_scaling(
+                case.name, ctx, n, threads, elem
+            )
+        ]
+    else:
+        for t in threads:
+            sub = ctx.with_(threads=t)
+            try:
+                points.append(SweepPoint(x=t, seconds=measure_case(case, sub, n, elem)))
+            except UnsupportedOperationError:
+                points.append(SweepPoint(x=t, seconds=float("nan"), supported=False))
     return SweepResult(
         label=f"{case.name}<{ctx.backend.name}>/n={n}",
         variable="threads",

@@ -126,3 +126,100 @@ def test_find_correct_for_any_position(n, pos, threads):
     data[pos] = 1.0
     arr = ctx.array_from(data, FLOAT64)
     assert pstl.find(ctx, arr, 1.0).value == pos
+
+
+class TestExpectedHit:
+    """Edge cases of the model-mode expected first-hit position."""
+
+    def test_empty_input_has_no_hit(self):
+        """n = 0 must yield None, not min(n - 1, ...) = -1."""
+        from repro.algorithms.find import _expected_hit
+
+        assert _expected_hit(0, 0.5) is None
+        assert _expected_hit(-3, 0.5) is None
+
+    def test_zero_selectivity_scans_everything(self):
+        from repro.algorithms.find import _expected_hit
+
+        assert _expected_hit(100, 0.0) is None
+        assert _expected_hit(100, -0.1) is None
+
+    def test_full_selectivity_hits_first_element(self):
+        from repro.algorithms.find import _expected_hit
+
+        assert _expected_hit(100, 1.0) == 0
+        assert _expected_hit(1, 1.0) == 0
+
+    def test_denormal_selectivity_does_not_overflow(self):
+        """1/s overflows to inf for denormal s; must clamp, not raise."""
+        from repro.algorithms.find import _expected_hit
+
+        assert _expected_hit(100, 5e-324) == 99
+
+    @given(
+        n=st.integers(min_value=0, max_value=1 << 30),
+        selectivity=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_hit_always_in_range(self, n, selectivity):
+        """Property: the result is None or a valid index in [0, n)."""
+        from repro.algorithms.find import _expected_hit
+
+        hit = _expected_hit(n, selectivity)
+        if hit is not None:
+            assert 0 <= hit < n
+
+
+@settings(max_examples=30)
+@given(
+    n=st.integers(min_value=1, max_value=512),
+    pos=st.integers(min_value=0, max_value=511),
+    threads=st.sampled_from([1, 4, 7]),
+)
+def test_early_exit_family_agrees_on_position(n, pos, threads):
+    """Property: find/find_if/any_of agree on the first-hit position and
+    early-exit consistently (tiny n and boundary positions included)."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+
+    pos = pos % n
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=threads, mode="run"
+    )
+    data = np.zeros(n)
+    data[pos:] = 2.0  # predicate x > 1 first satisfied exactly at pos
+    arr = ctx.array_from(data, FLOAT64)
+    pred = pstl.greater_than(1.0)
+    assert pstl.find(ctx, arr, 2.0).value == pos
+    assert pstl.find_if(ctx, arr, pred).value == pos
+    assert pstl.any_of(ctx, arr, pred).value is True
+    # the scan stops at the hit: a later sentinel must not change cost
+    if pos < n - 1:
+        report_at_hit = pstl.find_if(ctx, arr, pred).report
+        data2 = data.copy()
+        data2[-1] = 3.0
+        arr2 = ctx.array_from(data2, FLOAT64)
+        assert pstl.find_if(ctx, arr2, pred).report.seconds == (
+            report_at_hit.seconds
+        )
+
+
+@settings(max_examples=20)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    selectivity=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_model_mode_find_if_never_crashes_on_edge_selectivity(n, selectivity):
+    """Property: model-mode find_if is well-defined for any selectivity."""
+    from repro.backends import get_backend
+    from repro.execution.context import ExecutionContext
+    from repro.machines import get_machine
+    from repro.algorithms._ops import Predicate
+
+    ctx = ExecutionContext(
+        get_machine("A"), get_backend("gcc-tbb"), threads=4, mode="model"
+    )
+    arr = ctx.allocate(n, FLOAT64)
+    pred = Predicate("p", instr_per_elem=1.0, selectivity=selectivity)
+    result = pstl.find_if(ctx, arr, pred)
+    assert result.report.seconds >= 0.0

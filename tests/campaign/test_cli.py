@@ -107,7 +107,7 @@ def test_failures_exit_code_1(spec_file, tmp_path, monkeypatch, capsys):
     monkeypatch.setattr(executor_mod, "execute_point", always_fail)
     rc = main(["run", "--spec-file", str(spec_file),
                "--dir", str(tmp_path / "c"), "--workers", "0",
-               "--retries", "0"])
+               "--retries", "0", "--no-batch"])
     assert rc == 1
 
 

@@ -114,7 +114,7 @@ def test_failure_degrades_gracefully(monkeypatch):
         return real(payload)
 
     monkeypatch.setattr(executor_mod, "execute_point", flaky)
-    outcome = run_campaign(tiny_spec(), retries=0)
+    outcome = run_campaign(tiny_spec(), retries=0, batch=False)
     assert outcome.stats.failed == 1
     # the rest of the grid still completed
     done = [r for r in outcome.results.values() if r.status == DONE]
@@ -133,7 +133,7 @@ def test_bounded_retry_recovers_transient_failures(monkeypatch):
         return real(payload)
 
     monkeypatch.setattr(executor_mod, "execute_point", flaky)
-    outcome = run_campaign(tiny_spec(), retries=1)
+    outcome = run_campaign(tiny_spec(), retries=1, batch=False)
     assert outcome.stats.failed == 0
     assert calls["n"] == 2
     recovered = [r for r in outcome.results.values() if r.attempts == 2]
@@ -146,7 +146,7 @@ def test_failed_results_are_not_cached(monkeypatch):
 
     monkeypatch.setattr(executor_mod, "execute_point", always_fail)
     store = ResultStore(None)
-    run_campaign(tiny_spec(), store=store, retries=0)
+    run_campaign(tiny_spec(), store=store, retries=0, batch=False)
     assert store.writes == 0
 
 
@@ -157,7 +157,7 @@ def test_resume_retries_journaled_failures(tmp_path, monkeypatch):
         return {"status": FAILED, "seconds": None, "error": "boom"}
 
     monkeypatch.setattr(executor_mod, "execute_point", always_fail)
-    first = run_campaign(tiny_spec(), campaign_dir=cdir, retries=0)
+    first = run_campaign(tiny_spec(), campaign_dir=cdir, retries=0, batch=False)
     assert first.stats.failed == first.stats.executed
     monkeypatch.undo()
     resumed = run_campaign(tiny_spec(), campaign_dir=cdir, resume=True)

@@ -94,6 +94,55 @@ class TestChunkValidation:
         assert all(c.thread == 0 for c in mine)
         assert len(mine) == 2
 
+    def test_accepts_per_thread_interleaved_order(self):
+        """A block-cyclic tiling listed grouped by thread (each thread's
+        chunks consecutive, so global starts are out of order) is a valid
+        partition of [0, n) and must be accepted."""
+        chunks = (
+            Chunk(index=0, start=0, stop=2, thread=0),
+            Chunk(index=2, start=4, stop=6, thread=0),
+            Chunk(index=1, start=2, stop=4, thread=1),
+            Chunk(index=3, start=6, stop=8, thread=1),
+        )
+        p = Partition(n=8, threads=2, chunks=chunks, strategy="x")
+        assert p.elements_per_thread() == [4, 4]
+
+    def test_accepts_reversed_order(self):
+        chunks = (
+            Chunk(index=1, start=4, stop=8, thread=1),
+            Chunk(index=0, start=0, stop=4, thread=0),
+        )
+        Partition(n=8, threads=2, chunks=chunks, strategy="x")
+
+    def test_accepts_empty_chunks_anywhere(self):
+        chunks = (
+            Chunk(index=0, start=3, stop=3, thread=1),
+            Chunk(index=1, start=0, stop=8, thread=0),
+        )
+        Partition(n=8, threads=2, chunks=chunks, strategy="x")
+
+    def test_rejects_overlap_regardless_of_order(self):
+        chunks = (
+            Chunk(index=0, start=2, stop=6, thread=1),
+            Chunk(index=1, start=0, stop=4, thread=0),
+            Chunk(index=2, start=6, stop=8, thread=0),
+        )
+        with pytest.raises(ConfigurationError, match="overlap"):
+            Partition(n=8, threads=2, chunks=chunks, strategy="x")
+
+    def test_rejects_gap_regardless_of_order(self):
+        chunks = (
+            Chunk(index=0, start=5, stop=8, thread=1),
+            Chunk(index=1, start=0, stop=4, thread=0),
+        )
+        with pytest.raises(ConfigurationError, match="uncovered"):
+            Partition(n=8, threads=2, chunks=chunks, strategy="x")
+
+    def test_rejects_chunk_past_n(self):
+        chunks = (Chunk(index=0, start=0, stop=9, thread=0),)
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            Partition(n=8, threads=1, chunks=chunks, strategy="x")
+
 
 @pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.name)
 @given(n=st.integers(min_value=0, max_value=100_000), threads=st.integers(1, 64))

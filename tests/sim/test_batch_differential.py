@@ -1,0 +1,247 @@
+"""Differential harness: the vectorized batch path must match scalar bitwise.
+
+Three layers of evidence, mirroring the batch engine's structure:
+
+1. engine equivalence -- ``simulate_cpu_arrays`` on a converted profile
+   reproduces ``simulate_cpu`` field-for-field, both directions of the
+   ``profile_to_arrays`` / ``arrays_to_profile`` converters;
+2. builder equivalence -- ``measure_case_batch`` equals ``measure_case``
+   on the paper's grid corners, including exception parity for N/A cells;
+3. the randomized sweep (marker ``diffcheck``, shared with
+   ``tools/diffcheck.py`` and the CI job): hundreds of seeded random
+   configurations across machines x backends x allocators x cases x
+   sizes x threads x dtypes, comparing the full SimReport.
+
+Plus the observability contract: batch sweeps emit ``sim.batch`` spans,
+and auto mode defers to the scalar path while a tracer is installed so
+per-phase golden traces stay byte-stable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.execution.context import ExecutionContext
+from repro.sim.batch import (
+    arrays_to_profile,
+    partition_arrays,
+    profile_to_arrays,
+    simulate_cpu_arrays,
+)
+from repro.sim.engine import simulate_cpu
+from repro.suite.batch import (
+    BATCH_CASES,
+    batch_problem_scaling,
+    batch_strong_scaling,
+    batch_supported,
+    build_array_profile,
+    measure_case_batch,
+    use_batch_path,
+)
+from repro.suite.cases import get_case
+from repro.suite.sweeps import problem_scaling, strong_scaling
+from repro.suite.wrappers import measure_case
+from repro.trace import Tracer, use_tracer
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "diffcheck.py"
+
+
+def _load_diffcheck():
+    import sys
+
+    spec = importlib.util.spec_from_file_location("diffcheck", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["diffcheck"] = module  # dataclasses resolve via sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+diffcheck = _load_diffcheck()
+
+
+def _assert_reports_identical(scalar, batch):
+    """Field-by-field bitwise comparison of two SimReports."""
+    left = diffcheck._report_fields(scalar)
+    right = diffcheck._report_fields(batch)
+    assert len(left) == len(right)
+    for (name_s, value_s), (name_b, value_b) in zip(left, right):
+        assert name_s == name_b
+        assert value_s == value_b, f"{name_s}: scalar={value_s} batch={value_b}"
+
+
+# --- 1. engine equivalence -------------------------------------------------
+
+
+def _scalar_profiles(model_ctx):
+    """Real WorkProfiles captured from scalar algorithm invocations."""
+    from repro.types import FLOAT64
+
+    profiles = []
+    for case_name in BATCH_CASES:
+        if not batch_supported(case_name, model_ctx):
+            continue
+        case = get_case(case_name)
+        arrays = case.setup(model_ctx, 4097, FLOAT64)
+        result = case.invoke(model_ctx, arrays, 0)
+        profiles.append(result.profile)
+    return profiles
+
+
+def test_engine_matches_on_converted_scalar_profiles(model_ctx):
+    """simulate_cpu_arrays(profile_to_arrays(p)) == simulate_cpu(p)."""
+    profiles = _scalar_profiles(model_ctx)
+    assert profiles
+    for profile in profiles:
+        scalar = simulate_cpu(model_ctx.machine, model_ctx.backend, profile)
+        batch = simulate_cpu_arrays(
+            model_ctx.machine, model_ctx.backend, profile_to_arrays(profile)
+        )
+        _assert_reports_identical(scalar, batch)
+
+
+def test_engine_matches_on_converted_array_profiles(model_ctx):
+    """simulate_cpu(arrays_to_profile(ap)) == simulate_cpu_arrays(ap)."""
+    for case_name in BATCH_CASES:
+        array_profile = build_array_profile(case_name, model_ctx, 4097)
+        batch = simulate_cpu_arrays(
+            model_ctx.machine, model_ctx.backend, array_profile
+        )
+        scalar = simulate_cpu(
+            model_ctx.machine, model_ctx.backend, arrays_to_profile(array_profile)
+        )
+        _assert_reports_identical(scalar, batch)
+
+
+def test_partition_arrays_matches_scalar_partitions(mach_a, tbb, gnu, hpx):
+    """The array partitioner reproduces each backend's chunk layout."""
+    import numpy as np
+
+    for backend in (tbb, gnu, hpx):
+        for n in (1, 7, 1024, 4097):
+            for threads in (1, 3, 8):
+                part = backend.make_partition(n, threads)
+                starts, sizes, thread_ids, parts = partition_arrays(
+                    backend, n, threads
+                )
+                assert parts == part.num_chunks
+                assert np.array_equal(starts, [c.start for c in part.chunks])
+                assert np.array_equal(sizes, [len(c) for c in part.chunks])
+                assert np.array_equal(thread_ids, [c.thread for c in part.chunks])
+
+
+# --- 2. builder equivalence ------------------------------------------------
+
+
+@pytest.mark.parametrize("case_name", BATCH_CASES)
+def test_builders_match_scalar_measurements(case_name, model_ctx, seq_ctx):
+    """measure_case_batch == measure_case bitwise on grid corners."""
+    case = get_case(case_name)
+    for ctx in (model_ctx, seq_ctx):
+        for n in (1, 2, 63, 4096, 1 << 20):
+            assert measure_case_batch(case_name, ctx, n) == measure_case(
+                case, ctx, n
+            )
+
+
+def test_na_cells_agree(mach_a, gnu):
+    """Capability gaps raise UnsupportedOperationError on both paths."""
+    ctx = ExecutionContext(mach_a, gnu, threads=8, mode="model")
+    case = get_case("inclusive_scan")  # GNU has no parallel scan
+    with pytest.raises(UnsupportedOperationError):
+        measure_case(case, ctx, 1 << 12)
+    with pytest.raises(UnsupportedOperationError):
+        measure_case_batch("inclusive_scan", ctx, 1 << 12)
+
+
+def test_sweeps_agree_between_paths(model_ctx):
+    """suite.sweeps with batch=True equals batch=False point-for-point."""
+    case = get_case("reduce")
+    sizes = [1 << e for e in range(3, 16, 3)]
+    scalar = problem_scaling(case, model_ctx, sizes, batch=False)
+    batch = problem_scaling(case, model_ctx, sizes, batch=True)
+    assert scalar == batch
+    scalar = strong_scaling(case, model_ctx, 1 << 14, [1, 2, 8, 32], batch=False)
+    batch = strong_scaling(case, model_ctx, 1 << 14, [1, 2, 8, 32], batch=True)
+    assert scalar == batch
+
+
+# --- 3. the randomized differential sweep ----------------------------------
+
+
+@pytest.mark.diffcheck
+def test_randomized_configs_bit_identical():
+    """>= 200 seeded random configurations, zero divergences."""
+    divergences = diffcheck.run_diffcheck(configs=200, seed=0)
+    assert not divergences, "\n".join(divergences)
+
+
+def test_random_configs_are_deterministic():
+    """The sampled sweep is reproducible for a given seed."""
+    assert diffcheck.random_configs(25, 7) == diffcheck.random_configs(25, 7)
+    assert diffcheck.random_configs(25, 7) != diffcheck.random_configs(25, 8)
+
+
+def test_compare_point_flags_a_real_divergence(monkeypatch):
+    """The comparator is not vacuous: a perturbed batch path is caught."""
+    import repro.suite.batch as batch_mod
+
+    config = diffcheck.DiffConfig(
+        machine="A", backend="GCC-TBB", allocator=None,
+        case="reduce", n=4096, threads=8, dtype="double",
+    )
+    assert diffcheck.compare_point(config) == []
+    real = batch_mod.simulate_case_batch
+
+    def skewed(case_name, ctx, n, elem=None, **kwargs):
+        report = real(case_name, ctx, n) if elem is None else real(
+            case_name, ctx, n, elem
+        )
+        return report.with_extra_seconds(1e-9)
+
+    monkeypatch.setattr("repro.suite.batch.simulate_case_batch", skewed)
+    assert diffcheck.compare_point(config)
+
+
+# --- observability ---------------------------------------------------------
+
+
+def test_batch_sweep_records_curve_span(model_ctx):
+    """An explicit batch sweep emits one clocked ``sim.batch`` span."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        points = batch_problem_scaling(
+            "reduce", model_ctx, [1 << 10, 1 << 12, 1 << 14]
+        )
+    spans = [s for s in tracer.spans if s.name == "sim.batch"]
+    assert len(spans) == 1
+    (span,) = spans
+    assert span.category == "batch"
+    assert span.track == "batch"
+    assert span.attributes["points"] == 3
+    total = sum(seconds for _, seconds, ok in points if ok)
+    assert span.duration == total
+    assert tracer.clock == total
+
+
+def test_batch_strong_scaling_records_curve_span(model_ctx):
+    """The thread sweep emits the span too, tagged with the variable."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        batch_strong_scaling("reduce", model_ctx, 1 << 12, [1, 2, 4])
+    spans = [s for s in tracer.spans if s.name == "sim.batch"]
+    assert len(spans) == 1
+    assert spans[0].attributes["variable"] == "threads"
+
+
+def test_auto_mode_defers_to_scalar_under_tracing(model_ctx):
+    """batch=None keeps golden per-phase traces scalar; True overrides."""
+    assert use_batch_path(None, "reduce", model_ctx) is True
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert use_batch_path(None, "reduce", model_ctx) is False
+        assert use_batch_path(True, "reduce", model_ctx) is True
+        assert use_batch_path(False, "reduce", model_ctx) is False

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.util.stats import (
     ConfidenceInterval,
+    _erfinv,
     geomean,
     harmonic_mean,
     mean,
@@ -77,6 +78,38 @@ class TestConfidenceInterval:
         ci90 = ConfidenceInterval.from_samples(samples, level=0.90)
         ci99 = ConfidenceInterval.from_samples(samples, level=0.99)
         assert ci99.halfwidth > ci90.halfwidth
+
+    @pytest.mark.parametrize(
+        "level,z",
+        [(0.90, 1.6449), (0.95, 1.9600), (0.99, 2.5758)],
+    )
+    def test_z_values_match_normal_table(self, level, z):
+        """Regression for the Winitzki-only erfinv: the two-sided z values
+        must match the standard normal table to 4 decimal places (the old
+        approximation gave z(0.95) = 1.9546)."""
+        assert math.sqrt(2.0) * _erfinv(level) == pytest.approx(z, abs=5e-5)
+
+    def test_halfwidth_uses_exact_z(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        ci = ConfidenceInterval.from_samples(samples, level=0.95)
+        expected = 1.959964 * stddev(samples) / math.sqrt(len(samples))
+        assert ci.halfwidth == pytest.approx(expected, rel=1e-5)
+
+
+class TestErfinv:
+    def test_domain_enforced(self):
+        for x in (-1.0, 1.0, 2.0, -3.0):
+            with pytest.raises(ValueError):
+                _erfinv(x)
+
+    def test_zero_and_symmetry(self):
+        assert _erfinv(0.0) == 0.0
+        assert _erfinv(-0.5) == -_erfinv(0.5)
+
+    @given(st.floats(min_value=-0.999999, max_value=0.999999))
+    def test_round_trip_to_machine_precision(self, x):
+        """erf(erfinv(x)) == x to double precision across the domain."""
+        assert math.erf(_erfinv(x)) == pytest.approx(x, abs=1e-14)
 
 
 @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))

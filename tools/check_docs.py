@@ -9,7 +9,8 @@ Two checks, wired into tier-1 via ``tests/test_docs.py``:
    directory so snippets that write files do not pollute the repo. A
    fence that raises fails the lint with its file/line and the error.
 2. **Docstring coverage** — every public module, class, function and
-   method in ``src/repro/trace/`` must carry a non-empty docstring.
+   method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, and batch
+   simulation layers) must carry a non-empty docstring.
 
 Run directly::
 
@@ -32,8 +33,13 @@ SRC = REPO / "src"
 #: Files whose ``python`` fences must execute cleanly.
 FENCE_FILES = ("README.md", "docs/OBSERVABILITY.md", "docs/CAMPAIGNS.md")
 
-#: Packages whose public API must be fully documented.
-DOCSTRING_PACKAGES = ("repro.trace", "repro.campaign")
+#: Packages (or plain modules) whose public API must be fully documented.
+DOCSTRING_PACKAGES = (
+    "repro.trace",
+    "repro.campaign",
+    "repro.sim.batch",
+    "repro.suite.batch",
+)
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
 DOCSTRING_PACKAGE = DOCSTRING_PACKAGES[0]
@@ -115,8 +121,10 @@ def check_docstrings(package: str = DOCSTRING_PACKAGE) -> list[str]:
     errors: list[str] = []
     root = importlib.import_module(package)
     modules = [root]
-    for info in pkgutil.iter_modules(root.__path__, prefix=f"{package}."):
-        modules.append(importlib.import_module(info.name))
+    paths = getattr(root, "__path__", None)  # plain modules have none
+    if paths is not None:
+        for info in pkgutil.iter_modules(paths, prefix=f"{package}."):
+            modules.append(importlib.import_module(info.name))
 
     for module in modules:
         if not (module.__doc__ or "").strip():

@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Differential harness: scalar vs vectorized simulation must agree bitwise.
+
+The vectorized batch engine (``repro.sim.batch`` + ``repro.suite.batch``)
+promises *bit-identical* results to the scalar per-point path -- not
+"close", identical, so cached campaign results, golden figures and the
+paper's speedup ratios are the same no matter which path produced them.
+This tool is the enforcement: it sweeps randomized configurations
+(machine x backend x allocator x case x size x threads x element type)
+through both paths and compares the full :class:`repro.sim.SimReport`
+field by field -- total seconds, fork/join, every hardware counter, and
+the per-phase name/seconds/compute/memory/overhead/counter breakdown --
+using exact float equality on the hex encodings. Capability gaps must
+also agree: a configuration that raises ``UnsupportedOperationError`` on
+one path must raise it on the other.
+
+Wired into tier-1 via ``tests/sim/test_batch_differential.py`` (marker
+``diffcheck``) and into CI as a standalone job step. Run directly::
+
+    python tools/diffcheck.py --configs 200 --seed 0
+
+Exit codes: 0 = all configurations agree, 1 = at least one divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+
+#: The sampled axes. Every (machine, backend) pair of the paper's grid,
+#: every named allocator (plus the backend default), every batch case.
+MACHINES = ("A", "B", "C")
+BACKENDS = ("GCC-SEQ", "GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
+ALLOCATORS = (None, "default", "first-touch", "hpx", "interleaved")
+DTYPES = ("double", "double", "double", "float", "int")  # weighted to the paper's
+
+
+def _ensure_importable() -> None:
+    """Make ``repro`` importable when running from a source checkout."""
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """One randomized configuration to push through both paths."""
+
+    machine: str
+    backend: str
+    allocator: str | None
+    case: str
+    n: int
+    threads: int
+    dtype: str
+
+    def label(self) -> str:
+        """Human-readable one-liner for divergence reports."""
+        return (
+            f"{self.case}<{self.backend}>@Mach{self.machine}"
+            f"/alloc={self.allocator}/n={self.n}/t={self.threads}/{self.dtype}"
+        )
+
+
+def _random_size(rng: random.Random) -> int:
+    """A problem size biased toward the interesting edges.
+
+    Mixes exact powers of two (the paper's grid), off-by-one sizes (chunk
+    remainder handling), tiny n (sequential-fallback and single-chunk
+    paths) and uniformly random interior points.
+    """
+    kind = rng.randrange(4)
+    if kind == 0:
+        return 1 << rng.randrange(0, 31)
+    if kind == 1:
+        exp = rng.randrange(1, 31)
+        return max(1, (1 << exp) + rng.choice((-1, 1)))
+    if kind == 2:
+        return rng.randrange(1, 64)
+    return rng.randrange(1, 1 << 27)
+
+
+def random_configs(count: int, seed: int) -> list[DiffConfig]:
+    """``count`` deterministic pseudo-random configurations."""
+    _ensure_importable()
+    from repro.machines import get_machine
+    from repro.suite.batch import BATCH_CASES
+
+    rng = random.Random(seed)
+    configs = []
+    for _ in range(count):
+        machine = rng.choice(MACHINES)
+        cores = get_machine(machine).total_cores
+        threads = rng.choice(
+            sorted({1, 2, 3, rng.randrange(1, cores + 1), cores})
+        )
+        configs.append(
+            DiffConfig(
+                machine=machine,
+                backend=rng.choice(BACKENDS),
+                allocator=rng.choice(ALLOCATORS),
+                case=rng.choice(BATCH_CASES),
+                n=_random_size(rng),
+                threads=threads,
+                dtype=rng.choice(DTYPES),
+            )
+        )
+    return configs
+
+
+def _context(config: DiffConfig):
+    """The execution context a configuration describes."""
+    from repro.experiments.common import make_ctx
+    from repro.memory.allocators import (
+        DefaultAllocator,
+        HpxNumaAllocator,
+        InterleavedAllocator,
+        ParallelFirstTouchAllocator,
+    )
+
+    named = {
+        "default": DefaultAllocator,
+        "first-touch": ParallelFirstTouchAllocator,
+        "hpx": HpxNumaAllocator,
+        "interleaved": InterleavedAllocator,
+    }
+    allocator = None if config.allocator is None else named[config.allocator]()
+    return make_ctx(
+        config.machine, config.backend, threads=config.threads, allocator=allocator
+    )
+
+
+def _hex(value: float) -> str:
+    """Exact float identity (distinguishes -0.0, compares NaN equal)."""
+    return float(value).hex()
+
+
+def _report_fields(report) -> list[tuple[str, str]]:
+    """A SimReport flattened to (field-path, exact value) pairs."""
+    fields = [
+        ("seconds", _hex(report.seconds)),
+        ("fork_join_seconds", _hex(report.fork_join_seconds)),
+        ("migration_seconds", _hex(report.migration_seconds)),
+    ]
+    for prefix, counters in [("counters", report.counters)] + [
+        (f"phases[{i}:{p.name}].counters", p.counters)
+        for i, p in enumerate(report.phases)
+    ]:
+        for attr in (
+            "instructions",
+            "fp_scalar",
+            "fp_packed_128",
+            "fp_packed_256",
+            "bytes_read",
+            "bytes_written",
+        ):
+            fields.append((f"{prefix}.{attr}", _hex(getattr(counters, attr))))
+    for i, phase in enumerate(report.phases):
+        prefix = f"phases[{i}:{phase.name}]"
+        fields.append((f"{prefix}.name", phase.name))
+        for attr in (
+            "seconds",
+            "compute_seconds",
+            "memory_seconds",
+            "overhead_seconds",
+        ):
+            fields.append((f"{prefix}.{attr}", _hex(getattr(phase, attr))))
+    return fields
+
+
+def compare_point(config: DiffConfig) -> list[str]:
+    """Divergences between the two paths for one configuration.
+
+    Runs the scalar path (capturing the SimReport the case's simulation
+    produced) and the vectorized path, and diffs the flattened reports.
+    An empty list means bitwise agreement, including exception parity.
+    """
+    _ensure_importable()
+    from repro.errors import UnsupportedOperationError
+    from repro.execution.context import ExecutionContext
+    from repro.suite.batch import simulate_case_batch
+    from repro.suite.cases import get_case
+    from repro.suite.wrappers import measure_case
+    from repro.types import elem_type
+
+    elem = elem_type(config.dtype)
+    ctx = _context(config)
+
+    captured = []
+    original = ExecutionContext.simulate
+
+    def spy(self, profile, arrays=()):
+        report = original(self, profile, arrays)
+        captured.append(report)
+        return report
+
+    ExecutionContext.simulate = spy
+    try:
+        scalar_seconds = measure_case(get_case(config.case), ctx, config.n, elem)
+        scalar_exc = None
+    except UnsupportedOperationError as exc:
+        scalar_exc = f"UnsupportedOperationError: {exc}"
+    finally:
+        ExecutionContext.simulate = original
+
+    try:
+        batch_report = simulate_case_batch(config.case, ctx, config.n, elem)
+        batch_exc = None
+    except UnsupportedOperationError as exc:
+        batch_exc = f"UnsupportedOperationError: {exc}"
+
+    label = config.label()
+    if scalar_exc or batch_exc:
+        if scalar_exc != batch_exc:
+            return [
+                f"{label}: exception mismatch: scalar={scalar_exc!r} "
+                f"batch={batch_exc!r}"
+            ]
+        return []
+    if not captured:
+        return [f"{label}: scalar path produced no SimReport to compare"]
+
+    scalar_report = captured[-1]
+    divergences = []
+    if _hex(scalar_seconds) != _hex(scalar_report.seconds):
+        divergences.append(
+            f"{label}: captured report does not match measured seconds"
+        )
+    scalar_fields = _report_fields(scalar_report)
+    batch_fields = _report_fields(batch_report)
+    if len(scalar_fields) != len(batch_fields):
+        return [
+            f"{label}: report shape differs "
+            f"({len(scalar_fields)} vs {len(batch_fields)} fields)"
+        ]
+    for (name_s, value_s), (name_b, value_b) in zip(scalar_fields, batch_fields):
+        if name_s != name_b or value_s != value_b:
+            divergences.append(
+                f"{label}: {name_s}: scalar={value_s} batch={value_b}"
+            )
+    return divergences
+
+
+def run_diffcheck(
+    configs: int = 200, seed: int = 0, verbose: bool = False
+) -> list[str]:
+    """Sweep ``configs`` randomized configurations; return all divergences."""
+    divergences = []
+    for i, config in enumerate(random_configs(configs, seed)):
+        if verbose:
+            print(f"[{i + 1}/{configs}] {config.label()}", file=sys.stderr)
+        divergences.extend(compare_point(config))
+    return divergences
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry; exit 1 if any configuration diverges."""
+    parser = argparse.ArgumentParser(
+        description="Differential check: scalar vs vectorized simulation "
+        "paths must produce bit-identical SimReports."
+    )
+    parser.add_argument("--configs", type=int, default=200,
+                        help="number of randomized configurations (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed for the configuration sample")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each configuration as it runs")
+    args = parser.parse_args(argv)
+    divergences = run_diffcheck(args.configs, args.seed, args.verbose)
+    if divergences:
+        print(f"diffcheck: {len(divergences)} divergence(s)", file=sys.stderr)
+        for line in divergences:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"diffcheck: OK ({args.configs} configurations, seed {args.seed}, "
+          "bit-identical reports on both paths)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
