@@ -191,10 +191,30 @@ def _cmd_status(args) -> int:
     for status in ("done", "na", "failed"):
         if by_status.get(status):
             print(f"  {status:6s} {by_status[status]}")
+    _print_wall_time(outcome, entries)
     print(f"pending:  {len(pending)}")
     if pending:
         print("resume with: pstl-campaign resume " + str(args.dir))
     return 0
+
+
+def _print_wall_time(outcome, entries, slowest: int = 3) -> None:
+    """Summarize real executor wall-time from the journal's ``wall_ms``."""
+    timed = [e for e in entries if e.get("wall_ms") is not None]
+    if not timed:
+        return
+    tasks = {t.task_id: t for t in outcome.plan.tasks}
+    total = sum(e["wall_ms"] for e in timed)
+    print(f"wall:     {total:.1f} ms executed across {len(timed)} task(s)")
+    for entry in sorted(timed, key=lambda e: e["wall_ms"], reverse=True)[:slowest]:
+        task = tasks.get(entry["task_id"])
+        if task is None:  # journal from an older plan; still show the id
+            label = entry["task_id"][:12]
+        else:
+            p = task.point
+            label = (f"{p.case}<{p.backend}>@Mach{p.machine}"
+                     f"/{p.threads}t/n=2^{p.size_exp}")
+        print(f"  slowest {entry['wall_ms']:8.1f} ms  {label} ({entry['status']})")
 
 
 def _cmd_query(args) -> int:

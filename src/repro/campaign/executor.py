@@ -25,6 +25,7 @@ campaign carries on -- one bad cell never aborts a 90-cell grid.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -91,26 +92,30 @@ def point_context(point: PointSpec) -> ExecutionContext:
 def execute_point(payload: dict) -> dict:
     """Cost one point; the process-pool worker entry (module-level, picklable).
 
-    Returns the cacheable ``{status, seconds, error}`` payload. Capability
-    gaps surface as ``na`` (the paper's N/A cells); any other failure --
-    model bug, bad spec value -- becomes ``failed`` with the error text,
-    never an exception that would poison the pool.
+    Returns the ``{status, seconds, error}`` payload plus ``wall_ms``,
+    the real wall-clock the evaluation took (journaled, never cached).
+    Capability gaps surface as ``na`` (the paper's N/A cells); any other
+    failure -- model bug, bad spec value -- becomes ``failed`` with the
+    error text, never an exception that would poison the pool.
     """
+    t0 = time.perf_counter()
     try:
         point = PointSpec.from_dict(payload)
         ctx = point_context(point)
         result = run_case(
             get_case(point.case), ctx, point.n, min_time=point.min_time
         )
-        return {"status": DONE, "seconds": result.mean_time, "error": None}
+        out = {"status": DONE, "seconds": result.mean_time, "error": None}
     except UnsupportedOperationError as exc:
-        return {"status": NA, "seconds": None, "error": str(exc)}
+        out = {"status": NA, "seconds": None, "error": str(exc)}
     except ReproError as exc:
-        return {"status": FAILED, "seconds": None,
-                "error": f"{type(exc).__name__}: {exc}"}
+        out = {"status": FAILED, "seconds": None,
+               "error": f"{type(exc).__name__}: {exc}"}
     except Exception as exc:  # noqa: BLE001 - worker boundary, degrade gracefully
-        return {"status": FAILED, "seconds": None,
-                "error": f"{type(exc).__name__}: {exc}"}
+        out = {"status": FAILED, "seconds": None,
+               "error": f"{type(exc).__name__}: {exc}"}
+    out["wall_ms"] = (time.perf_counter() - t0) * 1000.0
+    return out
 
 
 def _curve_key(task: PointTask) -> tuple:
@@ -148,6 +153,7 @@ def execute_curve(payloads: list[dict]) -> list[dict]:
     batch_points = 0
     first = None
     for payload in payloads:
+        t0 = time.perf_counter()
         try:
             point = PointSpec.from_dict(payload)
             ctx = point_context(point)
@@ -159,6 +165,7 @@ def execute_curve(payloads: list[dict]) -> list[dict]:
                 out.append({"status": DONE, "seconds": seconds, "error": None})
             else:
                 out.append(execute_point(payload))
+                continue  # execute_point stamped its own wall_ms
         except UnsupportedOperationError as exc:
             out.append({"status": NA, "seconds": None, "error": str(exc)})
         except ReproError as exc:
@@ -167,6 +174,7 @@ def execute_curve(payloads: list[dict]) -> list[dict]:
         except Exception as exc:  # noqa: BLE001 - worker boundary
             out.append({"status": FAILED, "seconds": None,
                         "error": f"{type(exc).__name__}: {exc}"})
+        out[-1]["wall_ms"] = (time.perf_counter() - t0) * 1000.0
     tracer = get_tracer()
     if tracer.enabled and batch_points:
         tracer.record(
@@ -266,6 +274,7 @@ def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | Non
             "seconds": result.seconds,
             "error": result.error,
             "cached": result.cached,
+            "wall_ms": result.wall_ms,
         })
     _trace_point(task, result)
 
@@ -549,6 +558,7 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                         status=payload["status"], seconds=payload["seconds"],
                         error=payload["error"],
                         attempts=payload.get("attempts", 1),
+                        wall_ms=payload.get("wall_ms"),
                     ))
         finally:
             if span is not None:

@@ -57,10 +57,11 @@ class PointResult:
     """Terminal outcome of one point-task.
 
     ``seconds`` is the mean simulated seconds of one invocation (the
-    figures' y-axis) for ``done`` points, ``None`` otherwise. ``cached``
-    and ``attempts`` describe *this run* and are excluded from the cached
-    payload, so cache-served results compare bit-identical to computed
-    ones.
+    figures' y-axis) for ``done`` points, ``None`` otherwise. ``cached``,
+    ``attempts`` and ``wall_ms`` (real wall-clock spent executing the
+    point, ``None`` when served from cache) describe *this run* and are
+    excluded from the cached payload, so cache-served results compare
+    bit-identical to computed ones.
     """
 
     task_id: str
@@ -70,6 +71,7 @@ class PointResult:
     error: str | None = None
     cached: bool = False
     attempts: int = 1
+    wall_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.status not in _STATUSES:

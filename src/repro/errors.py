@@ -70,3 +70,7 @@ class ExperimentError(ReproError):
 
 class CampaignError(ReproError):
     """A benchmark campaign was mis-specified or its on-disk state is bad."""
+
+
+class FidelityError(ReproError):
+    """Paper-fidelity reference data is malformed or a check was misused."""

@@ -26,6 +26,7 @@ __all__ = [
     "make_ctx",
     "seq_baseline_seconds",
     "paper_size",
+    "pow2_exp",
     "HEADLINE_CASES",
     "PARALLEL_CPU_BACKENDS",
 ]
@@ -39,6 +40,17 @@ def paper_size(exp: int = PAPER_SIZE_EXP) -> int:
     if exp < 0:
         raise ExperimentError("size exponent must be non-negative")
     return 1 << exp
+
+
+def pow2_exp(n: int) -> int:
+    """The exponent of a power-of-two size (inverse of :func:`paper_size`).
+
+    The fidelity cell keys label sweep sizes ``t@2^{exp}``; this keeps the
+    conversion in one place and rejects off-grid sizes loudly.
+    """
+    if n < 1 or n & (n - 1):
+        raise ExperimentError(f"size {n} is not a power of two")
+    return n.bit_length() - 1
 
 
 @dataclass(frozen=True)

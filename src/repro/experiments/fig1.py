@@ -14,7 +14,13 @@ from repro.suite.cases import get_case
 from repro.suite.wrappers import measure_case
 from repro.util.tables import render_grid
 
-__all__ = ["run_fig1", "allocator_speedup", "FIG1_BACKENDS", "FIG1_CASES"]
+__all__ = [
+    "run_fig1",
+    "fig1_cells",
+    "allocator_speedup",
+    "FIG1_BACKENDS",
+    "FIG1_CASES",
+]
 
 #: Backends compared in Fig. 1 (HPX keeps its own allocator).
 FIG1_BACKENDS = ("GCC-TBB", "GCC-GNU", "ICC-TBB", "NVC-OMP")
@@ -62,6 +68,15 @@ def allocator_speedup(
     except UnsupportedOperationError:
         return None
     return t_default / t_custom
+
+
+def fig1_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 1's measured grid in checkable form.
+
+    Keys are ``{backend}/{case}`` and values the allocator speedup
+    (T_default / T_custom); ``None`` is the paper's N/A (GNU scan).
+    """
+    return dict(result.data)
 
 
 def run_fig1(

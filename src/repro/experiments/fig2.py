@@ -11,7 +11,13 @@ from repro.suite.cases import get_case
 from repro.suite.sweeps import problem_scaling, problem_sizes
 from repro.util.ascii_plot import Series, line_plot
 
-__all__ = ["run_fig2", "foreach_problem_series", "FIG2_BACKENDS"]
+__all__ = [
+    "run_fig2",
+    "fig2_cells",
+    "fig2_curves",
+    "foreach_problem_series",
+    "FIG2_BACKENDS",
+]
 
 FIG2_BACKENDS = ("GCC-SEQ", "GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
 
@@ -31,6 +37,32 @@ def foreach_problem_series(
         ctx = make_ctx(machine, backend)
         out[backend] = problem_scaling(case, ctx, sizes, batch=batch)
     return out
+
+
+def fig2_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 2's measured grid in checkable form.
+
+    Keys are ``{machine}/k{k}/{backend}/t@2^{exp}`` with seconds per
+    call; sizes a backend cannot run are simply absent (the sweep marks
+    them unsupported).
+    """
+    from repro.experiments.common import pow2_exp
+
+    cells: dict[str, float | None] = {}
+    for panel_key, series_by_backend in result.data.items():
+        for backend, sweep in series_by_backend.items():
+            for n, seconds in zip(sweep.xs(), sweep.ys()):
+                cells[f"{panel_key}/{backend}/t@2^{pow2_exp(n)}"] = seconds
+    return cells
+
+
+def fig2_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 2's sweeps as (x, y) series, keyed ``{machine}/k{k}/{backend}``."""
+    curves: dict[str, tuple[tuple[float, float], ...]] = {}
+    for panel_key, series_by_backend in result.data.items():
+        for backend, sweep in series_by_backend.items():
+            curves[f"{panel_key}/{backend}"] = tuple(zip(sweep.xs(), sweep.ys()))
+    return curves
 
 
 def run_fig2(

@@ -22,7 +22,7 @@ from repro.suite.cases import get_case
 from repro.suite.sweeps import strong_scaling
 from repro.util.ascii_plot import Series, line_plot
 
-__all__ = ["run_fig3", "foreach_scaling_curve"]
+__all__ = ["run_fig3", "fig3_cells", "fig3_curves", "foreach_scaling_curve"]
 
 
 def foreach_scaling_curve(
@@ -44,6 +44,28 @@ def foreach_scaling_curve(
         seconds=tuple(sweep.ys()),
         baseline_seconds=baseline,
     )
+
+
+def fig3_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 3's measured grid in checkable form.
+
+    Keys are ``{backend}/k{k}/{machine}/max_speedup`` and
+    ``{backend}/k{k}/{machine}/speedup@{threads}`` (speedup vs GCC-SEQ).
+    """
+    cells: dict[str, float | None] = {}
+    for label, curve in result.data.items():
+        for t, s in zip(curve.threads, curve.speedups()):
+            cells[f"{label}/speedup@{t}"] = s
+        cells[f"{label}/max_speedup"] = curve.max_speedup()
+    return cells
+
+
+def fig3_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 3's scaling curves as (threads, speedup) series."""
+    return {
+        label: tuple(zip(curve.threads, curve.speedups()))
+        for label, curve in result.data.items()
+    }
 
 
 def run_fig3(

@@ -9,17 +9,35 @@ threads), bounded by the ~7x STREAM bandwidth ratio of Table 2.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.panels import run_panels
+from repro.experiments.panels import (
+    panel_cells,
+    panel_curves,
+    panels_from_result,
+    run_panels,
+)
 
-__all__ = ["run_fig4"]
+__all__ = ["run_fig4", "fig4_cells", "fig4_curves"]
+
+FIG4_MACHINE = "B"
+FIG4_CASE = "find"
 
 
 def run_fig4(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 4."""
-    panels = run_panels("B", "find", size_step=size_step, batch=batch)
+    panels = run_panels(FIG4_MACHINE, FIG4_CASE, size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig4",
         title="find on Mach B (Zen 1)",
         data={"problem": panels.problem, "scaling": panels.scaling},
         rendered=panels.rendered(),
     )
+
+
+def fig4_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 4's measured grid in checkable form (see ``panel_cells``)."""
+    return panel_cells(panels_from_result(result, FIG4_MACHINE, FIG4_CASE))
+
+
+def fig4_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 4's sweeps as (x, y) series (see ``panel_curves``)."""
+    return panel_curves(panels_from_result(result, FIG4_MACHINE, FIG4_CASE))

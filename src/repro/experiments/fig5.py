@@ -9,17 +9,35 @@ set leaves the caches; TBB-based backends reach a speedup of only ~5 at
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.panels import run_panels
+from repro.experiments.panels import (
+    panel_cells,
+    panel_curves,
+    panels_from_result,
+    run_panels,
+)
 
-__all__ = ["run_fig5"]
+__all__ = ["run_fig5", "fig5_cells", "fig5_curves"]
+
+FIG5_MACHINE = "C"
+FIG5_CASE = "inclusive_scan"
 
 
 def run_fig5(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 5."""
-    panels = run_panels("C", "inclusive_scan", size_step=size_step, batch=batch)
+    panels = run_panels(FIG5_MACHINE, FIG5_CASE, size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig5",
         title="inclusive_scan on Mach C (Zen 3)",
         data={"problem": panels.problem, "scaling": panels.scaling},
         rendered=panels.rendered(),
     )
+
+
+def fig5_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 5's measured grid in checkable form (see ``panel_cells``)."""
+    return panel_cells(panels_from_result(result, FIG5_MACHINE, FIG5_CASE))
+
+
+def fig5_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 5's sweeps as (x, y) series (see ``panel_curves``)."""
+    return panel_curves(panels_from_result(result, FIG5_MACHINE, FIG5_CASE))

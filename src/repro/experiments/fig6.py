@@ -9,17 +9,35 @@ NUMA boundary, HPX hardest.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.panels import run_panels
+from repro.experiments.panels import (
+    panel_cells,
+    panel_curves,
+    panels_from_result,
+    run_panels,
+)
 
-__all__ = ["run_fig6"]
+__all__ = ["run_fig6", "fig6_cells", "fig6_curves"]
+
+FIG6_MACHINE = "A"
+FIG6_CASE = "reduce"
 
 
 def run_fig6(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 6."""
-    panels = run_panels("A", "reduce", size_step=size_step, batch=batch)
+    panels = run_panels(FIG6_MACHINE, FIG6_CASE, size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig6",
         title="reduce on Mach A (Skylake)",
         data={"problem": panels.problem, "scaling": panels.scaling},
         rendered=panels.rendered(),
     )
+
+
+def fig6_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 6's measured grid in checkable form (see ``panel_cells``)."""
+    return panel_cells(panels_from_result(result, FIG6_MACHINE, FIG6_CASE))
+
+
+def fig6_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 6's sweeps as (x, y) series (see ``panel_curves``)."""
+    return panel_curves(panels_from_result(result, FIG6_MACHINE, FIG6_CASE))

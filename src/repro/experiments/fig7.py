@@ -10,17 +10,35 @@ trees.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.panels import run_panels
+from repro.experiments.panels import (
+    panel_cells,
+    panel_curves,
+    panels_from_result,
+    run_panels,
+)
 
-__all__ = ["run_fig7"]
+__all__ = ["run_fig7", "fig7_cells", "fig7_curves"]
+
+FIG7_MACHINE = "C"
+FIG7_CASE = "sort"
 
 
 def run_fig7(size_step: int = 1, batch: bool | None = None) -> ExperimentResult:
     """Regenerate both panels of Fig. 7."""
-    panels = run_panels("C", "sort", size_step=size_step, batch=batch)
+    panels = run_panels(FIG7_MACHINE, FIG7_CASE, size_step=size_step, batch=batch)
     return ExperimentResult(
         experiment_id="fig7",
         title="sort on Mach C (Zen 3)",
         data={"problem": panels.problem, "scaling": panels.scaling},
         rendered=panels.rendered(),
     )
+
+
+def fig7_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 7's measured grid in checkable form (see ``panel_cells``)."""
+    return panel_cells(panels_from_result(result, FIG7_MACHINE, FIG7_CASE))
+
+
+def fig7_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 7's sweeps as (x, y) series (see ``panel_curves``)."""
+    return panel_curves(panels_from_result(result, FIG7_MACHINE, FIG7_CASE))

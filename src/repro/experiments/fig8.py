@@ -23,7 +23,22 @@ from repro.suite.wrappers import measure_case
 from repro.types import FLOAT32
 from repro.util.ascii_plot import Series, line_plot
 
-__all__ = ["run_fig8", "gpu_ctx", "gpu_vs_cpu_ratio", "FIG8_KITS"]
+__all__ = [
+    "run_fig8",
+    "fig8_cells",
+    "fig8_curves",
+    "gpu_ctx",
+    "gpu_vs_cpu_ratio",
+    "FIG8_KITS",
+]
+
+#: Human series labels -> short cell-key names.
+FIG8_SERIES_KEYS = {
+    "GCC-SEQ (host)": "seq-host",
+    "NVC-OMP (host)": "omp-host",
+    "NVC-CUDA (Mach D)": "t4",
+    "NVC-CUDA (Mach E)": "a2",
+}
 
 FIG8_KITS = (1, 1000, 10000)
 #: GPU sweeps stop at 2^29 floats (2 GiB) so the A2's 8 GiB UM never thrashes.
@@ -80,6 +95,45 @@ def run_fig8(
         data=panels,
         rendered="\n\n".join(charts),
     )
+
+
+def fig8_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 8's measured grid in checkable form.
+
+    Keys: ``k{k}/{series}/t@2^{exp}`` (per-call seconds, series one of
+    ``seq-host``/``omp-host``/``t4``/``a2``) plus the paper's headline
+    GPU-vs-parallel-CPU ratios ``k{k}/{gpu}/ratio@2^{max}`` (> 1 means
+    the GPU wins).
+    """
+    from repro.experiments.common import pow2_exp
+
+    cells: dict[str, float | None] = {}
+    for panel_key, series in result.data.items():
+        by_key: dict[str, dict[int, float]] = {}
+        for label, sweep in series.items():
+            short = FIG8_SERIES_KEYS[label]
+            by_key[short] = dict(zip(sweep.xs(), sweep.ys()))
+            for n, seconds in by_key[short].items():
+                cells[f"{panel_key}/{short}/t@2^{pow2_exp(n)}"] = seconds
+        host = by_key.get("omp-host", {})
+        for gpu in ("t4", "a2"):
+            common = sorted(set(host) & set(by_key.get(gpu, {})))
+            if common:
+                n = common[-1]
+                cells[f"{panel_key}/{gpu}/ratio@2^{pow2_exp(n)}"] = (
+                    host[n] / by_key[gpu][n]
+                )
+    return cells
+
+
+def fig8_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 8's sweeps as (size, seconds) series, keyed ``k{k}/{series}``."""
+    curves: dict[str, tuple[tuple[float, float], ...]] = {}
+    for panel_key, series in result.data.items():
+        for label, sweep in series.items():
+            short = FIG8_SERIES_KEYS[label]
+            curves[f"{panel_key}/{short}"] = tuple(zip(sweep.xs(), sweep.ys()))
+    return curves
 
 
 def gpu_vs_cpu_ratio(machine: str, k_it: int, size_exp: int = GPU_MAX_EXP) -> float:

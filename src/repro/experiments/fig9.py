@@ -21,7 +21,21 @@ from repro.suite.wrappers import run_case
 from repro.types import FLOAT32
 from repro.util.ascii_plot import Series, line_plot
 
-__all__ = ["run_fig9", "chained_gpu_reduce_seconds"]
+__all__ = ["run_fig9", "fig9_cells", "fig9_curves", "chained_gpu_reduce_seconds"]
+
+#: Panel labels -> short cell-key names.
+FIG9_PANEL_KEYS = {
+    "with D2H transfer": "forced",
+    "without D2H transfer": "chained",
+}
+
+#: Human series labels -> short cell-key names (as in Fig. 8).
+FIG9_SERIES_KEYS = {
+    "GCC-SEQ (host)": "seq-host",
+    "NVC-OMP (host)": "omp-host",
+    "NVC-CUDA (Mach D)": "t4",
+    "NVC-CUDA (Mach E)": "a2",
+}
 
 
 def chained_gpu_reduce_seconds(
@@ -36,6 +50,43 @@ def chained_gpu_reduce_seconds(
     ctx = gpu_ctx(machine, transfer_back=transfer_back)
     result = run_case(get_case("reduce"), ctx, n, FLOAT32, min_time=min_time)
     return result.mean_time
+
+
+def fig9_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Fig. 9's measured grid in checkable form.
+
+    Keys: ``{panel}/{series}/t@2^{exp}`` (panel ``forced``/``chained``)
+    plus the headline ``t4/chain_saving`` ratio (forced-transfer time /
+    chained time at the largest size; the paper's ">80x per call").
+    """
+    from repro.experiments.common import pow2_exp
+
+    cells: dict[str, float | None] = {}
+    by_key: dict[str, dict[int, float]] = {}
+    for panel_label, series in result.data.items():
+        panel = FIG9_PANEL_KEYS[panel_label]
+        for label, points in series.items():
+            short = FIG9_SERIES_KEYS[label]
+            by_key[f"{panel}/{short}"] = dict(points)
+            for n, seconds in points:
+                cells[f"{panel}/{short}/t@2^{pow2_exp(n)}"] = seconds
+    forced = by_key.get("forced/t4", {})
+    chained = by_key.get("chained/t4", {})
+    common = sorted(set(forced) & set(chained))
+    if common:
+        n = common[-1]
+        cells["t4/chain_saving"] = forced[n] / chained[n]
+    return cells
+
+
+def fig9_curves(result: ExperimentResult) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Fig. 9's series as (size, seconds) curves, keyed ``{panel}/{series}``."""
+    curves: dict[str, tuple[tuple[float, float], ...]] = {}
+    for panel_label, series in result.data.items():
+        panel = FIG9_PANEL_KEYS[panel_label]
+        for label, points in series.items():
+            curves[f"{panel}/{FIG9_SERIES_KEYS[label]}"] = tuple(points)
+    return curves
 
 
 def run_fig9(size_step: int = 2, batch: bool | None = None) -> ExperimentResult:

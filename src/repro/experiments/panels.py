@@ -21,7 +21,13 @@ from repro.suite.cases import get_case
 from repro.suite.sweeps import SweepResult, problem_scaling, problem_sizes, strong_scaling
 from repro.util.ascii_plot import Series, line_plot
 
-__all__ = ["AlgoPanels", "run_panels"]
+__all__ = [
+    "AlgoPanels",
+    "run_panels",
+    "panel_cells",
+    "panel_curves",
+    "panels_from_result",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,64 @@ class AlgoPanels:
             title=f"{self.case_name} on Mach {self.machine}: speedup vs threads (n=2^30)",
         )
         return left + "\n\n" + right
+
+
+def panels_from_result(result, machine: str, case_name: str) -> AlgoPanels:
+    """Rebuild :class:`AlgoPanels` from a Figure 4-7 ``ExperimentResult``.
+
+    The drivers store the two panel mappings in ``result.data``; the
+    machine and algorithm are per-figure constants the caller supplies.
+    """
+    return AlgoPanels(
+        machine=machine,
+        case_name=case_name,
+        problem=result.data["problem"],
+        scaling=result.data["scaling"],
+    )
+
+
+def panel_cells(panels: AlgoPanels) -> dict[str, float | None]:
+    """The panels' measured grid as flat, checkable cells.
+
+    Keys: ``problem/{backend}/t@2^{exp}`` (seconds at full core count),
+    ``scaling/{backend}/speedup@{threads}`` and
+    ``scaling/{backend}/max_speedup``. A parallel backend that raised
+    ``UnsupportedOperationError`` for the whole sweep (the paper's N/A,
+    e.g. GNU's missing scan) appears as ``max_speedup = None``.
+    """
+    from repro.experiments.common import pow2_exp
+
+    cells: dict[str, float | None] = {}
+    for backend, sweep in panels.problem.items():
+        for n, seconds in zip(sweep.xs(), sweep.ys()):
+            cells[f"problem/{backend}/t@2^{pow2_exp(n)}"] = seconds
+    attempted = tuple(
+        b for b in PARALLEL_CPU_BACKENDS
+        if not (b == "ICC-TBB" and panels.machine.upper() == "B")
+    )
+    for backend in attempted:
+        curve = panels.scaling.get(backend)
+        if curve is None:
+            cells[f"scaling/{backend}/max_speedup"] = None
+            continue
+        for t, s in zip(curve.threads, curve.speedups()):
+            cells[f"scaling/{backend}/speedup@{t}"] = s
+        cells[f"scaling/{backend}/max_speedup"] = curve.max_speedup()
+    return cells
+
+
+def panel_curves(panels: AlgoPanels) -> dict[str, tuple[tuple[float, float], ...]]:
+    """The panels' sweeps as (x, y) series for crossover checks.
+
+    Keys: ``problem/{backend}`` (size vs seconds) and
+    ``scaling/{backend}`` (threads vs speedup).
+    """
+    curves: dict[str, tuple[tuple[float, float], ...]] = {}
+    for backend, sweep in panels.problem.items():
+        curves[f"problem/{backend}"] = tuple(zip(sweep.xs(), sweep.ys()))
+    for backend, curve in panels.scaling.items():
+        curves[f"scaling/{backend}"] = tuple(zip(curve.threads, curve.speedups()))
+    return curves
 
 
 def run_panels(

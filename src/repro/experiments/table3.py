@@ -13,7 +13,14 @@ from repro.suite.cases import get_case
 from repro.util.tables import TextTable
 from repro.util.units import format_count
 
-__all__ = ["run_table3", "counters_for_case", "TABLE3_BACKENDS", "TABLE3_CALLS"]
+__all__ = [
+    "run_table3",
+    "table3_cells",
+    "counter_cells",
+    "counters_for_case",
+    "TABLE3_BACKENDS",
+    "TABLE3_CALLS",
+]
 
 TABLE3_BACKENDS = ("GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP")
 TABLE3_CALLS = 100
@@ -63,6 +70,30 @@ def _counter_table(
     for label, fmt in rows:
         table.add_row([label, *(fmt(stats[b]) for b in backends)])
     return stats, table.render()
+
+
+def counter_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """A counter table's measured grid in checkable form (Tables 3/4).
+
+    Keys are ``{backend}/{metric}`` with metric one of ``instructions``,
+    ``fp_scalar``, ``fp_packed_128``, ``fp_packed_256``, ``gflops``,
+    ``bandwidth_gib`` and ``data_volume_gib``.
+    """
+    cells: dict[str, float | None] = {}
+    for backend, stats in result.data.items():
+        cells[f"{backend}/instructions"] = float(stats.counters.instructions)
+        cells[f"{backend}/fp_scalar"] = float(stats.counters.fp_scalar)
+        cells[f"{backend}/fp_packed_128"] = float(stats.counters.fp_packed_128)
+        cells[f"{backend}/fp_packed_256"] = float(stats.counters.fp_packed_256)
+        cells[f"{backend}/gflops"] = stats.gflops
+        cells[f"{backend}/bandwidth_gib"] = stats.bandwidth_gib
+        cells[f"{backend}/data_volume_gib"] = stats.data_volume_gib
+    return cells
+
+
+def table3_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Table 3's measured grid in checkable form (see ``counter_cells``)."""
+    return counter_cells(result)
 
 
 def run_table3(size_exp: int = 30) -> ExperimentResult:

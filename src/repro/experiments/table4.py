@@ -8,9 +8,14 @@ essentially no scalar FP, while GCC-TBB/GNU/NVC are purely scalar.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.experiments.table3 import TABLE3_BACKENDS, _counter_table
+from repro.experiments.table3 import TABLE3_BACKENDS, _counter_table, counter_cells
 
-__all__ = ["run_table4"]
+__all__ = ["run_table4", "table4_cells"]
+
+
+def table4_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Table 4's measured grid in checkable form (see ``counter_cells``)."""
+    return counter_cells(result)
 
 
 def run_table4(size_exp: int = 30) -> ExperimentResult:

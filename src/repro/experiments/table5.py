@@ -33,6 +33,7 @@ from repro.util.tables import render_grid
 
 __all__ = [
     "run_table5",
+    "table5_cells",
     "table5_campaign_spec",
     "table5_result",
     "MACHINES",
@@ -126,6 +127,15 @@ def table5_result(outcome: CampaignOutcome, size_exp: int = 30) -> ExperimentRes
     return ExperimentResult(
         experiment_id="table5", title="Speedup vs sequential", data=grid, rendered=rendered
     )
+
+
+def table5_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Table 5's measured grid in checkable form.
+
+    Keys are ``{backend}/{case}/{machine}`` with speedup vs GCC-SEQ;
+    ``None`` cells are the paper's N/A pattern (GNU scan, ICC on Mach B).
+    """
+    return dict(result.data)
 
 
 def run_table5(

@@ -35,6 +35,7 @@ from repro.util.tables import render_grid
 
 __all__ = [
     "run_table6",
+    "table6_cells",
     "table6_campaign_spec",
     "table6_result",
     "cell_max_threads",
@@ -131,6 +132,18 @@ def table6_result(outcome: CampaignOutcome, size_exp: int = 30) -> ExperimentRes
         data=grid,
         rendered=rendered,
     )
+
+
+def table6_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Table 6's measured grid in checkable form.
+
+    Keys are ``{backend}/{case}/{machine}`` with the maximum thread count
+    keeping parallel efficiency >= 70 %; ``None`` is the paper's N/A.
+    """
+    return {
+        key: (None if value is None else float(value))
+        for key, value in result.data.items()
+    }
 
 
 def run_table6(

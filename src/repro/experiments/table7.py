@@ -7,7 +7,7 @@ from repro.experiments.common import ExperimentResult
 from repro.util.tables import TextTable
 from repro.util.units import MIB
 
-__all__ = ["run_table7", "TABLE7_BACKENDS"]
+__all__ = ["run_table7", "table7_cells", "TABLE7_BACKENDS"]
 
 #: Column order of the paper's Table 7 (Mach A targets, then Mach D).
 TABLE7_BACKENDS = (
@@ -19,6 +19,11 @@ TABLE7_BACKENDS = (
     "NVC-OMP",
     "NVC-CUDA",
 )
+
+
+def table7_cells(result: ExperimentResult) -> dict[str, float | None]:
+    """Table 7's measured grid in checkable form: ``{backend}/mib``."""
+    return {f"{backend}/mib": size / MIB for backend, size in result.data.items()}
 
 
 def run_table7() -> ExperimentResult:

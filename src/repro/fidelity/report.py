@@ -1,0 +1,231 @@
+"""Rendering and persistence of fidelity reports.
+
+A :class:`~repro.fidelity.engine.FidelityReport` can be rendered three
+ways:
+
+* :func:`render_text` -- the human-facing per-artifact breakdown the
+  ``pstl-fidelity run``/``report`` commands print;
+* :func:`report_to_json` -- a stable machine-readable document
+  (schema ``pstl-fidelity-report/1``) stamped with the model
+  fingerprint, which :func:`diff_reports` compares across runs;
+* :func:`render_markdown` -- the summary table spliced into
+  EXPERIMENTS.md between the ``pstl-fidelity summary`` markers by
+  :func:`update_experiments_md` (``pstl-fidelity report --markdown``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import FidelityError
+from repro.fidelity.engine import (
+    DEVIATION,
+    PASS,
+    WAIVED,
+    ArtifactReport,
+    ClaimResult,
+    FidelityReport,
+)
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "report_to_json",
+    "render_text",
+    "render_markdown",
+    "update_experiments_md",
+    "diff_reports",
+    "load_report_json",
+    "MARKER_BEGIN",
+    "MARKER_END",
+]
+
+#: Schema tag of the JSON report document.
+REPORT_SCHEMA = "pstl-fidelity-report/1"
+
+#: Markers delimiting the generated summary table in EXPERIMENTS.md.
+MARKER_BEGIN = "<!-- BEGIN pstl-fidelity summary (generated; do not edit by hand) -->"
+MARKER_END = "<!-- END pstl-fidelity summary -->"
+
+_STATUS_GLYPH = {PASS: "ok", WAIVED: "waived", DEVIATION: "DEVIATION"}
+
+
+def _claim_to_json(result: ClaimResult) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "id": result.claim.id,
+        "kind": result.claim.kind,
+        "tier": result.claim.tier,
+        "status": result.status,
+        "measured": result.measured,
+        "detail": result.detail,
+    }
+    if result.waiver is not None:
+        doc["waiver"] = {
+            "reason": result.waiver.reason,
+            "experiments_md": result.waiver.experiments_md,
+        }
+    return doc
+
+
+def report_to_json(report: FidelityReport) -> dict[str, Any]:
+    """The stable machine-readable form of a fidelity run."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "fingerprint": report.fingerprint,
+        "elapsed_seconds": round(report.elapsed_seconds, 3),
+        "totals": {
+            "claims": report.total_claims,
+            "pass": report.count(PASS),
+            "waived": report.count(WAIVED),
+            "deviation": report.count(DEVIATION),
+        },
+        "ok": report.ok,
+        "artifacts": [
+            {
+                "artifact": art.artifact,
+                "title": art.title,
+                "source": art.source,
+                "ok": art.ok,
+                "pass": art.count(PASS),
+                "waived": art.count(WAIVED),
+                "deviation": art.count(DEVIATION),
+                "claims": [_claim_to_json(r) for r in art.results],
+            }
+            for art in report.artifacts
+        ],
+    }
+
+
+def _artifact_line(art: ArtifactReport) -> str:
+    verdict = "OK" if art.ok else "DEVIATION"
+    return (
+        f"{art.artifact:<8} {verdict:<9} "
+        f"{art.count(PASS):>3} pass  {art.count(WAIVED):>2} waived  "
+        f"{art.count(DEVIATION):>2} deviation   {art.title}"
+    )
+
+
+def render_text(report: FidelityReport, *, verbose: bool = False) -> str:
+    """The human-facing report ``pstl-fidelity run`` prints.
+
+    ``verbose`` additionally lists every claim; otherwise only waived
+    and deviating claims are detailed.
+    """
+    lines = [
+        "pstl-fidelity: paper-conformance report",
+        f"model fingerprint: {report.fingerprint}",
+        "",
+    ]
+    for art in report.artifacts:
+        lines.append(_artifact_line(art))
+        for result in art.results:
+            if not verbose and result.status == PASS:
+                continue
+            glyph = _STATUS_GLYPH[result.status]
+            lines.append(f"    [{glyph}] {result.claim.id} ({result.claim.tier}): {result.detail}")
+            if result.waiver is not None:
+                lines.append(f"        waived: {result.waiver.reason}")
+    lines.append("")
+    lines.append(
+        f"total: {report.total_claims} claims -- {report.count(PASS)} pass, "
+        f"{report.count(WAIVED)} waived, {report.count(DEVIATION)} unwaived deviations "
+        f"({report.elapsed_seconds:.1f}s)"
+    )
+    lines.append("verdict: " + ("OK" if report.ok else "DEVIATIONS FOUND"))
+    return "\n".join(lines)
+
+
+def render_markdown(report: FidelityReport) -> str:
+    """The EXPERIMENTS.md summary table (one row per artifact)."""
+    lines = [
+        "| Artifact | Source | Claims | Pass | Waived | Deviations | Verdict |",
+        "| --- | --- | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for art in report.artifacts:
+        verdict = "ok" if art.ok else "**deviation**"
+        lines.append(
+            f"| {art.artifact} | {art.source} | {len(art.results)} "
+            f"| {art.count(PASS)} | {art.count(WAIVED)} "
+            f"| {art.count(DEVIATION)} | {verdict} |"
+        )
+    lines.append(
+        f"\nTotals: {report.total_claims} claims, {report.count(PASS)} pass, "
+        f"{report.count(WAIVED)} waived, {report.count(DEVIATION)} unwaived "
+        f"deviations. Model fingerprint `{report.fingerprint}`."
+    )
+    return "\n".join(lines)
+
+
+def update_experiments_md(report: FidelityReport, path: Path) -> str:
+    """Splice the generated summary table between the markers in ``path``.
+
+    Returns the updated document text (the caller writes it); raises
+    :class:`~repro.errors.FidelityError` when the markers are missing or
+    malformed so a hand-edited file is never silently clobbered.
+    """
+    text = path.read_text(encoding="utf-8")
+    begin = text.find(MARKER_BEGIN)
+    end = text.find(MARKER_END)
+    if begin == -1 or end == -1 or end < begin:
+        raise FidelityError(
+            f"{path} lacks the '{MARKER_BEGIN}' / '{MARKER_END}' marker pair"
+        )
+    head = text[: begin + len(MARKER_BEGIN)]
+    tail = text[end:]
+    return head + "\n" + render_markdown(report) + "\n" + tail
+
+
+def diff_reports(
+    old: Mapping[str, Any], new: Mapping[str, Any]
+) -> list[str]:
+    """Human-readable changes between two JSON report documents.
+
+    Flags per-claim status flips, added/removed claims and artifacts,
+    and a model fingerprint change. An empty list means the runs agree.
+    """
+    for doc, name in ((old, "old"), (new, "new")):
+        if doc.get("schema") != REPORT_SCHEMA:
+            raise FidelityError(
+                f"{name} report has schema {doc.get('schema')!r}, "
+                f"expected {REPORT_SCHEMA!r}"
+            )
+    changes: list[str] = []
+    if old.get("fingerprint") != new.get("fingerprint"):
+        changes.append(
+            f"model fingerprint changed: {old.get('fingerprint')} -> "
+            f"{new.get('fingerprint')}"
+        )
+
+    def claim_index(doc: Mapping[str, Any]) -> dict[tuple[str, str], Mapping[str, Any]]:
+        return {
+            (art["artifact"], claim["id"]): claim
+            for art in doc.get("artifacts", ())
+            for claim in art.get("claims", ())
+        }
+
+    old_claims = claim_index(old)
+    new_claims = claim_index(new)
+    for key in sorted(old_claims.keys() - new_claims.keys()):
+        changes.append(f"claim removed: {key[0]}:{key[1]}")
+    for key in sorted(new_claims.keys() - old_claims.keys()):
+        changes.append(f"claim added: {key[0]}:{key[1]} ({new_claims[key]['status']})")
+    for key in sorted(old_claims.keys() & new_claims.keys()):
+        before, after = old_claims[key], new_claims[key]
+        if before["status"] != after["status"]:
+            changes.append(
+                f"{key[0]}:{key[1]}: {before['status']} -> {after['status']}"
+                f" ({after['detail']})"
+            )
+    return changes
+
+
+def load_report_json(path: Path) -> dict[str, Any]:
+    """Read a JSON report document from disk, validating its schema."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FidelityError(f"cannot read report {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != REPORT_SCHEMA:
+        raise FidelityError(f"{path} is not a {REPORT_SCHEMA} document")
+    return doc

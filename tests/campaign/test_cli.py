@@ -61,6 +61,8 @@ def test_status_and_query(spec_file, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "cli-tiny" in out
     assert "pending:  0" in out
+    assert "wall:" in out and "task(s)" in out
+    assert "slowest" in out and "@MachA" in out
 
     assert main(["query", str(cdir), "--case", "reduce"]) == 0
     out = capsys.readouterr().out

@@ -215,3 +215,29 @@ def test_journal_entries_carry_cache_keys(tmp_path):
 def test_invalid_run_arguments(kwargs):
     with pytest.raises(CampaignError):
         run_campaign(tiny_spec(), **kwargs)
+
+
+def test_wall_time_is_journaled_not_cached(tmp_path):
+    cdir = tmp_path / "c"
+    outcome = run_campaign(tiny_spec(), campaign_dir=cdir)
+    executed = [r for r in outcome.results.values()
+                if not r.cached and r.attempts > 0]
+    assert executed and all(r.wall_ms is not None and r.wall_ms >= 0
+                            for r in executed)
+    entries = Journal(cdir / "journal.jsonl").entries()
+    timed = [e for e in entries if e.get("wall_ms") is not None]
+    assert len(timed) == len(executed)
+    # the cacheable payload stays machine-independent
+    assert "wall_ms" not in executed[0].payload()
+    store = ResultStore(cdir / "cache")
+    cached = store.result_for(executed[0].task_id, executed[0].point)
+    assert cached is not None and cached.wall_ms is None
+
+
+def test_wall_time_present_in_scalar_and_batch_paths():
+    for batch in (True, False):
+        outcome = run_campaign(tiny_spec(), batch=batch)
+        for task in outcome.plan.runnable:
+            assert outcome.results[task.task_id].wall_ms is not None, (
+                f"batch={batch} lost wall_ms"
+            )

@@ -1,0 +1,147 @@
+"""End-to-end tests for the ``pstl-fidelity`` CLI.
+
+These run against a temporary refdata directory holding a small fig1
+reference, so each invocation only rebuilds the cheapest artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fidelity.artifacts import build_artifact
+from repro.fidelity.cli import main
+from repro.fidelity.refdata import ArtifactRef, Claim, Waiver, save_refdata
+
+CELL = "GCC-TBB/for_each_k1000"
+
+
+@pytest.fixture(scope="module")
+def fig1_value():
+    return build_artifact("fig1").cell(CELL)
+
+
+@pytest.fixture
+def write_refdata(tmp_path, fig1_value):
+    """Write a fig1 reference whose single ratio claim passes or deviates."""
+
+    def write(*, deviate=False, waived=False):
+        claims = (Claim(id="c1", kind="ratio", cell=CELL,
+                        paper=(fig1_value * 10 if deviate else fig1_value),
+                        band=(0.9, 1.1)),)
+        waivers = ()
+        if waived:
+            waivers = (Waiver(claim="c1", reason="testing",
+                              experiments_md="known deviation snippet"),)
+        save_refdata(
+            ArtifactRef(artifact="fig1", title="Fig. 1", source="Figure 1",
+                        claims=claims, waivers=waivers),
+            tmp_path,
+        )
+        return tmp_path
+
+    return write
+
+
+def test_run_ok_exit_zero(write_refdata, capsys):
+    tmp_path = write_refdata()
+    assert main(["run", "--artifact", "fig1", "--refdata", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: OK" in out and "1 pass" in out
+
+
+def test_run_strict_exit_one_on_deviation(write_refdata, capsys):
+    tmp_path = write_refdata(deviate=True)
+    args = ["run", "--artifact", "fig1", "--refdata", str(tmp_path)]
+    assert main(args) == 0, "non-strict runs only report"
+    assert main(args + ["--strict"]) == 1
+    assert "DEVIATIONS FOUND" in capsys.readouterr().out
+
+
+def test_run_strict_ok_when_waived(write_refdata, capsys):
+    tmp_path = write_refdata(deviate=True, waived=True)
+    args = ["run", "--artifact", "fig1", "--refdata", str(tmp_path), "--strict"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "1 waived" in out and "waived: testing" in out
+
+
+def test_run_writes_json_and_trace(write_refdata, capsys):
+    tmp_path = write_refdata()
+    report = tmp_path / "report.json"
+    trace = tmp_path / "trace.json"
+    assert main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+                 "--json", str(report), "--trace", str(trace)]) == 0
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "pstl-fidelity-report/1"
+    assert doc["totals"] == {"claims": 1, "pass": 1, "waived": 0, "deviation": 0}
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e.get("name") == "fidelity.artifact" for e in events
+               if e["ph"] == "X")
+
+
+def test_diff_exit_codes(write_refdata, capsys):
+    tmp_path = write_refdata()
+    ok = tmp_path / "ok.json"
+    main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+          "--json", str(ok)])
+    write_refdata(deviate=True)
+    bad = tmp_path / "bad.json"
+    main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+          "--json", str(bad)])
+    capsys.readouterr()
+    assert main(["diff", str(ok), str(ok)]) == 0
+    assert main(["diff", str(ok), str(bad)]) == 1
+    assert "pass -> deviation" in capsys.readouterr().out
+
+
+def test_waive_records_cited_waiver(write_refdata, capsys):
+    tmp_path = write_refdata(deviate=True)
+    experiments = tmp_path / "EXPERIMENTS.md"
+    experiments.write_text("Deviations: the model overshoots here.\n")
+    base = ["waive", "fig1", "c1", "--refdata", str(tmp_path),
+            "--experiments", str(experiments), "--reason", "model overshoot"]
+    assert main(base + ["--cite", "not in the doc"]) == 2
+    assert main(base + ["--cite", "the model overshoots here"]) == 0
+    # now strict passes, and re-waiving is rejected
+    assert main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+                 "--strict"]) == 0
+    assert main(base + ["--cite", "the model overshoots here"]) == 2
+    err = capsys.readouterr().err
+    assert "already waived" in err
+
+
+def test_waive_unknown_claim(write_refdata, capsys):
+    tmp_path = write_refdata()
+    experiments = tmp_path / "EXPERIMENTS.md"
+    experiments.write_text("snippet\n")
+    assert main(["waive", "fig1", "ghost", "--refdata", str(tmp_path),
+                 "--experiments", str(experiments),
+                 "--reason", "r", "--cite", "snippet"]) == 2
+    assert "no claim 'ghost'" in capsys.readouterr().err
+
+
+def test_report_from_saved_json(write_refdata, capsys):
+    tmp_path = write_refdata()
+    saved = tmp_path / "r.json"
+    main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+          "--json", str(saved)])
+    capsys.readouterr()
+    assert main(["report", "--from", str(saved)]) == 0
+    assert json.loads(capsys.readouterr().out)["totals"]["claims"] == 1
+    # --from is render-only; table modes need a fresh run
+    assert main(["report", "--from", str(saved), "--markdown"]) == 2
+
+
+def test_run_missing_refdata_is_exit_two(tmp_path, capsys):
+    assert main(["run", "--artifact", "fig1", "--refdata",
+                 str(tmp_path / "empty")]) == 2
+    assert "no reference data" in capsys.readouterr().err
+
+
+def test_update_golden_without_goldens(write_refdata, capsys):
+    tmp_path = write_refdata()
+    assert main(["run", "--artifact", "fig1", "--refdata", str(tmp_path),
+                 "--update-golden"]) == 0
+    assert "goldens already up to date" in capsys.readouterr().err

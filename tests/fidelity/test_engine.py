@@ -1,0 +1,144 @@
+"""Unit tests for the claim-evaluation engine (synthetic artifacts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FidelityError
+from repro.fidelity.engine import (
+    DEVIATION,
+    PASS,
+    WAIVED,
+    check_artifact,
+    check_claim,
+)
+from repro.fidelity.measure import MeasuredArtifact
+from repro.fidelity.refdata import ArtifactRef, Claim, Waiver
+
+
+def ref_with(*claims, waivers=(), goldens=None):
+    return ArtifactRef(
+        artifact="fig1", title="t", source="s",
+        claims=tuple(claims), waivers=tuple(waivers), goldens=goldens or {},
+    )
+
+
+def measured(cells=None, curves=None, objects=None):
+    return MeasuredArtifact(
+        "fig1", cells=cells or {}, curves=curves or {}, objects=objects or {},
+    )
+
+
+def test_ordering_pass_and_fail():
+    claim = Claim(id="o", kind="ordering", cell="a", expect="max",
+                  group=("a", "b", "c"))
+    m = measured(cells={"a": 3.0, "b": 2.0, "c": None})
+    assert check_claim(claim, m, ref_with(claim)).status == PASS
+    m2 = measured(cells={"a": 1.0, "b": 2.0, "c": None})
+    result = check_claim(claim, m2, ref_with(claim))
+    assert result.status == DEVIATION
+    assert "group max is b" in result.detail
+
+
+def test_ordering_min_and_na_cell():
+    claim = Claim(id="o", kind="ordering", cell="a", expect="min",
+                  group=("a", "b"))
+    assert check_claim(claim, measured(cells={"a": 1.0, "b": 2.0}),
+                       ref_with(claim)).status == PASS
+    assert check_claim(claim, measured(cells={"a": None, "b": 2.0}),
+                       ref_with(claim)).status == DEVIATION
+
+
+def test_ratio_band():
+    claim = Claim(id="r", kind="ratio", cell="a", paper=10.0, band=(0.8, 1.25))
+    assert check_claim(claim, measured(cells={"a": 11.0}),
+                       ref_with(claim)).status == PASS
+    assert check_claim(claim, measured(cells={"a": 20.0}),
+                       ref_with(claim)).status == DEVIATION
+    assert check_claim(claim, measured(cells={"a": None}),
+                       ref_with(claim)).status == DEVIATION
+
+
+def test_bound_min_max():
+    claim = Claim(id="b", kind="bound", cell="a", min=1.0, max=2.0)
+    assert check_claim(claim, measured(cells={"a": 1.5}),
+                       ref_with(claim)).status == PASS
+    assert check_claim(claim, measured(cells={"a": 2.5}),
+                       ref_with(claim)).status == DEVIATION
+    assert check_claim(claim, measured(cells={"a": 0.5}),
+                       ref_with(claim)).status == DEVIATION
+
+
+def test_na_claim():
+    claim = Claim(id="n", kind="na", cell="a")
+    assert check_claim(claim, measured(cells={"a": None}),
+                       ref_with(claim)).status == PASS
+    assert check_claim(claim, measured(cells={"a": 1.0}),
+                       ref_with(claim)).status == DEVIATION
+
+
+def test_crossover_claim():
+    claim = Claim(id="x", kind="crossover", curve_a="par", curve_b="seq",
+                  paper_x=16.0, steps=1)
+    curves = {
+        "par": ((8.0, 9.0), (16.0, 5.0), (32.0, 1.0)),
+        "seq": ((8.0, 4.0), (16.0, 6.0), (32.0, 8.0)),
+    }
+    assert check_claim(claim, measured(curves=curves),
+                       ref_with(claim)).status == PASS
+    tight = Claim(id="x", kind="crossover", curve_a="par", curve_b="seq",
+                  paper_x=64.0, steps=0)
+    m = measured(curves={
+        "par": ((8.0, 9.0), (16.0, 5.0), (32.0, 1.0), (64.0, 1.0)),
+        "seq": ((8.0, 4.0), (16.0, 6.0), (32.0, 8.0), (64.0, 8.0)),
+    })
+    assert check_claim(tight, m, ref_with(tight)).status == DEVIATION
+    never = measured(curves={
+        "par": ((8.0, 9.0), (16.0, 9.0)), "seq": ((8.0, 1.0), (16.0, 1.0)),
+    })
+    result = check_claim(claim, never, ref_with(claim))
+    assert result.status == DEVIATION and "never beats" in result.detail
+
+
+def test_golden_claim():
+    claim = Claim(id="g", kind="golden", cell="obj")
+    ref = ref_with(claim, goldens={"obj": {"k": 1}})
+    assert check_claim(claim, measured(objects={"obj": {"k": 1}}),
+                       ref).status == PASS
+    result = check_claim(claim, measured(objects={"obj": {"k": 2}}), ref)
+    assert result.status == DEVIATION and "fields: k" in result.detail
+    with pytest.raises(FidelityError, match="no measured object"):
+        check_claim(claim, measured(), ref)
+
+
+def test_waiver_turns_deviation_into_waived():
+    claim = Claim(id="r", kind="ratio", cell="a", paper=10.0, band=(0.9, 1.1))
+    waiver = Waiver(claim="r", reason="known", experiments_md="cite")
+    result = check_claim(claim, measured(cells={"a": 99.0}),
+                         ref_with(claim, waivers=[waiver]))
+    assert result.status == WAIVED
+    assert result.waiver is waiver
+    assert result.ok
+    # a passing claim stays PASS even when waived
+    ok = check_claim(claim, measured(cells={"a": 10.0}),
+                     ref_with(claim, waivers=[waiver]))
+    assert ok.status == PASS
+
+
+def test_check_artifact_counts_and_mismatch():
+    good = Claim(id="p", kind="na", cell="a")
+    bad = Claim(id="d", kind="na", cell="b")
+    ref = ref_with(good, bad)
+    report = check_artifact(ref, measured(cells={"a": None, "b": 1.0}))
+    assert report.count(PASS) == 1
+    assert report.count(DEVIATION) == 1
+    assert not report.ok
+    assert [r.claim.id for r in report.deviations] == ["d"]
+    with pytest.raises(FidelityError, match="refdata is for"):
+        check_artifact(ref, MeasuredArtifact("fig2"))
+
+
+def test_missing_cell_is_a_harness_error():
+    claim = Claim(id="r", kind="ratio", cell="ghost", paper=1.0, band=(0.9, 1.1))
+    with pytest.raises(FidelityError, match="no measured cell"):
+        check_claim(claim, measured(cells={"a": 1.0}), ref_with(claim))

@@ -1,0 +1,76 @@
+"""Unit tests for the measurement-side primitives of ``repro.fidelity``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FidelityError
+from repro.fidelity.measure import (
+    MeasuredArtifact,
+    crossover_x,
+    step_distance,
+    trace_structure_summary,
+)
+
+
+def curve(points):
+    return tuple((float(x), float(y)) for x, y in points)
+
+
+def test_cell_and_curve_lookup_errors():
+    m = MeasuredArtifact("fig1", cells={"a": 1.0, "b": None})
+    assert m.cell("a") == 1.0
+    assert m.cell("b") is None
+    with pytest.raises(FidelityError, match="no measured cell"):
+        m.cell("ghost")
+    with pytest.raises(FidelityError, match="no measured curve"):
+        m.curve("ghost")
+
+
+def test_crossover_x_first_win():
+    a = curve([(8, 10.0), (16, 5.0), (32, 1.0)])
+    b = curve([(8, 4.0), (16, 6.0), (32, 4.0)])
+    assert crossover_x(a, b) == 16
+
+
+def test_crossover_x_none_when_never_faster():
+    a = curve([(8, 10.0), (16, 10.0)])
+    b = curve([(8, 1.0), (16, 1.0)])
+    assert crossover_x(a, b) is None
+
+
+def test_crossover_x_uses_common_grid_only():
+    a = curve([(8, 10.0), (16, 0.5), (64, 0.1)])
+    b = curve([(16, 1.0), (32, 1.0), (64, 1.0)])
+    assert crossover_x(a, b) == 16
+
+
+def test_step_distance_counts_grid_steps():
+    a = curve([(8, 1.0), (16, 1.0), (32, 1.0), (64, 1.0)])
+    b = a
+    assert step_distance(a, b, 8, 64) == 3
+    assert step_distance(a, b, 32, 32) == 0
+
+
+def test_step_distance_snaps_to_nearest_grid_point():
+    a = curve([(8, 1.0), (16, 1.0), (32, 1.0)])
+    # 20 snaps to 16, 30 snaps to 32
+    assert step_distance(a, a, 20, 30) == 1
+
+
+def test_trace_structure_summary_shape():
+    doc = {
+        "traceEvents": [
+            {"ph": "M", "name": "thread_name", "args": {"name": "main"}},
+            {"ph": "X", "cat": "call", "name": "for_each", "ts": 0, "dur": 1},
+            {"ph": "X", "cat": "phase", "name": "compute", "ts": 0, "dur": 1},
+            {"ph": "X", "cat": "phase", "name": "compute", "ts": 1, "dur": 1},
+        ]
+    }
+    summary = trace_structure_summary(doc)
+    assert summary["tracks"] == ["main"]
+    assert summary["events_by_category"] == {"call": 1, "phase": 2}
+    assert summary["call_span_names"] == ["for_each"]
+    assert summary["phase_span_names"] == ["compute"]
+    assert summary["overhead_span_names"] == []
+    assert summary["total_events"] == 4

@@ -1,0 +1,29 @@
+"""The ``pytest -m fidelity`` bridge: one conformance test per artifact.
+
+Each test regenerates one figure/table and applies its refdata claims,
+failing with the engine's per-claim detail when an unwaived deviation
+appears. ``pytest -m fidelity`` runs exactly this paper-conformance
+slice; the same checks back ``pstl-fidelity run --strict``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fidelity import run_fidelity
+from repro.fidelity.refdata import ARTIFACT_IDS
+
+pytestmark = pytest.mark.fidelity
+
+
+@pytest.mark.parametrize("artifact", ARTIFACT_IDS)
+def test_artifact_conforms_to_paper(artifact):
+    report = run_fidelity([artifact])
+    art = report.artifacts[0]
+    details = "\n".join(
+        f"  [{r.claim.tier}] {r.claim.id}: {r.detail}" for r in art.deviations
+    )
+    assert art.ok, (
+        f"{artifact} has {len(art.deviations)} unwaived deviation(s) "
+        f"(fingerprint {report.fingerprint}):\n{details}"
+    )

@@ -1,0 +1,47 @@
+"""The harness must *notice* when the model changes.
+
+A conformance suite that still passes after the simulated hardware is
+halved proves nothing. This perturbs machine A's all-core STREAM
+bandwidth by 0.5x and asserts that ordering-tier claims (who wins
+across machines) actually flip to deviations -- the acceptance
+criterion for the fidelity harness being sensitive, not vacuous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fidelity import run_fidelity
+from repro.machines import registry
+from repro.machines.presets import mach_a
+
+
+@pytest.fixture
+def halved_mach_a_bandwidth(monkeypatch):
+    """Machine A with all-core STREAM bandwidth cut in half."""
+    crippled = dataclasses.replace(
+        mach_a(), stream_bw_allcores=mach_a().stream_bw_allcores * 0.5
+    )
+    for alias in ("a", "mach-a", "skylake"):
+        assert alias in registry._FACTORIES, f"registry lost alias {alias!r}"
+        monkeypatch.setitem(registry._FACTORIES, alias, lambda: crippled)
+
+
+def test_halved_bandwidth_flips_ordering_claims(halved_mach_a_bandwidth):
+    report = run_fidelity(["table5"])
+    deviations = report.artifacts[0].deviations
+    ordering = [r for r in deviations if r.claim.tier == "ordering"]
+    assert len(ordering) >= 1, (
+        "halving machine A's STREAM bandwidth must flip at least one "
+        "ordering-tier claim; the harness is not sensitive to the model"
+    )
+    # the NUMA-inversion winners are exactly what a bandwidth cut flips
+    assert any("numa-inversion" in r.claim.id for r in ordering)
+
+
+def test_unperturbed_baseline_is_clean():
+    """Guard: table5 is deviation-free without the perturbation."""
+    report = run_fidelity(["table5"])
+    assert report.artifacts[0].ok

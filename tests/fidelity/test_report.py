@@ -1,0 +1,129 @@
+"""Unit tests for report rendering, persistence and diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FidelityError
+from repro.fidelity.engine import (
+    ArtifactReport,
+    ClaimResult,
+    FidelityReport,
+)
+from repro.fidelity.refdata import Claim, Waiver
+from repro.fidelity.report import (
+    MARKER_BEGIN,
+    MARKER_END,
+    REPORT_SCHEMA,
+    diff_reports,
+    load_report_json,
+    render_markdown,
+    render_text,
+    report_to_json,
+    update_experiments_md,
+)
+
+
+def synthetic_report(*, fail=True) -> FidelityReport:
+    passing = ClaimResult(
+        claim=Claim(id="c-pass", kind="na", cell="a"),
+        status="pass", detail="a is N/A",
+    )
+    waived = ClaimResult(
+        claim=Claim(id="c-waived", kind="ratio", cell="b", paper=2.0,
+                    band=(0.9, 1.1)),
+        status="waived", measured=9.0, detail="ratio 4.5",
+        waiver=Waiver(claim="c-waived", reason="known", experiments_md="cite"),
+    )
+    results = [passing, waived]
+    if fail:
+        results.append(ClaimResult(
+            claim=Claim(id="c-dev", kind="bound", cell="c", max=1.0),
+            status="deviation", measured=3.0, detail="out of bound",
+        ))
+    art = ArtifactReport(artifact="fig1", title="Fig. 1", source="Figure 1",
+                         results=tuple(results))
+    return FidelityReport(artifacts=(art,), fingerprint="fp123",
+                          elapsed_seconds=1.25)
+
+
+def test_report_to_json_totals_and_waiver():
+    doc = report_to_json(synthetic_report())
+    assert doc["schema"] == REPORT_SCHEMA
+    assert doc["fingerprint"] == "fp123"
+    assert doc["totals"] == {"claims": 3, "pass": 1, "waived": 1, "deviation": 1}
+    assert doc["ok"] is False
+    art = doc["artifacts"][0]
+    assert art["artifact"] == "fig1" and art["ok"] is False
+    by_id = {c["id"]: c for c in art["claims"]}
+    assert by_id["c-waived"]["waiver"]["experiments_md"] == "cite"
+    assert by_id["c-pass"]["tier"] == "ordering"
+    assert "waiver" not in by_id["c-pass"]
+
+
+def test_render_text_lists_only_failures_unless_verbose():
+    report = synthetic_report()
+    text = render_text(report)
+    assert "verdict: DEVIATIONS FOUND" in text
+    assert "c-waived" in text and "c-dev" in text
+    assert "c-pass" not in text
+    assert "waived: known" in text
+    verbose = render_text(report, verbose=True)
+    assert "c-pass" in verbose
+    assert "verdict: OK" in render_text(synthetic_report(fail=False))
+
+
+def test_render_markdown_table():
+    md = render_markdown(synthetic_report())
+    assert "| Artifact | Source |" in md
+    assert "| fig1 | Figure 1 | 3 | 1 | 1 | 1 | **deviation** |" in md
+    assert "`fp123`" in md
+
+
+def test_update_experiments_md_splices_between_markers(tmp_path):
+    target = tmp_path / "EXPERIMENTS.md"
+    target.write_text(
+        f"# Doc\n\n{MARKER_BEGIN}\nstale table\n{MARKER_END}\n\ntail\n",
+        encoding="utf-8",
+    )
+    out = update_experiments_md(synthetic_report(), target)
+    assert "stale table" not in out
+    assert "| fig1 |" in out
+    assert out.startswith("# Doc") and out.rstrip().endswith("tail")
+    assert MARKER_BEGIN in out and MARKER_END in out
+
+
+def test_update_experiments_md_requires_markers(tmp_path):
+    target = tmp_path / "EXPERIMENTS.md"
+    target.write_text("no markers here\n", encoding="utf-8")
+    with pytest.raises(FidelityError, match="marker pair"):
+        update_experiments_md(synthetic_report(), target)
+
+
+def test_diff_reports_flags_flips_and_membership():
+    old = report_to_json(synthetic_report())
+    new = report_to_json(synthetic_report(fail=False))
+    new["fingerprint"] = "fp456"
+    changes = diff_reports(old, new)
+    assert any("fingerprint changed" in c for c in changes)
+    assert any(c.startswith("claim removed: fig1:c-dev") for c in changes)
+    assert diff_reports(old, old) == []
+    flipped = json.loads(json.dumps(old))
+    flipped["artifacts"][0]["claims"][0]["status"] = "deviation"
+    assert any("c-pass: pass -> deviation" in c
+               for c in diff_reports(old, flipped))
+    with pytest.raises(FidelityError, match="schema"):
+        diff_reports({"schema": "bogus"}, new)
+
+
+def test_load_report_json_validates(tmp_path):
+    path = tmp_path / "r.json"
+    with pytest.raises(FidelityError, match="cannot read report"):
+        load_report_json(path)
+    path.write_text(json.dumps({"schema": "other"}))
+    with pytest.raises(FidelityError, match="is not a"):
+        load_report_json(path)
+    path.write_text(json.dumps(report_to_json(synthetic_report())))
+    assert load_report_json(path)["totals"]["claims"] == 3

@@ -1,8 +1,9 @@
 """Tier-1 shim for ``tools/check_docs.py``.
 
-Runs the docs lint inside the test suite: README/OBSERVABILITY/CAMPAIGNS
-python fences must execute, and every public symbol of ``repro.trace``
-and ``repro.campaign`` must be documented.
+Runs the docs lint inside the test suite: the python fences of every
+file in ``FENCE_FILES`` (README, OBSERVABILITY, CAMPAIGNS, FIDELITY)
+must execute, and every public symbol of the packages in
+``DOCSTRING_PACKAGES`` must be documented.
 """
 
 from __future__ import annotations
@@ -38,3 +39,24 @@ def test_doc_fences_execute(rel):
 def test_public_api_documented(package):
     errors = check_docs.check_docstrings(package)
     assert not errors, "\n".join(errors)
+
+
+def test_fidelity_layer_is_covered():
+    assert "repro.fidelity" in check_docs.DOCSTRING_PACKAGES
+    assert "docs/FIDELITY.md" in check_docs.FENCE_FILES
+
+
+def test_list_mode_reports_coverage(capsys):
+    assert check_docs.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for rel in check_docs.FENCE_FILES:
+        assert rel in out
+    for package in check_docs.DOCSTRING_PACKAGES:
+        assert f"{package}:" in out
+    assert "MISSING" not in out
+
+
+def test_walk_modules_is_shared_by_lint_and_list():
+    modules = [m.__name__ for m in check_docs.walk_modules("repro.fidelity")]
+    assert "repro.fidelity" in modules
+    assert "repro.fidelity.engine" in modules

@@ -1,60 +1,45 @@
-"""Golden-file test: a fig3 sweep produces a Perfetto-parseable trace.
+"""Fig. 3 trace-structure tests, backed by the fidelity golden.
 
-The golden file (``tests/trace/golden/fig3_trace_summary.json``) pins the
-*structure* of the trace -- track names, span names per category, event
-counts -- not floating-point durations, so it stays stable across
-cost-model tuning. Regenerate it with::
+The structure summary (track names, span names per category, event
+counts -- not floating-point durations) is pinned as the ``golden``
+claim of ``refdata/fig3.json`` and checked by the fidelity harness;
+refresh it with::
 
-    PYTHONPATH=src python tests/trace/test_golden_fig3.py --regen
+    pstl-fidelity run --artifact fig3 --update-golden
+
+This file keeps the trace-format contract tests and exercises the
+golden claim through the same engine path ``pstl-fidelity run`` uses.
 """
 
 from __future__ import annotations
 
 import json
-from pathlib import Path
 
+from repro.fidelity import build_artifact, check_claim, load_refdata
+from repro.fidelity.artifacts import FIG3_TRACE_SIZE_EXP
 from repro.experiments.fig3 import foreach_scaling_curve
 from repro.trace import Tracer, to_chrome_trace, use_tracer
-
-GOLDEN = Path(__file__).resolve().parent / "golden" / "fig3_trace_summary.json"
 
 MACHINE = "A"
 BACKEND = "GCC-TBB"
 K_IT = 1000
-SIZE_EXP = 20  # small: keeps the test fast, structure is size-independent
 
 
 def traced_sweep() -> Tracer:
     with use_tracer(Tracer()) as tracer:
-        foreach_scaling_curve(MACHINE, BACKEND, K_IT, SIZE_EXP)
+        foreach_scaling_curve(MACHINE, BACKEND, K_IT, FIG3_TRACE_SIZE_EXP)
     return tracer
 
 
-def summarize(doc: dict) -> dict:
-    """Structure-level summary of a Chrome trace-event document."""
-    events = doc["traceEvents"]
-    xs = [e for e in events if e["ph"] == "X"]
-    tracks = sorted(
-        e["args"]["name"] for e in events if e.get("name") == "thread_name"
-    )
-    by_cat: dict[str, int] = {}
-    for e in xs:
-        by_cat[e["cat"]] = by_cat.get(e["cat"], 0) + 1
-    return {
-        "tracks": tracks,
-        "events_by_category": dict(sorted(by_cat.items())),
-        "call_span_names": sorted({e["name"] for e in xs if e["cat"] == "call"}),
-        "phase_span_names": sorted({e["name"] for e in xs if e["cat"] == "phase"}),
-        "overhead_span_names": sorted(
-            {e["name"] for e in xs if e["cat"] == "overhead"}
-        ),
-        "total_events": len(events),
-    }
-
-
-def test_fig3_trace_matches_golden():
-    doc = to_chrome_trace(traced_sweep())
-    assert summarize(doc) == json.loads(GOLDEN.read_text())
+def test_fig3_trace_matches_refdata_golden():
+    """The golden claim passes through the real engine path."""
+    ref = load_refdata("fig3")
+    golden_claims = [c for c in ref.claims if c.kind == "golden"]
+    assert golden_claims, "fig3 refdata must pin the trace structure"
+    measured = build_artifact("fig3")
+    for claim in golden_claims:
+        result = check_claim(claim, measured, ref)
+        assert result.status == "pass", result.detail
 
 
 def test_fig3_trace_is_perfetto_parseable(tmp_path):
@@ -76,17 +61,7 @@ def test_one_call_span_per_thread_count():
     tracer = traced_sweep()
     calls = [s for s in tracer.spans if s.category == "call"]
     threads = [s.attributes["threads"] for s in calls]
-    curve_threads = foreach_scaling_curve(MACHINE, BACKEND, K_IT, SIZE_EXP).threads
-    assert set(threads) == set(curve_threads)
+    curve = foreach_scaling_curve(MACHINE, BACKEND, K_IT, FIG3_TRACE_SIZE_EXP)
+    assert set(threads) == set(curve.threads)
     # one call per sweep point, plus the serial baseline at threads=1
-    assert len(calls) == len(curve_threads) + 1
-
-
-if __name__ == "__main__":
-    import sys
-
-    if "--regen" in sys.argv:
-        GOLDEN.parent.mkdir(exist_ok=True)
-        summary = summarize(to_chrome_trace(traced_sweep()))
-        GOLDEN.write_text(json.dumps(summary, indent=2) + "\n")
-        print(f"wrote {GOLDEN}")
+    assert len(calls) == len(curve.threads) + 1

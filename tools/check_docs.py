@@ -9,16 +9,18 @@ Two checks, wired into tier-1 via ``tests/test_docs.py``:
    directory so snippets that write files do not pollute the repo. A
    fence that raises fails the lint with its file/line and the error.
 2. **Docstring coverage** — every public module, class, function and
-   method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, and batch
-   simulation layers) must carry a non-empty docstring.
+   method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, batch
+   simulation, and fidelity layers) must carry a non-empty docstring.
 
 Run directly::
 
-    python tools/check_docs.py
+    python tools/check_docs.py          # lint
+    python tools/check_docs.py --list   # show what is covered, lint nothing
 """
 
 from __future__ import annotations
 
+import argparse
 import inspect
 import os
 import re
@@ -31,7 +33,12 @@ REPO = Path(__file__).resolve().parents[1]
 SRC = REPO / "src"
 
 #: Files whose ``python`` fences must execute cleanly.
-FENCE_FILES = ("README.md", "docs/OBSERVABILITY.md", "docs/CAMPAIGNS.md")
+FENCE_FILES = (
+    "README.md",
+    "docs/OBSERVABILITY.md",
+    "docs/CAMPAIGNS.md",
+    "docs/FIDELITY.md",
+)
 
 #: Packages (or plain modules) whose public API must be fully documented.
 DOCSTRING_PACKAGES = (
@@ -39,6 +46,7 @@ DOCSTRING_PACKAGES = (
     "repro.campaign",
     "repro.sim.batch",
     "repro.suite.batch",
+    "repro.fidelity",
 )
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
@@ -112,21 +120,26 @@ def _public_members(module) -> list[tuple[str, object]]:
     return members
 
 
-def check_docstrings(package: str = DOCSTRING_PACKAGE) -> list[str]:
-    """Undocumented public symbols in ``package``; empty list = clean."""
+def walk_modules(package: str) -> list:
+    """``package`` plus its direct submodules, imported (no recursion --
+    the documented layers are flat packages)."""
     _ensure_importable()
     import importlib
     import pkgutil
 
-    errors: list[str] = []
     root = importlib.import_module(package)
     modules = [root]
     paths = getattr(root, "__path__", None)  # plain modules have none
     if paths is not None:
         for info in pkgutil.iter_modules(paths, prefix=f"{package}."):
             modules.append(importlib.import_module(info.name))
+    return modules
 
-    for module in modules:
+
+def check_docstrings(package: str = DOCSTRING_PACKAGE) -> list[str]:
+    """Undocumented public symbols in ``package``; empty list = clean."""
+    errors: list[str] = []
+    for module in walk_modules(package):
         if not (module.__doc__ or "").strip():
             errors.append(f"{module.__name__}: missing module docstring")
         for name, obj in _public_members(module):
@@ -149,8 +162,32 @@ def check_docstrings(package: str = DOCSTRING_PACKAGE) -> list[str]:
     return errors
 
 
-def main() -> int:
+def list_coverage() -> int:
+    """``--list``: show what the lint covers without linting anything."""
+    print("fence files:")
+    for rel in FENCE_FILES:
+        path = REPO / rel
+        count = len(extract_fences(path)) if path.exists() else "MISSING"
+        print(f"  {rel}: {count} python fence(s)")
+    print("docstring packages:")
+    for package in DOCSTRING_PACKAGES:
+        modules = walk_modules(package)
+        symbols = sum(len(_public_members(m)) for m in modules)
+        print(f"  {package}: {len(modules)} module(s), "
+              f"{symbols} public symbol(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
     """Run both checks; print failures; exit non-zero on any."""
+    parser = argparse.ArgumentParser(
+        prog="check_docs", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list covered files/packages and exit")
+    args = parser.parse_args(argv)
+    if args.list_only:
+        return list_coverage()
     errors: list[str] = []
     for rel in FENCE_FILES:
         errors.extend(run_fences(REPO / rel))
