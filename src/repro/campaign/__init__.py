@@ -17,12 +17,15 @@ layers:
   derivations back into the experiment grid shapes.
 
 The ``pstl-campaign`` CLI (:mod:`repro.campaign.cli`) fronts all of it:
-``run``, ``status``, ``resume`` and ``query`` subcommands. See
-docs/CAMPAIGNS.md for the full story, including a worked Table 5
-example.
+``run``, ``status``, ``resume``, ``query`` and ``verify`` subcommands.
+See docs/CAMPAIGNS.md for the full story, including a worked Table 5
+example, and docs/ROBUSTNESS.md for the failure model the pipeline is
+hardened against (deterministic fault injection via
+:mod:`repro.faults`, checksum quarantine, retry backoff, pool rebuild).
 """
 
 from repro.campaign.executor import (
+    BackoffPolicy,
     CampaignOutcome,
     CampaignStats,
     execute_point,
@@ -40,9 +43,17 @@ from repro.campaign.query import (
     speedup_grid,
 )
 from repro.campaign.spec import CampaignSpec, PointSpec
-from repro.campaign.store import Journal, PointResult, ResultStore, cache_key
+from repro.campaign.store import (
+    Journal,
+    PointResult,
+    ResultStore,
+    StoreScan,
+    cache_key,
+    record_checksum,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "CampaignSpec",
     "PointSpec",
     "CampaignPlan",
@@ -56,9 +67,11 @@ __all__ = [
     "execute_point",
     "point_context",
     "ResultStore",
+    "StoreScan",
     "Journal",
     "PointResult",
     "cache_key",
+    "record_checksum",
     "model_fingerprint",
     "speedup_grid",
     "efficiency_grid",

@@ -8,9 +8,13 @@ Examples::
     pstl-campaign resume campaigns/t5 --workers 4
     pstl-campaign query campaigns/t5 --backend GCC-TBB --format csv
     pstl-campaign run --spec-file mysweep.json --dir campaigns/mine
+    pstl-campaign run --spec table5 --dir campaigns/chaos \\
+        --faults plan.json --fault-seed 7 --retries 2
+    pstl-campaign verify campaigns/t5
 
-Exit codes: 0 = success, 1 = campaign finished but some points FAILED,
-2 = bad invocation or corrupt campaign state.
+Exit codes: 0 = success, 1 = campaign finished but some points FAILED
+(for ``verify``: integrity errors were found), 2 = bad invocation or
+corrupt campaign state.
 """
 
 from __future__ import annotations
@@ -22,11 +26,12 @@ from contextlib import nullcontext
 from pathlib import Path
 
 from repro.bench.reporters import csv_report, json_report
-from repro.campaign.executor import load_campaign, run_campaign
+from repro.campaign.executor import BackoffPolicy, load_campaign, run_campaign
 from repro.campaign.query import bench_rows, filter_results, speedup_grid
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import FAILED, Journal, read_spec
+from repro.campaign.store import FAILED, Journal, ResultStore, read_spec
 from repro.errors import ReproError
+from repro.faults import load_fault_plan
 from repro.trace import Tracer, use_tracer, write_chrome_trace
 
 __all__ = ["main", "build_parser"]
@@ -84,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome trace of the campaign "
                      "(plan/execute/cache-hit/cache-miss spans)")
+    _add_robustness_flags(run)
 
     resume = sub.add_parser("resume", help="continue an interrupted campaign")
     resume.add_argument("dir", help="campaign directory to resume")
@@ -92,6 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--retries", type=int, default=1)
     resume.add_argument("--no-batch", action="store_true",
                         help="force the scalar per-point executor")
+    _add_robustness_flags(resume)
+
+    verify = sub.add_parser(
+        "verify",
+        help="audit a campaign's store + journal integrity "
+        "(checksums, content addresses, torn lines)",
+    )
+    verify.add_argument("dir", help="campaign directory to audit")
+    verify.add_argument("--quarantine", action="store_true",
+                        help="pull every corrupt object out of service "
+                        "(moved to cache/quarantine/) instead of only "
+                        "reporting it")
 
     status = sub.add_parser("status", help="summarise a campaign directory")
     status.add_argument("dir", help="campaign directory")
@@ -106,6 +124,43 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--format", choices=["console", "csv", "json"],
                        default="console")
     return parser
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection and retry-backoff flags shared by run/resume."""
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="deterministic fault-injection plan (chaos "
+                        "testing; see docs/ROBUSTNESS.md)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="override the plan's seed (requires --faults)")
+    parser.add_argument("--backoff-base", type=float, default=0.0,
+                        help="first-retry delay in seconds (default 0: "
+                        "retry immediately)")
+    parser.add_argument("--backoff-factor", type=float, default=2.0,
+                        help="exponential growth per retry (default 2)")
+    parser.add_argument("--backoff-max", type=float, default=30.0,
+                        help="delay ceiling in seconds (default 30)")
+    parser.add_argument("--backoff-jitter", type=float, default=0.0,
+                        help="+/- jitter fraction in [0, 1], seeded "
+                        "deterministically per task (default 0)")
+
+
+def _robustness(args) -> tuple:
+    """(faults, backoff) for run/resume from the shared flags."""
+    faults = None
+    if args.faults is not None:
+        faults = load_fault_plan(args.faults)
+        if args.fault_seed is not None:
+            faults = faults.with_seed(args.fault_seed)
+    elif args.fault_seed is not None:
+        raise ReproError("--fault-seed requires --faults")
+    backoff = None
+    if args.backoff_base > 0:
+        backoff = BackoffPolicy(
+            base=args.backoff_base, factor=args.backoff_factor,
+            max_delay=args.backoff_max, jitter=args.backoff_jitter,
+        )
+    return faults, backoff
 
 
 def _print_outcome(outcome, render=None) -> None:
@@ -141,6 +196,7 @@ def _cmd_run(args) -> int:
                 raise ReproError(
                     f"invalid spec file {args.spec_file}: {exc}"
                 ) from None
+    faults, backoff = _robustness(args)
     tracer = Tracer() if args.trace else None
     with use_tracer(tracer) if tracer is not None else nullcontext():
         outcome = run_campaign(
@@ -151,6 +207,8 @@ def _cmd_run(args) -> int:
             campaign_dir=args.dir,
             resume=args.resume,
             batch=not args.no_batch,
+            faults=faults,
+            backoff=backoff,
         )
     if tracer is not None:
         n_spans = write_chrome_trace(tracer, args.trace)
@@ -162,6 +220,7 @@ def _cmd_run(args) -> int:
 def _cmd_resume(args) -> int:
     """``pstl-campaign resume``: reload spec.json and continue."""
     spec = CampaignSpec.from_dict(read_spec(Path(args.dir) / "spec.json"))
+    faults, backoff = _robustness(args)
     outcome = run_campaign(
         spec,
         workers=args.workers,
@@ -170,9 +229,39 @@ def _cmd_resume(args) -> int:
         campaign_dir=args.dir,
         resume=True,
         batch=not args.no_batch,
+        faults=faults,
+        backoff=backoff,
     )
     _print_outcome(outcome)
     return 1 if _failures(outcome) else 0
+
+
+def _cmd_verify(args) -> int:
+    """``pstl-campaign verify``: audit store + journal integrity.
+
+    Exit 0 when every stored object parses, verifies its checksum and
+    matches its content address (and the journal has at most a torn
+    tail, which resume tolerates by design); exit 1 otherwise.
+    """
+    root = Path(args.dir)
+    read_spec(root / "spec.json")  # fail fast (exit 2) on a non-campaign dir
+    store = ResultStore(root / "cache")
+    scan = store.scan(quarantine=args.quarantine)
+    journal = Journal(root / "journal.jsonl")
+    torn = journal.torn_lines()
+    print(f"store:    {scan.summary()}")
+    for key, reason in scan.corrupt:
+        print(f"  corrupt {key[:16]}...: {reason}")
+    print(f"journal:  {len(journal.entries())} intact entr(ies), "
+          f"{torn} torn line(s)")
+    if scan.errors:
+        print(f"verify: {scan.errors} integrity error(s)", file=sys.stderr)
+        if not args.quarantine:
+            print("re-run with --quarantine to pull them out of service, "
+                  "then resume to recompute", file=sys.stderr)
+        return 1
+    print("verify: OK")
+    return 0
 
 
 def _cmd_status(args) -> int:
@@ -251,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "resume": _cmd_resume,
         "status": _cmd_status,
         "query": _cmd_query,
+        "verify": _cmd_verify,
     }
     try:
         return handlers[args.command](args)

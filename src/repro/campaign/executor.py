@@ -20,13 +20,28 @@ and for every task:
 Failures degrade gracefully: a point that raises (or times out) after
 its retries is recorded as ``failed`` with its error string and the
 campaign carries on -- one bad cell never aborts a 90-cell grid.
+Retries space themselves out under a configurable
+:class:`BackoffPolicy` (exponential, seeded jitter), a broken process
+pool (a worker SIGKILLed mid-wave) is rebuilt and its in-flight tasks
+re-queued (``pool.rebuild`` trace spans, bounded by
+:data:`MAX_POOL_REBUILDS`), and the whole pipeline can be driven under
+a deterministic :class:`~repro.faults.FaultPlan` via
+``run_campaign(faults=...)`` -- see docs/ROBUSTNESS.md for the fault
+model and the invariants the chaos suite enforces.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
@@ -46,6 +61,7 @@ from repro.campaign.store import (
 )
 from repro.errors import CampaignError, ReproError, UnsupportedOperationError
 from repro.execution.context import ExecutionContext
+from repro.faults import FaultInjector, FaultPlan, faulty_curve, faulty_point
 from repro.machines import get_machine
 from repro.memory.allocators import (
     DefaultAllocator,
@@ -58,6 +74,7 @@ from repro.suite.wrappers import run_case
 from repro.trace import get_tracer
 
 __all__ = [
+    "BackoffPolicy",
     "CampaignOutcome",
     "CampaignStats",
     "run_campaign",
@@ -65,6 +82,7 @@ __all__ = [
     "execute_point",
     "execute_curve",
     "point_context",
+    "MAX_POOL_REBUILDS",
 ]
 
 #: Named allocators a point may request (None = backend default).
@@ -74,6 +92,67 @@ _ALLOCATORS: Mapping[str, Callable] = {
     "hpx": HpxNumaAllocator,
     "interleaved": InterleavedAllocator,
 }
+
+#: How many times one wave may rebuild a broken process pool before its
+#: remaining tasks are failed outright. A pool that keeps breaking is a
+#: systematically crashing workload (or a hostile fault schedule), not a
+#: transient; the bound keeps the executor from thrashing forever.
+MAX_POOL_REBUILDS = 8
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry spacing: exponential backoff with deterministic seeded jitter.
+
+    Attempt ``k`` (1-based count of failures so far) sleeps
+    ``min(max_delay, base * factor**(k-1))``, scaled by a jitter factor
+    in ``[1-jitter, 1+jitter]`` drawn as a pure hash of
+    ``(seed, task_id, k)`` -- the same task retries with the same
+    spacing on every run, so chaos tests stay reproducible while
+    distinct tasks still de-correlate. The default ``base=0`` sleeps
+    nothing, preserving the fast-path behavior for tests and grids
+    whose failures are not time-correlated.
+    """
+
+    base: float = 0.0
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise CampaignError("backoff base must be non-negative")
+        if self.factor < 1:
+            raise CampaignError("backoff factor must be >= 1")
+        if self.max_delay < 0:
+            raise CampaignError("backoff max_delay must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise CampaignError("backoff jitter must be in [0, 1]")
+
+    def delay(self, task_id: str, attempt: int) -> float:
+        """Seconds to wait before re-running ``task_id``'s next attempt."""
+        if self.base <= 0 or attempt < 1:
+            return 0.0
+        raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
+        if self.jitter:
+            digest = hashlib.sha256(
+                f"{self.seed}|{task_id}|{attempt}".encode()
+            ).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            raw *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return raw
+
+    def sleep(self, task_id: str, attempt: int) -> float:
+        """Sleep :meth:`delay` seconds (if any); returns the delay slept."""
+        d = self.delay(task_id, attempt)
+        if d > 0:
+            time.sleep(d)
+        return d
+
+
+#: The do-nothing default policy (zero delays).
+_NO_BACKOFF = BackoffPolicy()
 
 
 def point_context(point: PointSpec) -> ExecutionContext:
@@ -195,14 +274,29 @@ class CampaignStats:
     journal_hits: int = 0
     executed: int = 0
     failed: int = 0
+    quarantined: int = 0
+    faults_injected: int = 0
+    pool_rebuilds: int = 0
 
     def summary(self) -> str:
-        """One-line human summary."""
-        return (
+        """One-line human summary (degradation counters only when nonzero)."""
+        line = (
             f"{self.planned} tasks: {self.pruned} pruned N/A, "
             f"{self.journal_hits} from journal, {self.cache_hits} cache hits, "
             f"{self.executed} executed, {self.failed} failed"
         )
+        extras = [
+            f"{value} {label}"
+            for label, value in (
+                ("quarantined", self.quarantined),
+                ("faults injected", self.faults_injected),
+                ("pool rebuilds", self.pool_rebuilds),
+            )
+            if value
+        ]
+        if extras:
+            line += " (" + ", ".join(extras) + ")"
+        return line
 
 
 @dataclass
@@ -252,18 +346,22 @@ def _trace_point(task: PointTask, result: PointResult) -> None:
 
 def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | None,
             task: PointTask, result: PointResult,
-            journal_new: bool = True) -> None:
+            journal_new: bool = True,
+            injector: FaultInjector | None = None) -> None:
     """Finalize one task: cache it, journal it, trace it, count it.
 
     ``journal_new=False`` marks a result that was *reconstructed from* the
     journal (a resume's journal hit): it is already durable, so appending
     it again would only grow the journal with duplicate terminal rows on
-    every resume.
+    every resume. When an ``injector`` is active, the cache publish and
+    journal append are its two storage-side injection surfaces.
     """
     outcome.results[task.task_id] = result
     key = None
     if result.status != FAILED and not result.cached and task.pruned is None:
         key = store.put(task.point, result.payload())
+        if injector is not None:
+            injector.after_put(store, key)
     elif task.pruned is None:
         key = store.key_for(task.point)
     if journal is not None and journal_new:
@@ -276,40 +374,280 @@ def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | Non
             "cached": result.cached,
             "wall_ms": result.wall_ms,
         })
+        if injector is not None:
+            injector.after_journal(journal, task.task_id)
     _trace_point(task, result)
 
 
-def _execute_serial(tasks: list[PointTask], retries: int) -> dict[str, dict]:
+def _injected_failure(site: str) -> dict:
+    """The payload an inline (serial) injected worker fault settles to."""
+    return {
+        "status": FAILED, "seconds": None,
+        "error": f"InjectedFaultError: injected {site}",
+        "wall_ms": 0.0,
+    }
+
+
+def _execute_serial(tasks: list[PointTask], retries: int,
+                    injector: FaultInjector | None = None,
+                    backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
     """Run tasks inline (workers <= 1); returns task_id -> payload."""
     out: dict[str, dict] = {}
     for task in tasks:
-        payload = execute_point(task.point.to_dict())
+        payload = _serial_attempt(task, injector)
         attempt = 0
         while payload["status"] == FAILED and attempt < retries:
             attempt += 1
-            payload = execute_point(task.point.to_dict())
+            backoff.sleep(task.task_id, attempt)
+            payload = _serial_attempt(task, injector)
         payload["attempts"] = attempt + 1
         out[task.task_id] = payload
     return out
 
 
-def _execute_serial_batch(tasks: list[PointTask], retries: int) -> dict[str, dict]:
-    """Serial curve-at-a-time execution; failed points retry scalar."""
+def _serial_attempt(task: PointTask,
+                    injector: FaultInjector | None) -> dict:
+    """One inline execution of ``task``, under the injector if active."""
+    if injector is not None:
+        site = injector.claim_worker_fault(task.task_id, pool=False)
+        if site is not None:
+            return _injected_failure(site)
+    return execute_point(task.point.to_dict())
+
+
+def _execute_serial_batch(tasks: list[PointTask], retries: int,
+                          injector: FaultInjector | None = None,
+                          backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
+    """Serial curve-at-a-time execution; failed points retry scalar.
+
+    An injected worker fault poisons the whole curve -- the same blast
+    radius a crashed pool worker has -- and every point of it then
+    retries through the scalar path.
+    """
     out: dict[str, dict] = {}
     for group in _group_curves(tasks):
-        results = execute_curve([t.point.to_dict() for t in group])
+        poisoned = None
+        if injector is not None:
+            for t in group:
+                poisoned = injector.claim_worker_fault(t.task_id, pool=False)
+                if poisoned is not None:
+                    break
+        if poisoned is not None:
+            results = [_injected_failure(poisoned) for _ in group]
+        else:
+            results = execute_curve([t.point.to_dict() for t in group])
         for task, payload in zip(group, results):
             attempt = 0
             while payload["status"] == FAILED and attempt < retries:
                 attempt += 1
+                backoff.sleep(task.task_id, attempt)
                 payload = execute_point(task.point.to_dict())
             payload["attempts"] = attempt + 1
             out[task.task_id] = payload
     return out
 
 
-def _execute_pool_batch(tasks: list[PointTask], pool: ProcessPoolExecutor,
-                        timeout: float | None, retries: int) -> dict[str, dict]:
+class _PoolHandle:
+    """A rebuildable process pool: survives ``BrokenProcessPool``.
+
+    Wraps lazy construction, shutdown, and the rebuild that recovery
+    from a killed worker requires -- the executor loop swaps pools
+    through this one handle so the final ``shutdown`` always reaches
+    whichever pool is current. Each rebuild is counted and emits a
+    ``pool.rebuild`` trace span.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self.pool: ProcessPoolExecutor | None = None
+        self.rebuilds = 0
+
+    def get(self) -> ProcessPoolExecutor:
+        """The current pool, created on first use."""
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self.pool
+
+    def rebuild(self) -> ProcessPoolExecutor:
+        """Discard the broken pool and stand up a fresh one."""
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.rebuilds += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record("pool.rebuild", 0.0, category="campaign",
+                          track="campaign", rebuilds=self.rebuilds)
+        return self.pool
+
+    def shutdown(self) -> None:
+        """Tear down whichever pool is current (idempotent)."""
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+
+def _tasks_of(val: list[PointTask] | PointTask) -> list[PointTask]:
+    """Normalise a pending-map value (curve group or single task) to a list."""
+    return val if isinstance(val, list) else [val]
+
+
+def _run_pool(tasks: list[PointTask], pool, timeout: float | None, retries: int,
+              *, batch: bool = True, injector: FaultInjector | None = None,
+              backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
+    """The pool engine: submission, timeout, bounded retry, pool rebuild.
+
+    ``pool`` is either a ready executor (tests drive this directly with
+    a thread pool) or a :class:`_PoolHandle`, which additionally enables
+    recovery from ``BrokenProcessPool``: the broken pool is rebuilt (up
+    to :data:`MAX_POOL_REBUILDS` times per wave) and every in-flight
+    task re-queued. A task whose worker was *deliberately* killed by the
+    fault injector consumes one retry for it; innocent bystanders are
+    re-queued free of charge, since they never actually ran.
+
+    A wait window in which nothing completes means every in-flight task
+    has exceeded the per-task ``timeout``: each one is cancelled and
+    either retried (budget permitting, through the scalar path) or
+    failed -- a hung worker therefore costs one attempt, not the wave.
+    """
+    handle = pool if isinstance(pool, _PoolHandle) else None
+    out: dict[str, dict] = {}
+    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
+    pending: dict[Future, list[PointTask] | PointTask] = {}
+    requeue: list[list[PointTask] | PointTask] = []
+
+    def _submit(fn, *args) -> Future | None:
+        executor = handle.get() if handle is not None else pool
+        try:
+            return executor.submit(fn, *args)
+        except BrokenExecutor:
+            return None  # caller re-queues; the wait loop rebuilds
+
+    def submit_task(task: PointTask) -> None:
+        directive = injector.claim_worker_fault(task.task_id) if injector else None
+        if directive is not None:
+            fut = _submit(faulty_point, task.point.to_dict(), directive,
+                          injector.plan.hang_seconds)
+        else:
+            fut = _submit(execute_point, task.point.to_dict())
+        if fut is None:
+            requeue.append(task)
+        else:
+            pending[fut] = task
+
+    def submit_group(group: list[PointTask]) -> None:
+        payloads = [t.point.to_dict() for t in group]
+        directives = ([injector.claim_worker_fault(t.task_id) for t in group]
+                      if injector else [])
+        if any(directives):
+            fut = _submit(faulty_curve, payloads, directives,
+                          injector.plan.hang_seconds)
+        else:
+            fut = _submit(execute_curve, payloads)
+        if fut is None:
+            requeue.append(list(group))
+        else:
+            pending[fut] = list(group)
+
+    def settle(task: PointTask, payload: dict) -> None:
+        """Retry a failed payload while budget lasts, else record it."""
+        if payload["status"] == FAILED and attempts[task.task_id] <= retries:
+            failed_attempt = attempts[task.task_id]
+            attempts[task.task_id] += 1
+            backoff.sleep(task.task_id, failed_attempt)
+            submit_task(task)  # retries always go through the scalar path
+            return
+        payload["attempts"] = attempts[task.task_id]
+        out[task.task_id] = payload
+
+    def fail_outright(task: PointTask, error: str) -> None:
+        out[task.task_id] = {
+            "status": FAILED, "seconds": None, "error": error,
+            "attempts": attempts[task.task_id],
+        }
+
+    if batch:
+        for group in _group_curves(tasks):
+            submit_group(group)
+    else:
+        for task in tasks:
+            submit_task(task)
+
+    while pending or requeue:
+        if pending:
+            finished, _ = wait(pending, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+            if not finished:
+                # Nothing completed within the per-task budget: every
+                # in-flight task has now waited >= timeout. Cancel and
+                # retry-or-fail each one individually.
+                stalled = list(pending.items())
+                pending.clear()
+                for fut, val in stalled:
+                    fut.cancel()
+                    for task in _tasks_of(val):
+                        settle(task, {
+                            "status": FAILED, "seconds": None,
+                            "error": f"timeout after {timeout:g}s",
+                        })
+                continue
+            for fut in finished:
+                val = pending.pop(fut)
+                exc = fut.exception()
+                if isinstance(exc, BrokenExecutor):
+                    requeue.append(val)
+                    continue
+                group = _tasks_of(val)
+                if exc is not None:
+                    payloads = [
+                        {"status": FAILED, "seconds": None,
+                         "error": f"{type(exc).__name__}: {exc}"}
+                        for _ in group
+                    ]
+                else:
+                    result = fut.result()
+                    payloads = result if isinstance(val, list) else [result]
+                for task, payload in zip(group, payloads):
+                    settle(task, payload)
+        if not requeue:
+            continue
+        # The pool broke under us: drain everything still in flight (those
+        # futures are doomed too), rebuild once, and re-queue.
+        for doomed in list(pending):
+            requeue.append(pending.pop(doomed))
+        affected, requeue = requeue, []
+        can_rebuild = handle is not None and handle.rebuilds < MAX_POOL_REBUILDS
+        if can_rebuild:
+            handle.rebuild()
+        for val in affected:
+            for task in _tasks_of(val):
+                if not can_rebuild:
+                    fail_outright(
+                        task, "process pool broke and could not be rebuilt"
+                    )
+                elif injector is not None and injector.was_killed(task.task_id):
+                    # The injected kill was this task's doing: it costs
+                    # one attempt, like any other failed execution.
+                    settle(task, {
+                        "status": FAILED, "seconds": None,
+                        "error": "InjectedFaultError: injected worker_kill",
+                    })
+                else:
+                    submit_task(task)  # never ran; re-queue free of charge
+    return out
+
+
+def _execute_pool(tasks: list[PointTask], pool, timeout: float | None,
+                  retries: int, injector: FaultInjector | None = None,
+                  backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
+    """Run one wave on the pool, one submission per point (scalar path)."""
+    return _run_pool(tasks, pool, timeout, retries, batch=False,
+                     injector=injector, backoff=backoff)
+
+
+def _execute_pool_batch(tasks: list[PointTask], pool, timeout: float | None,
+                        retries: int, injector: FaultInjector | None = None,
+                        backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
     """Pool execution with one submission per curve; retries are per-point.
 
     A curve future that fails or times out marks all its points; each
@@ -317,84 +655,8 @@ def _execute_pool_batch(tasks: list[PointTask], pool: ProcessPoolExecutor,
     :func:`execute_point` path (up to ``retries`` total re-executions),
     so one bad point never re-runs a whole curve.
     """
-    out: dict[str, dict] = {}
-    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
-    pending: dict[Future, list[PointTask] | PointTask] = {
-        pool.submit(execute_curve, [t.point.to_dict() for t in group]): group
-        for group in _group_curves(tasks)
-    }
-    while pending:
-        finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-        if not finished:
-            for fut, val in pending.items():
-                fut.cancel()
-                group = val if isinstance(val, list) else [val]
-                for task in group:
-                    out[task.task_id] = {
-                        "status": FAILED, "seconds": None,
-                        "error": f"timeout after {timeout:g}s",
-                        "attempts": attempts[task.task_id],
-                    }
-            return out
-        for fut in finished:
-            val = pending.pop(fut)
-            group = val if isinstance(val, list) else [val]
-            exc = fut.exception()
-            if exc is not None:
-                payloads = [
-                    {"status": FAILED, "seconds": None,
-                     "error": f"{type(exc).__name__}: {exc}"}
-                    for _ in group
-                ]
-            else:
-                result = fut.result()
-                payloads = result if isinstance(val, list) else [result]
-            for task, payload in zip(group, payloads):
-                if payload["status"] == FAILED and attempts[task.task_id] <= retries:
-                    attempts[task.task_id] += 1
-                    pending[pool.submit(execute_point, task.point.to_dict())] = task
-                    continue
-                payload["attempts"] = attempts[task.task_id]
-                out[task.task_id] = payload
-    return out
-
-
-def _execute_pool(tasks: list[PointTask], pool: ProcessPoolExecutor,
-                  timeout: float | None, retries: int) -> dict[str, dict]:
-    """Run one wave on the pool with per-task timeout and bounded retry."""
-    out: dict[str, dict] = {}
-    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
-    pending: dict[Future, PointTask] = {
-        pool.submit(execute_point, t.point.to_dict()): t for t in tasks
-    }
-    while pending:
-        finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-        if not finished:
-            # Nothing completed within the per-task budget: every pending
-            # point has now been waiting >= timeout, so fail them all.
-            for fut, task in pending.items():
-                fut.cancel()
-                out[task.task_id] = {
-                    "status": FAILED, "seconds": None,
-                    "error": f"timeout after {timeout:g}s",
-                    "attempts": attempts[task.task_id],
-                }
-            return out
-        for fut in finished:
-            task = pending.pop(fut)
-            exc = fut.exception()
-            if exc is not None:
-                payload = {"status": FAILED, "seconds": None,
-                           "error": f"{type(exc).__name__}: {exc}"}
-            else:
-                payload = fut.result()
-            if payload["status"] == FAILED and attempts[task.task_id] <= retries:
-                attempts[task.task_id] += 1
-                pending[pool.submit(execute_point, task.point.to_dict())] = task
-                continue
-            payload["attempts"] = attempts[task.task_id]
-            out[task.task_id] = payload
-    return out
+    return _run_pool(tasks, pool, timeout, retries, batch=True,
+                     injector=injector, backoff=backoff)
 
 
 def run_campaign(
@@ -408,6 +670,8 @@ def run_campaign(
     resume: bool = False,
     progress: Callable[[PointTask, PointResult], None] | None = None,
     batch: bool = True,
+    faults: FaultPlan | None = None,
+    backoff: BackoffPolicy | None = None,
 ) -> CampaignOutcome:
     """Plan and execute ``spec``; returns the full outcome.
 
@@ -422,7 +686,8 @@ def run_campaign(
         grids; ``>= 2`` runs points concurrently.
     timeout:
         Per-task wall-clock budget in seconds (pool mode only); a point
-        that exceeds it is recorded as failed.
+        that exceeds it consumes one retry, and is recorded as failed
+        once its budget is spent.
     retries:
         How many times a failed point is re-executed before its failure
         is journaled as terminal.
@@ -439,6 +704,15 @@ def run_campaign(
         ``repro.sim.batch`` path (bit-identical seconds; failed points
         retry through the scalar path). ``False`` forces the scalar
         per-point path everywhere -- the ``--no-batch`` debugging mode.
+    faults:
+        Optional deterministic :class:`~repro.faults.FaultPlan`; when
+        given, a :class:`~repro.faults.FaultInjector` is threaded
+        through submission, cache publish and journal append (chaos
+        testing -- see docs/ROBUSTNESS.md). ``None`` injects nothing
+        and costs nothing.
+    backoff:
+        Retry-spacing :class:`BackoffPolicy`; the default sleeps zero
+        seconds between retries.
     """
     if retries < 0:
         raise CampaignError("retries must be >= 0")
@@ -471,7 +745,9 @@ def run_campaign(
                         campaign=spec.name) if tracer.enabled else None
     try:
         outcome = _run(spec, store, workers, timeout, retries, journal, resume,
-                       progress, batch)
+                       progress, batch,
+                       FaultInjector(faults) if faults is not None else None,
+                       backoff if backoff is not None else _NO_BACKOFF)
     finally:
         if span is not None:
             if outcome is not None:
@@ -483,11 +759,12 @@ def run_campaign(
 
 
 def _run(spec, store, workers, timeout, retries, journal, resume, progress,
-         batch=True):
+         batch=True, injector=None, backoff=_NO_BACKOFF):
     """The executor body (directory/span plumbing handled by the caller)."""
     plan = plan_campaign(spec)
     outcome = CampaignOutcome(spec=spec, plan=plan)
     outcome.stats.planned = len(plan.tasks)
+    quarantined_before = store.quarantined
 
     journaled: dict[str, dict] = {}
     if resume and journal is not None:
@@ -495,12 +772,12 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
 
     def finish(task: PointTask, result: PointResult,
                journal_new: bool = True) -> None:
-        _record(outcome, store, journal, task, result, journal_new)
+        _record(outcome, store, journal, task, result, journal_new, injector)
         if progress is not None:
             progress(task, result)
 
     tracer = get_tracer()
-    pool: ProcessPoolExecutor | None = None
+    handle: _PoolHandle | None = None
     try:
         span = tracer.begin("campaign.execute", category="campaign",
                             track="campaign") if tracer.enabled else None
@@ -531,7 +808,8 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                                 cached=True, attempts=0,
                             ), journal_new=False)
                             continue
-                        # Journaled but evicted from cache: recompute.
+                        # Journaled but evicted from cache (or quarantined
+                        # as corrupt): recompute.
                     cached = store.result_for(task.task_id, task.point)
                     if cached is not None:
                         outcome.stats.cache_hits += 1
@@ -541,13 +819,15 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                 if not to_run:
                     continue
                 if workers >= 2:
-                    if pool is None:
-                        pool = ProcessPoolExecutor(max_workers=workers)
+                    if handle is None:
+                        handle = _PoolHandle(workers)
                     run_pool = _execute_pool_batch if batch else _execute_pool
-                    payloads = run_pool(to_run, pool, timeout, retries)
+                    payloads = run_pool(to_run, handle, timeout, retries,
+                                        injector=injector, backoff=backoff)
                 else:
                     run_serial = _execute_serial_batch if batch else _execute_serial
-                    payloads = run_serial(to_run, retries)
+                    payloads = run_serial(to_run, retries, injector=injector,
+                                          backoff=backoff)
                 for task in to_run:
                     payload = payloads[task.task_id]
                     outcome.stats.executed += 1
@@ -564,8 +844,12 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
             if span is not None:
                 tracer.end()
     finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        if handle is not None:
+            outcome.stats.pool_rebuilds = handle.rebuilds
+            handle.shutdown()
+        outcome.stats.quarantined = store.quarantined - quarantined_before
+        if injector is not None:
+            outcome.stats.faults_injected = injector.total_injected
     return outcome
 
 

@@ -75,17 +75,34 @@ class PointSpec:
         return 1 << self.size_exp
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (JSON-ready)."""
-        return asdict(self)
+        """Plain-dict form (JSON-ready).
+
+        Spelled out rather than ``dataclasses.asdict`` -- every field is
+        a scalar, and asdict's recursive deepcopy dominates the warm
+        (all-cache-hit) campaign path, where this runs per task.
+        """
+        return {
+            "machine": self.machine, "backend": self.backend,
+            "case": self.case, "size_exp": self.size_exp,
+            "threads": self.threads, "mode": self.mode,
+            "allocator": self.allocator, "min_time": self.min_time,
+        }
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, Any]) -> "PointSpec":
-        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+    def from_dict(cls, payload: Mapping[str, Any], *,
+                  ignore_unknown: bool = False) -> "PointSpec":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are rejected by default (a mistyped spec should
+        fail loudly); ``ignore_unknown=True`` drops them instead, for
+        readers of *stored* records that may carry fields from a newer
+        schema -- the store's integrity scan, for one.
+        """
         known = {f.name for f in fields(cls)}
         extra = set(payload) - known
-        if extra:
+        if extra and not ignore_unknown:
             raise CampaignError(f"unknown PointSpec fields: {sorted(extra)}")
-        return cls(**dict(payload))
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
     def canonical(self) -> str:
         """Canonical JSON identity (what the cache key hashes)."""

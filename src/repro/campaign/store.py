@@ -10,6 +10,16 @@ two-hex-digit directory level (``objects/ab/abcdef....json``), or in a
 plain dict when the store is constructed without a root (tests,
 throwaway runs).
 
+**Integrity.** Each record carries a checksum over its canonical form.
+A record that parses but fails its checksum -- bit rot, a torn write
+that still decodes, deliberate fault injection -- is *quarantined*
+(moved to ``quarantine/``, counted, never served) and the point
+recomputes; it is neither silently served nor silently dropped. Records
+whose ``result`` payload has drifted schema (missing ``status`` /
+``seconds`` from an older version) are treated as misses, not errors.
+:meth:`ResultStore.scan` audits the whole object tree; the
+``pstl-campaign verify`` subcommand fronts it.
+
 **Journal.** Each campaign run appends one JSON line per finished task
 to ``journal.jsonl``. The journal is the resume log: an interrupted
 campaign re-plans (deterministically), drops every task whose terminal
@@ -22,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -33,8 +43,10 @@ from repro.errors import CampaignError
 __all__ = [
     "PointResult",
     "ResultStore",
+    "StoreScan",
     "Journal",
     "cache_key",
+    "record_checksum",
     "write_spec",
     "read_spec",
 ]
@@ -50,6 +62,17 @@ def cache_key(point: PointSpec, fingerprint: str) -> str:
     """Content hash of (point identity, model fingerprint)."""
     payload = canonical_json({"point": point.to_dict(), "model": fingerprint})
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def record_checksum(record: Mapping[str, Any]) -> str:
+    """Integrity checksum of a stored record (its ``checksum`` field excluded).
+
+    Computed over the *canonical* JSON of the record core, so semantically
+    identical re-encodings (key order, float spelling) verify equal while
+    any value change -- one corrupted byte that still parses -- does not.
+    """
+    core = {k: v for k, v in record.items() if k != "checksum"}
+    return hashlib.sha256(canonical_json(core).encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -89,6 +112,57 @@ class PointResult:
         return {"status": self.status, "seconds": self.seconds, "error": self.error}
 
 
+@dataclass
+class StoreScan:
+    """Integrity report over a store's object tree (see :meth:`ResultStore.scan`).
+
+    ``corrupt`` lists ``(key, reason)`` pairs for objects that fail to
+    parse, fail their checksum, or disagree with their filename;
+    ``drifted`` counts records that verify but whose ``result`` payload
+    is schema-drifted (served as misses, never as hits); ``legacy``
+    counts pre-checksum records (accepted, but unauditable).
+    """
+
+    objects: int = 0
+    ok: int = 0
+    legacy: int = 0
+    drifted: int = 0
+    quarantined: int = 0
+    corrupt: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        """Number of integrity errors (corrupt objects) found."""
+        return len(self.corrupt)
+
+    def summary(self) -> str:
+        """One-line human report."""
+        return (
+            f"{self.objects} object(s): {self.ok} ok, {self.legacy} legacy, "
+            f"{self.drifted} schema-drifted, {self.errors} corrupt, "
+            f"{self.quarantined} quarantined"
+        )
+
+
+def _result_slice(record: Mapping[str, Any]) -> dict | None:
+    """The usable ``result`` payload of a record, or None on schema drift.
+
+    Older (or newer) store versions may journal records whose ``result``
+    lacks ``status``/``seconds``; those must read as cache *misses*, not
+    ``KeyError`` crashes -- the point simply recomputes under the
+    current schema.
+    """
+    result = record.get("result")
+    if not isinstance(result, Mapping):
+        return None
+    status = result.get("status")
+    if status not in _STATUSES:
+        return None
+    if status == DONE and not isinstance(result.get("seconds"), (int, float)):
+        return None
+    return dict(result)
+
+
 class ResultStore:
     """Content-addressed point-result cache (on disk or in memory)."""
 
@@ -98,44 +172,98 @@ class ResultStore:
         self.root = Path(root) if root is not None else None
         self.fingerprint = fingerprint if fingerprint is not None else model_fingerprint()
         self._memory: dict[str, dict] = {}
+        self._memory_quarantine: dict[str, dict] = {}
+        self._key_memo: dict[PointSpec, str] = {}
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
         if self.root is not None:
             (self.root / "objects").mkdir(parents=True, exist_ok=True)
 
     def key_for(self, point: PointSpec) -> str:
-        """This store's cache key for ``point``."""
-        return cache_key(point, self.fingerprint)
+        """This store's cache key for ``point`` (memoized; the executor
+        derives the same key several times per task on the warm path)."""
+        key = self._key_memo.get(point)
+        if key is None:
+            key = self._key_memo[point] = cache_key(point, self.fingerprint)
+        return key
 
-    def _object_path(self, key: str) -> Path:
-        assert self.root is not None
+    def object_path(self, key: str) -> Path:
+        """On-disk location of ``key``'s object (disk stores only)."""
+        if self.root is None:
+            raise CampaignError("in-memory store has no object paths")
         return self.root / "objects" / key[:2] / f"{key}.json"
 
-    def load_key(self, key: str) -> dict | None:
-        """Fetch a raw cached payload by key (None if absent/corrupt)."""
+    def quarantine(self, key: str, reason: str) -> None:
+        """Pull ``key``'s object out of service (counted, never deleted).
+
+        Disk stores move the object file to ``quarantine/`` (preserving
+        the evidence for post-mortems); memory stores park the record in
+        a side dict. Either way the next :meth:`get` is a miss and the
+        point recomputes.
+        """
+        self.quarantined += 1
         if self.root is None:
-            return self._memory.get(key)
-        path = self._object_path(key)
+            record = self._memory.pop(key, None)
+            if record is not None:
+                self._memory_quarantine[key] = record
+            return
+        path = self.object_path(key)
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, qdir / f"{key}.json")
+        except FileNotFoundError:
+            pass  # already gone; nothing to preserve
+
+    def _verified(self, key: str, record: Any) -> dict | None:
+        """``record`` if it is a checksummed, untampered dict; else quarantine."""
+        if not isinstance(record, Mapping):
+            self.quarantine(key, "not a JSON object")
+            return None
+        record = dict(record)
+        checksum = record.get("checksum")
+        if checksum is None:
+            return record  # pre-checksum record: accepted, flagged by scan()
+        if record_checksum(record) != checksum:
+            self.quarantine(key, "checksum mismatch")
+            return None
+        return record
+
+    def load_key(self, key: str) -> dict | None:
+        """Fetch a verified cached record by key (None if absent/corrupt).
+
+        A record that fails to parse or fails its checksum is
+        quarantined on the spot and reads as a miss -- a
+        corrupt-but-parseable object is never served as a hit.
+        """
+        if self.root is None:
+            record = self._memory.get(key)
+            return None if record is None else self._verified(key, record)
+        path = self.object_path(key)
         try:
             with open(path, encoding="utf-8") as fh:
-                return json.load(fh)
+                record = json.load(fh)
         except FileNotFoundError:
             return None
-        except json.JSONDecodeError:
-            return None  # torn write: treat as a miss and recompute
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # torn or rotten write -- possibly not even valid UTF-8
+            self.quarantine(key, "unparseable JSON")
+            return None
+        return self._verified(key, record)
 
     def get(self, point: PointSpec) -> dict | None:
-        """Cached payload for ``point`` under the current model, or None."""
-        payload = self.load_key(self.key_for(point))
-        if payload is None:
+        """Cached record for ``point`` under the current model, or None."""
+        record = self.load_key(self.key_for(point))
+        if record is None:
             self.misses += 1
         else:
             self.hits += 1
-        return payload
+        return record
 
     def put(self, point: PointSpec, payload: Mapping[str, Any]) -> str:
-        """Store ``payload`` for ``point``; returns the cache key."""
+        """Store ``payload`` for ``point`` (checksummed); returns the cache key."""
         key = self.key_for(point)
         record = {
             "key": key,
@@ -143,10 +271,11 @@ class ResultStore:
             "point": point.to_dict(),
             "result": dict(payload),
         }
+        record["checksum"] = record_checksum(record)
         if self.root is None:
             self._memory[key] = record
         else:
-            path = self._object_path(key)
+            path = self.object_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
@@ -154,17 +283,124 @@ class ResultStore:
         self.writes += 1
         return key
 
+    def corrupt(self, key: str, at: float = 0.0) -> None:
+        """Damage ``key``'s stored object in place (fault-injection hook).
+
+        ``at`` in [0, 1) picks *where*: disk stores XOR one byte at that
+        fraction of the file, memory stores tamper the record without
+        refreshing its checksum. Only :mod:`repro.faults` and tests call
+        this; it exists so chaos schedules can corrupt through the same
+        API surface the store itself owns.
+        """
+        if self.root is None:
+            record = self._memory.get(key)
+            if record is not None:
+                record["fingerprint"] = f"corrupt|{record.get('fingerprint')}"
+            return
+        path = self.object_path(key)
+        try:
+            data = bytearray(path.read_bytes())
+        except FileNotFoundError:
+            return
+        if not data:
+            return
+        pos = min(int(at * len(data)), len(data) - 1)
+        data[pos] ^= 0x01
+        path.write_bytes(bytes(data))
+
     def result_for(self, task_id: str, point: PointSpec) -> PointResult | None:
-        """Reconstruct a :class:`PointResult` from cache (marked cached)."""
-        record = self.get(point)
-        if record is None:
+        """Reconstruct a :class:`PointResult` from cache (marked cached).
+
+        Corrupt objects (quarantined by :meth:`load_key`) and
+        schema-drifted records both come back as None -- a miss the
+        executor answers by recomputing -- never as an exception.
+        """
+        record = self.load_key(self.key_for(point))
+        result = None if record is None else _result_slice(record)
+        if result is None:
+            self.misses += 1
             return None
-        result = record["result"]
+        self.hits += 1
         return PointResult(
             task_id=task_id, point=point, status=result["status"],
             seconds=result["seconds"], error=result.get("error"),
             cached=True, attempts=0,
         )
+
+    def _iter_records(self):
+        """Yield (key, raw record | None, reason) for every stored object."""
+        if self.root is None:
+            for key, record in self._memory.items():
+                yield key, record, ""
+            return
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.rglob("*.json")):
+            key = path.stem
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+                yield key, None, f"unparseable: {exc}"
+                continue
+            yield key, record, ""
+
+    def scan(self, quarantine: bool = False) -> StoreScan:
+        """Audit every stored object; optionally quarantine what fails.
+
+        Checks, per object: JSON parses to a dict, the checksum verifies
+        (pre-checksum records count as ``legacy``), the record's ``key``
+        field matches its filename, and its point/fingerprint re-derive
+        that same key. Schema-drifted ``result`` payloads are counted
+        but are not errors. ``quarantine=True`` additionally pulls every
+        corrupt object out of service, exactly as a read would.
+        """
+        report = StoreScan()
+        for key, record, reason in self._iter_records():
+            report.objects += 1
+            if record is None or not isinstance(record, Mapping):
+                report.corrupt.append((key, reason or "not a JSON object"))
+                continue
+            checksum = record.get("checksum")
+            if checksum is not None and record_checksum(record) != checksum:
+                report.corrupt.append((key, "checksum mismatch"))
+                continue
+            if record.get("key") != key:
+                report.corrupt.append((key, "record key != object name"))
+                continue
+            derived = _derive_key(record)
+            if derived is not None and derived != key:
+                report.corrupt.append((key, "content hash != object name"))
+                continue
+            if checksum is None:
+                report.legacy += 1
+            elif _result_slice(record) is None:
+                report.drifted += 1
+            else:
+                report.ok += 1
+        if quarantine:
+            for key, _reason in report.corrupt:
+                self.quarantine(key, _reason)
+                report.quarantined += 1
+        return report
+
+
+def _derive_key(record: Mapping[str, Any]) -> str | None:
+    """Re-derive a record's content hash from its point + fingerprint.
+
+    Returns None when the embedded point does not round-trip (schema
+    drift from another version) -- that is a drift condition, not
+    evidence of corruption, so the scan skips the comparison.
+    """
+    point_payload = record.get("point")
+    fingerprint = record.get("fingerprint")
+    if not isinstance(point_payload, Mapping) or not isinstance(fingerprint, str):
+        return None
+    try:
+        point = PointSpec.from_dict(point_payload, ignore_unknown=True)
+    except CampaignError:
+        return None
+    return cache_key(point, fingerprint)
 
 
 class Journal:
@@ -175,12 +411,62 @@ class Journal:
         self.path = Path(path)
 
     def append(self, entry: Mapping[str, Any]) -> None:
-        """Append one entry and flush it to disk immediately."""
+        """Append one entry and flush it to disk immediately.
+
+        A crash mid-append can leave the final line without its trailing
+        newline; blindly appending to that would concatenate the new
+        entry onto the torn line and lose *both*. The append therefore
+        heals such a tail first by terminating it, so the torn fragment
+        stays an isolated (skipped) line and the new entry parses.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(canonical_json(dict(entry)) + "\n")
+        with open(self.path, "ab+") as fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size:
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    fh.write(b"\n")
+            fh.write((canonical_json(dict(entry)) + "\n").encode("utf-8"))
             fh.flush()
             os.fsync(fh.fileno())
+
+    def tear_tail(self, at: float = 0.0) -> int:
+        """Truncate the final line mid-write (fault-injection hook).
+
+        Cuts between 1 byte and the whole last line, ``at`` in [0, 1)
+        picking how deep -- the shapes a crash between ``write`` and a
+        durable ``fsync`` leaves behind. Returns the number of bytes
+        removed (0 when the journal is empty).
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return 0
+        if not data:
+            return 0
+        body = data[:-1] if data.endswith(b"\n") else data
+        start = body.rfind(b"\n") + 1
+        last_len = len(data) - start
+        cut = min(1 + int(at * last_len), last_len)
+        with open(self.path, "rb+") as fh:
+            fh.truncate(len(data) - cut)
+        return cut
+
+    def torn_lines(self) -> int:
+        """Number of journal lines that do not parse (normally 0 or 1)."""
+        if not self.path.exists():
+            return 0
+        torn = 0
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError:
+                    torn += 1
+        return torn
 
     def entries(self) -> list[dict]:
         """All intact entries, in append order (torn tail lines skipped)."""

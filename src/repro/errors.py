@@ -74,3 +74,16 @@ class CampaignError(ReproError):
 
 class FidelityError(ReproError):
     """Paper-fidelity reference data is malformed or a check was misused."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed (bad rate, unknown site...)."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault fired inside a campaign worker.
+
+    Raised only by :mod:`repro.faults` injection wrappers, never by the
+    model itself, so its presence in a journal/error string is an
+    unambiguous marker that a failure was injected rather than organic.
+    """

@@ -1,0 +1,102 @@
+"""Parent-side fault injector: claims, applies and accounts for faults.
+
+The :class:`FaultInjector` is the stateful runtime half of a
+:class:`~repro.faults.plan.FaultPlan`. It lives in the campaign driver
+process (never in workers) and is consulted at the pipeline's three
+injection surfaces:
+
+* **submission** -- :meth:`claim_worker_fault` decides whether a task's
+  worker should crash, hang or die, returning the directive the
+  executor hands to :mod:`repro.faults.workers`;
+* **cache publish** -- :meth:`after_put` may corrupt the object that
+  was just written, exercising checksum quarantine on the next read;
+* **journal append** -- :meth:`after_journal` may tear the tail line,
+  simulating a crash between write and durable fsync.
+
+Every fault fires **at most once** per (site, identity): decisions are
+deterministic hashes, so without the fired-set a killed task would be
+re-killed on every resubmission and never converge. Each injection is
+counted per site and recorded as a ``fault.injected`` trace span, so a
+traced chaos run shows exactly where the schedule hit.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import WORKER_SITES, FaultPlan, decision
+from repro.trace import get_tracer
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Runtime state for one campaign run under a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        """Bind to ``plan``; all counters start at zero."""
+        self.plan = plan
+        self.fired: set[tuple[str, str]] = set()
+        self.counts: dict[str, int] = {}
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected so far, across all sites."""
+        return sum(self.counts.values())
+
+    def _budget_left(self) -> bool:
+        """Whether the plan's ``max_faults`` cap still allows an injection."""
+        cap = self.plan.max_faults
+        return cap is None or self.total_injected < cap
+
+    def _claim(self, site: str, ident: str) -> bool:
+        """Fire-at-most-once claim of ``site`` for ``ident``; counts + traces."""
+        if (site, ident) in self.fired:
+            return False
+        if not self._budget_left() or not self.plan.fires(site, ident):
+            return False
+        self.fired.add((site, ident))
+        self.counts[site] = self.counts.get(site, 0) + 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.record("fault.injected", 0.0, category="faults",
+                          track="campaign", site=site, ident=ident)
+        return True
+
+    def claim_worker_fault(self, task_id: str, pool: bool = True) -> str | None:
+        """The worker-site directive for ``task_id``, or None.
+
+        Sites are mutually exclusive per task and evaluated in
+        :data:`~repro.faults.plan.WORKER_SITES` priority order
+        (kill > hang > exception). ``pool=False`` (inline execution in
+        the driver process) considers only ``worker_exception`` --
+        killing or stalling the driver itself would take the campaign
+        down with it, which is the crash-recovery *integration* test's
+        job, not the in-process injector's.
+        """
+        sites = WORKER_SITES if pool else ("worker_exception",)
+        for site in sites:
+            if self._claim(site, task_id):
+                return site
+        return None
+
+    def was_killed(self, task_id: str) -> bool:
+        """Whether ``task_id`` has been claimed for a ``worker_kill``."""
+        return ("worker_kill", task_id) in self.fired
+
+    def after_put(self, store, key: str) -> None:
+        """Maybe corrupt the cache object just published under ``key``."""
+        if self._claim("cache_corrupt", key):
+            store.corrupt(key, decision(self.plan.seed, "cache_corrupt.at", key))
+
+    def after_journal(self, journal, task_id: str) -> None:
+        """Maybe tear the journal line just appended for ``task_id``."""
+        if self._claim("journal_torn_tail", task_id):
+            journal.tear_tail(
+                decision(self.plan.seed, "journal_torn_tail.at", task_id)
+            )
+
+    def summary(self) -> str:
+        """One-line ``site=count`` report of everything injected."""
+        if not self.counts:
+            return "no faults injected"
+        parts = [f"{site}={self.counts[site]}" for site in sorted(self.counts)]
+        return "injected " + ", ".join(parts)

@@ -119,3 +119,60 @@ def test_bad_state_exit_code_2(tmp_path, capsys):
     bad = tmp_path / "bad.json"
     bad.write_text("{not json", encoding="utf-8")
     assert main(["run", "--spec-file", str(bad), "--workers", "0"]) == 2
+
+
+def test_faulted_run_verify_resume_cycle(spec_file, tmp_path, capsys):
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"cache_corrupt": 1.0}), encoding="utf-8")
+    cdir = tmp_path / "c"
+    rc = main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+               "--workers", "0", "--retries", "2",
+               "--faults", str(plan), "--fault-seed", "7"])
+    assert rc == 0  # faults degrade the store, never the run itself
+    assert "faults injected" in capsys.readouterr().err
+
+    assert main(["verify", str(cdir)]) == 1
+    out = capsys.readouterr()
+    assert "corrupt" in out.out
+    assert "--quarantine" in out.err  # points at the recovery path
+
+    assert main(["resume", str(cdir), "--workers", "0"]) == 0
+    assert "quarantined" in capsys.readouterr().err
+
+    assert main(["verify", str(cdir)]) == 0
+    assert "verify: OK" in capsys.readouterr().out
+
+
+def test_verify_quarantine_pulls_corrupt_objects(spec_file, tmp_path, capsys):
+    cdir = tmp_path / "c"
+    main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+          "--workers", "0"])
+    capsys.readouterr()
+    victim = next((cdir / "cache" / "objects").rglob("*.json"))
+    victim.write_text("{torn", encoding="utf-8")
+
+    assert main(["verify", str(cdir), "--quarantine"]) == 1
+    assert "unparseable" in capsys.readouterr().out
+    assert not victim.exists()
+    assert main(["verify", str(cdir)]) == 0  # the audit now comes back clean
+
+
+def test_fault_seed_requires_a_plan(spec_file, tmp_path, capsys):
+    rc = main(["run", "--spec-file", str(spec_file),
+               "--dir", str(tmp_path / "c"), "--workers", "0",
+               "--fault-seed", "3"])
+    assert rc == 2
+    assert "--fault-seed requires --faults" in capsys.readouterr().err
+
+
+def test_verify_outside_a_campaign_dir_exit_2(tmp_path, capsys):
+    assert main(["verify", str(tmp_path / "nothing")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_accepts_backoff_flags(spec_file, tmp_path, capsys):
+    rc = main(["run", "--spec-file", str(spec_file),
+               "--dir", str(tmp_path / "c"), "--workers", "0",
+               "--backoff-base", "0.001", "--backoff-factor", "3",
+               "--backoff-max", "0.01", "--backoff-jitter", "0.5"])
+    assert rc == 0

@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.campaign.fingerprint import model_fingerprint
-from repro.campaign.store import DONE, FAILED, Journal, NA, PointResult, ResultStore, cache_key
+from repro.campaign.store import (
+    DONE,
+    FAILED,
+    Journal,
+    NA,
+    PointResult,
+    ResultStore,
+    cache_key,
+    record_checksum,
+)
 from repro.campaign.spec import PointSpec
 
 
@@ -99,3 +110,82 @@ def test_missing_journal_is_empty(tmp_path):
     journal = Journal(tmp_path / "nope.jsonl")
     assert journal.entries() == []
     assert journal.completed_ids() == {}
+
+
+def test_append_after_torn_tail_heals_the_line(tmp_path):
+    # regression: appending to a newline-less torn tail used to fuse the
+    # torn fragment and the new entry into one unparseable line
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"task_id": "a", "status": DONE, "seconds": 1.0})
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"task_id": "b", "sta')  # killed mid-write, no newline
+    journal.append({"task_id": "c", "status": DONE, "seconds": 3.0})
+    assert [e["task_id"] for e in journal.entries()] == ["a", "c"]
+    assert journal.torn_lines() == 1
+
+
+def test_result_for_tolerates_schema_drifted_records(tmp_path):
+    # regression: a record whose `result` slice comes from another schema
+    # version used to raise KeyError from result_for; it must be a miss
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    path = store.object_path(key)
+    record = json.loads(path.read_text(encoding="utf-8"))
+    record["result"] = {"note": "written by a newer schema"}
+    record["checksum"] = record_checksum(record)  # intact, just drifted
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    assert store.result_for("tid", POINT) is None
+    assert store.misses == 1 and store.quarantined == 0  # a miss, not damage
+    scan = store.scan()
+    assert scan.drifted == 1 and scan.errors == 0
+
+
+def test_checksum_mismatch_is_quarantined_not_served(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    path = store.object_path(key)
+    record = json.loads(path.read_text(encoding="utf-8"))
+    record["result"]["seconds"] = 99.0  # tampered value, stale checksum
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    assert store.get(POINT) is None
+    assert store.quarantined == 1
+    assert not path.exists()  # moved aside, evidence preserved
+    assert (tmp_path / "cache" / "quarantine" / f"{key}.json").exists()
+
+
+def test_legacy_records_without_checksum_are_accepted(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 2.5, "error": None})
+    path = store.object_path(key)
+    record = json.loads(path.read_text(encoding="utf-8"))
+    del record["checksum"]  # written before checksums existed
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    result = store.result_for("tid", POINT)
+    assert result is not None and result.seconds == 2.5
+    scan = store.scan()
+    assert scan.legacy == 1 and scan.errors == 0
+
+
+def test_scan_flags_misfiled_and_mismatched_objects(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    record = json.loads(store.object_path(key).read_text(encoding="utf-8"))
+    # file the record under a name that is not its content hash
+    fake = "ab" + "0" * (len(key) - 2)
+    record["key"] = fake
+    record["checksum"] = record_checksum(record)
+    misfiled = store.object_path(fake)
+    misfiled.parent.mkdir(parents=True, exist_ok=True)
+    misfiled.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    scan = store.scan()
+    reasons = dict(scan.corrupt)
+    assert reasons == {fake: "content hash != object name"}
+
+    scan = store.scan(quarantine=True)
+    assert scan.quarantined == 1
+    assert not misfiled.exists()
+    assert store.scan().errors == 0  # a second audit comes back clean

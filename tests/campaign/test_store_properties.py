@@ -1,0 +1,150 @@
+"""Property tests: journal tear/replay and store corruption invariants.
+
+Hypothesis drives the store's two durability surfaces with randomized
+damage and checks the safety properties the executor relies on:
+
+* a torn journal tail never loses *earlier* entries, and replay matches
+  a pure-logic fold of the intact prefix;
+* arbitrarily interleaved failed/done entries fold to the same terminal
+  set as the reference semantics (failed pops, done/na pins);
+* a single flipped byte in a stored object is never served as a
+  different value -- the read is either a miss (quarantined) or the
+  original record, bit-identical.
+
+Stores touch real files, so tests open their own TemporaryDirectory per
+example instead of using pytest's function-scoped ``tmp_path`` (which
+Hypothesis would reuse across examples).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.spec import PointSpec
+from repro.campaign.store import DONE, FAILED, NA, Journal, ResultStore
+
+
+task_ids = st.sampled_from([f"task-{i}" for i in range(6)])
+entries = st.lists(
+    st.tuples(task_ids, st.sampled_from([DONE, FAILED, NA])),
+    min_size=1, max_size=12,
+)
+
+
+def fold_terminal(events: list[tuple[str, str]]) -> set[str]:
+    """Reference semantics of Journal.completed_ids (failed pops the id)."""
+    done: set[str] = set()
+    for tid, status in events:
+        if status == FAILED:
+            done.discard(tid)
+        else:
+            done.add(tid)
+    return done
+
+
+def append_all(journal: Journal, events: list[tuple[str, str]]) -> None:
+    for tid, status in events:
+        seconds = 1.0 if status == DONE else None
+        journal.append({"task_id": tid, "status": status, "seconds": seconds})
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=entries, at=st.floats(min_value=0.0, max_value=0.999))
+def test_torn_tail_loses_at_most_the_last_entry(events, at):
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Journal(Path(tmp) / "journal.jsonl")
+        append_all(journal, events)
+        cut = journal.tear_tail(at)
+        assert cut >= 1  # a tear always removes something
+        assert journal.torn_lines() <= 1  # only the tail can be damaged
+        # a 1-byte cut removes only the trailing newline: the line's
+        # content was fully written, so the entry is still durable
+        expected = events if cut == 1 else events[:-1]
+        assert set(journal.completed_ids()) == fold_terminal(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=entries)
+def test_interleaved_entries_replay_to_the_reference_fold(events):
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Journal(Path(tmp) / "journal.jsonl")
+        append_all(journal, events)
+        assert len(journal.entries()) == len(events)
+        assert set(journal.completed_ids()) == fold_terminal(events)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events=entries, at=st.floats(min_value=0.0, max_value=0.999))
+def test_appending_after_a_tear_recovers(events, at):
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Journal(Path(tmp) / "journal.jsonl")
+        append_all(journal, events)
+        journal.tear_tail(at)
+        tid, status = events[-1]
+        journal.append({"task_id": tid, "status": status,
+                        "seconds": 1.0 if status == DONE else None})
+        # the re-append supersedes the torn line; nothing earlier was lost
+        assert set(journal.completed_ids()) == fold_terminal(events)
+
+
+POINT = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                  size_exp=12, threads=32)
+PAYLOAD = {"status": DONE, "seconds": 1.25, "error": None}
+
+
+@settings(max_examples=60, deadline=None)
+@given(pos=st.floats(min_value=0.0, max_value=0.999),
+       mask=st.integers(min_value=1, max_value=255))
+def test_flipped_byte_is_never_served_as_a_different_value(pos, mask):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "cache")
+        key = store.put(POINT, PAYLOAD)
+        path = store.object_path(key)
+        data = bytearray(path.read_bytes())
+        data[min(int(pos * len(data)), len(data) - 1)] ^= mask
+        path.write_bytes(bytes(data))
+
+        record = store.get(POINT)
+        if record is None:
+            # detected: unparseable or checksum mismatch, quarantined or
+            # schema-drifted into a miss -- but never an exception
+            assert store.quarantined <= 1
+        else:
+            # served: then the result slice must be bit-identical (the
+            # flip landed in bookkeeping such as the checksum field name)
+            assert record["result"] == PAYLOAD
+            assert record["point"] == POINT.to_dict()
+
+
+@settings(max_examples=30, deadline=None)
+@given(at=st.floats(min_value=0.0, max_value=0.999))
+def test_corrupt_hook_is_always_detected_or_harmless(at):
+    # the store's own fault hook flips exactly one low bit at `at`
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "cache")
+        store.put(POINT, PAYLOAD)
+        store.corrupt(store.key_for(POINT), at=at)
+        record = store.get(POINT)
+        if record is not None:
+            assert record["result"] == PAYLOAD
+
+
+@settings(max_examples=30, deadline=None)
+@given(at=st.floats(min_value=0.0, max_value=0.999))
+def test_scan_flags_what_reads_would_quarantine(at):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "cache")
+        store.put(POINT, PAYLOAD)
+        store.corrupt(store.key_for(POINT), at=at)
+        scan = store.scan()
+        assert scan.objects == 1
+        reader = ResultStore(Path(tmp) / "cache")
+        served = reader.get(POINT)
+        if scan.errors:
+            assert served is None  # what scan flags, reads refuse
+        elif served is not None:
+            assert served["result"] == PAYLOAD

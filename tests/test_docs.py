@@ -1,8 +1,8 @@
 """Tier-1 shim for ``tools/check_docs.py``.
 
 Runs the docs lint inside the test suite: the python fences of every
-file in ``FENCE_FILES`` (README, OBSERVABILITY, CAMPAIGNS, FIDELITY)
-must execute, and every public symbol of the packages in
+file in ``FENCE_FILES`` (README, OBSERVABILITY, CAMPAIGNS, FIDELITY,
+ROBUSTNESS) must execute, and every public symbol of the packages in
 ``DOCSTRING_PACKAGES`` must be documented.
 """
 
@@ -44,6 +44,11 @@ def test_public_api_documented(package):
 def test_fidelity_layer_is_covered():
     assert "repro.fidelity" in check_docs.DOCSTRING_PACKAGES
     assert "docs/FIDELITY.md" in check_docs.FENCE_FILES
+
+
+def test_faults_layer_is_covered():
+    assert "repro.faults" in check_docs.DOCSTRING_PACKAGES
+    assert "docs/ROBUSTNESS.md" in check_docs.FENCE_FILES
 
 
 def test_list_mode_reports_coverage(capsys):

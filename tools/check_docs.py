@@ -3,14 +3,15 @@
 
 Two checks, wired into tier-1 via ``tests/test_docs.py``:
 
-1. **Fence execution** — every ```` ```python ```` fence in README.md and
-   docs/OBSERVABILITY.md is executed, cumulatively per file (later fences
+1. **Fence execution** — every ```` ```python ```` fence in each file of
+   :data:`FENCE_FILES` is executed, cumulatively per file (later fences
    may use names defined by earlier ones), inside a temporary working
    directory so snippets that write files do not pollute the repo. A
    fence that raises fails the lint with its file/line and the error.
 2. **Docstring coverage** — every public module, class, function and
    method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, batch
-   simulation, and fidelity layers) must carry a non-empty docstring.
+   simulation, fidelity, and fault-injection layers) must carry a
+   non-empty docstring.
 
 Run directly::
 
@@ -38,6 +39,7 @@ FENCE_FILES = (
     "docs/OBSERVABILITY.md",
     "docs/CAMPAIGNS.md",
     "docs/FIDELITY.md",
+    "docs/ROBUSTNESS.md",
 )
 
 #: Packages (or plain modules) whose public API must be fully documented.
@@ -47,6 +49,7 @@ DOCSTRING_PACKAGES = (
     "repro.sim.batch",
     "repro.suite.batch",
     "repro.fidelity",
+    "repro.faults",
 )
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
