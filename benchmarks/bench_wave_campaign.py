@@ -1,0 +1,95 @@
+"""Wave engine acceptance: fused campaigns are >= 1.5x faster, bitwise equal.
+
+The wave path (``repro.sim.wave``) exists to squeeze the last per-point
+Python overhead out of campaign grids: where the per-curve batch path
+still rebuilds contexts, profiles and thread layouts once per curve,
+a fused wave packs every eligible point of a campaign wave into one
+struct-of-arrays program with the shared baselines computed once. This
+module pins both halves of that contract on the Table 5 grid (108
+tasks, 99 executed -- the same workload ``bench_campaign_table5.py``
+uses for the cache guarantee):
+
+* **speed** -- the wave-fused cold run beats the per-curve batch cold
+  run by at least 1.5x wall clock (measured ~1.7x in this container;
+  the trajectory ledger ``BENCH_CAMPAIGN.json`` tracks the trend and
+  CI gates regressions via ``tools/bench_trajectory.py``);
+* **fidelity** -- the two runs produce identical statuses and
+  bit-identical seconds for every task, so defaulting campaigns to
+  wave fusion changes nothing but the wall clock.
+
+Wall-clock ratios use best-of-3 minima: the simulator is deterministic,
+so the min is the least-noise estimator of the true cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign
+from repro.experiments.table5 import table5_campaign_spec
+
+SIZE_EXP = 26  # match bench_campaign_table5: cold work dominates overhead
+
+#: The acceptance floor for wave fusion over per-curve batch submission.
+MIN_WAVE_SPEEDUP = 1.5
+
+REPEATS = 3
+
+
+def _best_of(fn):
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def timed_paths():
+    """(batch_seconds, wave_seconds, batch_outcome, wave_outcome)."""
+    spec = table5_campaign_spec(SIZE_EXP)
+    run_campaign(spec)  # warm imports and module caches off the clock
+    batch_s, batch = _best_of(
+        lambda: run_campaign(spec, store=ResultStore(None), wave=False)
+    )
+    wave_s, wave = _best_of(
+        lambda: run_campaign(spec, store=ResultStore(None))
+    )
+    print(f"\nper-curve batch: {batch_s:.3f}s  wave-fused: {wave_s:.3f}s  "
+          f"speedup: {batch_s / wave_s:.2f}x")
+    return batch_s, wave_s, batch, wave
+
+
+def test_bench_wave_campaign(benchmark):
+    """The benchmarked quantity: a cold Table 5 campaign, wave-fused."""
+    spec = table5_campaign_spec(SIZE_EXP)
+    run_campaign(spec)  # warm
+    outcome = benchmark.pedantic(
+        run_campaign, args=(spec,), kwargs=dict(store=ResultStore(None)),
+        rounds=1, iterations=1,
+    )
+    assert outcome.stats.failed == 0
+
+
+def test_wave_at_least_1_5x_faster_than_batch(timed_paths):
+    batch_s, wave_s, _, _ = timed_paths
+    speedup = batch_s / wave_s
+    assert speedup >= MIN_WAVE_SPEEDUP, (
+        f"wave fusion only {speedup:.2f}x over per-curve batch "
+        f"(floor {MIN_WAVE_SPEEDUP}x)"
+    )
+
+
+def test_wave_grid_bit_identical_to_batch(timed_paths):
+    _, _, batch, wave = timed_paths
+    assert set(wave.results) == set(batch.results)
+    for tid, w in wave.results.items():
+        b = batch.results[tid]
+        assert w.status == b.status, tid
+        if w.seconds is None or b.seconds is None:
+            assert w.seconds == b.seconds, tid
+        else:
+            assert w.seconds.hex() == b.seconds.hex(), tid

@@ -21,6 +21,7 @@ corresponds to a mechanism the paper names:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -160,6 +161,31 @@ class Backend:
             raise BackendError("chunks_per_thread must be positive")
         if self.fixed_chunk_elems < 0:
             raise BackendError("fixed_chunk_elems must be non-negative")
+
+    def __hash__(self) -> int:
+        """Value hash matching dataclass equality.
+
+        The generated hash would choke on the mapping-proxy fields, but
+        backends need to be dict/``lru_cache`` keys (the campaign
+        executor's wave path memoizes contexts and profiles by resolved
+        model objects, so a re-registered or perturbed model can never
+        be served stale). Mappings are folded as sorted item tuples.
+        The fold is computed once and memoized on the (frozen) instance:
+        the wave executor hashes each model on every cache lookup, so a
+        recomputed fold would tax the hot path it exists to serve.
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is not None:
+            return cached
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Mapping):
+                value = tuple(sorted(value.items()))
+            parts.append(value)
+        result = hash(tuple(parts))
+        object.__setattr__(self, "_hash", result)
+        return result
 
     # --- BackendModel protocol ----------------------------------------------------
     def fork_overhead(self, threads: int) -> float:

@@ -85,7 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-batch", action="store_true",
                      help="force the scalar per-point executor instead of "
                      "the vectorized curve-at-a-time path (bit-identical "
-                     "results; debugging aid)")
+                     "results; debugging aid; implies --no-wave)")
+    run.add_argument("--no-wave", action="store_true",
+                     help="disable wave fusion: submit curve-at-a-time "
+                     "batch tasks instead of fused whole-wave programs "
+                     "(bit-identical results; debugging aid)")
     run.add_argument("--trace", metavar="OUT.json", default=None,
                      help="write a Chrome trace of the campaign "
                      "(plan/execute/cache-hit/cache-miss spans)")
@@ -97,7 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--timeout", type=float, default=None)
     resume.add_argument("--retries", type=int, default=1)
     resume.add_argument("--no-batch", action="store_true",
-                        help="force the scalar per-point executor")
+                        help="force the scalar per-point executor "
+                        "(implies --no-wave)")
+    resume.add_argument("--no-wave", action="store_true",
+                        help="disable wave fusion (curve-at-a-time batch)")
     _add_robustness_flags(resume)
 
     verify = sub.add_parser(
@@ -207,6 +214,7 @@ def _cmd_run(args) -> int:
             campaign_dir=args.dir,
             resume=args.resume,
             batch=not args.no_batch,
+            wave=not args.no_wave,
             faults=faults,
             backoff=backoff,
         )
@@ -229,6 +237,7 @@ def _cmd_resume(args) -> int:
         campaign_dir=args.dir,
         resume=True,
         batch=not args.no_batch,
+        wave=not args.no_wave,
         faults=faults,
         backoff=backoff,
     )

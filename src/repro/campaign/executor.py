@@ -17,6 +17,17 @@ and for every task:
    resumable: ``resume=True`` re-plans deterministically and skips every
    task the journal already holds.
 
+By default each wave is submitted *whole*: eligible points are fused
+into one ``repro.sim.wave`` struct-of-arrays program (serial mode) or
+into one balanced shard per worker (pool mode) via
+:func:`execute_wave`, with shared baselines -- execution contexts,
+chunk->thread layouts, NUMA node maps -- computed once per wave instead
+of once per point. ``wave=False`` (CLI ``--no-wave``) falls back to
+curve-at-a-time batch submission, and ``batch=False`` (``--no-batch``)
+to the scalar per-point path; all three produce bit-identical results
+(enforced by ``tools/diffcheck.py``), and retries always degrade to the
+scalar path regardless of how the first attempt was submitted.
+
 Failures degrade gracefully: a point that raises (or times out) after
 its retries is recorded as ``failed`` with its error string and the
 campaign carries on -- one bad cell never aborts a 90-cell grid.
@@ -35,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+from functools import lru_cache
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -61,7 +73,13 @@ from repro.campaign.store import (
 )
 from repro.errors import CampaignError, ReproError, UnsupportedOperationError
 from repro.execution.context import ExecutionContext
-from repro.faults import FaultInjector, FaultPlan, faulty_curve, faulty_point
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    faulty_curve,
+    faulty_point,
+    faulty_wave,
+)
 from repro.machines import get_machine
 from repro.memory.allocators import (
     DefaultAllocator,
@@ -81,6 +99,7 @@ __all__ = [
     "load_campaign",
     "execute_point",
     "execute_curve",
+    "execute_wave",
     "point_context",
     "MAX_POOL_REBUILDS",
 ]
@@ -261,6 +280,127 @@ def execute_curve(payloads: list[dict]) -> list[dict]:
             machine=first.machine, backend=first.backend, case=first.case,
             points=batch_points,
         )
+    return out
+
+
+@lru_cache(maxsize=4096)
+def _cached_context(machine, backend, threads: int,
+                    allocator: str | None, mode: str) -> ExecutionContext:
+    """Memoized :func:`point_context` by value (wave path only).
+
+    A campaign wave holds many points per (machine, backend, threads,
+    allocator, mode) cell; the scalar and per-curve paths rebuild the
+    context for every point, which profiling shows is a real share of
+    warm grid time. Contexts are frozen and allocators are stateless
+    policy objects, so sharing one instance across points is safe. Only
+    the wave path uses this cache -- the per-curve batch path keeps its
+    per-point construction so benchmark comparisons stay honest.
+
+    Keyed by the *resolved* machine and backend objects (frozen, value-
+    hashable dataclasses), never by registry name: if the model under a
+    name changes -- a perturbation test, a custom registration -- the
+    key changes with it, so a stale context can never be served.
+    """
+    alloc = _ALLOCATORS[allocator]() if allocator is not None else None
+    return ExecutionContext(
+        machine, backend, threads=1 if backend.is_sequential else threads,
+        allocator=alloc, mode=mode,
+    )
+
+
+@lru_cache(maxsize=8192)
+def _cached_profile(machine, backend, threads: int,
+                    allocator: str | None, mode: str, case: str, n: int):
+    """Memoized :func:`~repro.suite.batch.build_array_profile` (wave path).
+
+    The other shared baseline: an :class:`ArrayProfile` is a frozen,
+    deterministic function of the cell key, is only ever read by the
+    engines, and is small (its arrays scale with chunk count, not
+    problem size), so fused waves can share one instance per cell --
+    across waves and across campaign re-runs -- instead of rebuilding
+    the chunk grid per point. Like :func:`_cached_context` (and keyed
+    the same way, by resolved model objects), this is deliberately
+    wave-only.
+    """
+    from repro.suite.batch import build_array_profile
+
+    ctx = _cached_context(machine, backend, threads, allocator, mode)
+    return build_array_profile(case, ctx, n)
+
+
+def execute_wave(payloads: list[dict]) -> list[dict]:
+    """Cost a whole campaign wave as one fused array program.
+
+    The wave counterpart of :func:`execute_curve` and, like it, a
+    module-level picklable pool-worker entry: one submission covers an
+    arbitrary mix of points -- different machines, backends and cases
+    fused into a single ``repro.sim.wave`` struct-of-arrays program with
+    shared baselines (contexts, chunk->thread layouts, NUMA node maps)
+    computed once. Points the fused path cannot serve (``min_time > 0``,
+    GPU/run-mode contexts, cases outside the batch set) fall back to the
+    scalar :func:`execute_point` per point, and any unexpected fused-stage
+    failure degrades the whole group the same way -- so the wave path
+    never fails a point the scalar path could cost. Returns one payload
+    per input, in order, each stamped with ``wall_ms``. Seconds are
+    bit-identical to both the per-curve batch path and the scalar path
+    (``tools/diffcheck.py`` enforces the three-way identity).
+    """
+    from repro.sim.wave import WaveEntry, fuse_wave, simulate_wave
+    from repro.suite.batch import batch_supported
+
+    out: list[dict | None] = [None] * len(payloads)
+    fused: list[tuple[int, WaveEntry]] = []
+    parse_wall: dict[int, float] = {}
+    # Registry factories build a fresh model per call; resolve each
+    # (machine, backend) name pair once per wave, not once per point.
+    # The memo lives only for this call, so a re-registered model is
+    # still picked up by the next wave.
+    resolved: dict[tuple[str, str], tuple] = {}
+    for i, payload in enumerate(payloads):
+        t0 = time.perf_counter()
+        try:
+            point = PointSpec.from_dict(payload)
+            if point.min_time != 0.0:
+                out[i] = execute_point(payload)
+                continue
+            names = (point.machine, point.backend)
+            models = resolved.get(names)
+            if models is None:
+                models = resolved[names] = (get_machine(point.machine),
+                                            get_backend(point.backend))
+            machine, backend = models
+            ctx = _cached_context(machine, backend, point.threads,
+                                  point.allocator, point.mode)
+            if not batch_supported(point.case, ctx):
+                out[i] = execute_point(payload)
+                continue
+            profile = _cached_profile(machine, backend, point.threads,
+                                      point.allocator, point.mode,
+                                      point.case, point.n)
+            fused.append((i, WaveEntry(ctx.machine, ctx.backend, profile)))
+            parse_wall[i] = (time.perf_counter() - t0) * 1000.0
+        except UnsupportedOperationError as exc:
+            out[i] = {"status": NA, "seconds": None, "error": str(exc),
+                      "wall_ms": (time.perf_counter() - t0) * 1000.0}
+        except ReproError as exc:
+            out[i] = {"status": FAILED, "seconds": None,
+                      "error": f"{type(exc).__name__}: {exc}",
+                      "wall_ms": (time.perf_counter() - t0) * 1000.0}
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            out[i] = {"status": FAILED, "seconds": None,
+                      "error": f"{type(exc).__name__}: {exc}",
+                      "wall_ms": (time.perf_counter() - t0) * 1000.0}
+    if fused:
+        try:
+            t_fuse = time.perf_counter()
+            reports = simulate_wave(fuse_wave([entry for _, entry in fused]))
+            shared = (time.perf_counter() - t_fuse) * 1000.0 / len(fused)
+            for (i, _entry), report in zip(fused, reports):
+                out[i] = {"status": DONE, "seconds": report.seconds,
+                          "error": None, "wall_ms": parse_wall[i] + shared}
+        except Exception:  # noqa: BLE001 - degrade to per-point scalar
+            for i, _entry in fused:
+                out[i] = execute_point(payloads[i])
     return out
 
 
@@ -447,6 +587,48 @@ def _execute_serial_batch(tasks: list[PointTask], retries: int,
     return out
 
 
+def _execute_serial_wave(tasks: list[PointTask], retries: int,
+                         injector: FaultInjector | None = None,
+                         backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
+    """Serial wave-at-a-time execution; failed points retry scalar.
+
+    An injected worker fault poisons the whole wave -- the blast radius
+    a crashed worker running a fused wave shard would have -- and every
+    point of it then retries through the scalar path.
+    """
+    out: dict[str, dict] = {}
+    poisoned = None
+    if injector is not None:
+        for t in tasks:
+            poisoned = injector.claim_worker_fault(t.task_id, pool=False)
+            if poisoned is not None:
+                break
+    if poisoned is not None:
+        results = [_injected_failure(poisoned) for _ in tasks]
+    else:
+        results = execute_wave([t.point.to_dict() for t in tasks])
+    for task, payload in zip(tasks, results):
+        attempt = 0
+        while payload["status"] == FAILED and attempt < retries:
+            attempt += 1
+            backoff.sleep(task.task_id, attempt)
+            payload = execute_point(task.point.to_dict())
+        payload["attempts"] = attempt + 1
+        out[task.task_id] = payload
+    return out
+
+
+def _shard_wave(tasks: list[PointTask], shards: int) -> list[list[PointTask]]:
+    """Split a wave into up to ``shards`` balanced contiguous shards."""
+    count = max(1, min(shards, len(tasks)))
+    bounds = [len(tasks) * i // count for i in range(count + 1)]
+    return [
+        tasks[bounds[i]:bounds[i + 1]]
+        for i in range(count)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
 class _PoolHandle:
     """A rebuildable process pool: survives ``BrokenProcessPool``.
 
@@ -493,7 +675,8 @@ def _tasks_of(val: list[PointTask] | PointTask) -> list[PointTask]:
 
 
 def _run_pool(tasks: list[PointTask], pool, timeout: float | None, retries: int,
-              *, batch: bool = True, injector: FaultInjector | None = None,
+              *, batch: bool = True, wave: bool = False, shards: int = 1,
+              injector: FaultInjector | None = None,
               backoff: BackoffPolicy = _NO_BACKOFF) -> dict[str, dict]:
     """The pool engine: submission, timeout, bounded retry, pool rebuild.
 
@@ -549,6 +732,20 @@ def _run_pool(tasks: list[PointTask], pool, timeout: float | None, retries: int,
         else:
             pending[fut] = list(group)
 
+    def submit_wave(group: list[PointTask]) -> None:
+        payloads = [t.point.to_dict() for t in group]
+        directives = ([injector.claim_worker_fault(t.task_id) for t in group]
+                      if injector else [])
+        if any(directives):
+            fut = _submit(faulty_wave, payloads, directives,
+                          injector.plan.hang_seconds)
+        else:
+            fut = _submit(execute_wave, payloads)
+        if fut is None:
+            requeue.append(list(group))
+        else:
+            pending[fut] = list(group)
+
     def settle(task: PointTask, payload: dict) -> None:
         """Retry a failed payload while budget lasts, else record it."""
         if payload["status"] == FAILED and attempts[task.task_id] <= retries:
@@ -566,7 +763,10 @@ def _run_pool(tasks: list[PointTask], pool, timeout: float | None, retries: int,
             "attempts": attempts[task.task_id],
         }
 
-    if batch:
+    if wave:
+        for shard in _shard_wave(tasks, shards):
+            submit_wave(shard)
+    elif batch:
         for group in _group_curves(tasks):
             submit_group(group)
     else:
@@ -659,6 +859,22 @@ def _execute_pool_batch(tasks: list[PointTask], pool, timeout: float | None,
                      injector=injector, backoff=backoff)
 
 
+def _execute_pool_wave(tasks: list[PointTask], pool, timeout: float | None,
+                       retries: int, injector: FaultInjector | None = None,
+                       backoff: BackoffPolicy = _NO_BACKOFF,
+                       shards: int = 1) -> dict[str, dict]:
+    """Pool execution submitting balanced wave shards; retries are per-point.
+
+    The wave is split into up to ``shards`` contiguous shards (one per
+    worker keeps the pool busy without starving fusion), each submitted
+    through :func:`execute_wave`. A shard that fails, breaks its worker,
+    or times out marks all its points; each failed point then retries
+    individually through the scalar path, exactly like the curve mode.
+    """
+    return _run_pool(tasks, pool, timeout, retries, batch=True, wave=True,
+                     shards=shards, injector=injector, backoff=backoff)
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
@@ -670,6 +886,7 @@ def run_campaign(
     resume: bool = False,
     progress: Callable[[PointTask, PointResult], None] | None = None,
     batch: bool = True,
+    wave: bool = True,
     faults: FaultPlan | None = None,
     backoff: BackoffPolicy | None = None,
 ) -> CampaignOutcome:
@@ -700,10 +917,18 @@ def run_campaign(
     progress:
         Optional callback invoked with every (task, result) as recorded.
     batch:
-        Execute whole curves per task through the vectorized
-        ``repro.sim.batch`` path (bit-identical seconds; failed points
-        retry through the scalar path). ``False`` forces the scalar
-        per-point path everywhere -- the ``--no-batch`` debugging mode.
+        Execute points through the vectorized ``repro.sim.batch`` cost
+        model (bit-identical seconds; failed points retry through the
+        scalar path). ``False`` forces the scalar per-point path
+        everywhere -- the ``--no-batch`` debugging mode -- and also
+        disables wave fusion.
+    wave:
+        Fuse each wave's eligible points into one ``repro.sim.wave``
+        struct-of-arrays program (serial) or into one balanced shard per
+        worker (pool) instead of submitting per-curve tasks. Requires
+        ``batch``; ``False`` falls back to curve-at-a-time submission --
+        the ``--no-wave`` debugging mode. All three paths produce
+        bit-identical seconds.
     faults:
         Optional deterministic :class:`~repro.faults.FaultPlan`; when
         given, a :class:`~repro.faults.FaultInjector` is threaded
@@ -747,7 +972,8 @@ def run_campaign(
         outcome = _run(spec, store, workers, timeout, retries, journal, resume,
                        progress, batch,
                        FaultInjector(faults) if faults is not None else None,
-                       backoff if backoff is not None else _NO_BACKOFF)
+                       backoff if backoff is not None else _NO_BACKOFF,
+                       wave)
     finally:
         if span is not None:
             if outcome is not None:
@@ -759,8 +985,9 @@ def run_campaign(
 
 
 def _run(spec, store, workers, timeout, retries, journal, resume, progress,
-         batch=True, injector=None, backoff=_NO_BACKOFF):
+         batch=True, injector=None, backoff=_NO_BACKOFF, wave=True):
     """The executor body (directory/span plumbing handled by the caller)."""
+    use_wave = batch and wave  # the loop below rebinds ``wave`` to task groups
     plan = plan_campaign(spec)
     outcome = CampaignOutcome(spec=spec, plan=plan)
     outcome.stats.planned = len(plan.tasks)
@@ -821,11 +1048,22 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                 if workers >= 2:
                     if handle is None:
                         handle = _PoolHandle(workers)
-                    run_pool = _execute_pool_batch if batch else _execute_pool
-                    payloads = run_pool(to_run, handle, timeout, retries,
-                                        injector=injector, backoff=backoff)
+                    if use_wave:
+                        payloads = _execute_pool_wave(
+                            to_run, handle, timeout, retries,
+                            injector=injector, backoff=backoff, shards=workers,
+                        )
+                    else:
+                        run_pool = _execute_pool_batch if batch else _execute_pool
+                        payloads = run_pool(to_run, handle, timeout, retries,
+                                            injector=injector, backoff=backoff)
                 else:
-                    run_serial = _execute_serial_batch if batch else _execute_serial
+                    if use_wave:
+                        run_serial = _execute_serial_wave
+                    elif batch:
+                        run_serial = _execute_serial_batch
+                    else:
+                        run_serial = _execute_serial
                     payloads = run_serial(to_run, retries, injector=injector,
                                           backoff=backoff)
                 for task in to_run:

@@ -10,6 +10,7 @@ node) and ``compact`` (fill node 0 first). Backends pick their strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import ConfigurationError, PlacementError
 from repro.machines.cpu import CpuMachine
@@ -17,6 +18,35 @@ from repro.machines.cpu import CpuMachine
 __all__ = ["ThreadPlacement"]
 
 _STRATEGIES = ("scatter", "compact")
+
+
+@lru_cache(maxsize=1024)
+def _node_map(
+    num_nodes: int, cores_per_node: int, threads: int, strategy: str
+) -> tuple[int, ...]:
+    """thread -> NUMA node for every thread, memoized.
+
+    The map is a pure function of the topology numbers, the thread count
+    and the strategy, and campaign-scale sweeps ask for the same handful
+    of maps tens of thousands of times -- profiling showed the per-call
+    loop in ``threads_per_node`` as one of the last scalar hot spots.
+    """
+    if strategy == "scatter":
+        return tuple(t % num_nodes for t in range(threads))
+    return tuple(
+        min(t // cores_per_node, num_nodes - 1) for t in range(threads)
+    )
+
+
+@lru_cache(maxsize=1024)
+def _node_counts(
+    num_nodes: int, cores_per_node: int, threads: int, strategy: str
+) -> tuple[int, ...]:
+    """Threads hosted on each node, memoized alongside :func:`_node_map`."""
+    counts = [0] * num_nodes
+    for node in _node_map(num_nodes, cores_per_node, threads, strategy):
+        counts[node] += 1
+    return tuple(counts)
 
 
 @dataclass(frozen=True)
@@ -42,19 +72,23 @@ class ThreadPlacement:
         """NUMA node a given thread runs on."""
         if not 0 <= thread < self.threads:
             raise PlacementError(f"thread {thread} out of range")
-        nodes = self.machine.topology.num_nodes
-        if self.strategy == "scatter":
-            return thread % nodes
-        cores_per_node = self.machine.topology.cores_per_node
-        return min(thread // cores_per_node, nodes - 1)
+        return self.node_map[thread]
+
+    @property
+    def node_map(self) -> tuple[int, ...]:
+        """thread -> node for every thread (memoized per topology)."""
+        topo = self.machine.topology
+        return _node_map(
+            topo.num_nodes, topo.cores_per_node, self.threads, self.strategy
+        )
 
     @property
     def threads_per_node(self) -> tuple[int, ...]:
         """Thread count on each NUMA node."""
-        counts = [0] * self.machine.topology.num_nodes
-        for t in range(self.threads):
-            counts[self.node_of_thread(t)] += 1
-        return tuple(counts)
+        topo = self.machine.topology
+        return _node_counts(
+            topo.num_nodes, topo.cores_per_node, self.threads, self.strategy
+        )
 
     @property
     def nodes_used(self) -> int:

@@ -26,7 +26,12 @@ from repro.faults.plan import (
     decision,
     load_fault_plan,
 )
-from repro.faults.workers import apply_directive, faulty_curve, faulty_point
+from repro.faults.workers import (
+    apply_directive,
+    faulty_curve,
+    faulty_point,
+    faulty_wave,
+)
 
 __all__ = [
     "FaultPlan",
@@ -37,5 +42,6 @@ __all__ = [
     "load_fault_plan",
     "faulty_point",
     "faulty_curve",
+    "faulty_wave",
     "apply_directive",
 ]

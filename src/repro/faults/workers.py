@@ -26,7 +26,7 @@ import time
 
 from repro.errors import InjectedFaultError
 
-__all__ = ["faulty_point", "faulty_curve", "apply_directive"]
+__all__ = ["faulty_point", "faulty_curve", "faulty_wave", "apply_directive"]
 
 
 def apply_directive(directive: str, hang_seconds: float) -> None:
@@ -65,3 +65,19 @@ def faulty_curve(payloads: list[dict], directives: list[str | None],
     from repro.campaign.executor import execute_curve
 
     return execute_curve(payloads)
+
+
+def faulty_wave(payloads: list[dict], directives: list[str | None],
+                hang_seconds: float) -> list[dict]:
+    """:func:`~repro.campaign.executor.execute_wave` under per-point directives.
+
+    Same poisoning semantics as :func:`faulty_curve`, scaled to a fused
+    wave shard: one faulted point takes the whole shard future with it,
+    and every affected point then retries through the scalar path.
+    """
+    for directive in directives:
+        if directive is not None:
+            apply_directive(directive, hang_seconds)
+    from repro.campaign.executor import execute_wave
+
+    return execute_wave(payloads)

@@ -5,6 +5,15 @@ from repro.sim.engine import simulate_cpu
 from repro.sim.gpu import GpuExecution, simulate_gpu
 from repro.sim.interfaces import BackendModel
 from repro.sim.report import Counters, PhaseReport, SimReport
+from repro.sim.wave import (
+    WAVE_TRACK,
+    WaveEntry,
+    WaveProgram,
+    fuse_wave,
+    simulate_gpu_arrays,
+    simulate_wave,
+    simulate_wave_entries,
+)
 from repro.sim.work import ChunkWork, Phase, PhaseKind, WorkProfile
 
 __all__ = [
@@ -14,6 +23,13 @@ __all__ = [
     "simulate_cpu",
     "GpuExecution",
     "simulate_gpu",
+    "WAVE_TRACK",
+    "WaveEntry",
+    "WaveProgram",
+    "fuse_wave",
+    "simulate_gpu_arrays",
+    "simulate_wave",
+    "simulate_wave_entries",
     "BackendModel",
     "Counters",
     "PhaseReport",

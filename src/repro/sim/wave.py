@@ -1,0 +1,517 @@
+"""Wave-fused evaluation: every curve of a campaign wave in one array program.
+
+``repro.sim.batch`` vectorizes one curve at a time; campaign waves hold
+*many* curves -- for the Table 5 grid, every (machine, backend, case)
+cell of a wave is its own single-point curve, so per-curve batching
+amortizes nothing. This module fuses the whole wave instead:
+
+* :func:`fuse_wave` packs the :class:`~repro.sim.batch.ArrayProfile` of
+  every point into **one struct-of-arrays program** -- a single
+  concatenated array per chunk field across all phases of all profiles,
+  plus the per-phase model scalars (issue rate, SIMD lanes, traffic and
+  overhead factors) expanded to chunk granularity;
+* :func:`simulate_wave` evaluates the fused program: the elementwise
+  stage (instruction totals, FP lane execution, traffic scaling, time
+  conversion) runs **once over the whole wave**, and only the
+  order-sensitive folds and the NUMA bandwidth model run per phase --
+  with the expensive shared baselines (chunk->thread layouts,
+  thread->node maps) computed once per distinct partition instead of
+  once per point.
+
+**Bit-identical by construction.** The fused elementwise stage performs
+the same IEEE-754 operation per element as the batch engine (elementwise
+array ops are bit-identical whether the scalar operand is broadcast from
+a Python float or expanded via ``np.repeat``), and all order-sensitive
+accumulations are delegated to the exact same fold helpers
+(:func:`repro.sim.batch._fold`, ``_thread_fold``,
+``_dram_memory_time_arrays``) over per-phase slices of the fused arrays.
+``tools/diffcheck.py`` enforces the wave-vs-batch-vs-scalar three-way
+bit identity on randomized configurations.
+
+The GPU/unified-memory cost path is vectorized alongside the CPU path:
+:func:`simulate_gpu_arrays` is the array-profile counterpart of
+:func:`repro.sim.gpu.simulate_gpu` (same migration, launch and roofline
+model; per-phase counter folds as ``np.cumsum`` left folds, which match
+the scalar engine's ``sum()`` left folds bit for bit).
+
+Observability: fusing and executing a wave emit the ``wave.fuse`` and
+``wave.execute`` spans (category ``"wave"``, track :data:`WAVE_TRACK`)
+documented in docs/OBSERVABILITY.md -- the wave engine itself, like the
+batch engine, never emits per-phase spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.execution.affinity import ThreadPlacement
+from repro.machines.cpu import CpuMachine
+from repro.machines.gpu import GpuMachine
+from repro.memory.array import SimArray
+from repro.memory.unified import UnifiedMemory
+from repro.sim import batch as _batch
+from repro.sim.bandwidth import MATCHED_POLICIES
+from repro.sim.batch import ArrayPhase, ArrayProfile
+from repro.sim.engine import _lanes
+from repro.sim.gpu import GpuExecution, _INSTR_RATE_FACTOR
+from repro.sim.interfaces import BackendModel
+from repro.sim.report import Counters, PhaseReport, SimReport
+from repro.sim.work import PhaseKind
+from repro.trace import get_tracer
+
+__all__ = [
+    "WAVE_TRACK",
+    "WaveEntry",
+    "WaveProgram",
+    "fuse_wave",
+    "simulate_wave",
+    "simulate_wave_entries",
+    "simulate_gpu_arrays",
+]
+
+#: Trace track that ``wave.fuse`` / ``wave.execute`` spans are recorded on.
+WAVE_TRACK = "wave"
+
+
+@dataclass(frozen=True)
+class WaveEntry:
+    """One point of a wave: an array profile plus its execution target."""
+
+    machine: CpuMachine
+    backend: BackendModel
+    profile: ArrayProfile
+
+
+@dataclass(frozen=True)
+class _PhaseSlot:
+    """Fused-program bookkeeping for one phase of one entry."""
+
+    entry: int
+    phase: ArrayPhase
+    start: int
+    stop: int
+    lanes: int
+    rate: float
+
+
+@dataclass(frozen=True)
+class WaveProgram:
+    """A whole wave packed as one struct-of-arrays array program.
+
+    ``thread``/``elems``/``instr``/``fp_ops``/``bytes_read``/
+    ``bytes_written`` are the chunk fields of every phase of every
+    entry, concatenated in entry-then-phase-then-chunk order;
+    ``ovh_per_elem``/``traffic``/``inv_rate``/``lanes`` are the phase
+    scalars expanded to chunk granularity, so the elementwise stage of
+    the cost model can run once over the entire wave. ``slots`` maps
+    each phase back to its slice and its entry.
+    """
+
+    entries: tuple[WaveEntry, ...]
+    slots: tuple[_PhaseSlot, ...]
+    thread: np.ndarray
+    elems: np.ndarray
+    instr: np.ndarray
+    fp_ops: np.ndarray
+    bytes_read: np.ndarray
+    bytes_written: np.ndarray
+    ovh_per_elem: np.ndarray
+    traffic: np.ndarray
+    rate: np.ndarray
+    lanes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def fuse_wave(entries: list[WaveEntry] | tuple[WaveEntry, ...]) -> WaveProgram:
+    """Pack a wave of array profiles into one :class:`WaveProgram`.
+
+    Validates each profile against its machine the way the batch engine
+    does (so error parity is preserved), computes every phase's model
+    scalars once, and concatenates all chunk arrays into the fused
+    struct-of-arrays form. Emits a zero-duration ``wave.fuse`` span
+    (fusion is bookkeeping, not simulated time) when tracing is enabled.
+    """
+    entries = tuple(entries)
+    slots: list[_PhaseSlot] = []
+    fields: dict[str, list[np.ndarray]] = {
+        "thread": [], "elems": [], "instr": [], "fp_ops": [],
+        "bytes_read": [], "bytes_written": [],
+    }
+    ovh: list[float] = []
+    traffic: list[float] = []
+    rate: list[float] = []
+    lanes_l: list[int] = []
+    lengths: list[int] = []
+
+    offset = 0
+    for i, entry in enumerate(entries):
+        machine, backend, profile = entry.machine, entry.backend, entry.profile
+        if profile.threads > machine.total_cores:
+            raise SimulationError(
+                f"profile uses {profile.threads} threads but {machine.name} "
+                f"has {machine.total_cores} cores"
+            )
+        turbo = machine.seq_turbo_factor if profile.threads == 1 else 1.0
+        base_rate = machine.frequency_hz * machine.ipc * turbo
+        alg = profile.alg
+        for phase in profile.phases:
+            ca = phase.chunks
+            n_chunks = len(ca)
+            phase_rate = base_rate * backend.ipc_factor(alg)
+            if phase.kind is PhaseKind.SEQUENTIAL:
+                phase_rate /= backend.seq_codegen_factor(alg)
+            slots.append(_PhaseSlot(
+                entry=i, phase=phase, start=offset, stop=offset + n_chunks,
+                lanes=_lanes(machine, backend, phase, profile),
+                rate=phase_rate,
+            ))
+            fields["thread"].append(ca.thread)
+            fields["elems"].append(ca.elems)
+            fields["instr"].append(ca.instr)
+            fields["fp_ops"].append(ca.fp_ops)
+            fields["bytes_read"].append(ca.bytes_read)
+            fields["bytes_written"].append(ca.bytes_written)
+            ovh.append(
+                backend.instr_overhead_for(alg, machine.topology.num_nodes)
+                if phase.apply_instr_overhead else 0.0
+            )
+            traffic.append(backend.traffic_factor(alg))
+            rate.append(phase_rate)
+            lanes_l.append(slots[-1].lanes)
+            lengths.append(n_chunks)
+            offset += n_chunks
+
+    def _cat(name: str, dtype) -> np.ndarray:
+        if not fields[name]:
+            return np.zeros(0, dtype=dtype)
+        return np.concatenate([np.asarray(a, dtype=dtype) for a in fields[name]])
+
+    reps = np.asarray(lengths, dtype=np.int64)
+    program = WaveProgram(
+        entries=entries,
+        slots=tuple(slots),
+        thread=_cat("thread", np.int64),
+        elems=_cat("elems", np.float64),
+        instr=_cat("instr", np.float64),
+        fp_ops=_cat("fp_ops", np.float64),
+        bytes_read=_cat("bytes_read", np.float64),
+        bytes_written=_cat("bytes_written", np.float64),
+        ovh_per_elem=np.repeat(np.asarray(ovh), reps),
+        traffic=np.repeat(np.asarray(traffic), reps),
+        rate=np.repeat(np.asarray(rate), reps),
+        lanes=np.repeat(np.asarray(lanes_l, dtype=np.float64), reps),
+    )
+    tracer = get_tracer()
+    if tracer.enabled and entries:
+        tracer.record(
+            "wave.fuse", 0.0, category="wave", track=WAVE_TRACK,
+            points=len(entries), phases=len(slots), chunks=int(offset),
+        )
+    return program
+
+
+def _layout(cache: dict, thread: np.ndarray):
+    """Chunk->thread layout of one phase, shared across identical partitions.
+
+    The layout is a pure function of the thread-id array; points of a
+    wave that share a partition (every case of one (machine, backend)
+    cell does) compute it once. The key is the array's raw bytes, so
+    sharing works even when builders materialised separate arrays.
+    """
+    key = thread.tobytes()
+    hit = cache.get(key)
+    if hit is None:
+        hit = cache[key] = _batch._thread_layout(thread)
+    return hit
+
+
+def _nodes_of(
+    cache: dict,
+    machine: CpuMachine,
+    backend: BackendModel,
+    threads: int,
+    thread_order: np.ndarray,
+) -> np.ndarray:
+    """thread-order -> NUMA node array, shared across identical placements."""
+    key = (machine.name, backend.affinity_strategy, threads,
+           thread_order.tobytes())
+    hit = cache.get(key)
+    if hit is None:
+        placement = ThreadPlacement(
+            machine, threads, strategy=backend.affinity_strategy
+        )
+        hit = cache[key] = np.array(
+            [placement.node_of_thread(int(t) % threads) for t in thread_order],
+            dtype=np.int64,
+        )
+    return hit
+
+
+def simulate_wave(program: WaveProgram) -> tuple[SimReport, ...]:
+    """Evaluate a fused wave; one :class:`SimReport` per entry.
+
+    Bit-identical to running :func:`repro.sim.batch.simulate_cpu_arrays`
+    on each entry's profile separately (the three-way differential
+    harness enforces this): the fused elementwise stage computes the
+    same per-element IEEE-754 operations, and the order-sensitive folds
+    run on per-phase slices through the batch engine's own fold helpers.
+    Emits one ``wave.execute`` span carrying the wave's total simulated
+    seconds when tracing is enabled.
+    """
+    if not program.entries:
+        return ()
+
+    # --- fused elementwise stage: once over the entire wave ------------
+    has_fp = program.fp_ops > 0.0
+    executed = np.where(has_fp, program.fp_ops / program.lanes, 0.0)
+    instrs = program.instr + program.elems * program.ovh_per_elem + executed
+    read_traffic = program.bytes_read * program.traffic
+    write_traffic = program.bytes_written * program.traffic
+    instr_vals = instrs / program.rate
+    mem_vals = (program.bytes_read + program.bytes_written) * program.traffic
+    fp_masked = np.where(has_fp, program.fp_ops, 0.0)
+
+    layout_cache: dict = {}
+    node_cache: dict = {}
+    per_entry_phases: list[list[PhaseReport]] = [[] for _ in program.entries]
+
+    # --- per-phase order-sensitive stage --------------------------------
+    for slot in program.slots:
+        entry = program.entries[slot.entry]
+        machine, backend, profile = entry.machine, entry.backend, entry.profile
+        phase = slot.phase
+        s = slice(slot.start, slot.stop)
+        alg = profile.alg
+        lanes = slot.lanes
+
+        ctr = {
+            "instructions": _batch._fold(instrs[s]),
+            "fp_scalar": 0.0,
+            "fp_packed_128": 0.0,
+            "fp_packed_256": 0.0,
+            "bytes_read": _batch._fold(read_traffic[s]),
+            "bytes_written": _batch._fold(write_traffic[s]),
+        }
+        if lanes <= 1:
+            ctr["fp_scalar"] = _batch._fold(fp_masked[s])
+        elif lanes == 2:
+            ctr["fp_packed_128"] = _batch._fold(executed[s])
+        else:
+            ctr["fp_packed_256"] = _batch._fold(executed[s])
+
+        thread_order, tidx, slot_idx = _layout(layout_cache, program.thread[s])
+        num_threads = len(thread_order)
+        instr_time = _batch._thread_fold(
+            instr_vals[s], tidx, slot_idx, num_threads
+        )
+        mem_bytes = _batch._thread_fold(mem_vals[s], tidx, slot_idx, num_threads)
+
+        compute_time = float(instr_time.max()) if num_threads else 0.0
+        if phase.kind is PhaseKind.PARALLEL and profile.threads > 1:
+            scaling = profile.threads / backend.effective_threads(profile.threads)
+            if scaling > 1.0:
+                compute_time *= scaling
+                instr_time = instr_time * scaling
+
+        memory_time = 0.0
+        total_phase_bytes = _batch._fold(mem_bytes)
+        if total_phase_bytes > 0.0 and phase.placement is not None:
+            active = max(1, num_threads)
+            level = machine.caches.fitting_level(int(phase.working_set), active)
+            if level is not None:
+                bw = level.bandwidth_per_core
+                lane_mem = mem_bytes / bw
+                memory_time = float(lane_mem.max())
+                per_thread_roofline = float(
+                    np.maximum(instr_time, lane_mem).max()
+                )
+            else:
+                thread_nodes = _nodes_of(
+                    node_cache, machine, backend, profile.threads, thread_order
+                )
+                active_nodes = len(set(thread_nodes.tolist()))
+                matched = None
+                if phase.placement.policy in MATCHED_POLICIES:
+                    matched = backend.numa_quality(alg) ** max(0, active_nodes - 1)
+                times = _batch._dram_memory_time_arrays(
+                    machine,
+                    phase.placement,
+                    mem_bytes,
+                    thread_nodes,
+                    matched_quality=matched,
+                    bw_efficiency=backend.bw_efficiency_at(alg, active_nodes),
+                )
+                memory_time = times.total
+                scale = times.per_thread / max(1e-30, float(mem_bytes.max()))
+                lane_mem = mem_bytes * scale
+                per_thread_roofline = float(
+                    np.maximum(instr_time, lane_mem).max()
+                )
+                per_thread_roofline = max(
+                    per_thread_roofline,
+                    times.per_node,
+                    times.global_dram,
+                    times.interconnect,
+                )
+        else:
+            per_thread_roofline = compute_time
+
+        phase_time = max(compute_time, per_thread_roofline)
+
+        if (
+            phase.spread_penalty > 1.0
+            and phase.placement is not None
+            and max(phase.placement.node_fractions) < 1.0 - 1e-3
+        ):
+            weight = min(1.0, 2.0 / machine.topology.num_nodes)
+            phase_time *= 1.0 + (phase.spread_penalty - 1.0) * weight
+
+        overhead_time = 0.0
+        if phase.sched_chunks:
+            overhead_time += backend.sched_overhead(
+                phase.sched_chunks, profile.threads
+            )
+        if phase.sync_points:
+            overhead_time += phase.sync_points * backend.sync_cost(profile.threads)
+        phase_time += overhead_time
+
+        per_entry_phases[slot.entry].append(
+            PhaseReport(
+                name=phase.name,
+                seconds=phase_time,
+                compute_seconds=compute_time,
+                memory_seconds=memory_time,
+                overhead_seconds=overhead_time,
+                counters=Counters(**ctr),
+            )
+        )
+
+    # --- per-entry report assembly (scalar accumulation order) ----------
+    reports: list[SimReport] = []
+    for entry, phase_reports in zip(program.entries, per_entry_phases):
+        backend, profile = entry.backend, entry.profile
+        total_counters = Counters()
+        total_time = 0.0
+        for pr in phase_reports:
+            total_counters = total_counters + pr.counters
+            total_time += pr.seconds
+        fork_join = 0.0
+        if profile.is_parallel:
+            fork_join = profile.regions * (
+                backend.fork_overhead(profile.threads)
+                + backend.join_overhead(profile.threads)
+            )
+        total_time += fork_join
+        reports.append(
+            SimReport(
+                seconds=total_time,
+                counters=total_counters,
+                phases=tuple(phase_reports),
+                fork_join_seconds=fork_join,
+            )
+        )
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        total = 0.0
+        for report in reports:
+            total += report.seconds
+        tracer.record(
+            "wave.execute", total, category="wave", track=WAVE_TRACK,
+            points=len(reports),
+        )
+        tracer.advance(total)
+    return tuple(reports)
+
+
+def simulate_wave_entries(
+    entries: list[WaveEntry] | tuple[WaveEntry, ...],
+) -> tuple[SimReport, ...]:
+    """Fuse and evaluate ``entries`` in one call (span-emitting shortcut)."""
+    return simulate_wave(fuse_wave(entries))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized GPU / unified-memory cost path
+# ---------------------------------------------------------------------------
+
+def simulate_gpu_arrays(
+    gpu: GpuMachine,
+    profile: ArrayProfile,
+    arrays: tuple[SimArray, ...],
+    options: GpuExecution = GpuExecution(),
+) -> SimReport:
+    """Cost an :class:`ArrayProfile` on a GPU; bit-identical to ``simulate_gpu``.
+
+    The array-program counterpart of :func:`repro.sim.gpu.simulate_gpu`:
+    unified-memory migration mutates array residency exactly as the
+    scalar path does (chained calls on resident data still pay nothing),
+    and every per-phase counter total is a ``np.cumsum`` left fold,
+    which matches the scalar engine's ``sum()`` left fold bit for bit.
+    Like the batch CPU engine it emits no per-phase spans; wave callers
+    record ``wave.*`` spans instead.
+    """
+    um = UnifiedMemory(gpu)
+    migration = 0.0
+    for array in arrays:
+        migration += um.to_device(array).seconds
+
+    total_counters = Counters()
+    phase_reports: list[PhaseReport] = []
+    kernel_time = 0.0
+    launches = max(1, profile.regions)
+
+    for phase in profile.phases:
+        ca = phase.chunks
+        instr = _batch._fold(ca.instr)
+        fp = _batch._fold(ca.fp_ops)
+        bytes_read = _batch._fold(ca.bytes_read)
+        bytes_written = _batch._fold(ca.bytes_written)
+
+        rate = gpu.compute_rate(profile.elem.size)
+        compute = (fp + instr * _INSTR_RATE_FACTOR) / rate
+        memory = (bytes_read + bytes_written) / gpu.mem_bandwidth
+        if phase.kind is PhaseKind.SEQUENTIAL:
+            compute = (fp + instr) / (rate / max(1, gpu.cuda_cores // 64))
+        seconds = max(compute, memory)
+        kernel_time += seconds
+
+        counters = Counters(
+            instructions=instr + fp,
+            fp_scalar=fp,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+        )
+        total_counters = total_counters + counters
+        phase_reports.append(
+            PhaseReport(
+                name=phase.name,
+                seconds=seconds,
+                compute_seconds=compute,
+                memory_seconds=memory,
+                overhead_seconds=0.0,
+                counters=counters,
+            )
+        )
+
+    transfer_back = 0.0
+    if options.transfer_back:
+        for array in arrays:
+            transfer_back += um.to_host(array).seconds
+
+    launch = launches * gpu.kernel_launch_latency
+    total = migration + launch + kernel_time + transfer_back
+    if total < 0:
+        raise SimulationError("negative GPU time (model bug)")
+    return SimReport(
+        seconds=total,
+        counters=total_counters,
+        phases=tuple(phase_reports),
+        fork_join_seconds=launch,
+        migration_seconds=migration + transfer_back,
+    )

@@ -1,0 +1,202 @@
+"""tools/bench_trajectory.py: the append-and-gate benchmark ledger.
+
+The trajectory tool is itself CI-gating, so its failure modes need
+pinning as much as its happy path: an append that duplicated entries,
+a gate that silently passed malformed JSON, or a regression rule that
+never fired would all rot the performance story without anyone
+noticing. Covered here with injected metrics (no real benchmarks run):
+
+* idempotent append -- re-running on the same commit replaces that
+  commit's entry, distinct commits accumulate in order;
+* schema round-trip -- what ``run`` writes, ``load_trajectory`` and
+  ``check`` accept verbatim;
+* the gate -- floors fire, a synthetic >10% ratio slowdown fires, a
+  within-tolerance dip does not, and an empty/missing ledger fails;
+* malformed ledgers -- invalid JSON, wrong schema version, wrong
+  benchmark name, missing entry keys and non-numeric gated metrics are
+  all rejected with errors that name the file and the problem;
+* the CLI -- exit code 0 / 1 / 2 mapping for OK / gate / malformed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "bench_trajectory.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("bench_trajectory", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_trajectory"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+bt = _load_tool()
+
+
+def _sweep_metrics(speedup=6.0):
+    return {"scalar_s": 1.2, "batch_s": 1.2 / speedup, "batch_speedup": speedup}
+
+
+def _campaign_metrics(wave_over_batch=1.7, warm_speedup=40.0):
+    return {
+        "cold_batch_s": 0.08, "cold_wave_s": 0.08 / wave_over_batch,
+        "warm_s": 0.002, "wave_over_batch": wave_over_batch,
+        "warm_speedup": warm_speedup,
+    }
+
+
+# --- append -----------------------------------------------------------------
+
+
+def test_append_is_idempotent_per_commit(tmp_path):
+    path = tmp_path / "BENCH_SWEEP.json"
+    bt.append_entry(path, "sweep", _sweep_metrics(6.0), "aaa111", "2026-08-08")
+    bt.append_entry(path, "sweep", _sweep_metrics(6.5), "aaa111", "2026-08-08")
+    data = bt.load_trajectory(path, "sweep")
+    assert len(data["entries"]) == 1  # same commit: replaced, not duplicated
+    assert data["entries"][0]["metrics"]["batch_speedup"] == 6.5
+
+    bt.append_entry(path, "sweep", _sweep_metrics(7.0), "bbb222", "2026-08-09")
+    data = bt.load_trajectory(path, "sweep")
+    assert [e["commit"] for e in data["entries"]] == ["aaa111", "bbb222"]
+
+
+def test_schema_round_trip(tmp_path):
+    path = tmp_path / "BENCH_CAMPAIGN.json"
+    written = bt.append_entry(path, "campaign", _campaign_metrics(),
+                              "cafe01", "2026-08-08T12:00:00+00:00")
+    loaded = bt.load_trajectory(path, "campaign")
+    assert loaded == written
+    assert loaded["schema"] == bt.SCHEMA_VERSION
+    assert loaded["benchmark"] == "campaign"
+    entry = loaded["entries"][0]
+    assert entry["commit"] == "cafe01"
+    assert entry["recorded"] == "2026-08-08T12:00:00+00:00"
+    assert set(bt.GATES["campaign"]) <= set(entry["metrics"])
+
+
+# --- gate -------------------------------------------------------------------
+
+
+def test_missing_ledger_is_a_gate_failure(tmp_path):
+    with pytest.raises(bt.GateError, match="no entries"):
+        bt.check_trajectory(tmp_path / "BENCH_SWEEP.json", "sweep")
+
+
+def test_floor_fires(tmp_path):
+    path = tmp_path / "BENCH_SWEEP.json"
+    bt.append_entry(path, "sweep", _sweep_metrics(4.9), "aaa", "t")
+    with pytest.raises(bt.GateError, match="below the floor"):
+        bt.check_trajectory(path, "sweep")
+
+
+def test_regression_fires_on_synthetic_slowdown(tmp_path):
+    path = tmp_path / "BENCH_CAMPAIGN.json"
+    bt.append_entry(path, "campaign", _campaign_metrics(2.0, 40.0), "aaa", "t0")
+    bt.append_entry(path, "campaign", _campaign_metrics(1.7, 40.0), "bbb", "t1")
+    with pytest.raises(bt.GateError, match="wave_over_batch regressed"):
+        bt.check_trajectory(path, "campaign")  # 15% drop > 10% tolerance
+
+
+def test_within_tolerance_dip_passes(tmp_path):
+    path = tmp_path / "BENCH_CAMPAIGN.json"
+    bt.append_entry(path, "campaign", _campaign_metrics(2.0, 40.0), "aaa", "t0")
+    bt.append_entry(path, "campaign", _campaign_metrics(1.85, 38.0), "bbb", "t1")
+    lines = bt.check_trajectory(path, "campaign")  # 7.5% drop: allowed
+    assert any("wave_over_batch" in line for line in lines)
+
+
+def test_gate_compares_against_previous_entry_only(tmp_path):
+    path = tmp_path / "BENCH_SWEEP.json"
+    bt.append_entry(path, "sweep", _sweep_metrics(9.0), "aaa", "t0")
+    bt.append_entry(path, "sweep", _sweep_metrics(6.0), "bbb", "t1")
+    bt.append_entry(path, "sweep", _sweep_metrics(5.8), "ccc", "t2")
+    bt.check_trajectory(path, "sweep")  # 6.0 -> 5.8 is fine; 9.0 is history
+
+
+# --- malformed ledgers ------------------------------------------------------
+
+
+def test_invalid_json_rejected_with_clear_error(tmp_path):
+    path = tmp_path / "BENCH_SWEEP.json"
+    path.write_text("{not json")
+    with pytest.raises(bt.TrajectoryError, match="BENCH_SWEEP.json.*not valid JSON"):
+        bt.load_trajectory(path, "sweep")
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda d: d.update(schema=99), "unsupported schema"),
+    (lambda d: d.update(benchmark="campaign"), "benchmark is 'campaign'"),
+    (lambda d: d.update(entries="nope"), "'entries' must be a list"),
+    (lambda d: d["entries"][0].pop("commit"), "missing 'commit'"),
+    (lambda d: d["entries"][0].pop("recorded"), "missing 'recorded'"),
+    (lambda d: d["entries"][0].pop("metrics"), "missing 'metrics'"),
+    (lambda d: d["entries"][0]["metrics"].update(batch_speedup="fast"),
+     "batch_speedup must be a number"),
+])
+def test_malformed_ledger_rejected(tmp_path, mutate, message):
+    path = tmp_path / "BENCH_SWEEP.json"
+    bt.append_entry(path, "sweep", _sweep_metrics(), "aaa", "t")
+    data = json.loads(path.read_text())
+    mutate(data)
+    path.write_text(json.dumps(data))
+    with pytest.raises(bt.TrajectoryError, match=message):
+        bt.load_trajectory(path, "sweep")
+
+
+# --- CLI --------------------------------------------------------------------
+
+
+def _seed_both(root, **overrides):
+    bt.append_entry(root / "BENCH_SWEEP.json", "sweep",
+                    _sweep_metrics(overrides.get("batch_speedup", 6.0)),
+                    "aaa", "t")
+    bt.append_entry(root / "BENCH_CAMPAIGN.json", "campaign",
+                    _campaign_metrics(overrides.get("wave_over_batch", 1.7)),
+                    "aaa", "t")
+
+
+def test_cli_check_ok(tmp_path, capsys):
+    _seed_both(tmp_path)
+    assert bt.main(["check", "--root", str(tmp_path)]) == 0
+    assert "benchmark trajectory OK" in capsys.readouterr().out
+
+
+def test_cli_check_gate_failure_exits_1(tmp_path, capsys):
+    _seed_both(tmp_path, wave_over_batch=1.2)
+    assert bt.main(["check", "--root", str(tmp_path)]) == 1
+    assert "GATE FAILED" in capsys.readouterr().err
+
+
+def test_cli_check_malformed_exits_2(tmp_path, capsys):
+    _seed_both(tmp_path)
+    (tmp_path / "BENCH_CAMPAIGN.json").write_text("[]")
+    assert bt.main(["check", "--root", str(tmp_path)]) == 2
+    assert "MALFORMED" in capsys.readouterr().err
+
+
+def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
+    """The run subcommand end-to-end, with benchmarks stubbed out."""
+    monkeypatch.setitem(bt.MEASURES, "sweep",
+                        lambda repeats: _sweep_metrics(6.2))
+    monkeypatch.setitem(bt.MEASURES, "campaign",
+                        lambda repeats: _campaign_metrics(1.8, 35.0))
+    rc = bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
+                  "--recorded", "2026-08-08T00:00:00+00:00"])
+    assert rc == 0
+    assert bt.main(["check", "--root", str(tmp_path)]) == 0
+    # idempotence through the CLI too: same commit, still one entry each
+    assert bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
+                    "--recorded", "2026-08-08T00:00:00+00:00"]) == 0
+    for name, family in (("BENCH_SWEEP.json", "sweep"),
+                         ("BENCH_CAMPAIGN.json", "campaign")):
+        data = bt.load_trajectory(tmp_path / name, family)
+        assert [e["commit"] for e in data["entries"]] == ["deadbeef"]

@@ -34,7 +34,7 @@ def _failed(payloads):
 def test_curve_failure_retries_scalar_and_recovers(monkeypatch):
     """Every point of a failed curve retries through execute_point."""
     monkeypatch.setattr(executor_mod, "execute_curve", _failed)
-    outcome = run_campaign(tiny_spec(), retries=1)
+    outcome = run_campaign(tiny_spec(), retries=1, wave=False)
     assert outcome.stats.failed == 0
     executed = [r for r in outcome.results.values() if not r.cached]
     assert executed
@@ -52,7 +52,7 @@ def test_recovered_points_journal_single_terminal_row(tmp_path, monkeypatch):
     """Retry happens before journaling: one row per task, all done."""
     monkeypatch.setattr(executor_mod, "execute_curve", _failed)
     cdir = tmp_path / "camp"
-    outcome = run_campaign(tiny_spec(), campaign_dir=cdir, retries=1)
+    outcome = run_campaign(tiny_spec(), campaign_dir=cdir, retries=1, wave=False)
     assert outcome.stats.failed == 0
     entries = Journal(cdir / "journal.jsonl").entries()
     per_task: dict[str, list[dict]] = {}
@@ -77,7 +77,7 @@ def test_journaled_failure_resumes_to_success_without_duplicates(
         ]
 
     monkeypatch.setattr(executor_mod, "execute_curve", timed_out)
-    first = run_campaign(tiny_spec(), campaign_dir=cdir, retries=0)
+    first = run_campaign(tiny_spec(), campaign_dir=cdir, retries=0, wave=False)
     assert first.stats.failed == first.stats.executed > 0
     monkeypatch.undo()
 

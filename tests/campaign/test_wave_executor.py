@@ -1,0 +1,200 @@
+"""Wave-fused campaign execution: same answers, fewer and bigger submissions.
+
+The executor's default path now fuses every eligible point of a wave
+into one struct-of-arrays program (``repro.sim.wave``). These tests pin
+the properties that make that safe to default on:
+
+* **bit-identity** -- wave, per-curve batch and scalar campaigns produce
+  identical statuses and bit-identical seconds, serial and pooled;
+* **escape hatches** -- ``wave=False`` really falls back to curve-at-a-
+  time batch submission (the ``--no-wave`` CLI contract);
+* **retry parity** -- a failed fused wave degrades to per-point scalar
+  retries exactly like a failed curve does;
+* **observability** -- a traced wave campaign carries ``wave.fuse`` /
+  ``wave.execute`` spans on the ``wave`` track;
+* **profile gates** -- the wave path reuses contexts and thread layouts
+  instead of rebuilding them per point, which is where its speedup over
+  the per-curve batch path comes from.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import executor as executor_mod
+from repro.campaign.executor import run_campaign
+from repro.campaign.plan import plan_campaign
+from repro.campaign.store import DONE, FAILED
+from repro.sim import batch as batch_mod
+from repro.trace import Tracer, use_tracer
+
+from tests.campaign.test_executor import tiny_spec
+
+
+def wider_spec(**kwargs):
+    base = dict(name="wider", machines=("A", "B"),
+                backends=("GCC-TBB", "GCC-GNU", "GCC-SEQ"),
+                cases=("reduce", "inclusive_scan", "sort", "find"),
+                size_exps=(10, 12))
+    base.update(kwargs)
+    return tiny_spec(**base)
+
+
+def _assert_outcomes_identical(left, right):
+    assert set(left.results) == set(right.results)
+    for tid, a in left.results.items():
+        b = right.results[tid]
+        assert a.status == b.status, tid
+        if a.seconds is None or b.seconds is None:
+            assert a.seconds == b.seconds, tid
+        else:
+            assert a.seconds.hex() == b.seconds.hex(), tid
+
+
+def test_wave_batch_and_scalar_campaigns_bit_identical():
+    spec = wider_spec()
+    wave = run_campaign(spec)  # wave fusion is the default
+    batch = run_campaign(spec, wave=False)
+    scalar = run_campaign(spec, batch=False)
+    assert wave.stats.failed == 0
+    _assert_outcomes_identical(wave, batch)
+    _assert_outcomes_identical(wave, scalar)
+
+
+def test_pool_wave_matches_serial_wave():
+    spec = wider_spec()
+    serial = run_campaign(spec)
+    pooled = run_campaign(spec, workers=2)
+    assert pooled.stats.failed == 0
+    _assert_outcomes_identical(pooled, serial)
+
+
+def test_no_wave_forces_curve_submissions(monkeypatch):
+    """``wave=False`` must route through execute_curve, never execute_wave."""
+    curves, waves = [], []
+    real_curve = executor_mod.execute_curve
+
+    def spy_curve(payloads):
+        curves.append(len(payloads))
+        return real_curve(payloads)
+
+    def spy_wave(payloads):  # pragma: no cover - failure mode
+        waves.append(len(payloads))
+        return executor_mod.execute_wave(payloads)
+
+    monkeypatch.setattr(executor_mod, "execute_curve", spy_curve)
+    monkeypatch.setattr(executor_mod, "execute_wave", spy_wave)
+    outcome = run_campaign(tiny_spec(), wave=False)
+    assert outcome.stats.failed == 0
+    assert curves and not waves
+
+
+def test_batch_false_implies_no_wave(monkeypatch):
+    """batch=False disables fusion too; everything goes through execute_point."""
+    called = []
+    monkeypatch.setattr(
+        executor_mod, "execute_wave",
+        lambda payloads: called.append(len(payloads)),
+    )
+    outcome = run_campaign(tiny_spec(), batch=False)
+    assert outcome.stats.failed == 0
+    assert not called
+
+
+def test_wave_failure_retries_scalar_and_recovers(monkeypatch):
+    """Every point of a failed fused wave retries through execute_point."""
+
+    def failed(payloads):
+        return [
+            {"status": FAILED, "seconds": None, "error": "injected wave failure"}
+            for _ in payloads
+        ]
+
+    monkeypatch.setattr(executor_mod, "execute_wave", failed)
+    outcome = run_campaign(tiny_spec(), retries=1)
+    assert outcome.stats.failed == 0
+    executed = [r for r in outcome.results.values() if not r.cached]
+    assert executed
+    for result in executed:
+        if result.status == DONE:
+            assert result.attempts == 2  # wave failure + scalar retry
+    monkeypatch.undo()
+
+    clean = run_campaign(tiny_spec(), batch=False)
+    _assert_outcomes_identical(outcome, clean)
+
+
+def test_wave_fused_stage_exception_falls_back_per_point(monkeypatch):
+    """A crash inside fusion degrades execute_wave itself to scalar points."""
+    from repro.sim import wave as wave_mod
+
+    def boom(entries):
+        raise RuntimeError("fusion blew up")
+
+    # execute_wave imports fuse_wave lazily, so the module patch is seen.
+    monkeypatch.setattr(wave_mod, "fuse_wave", boom)
+    outcome = run_campaign(tiny_spec())
+    assert outcome.stats.failed == 0
+    clean = run_campaign(tiny_spec(), batch=False)
+    _assert_outcomes_identical(outcome, clean)
+
+
+def test_shard_wave_is_balanced_and_complete():
+    plan = plan_campaign(wider_spec())
+    for tasks in plan.waves():
+        tasks = list(tasks)
+        for shards in (1, 2, 3, 7, len(tasks), len(tasks) + 5):
+            parts = executor_mod._shard_wave(tasks, shards)
+            assert [t for part in parts for t in part] == tasks
+            assert all(parts)  # no empty shards
+            sizes = {len(part) for part in parts}
+            assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+def test_traced_wave_campaign_emits_wave_spans():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_campaign(tiny_spec())
+    names = [s.name for s in tracer.spans if s.track == "wave"]
+    assert "wave.fuse" in names
+    assert "wave.execute" in names
+    fuse = next(s for s in tracer.spans if s.name == "wave.fuse")
+    assert fuse.category == "wave"
+    assert fuse.attributes["points"] >= 1
+
+
+def test_wave_campaign_builds_one_context_per_cell():
+    """Context construction is cached across a wave, not repeated per point."""
+    spec = wider_spec()
+    executor_mod._cached_context.cache_clear()
+    run_campaign(spec)
+    info = executor_mod._cached_context.cache_info()
+    plan = plan_campaign(spec)
+    cells = {
+        (t.point.machine, t.point.backend, t.point.threads,
+         t.point.allocator, t.point.mode)
+        for t in plan.runnable
+    }
+    assert 0 < info.misses <= len(cells)
+    assert info.hits > info.misses  # most points reuse a cached context
+
+
+def test_wave_path_builds_fewer_thread_layouts_than_batch(monkeypatch):
+    """The fused engine shares layout work the per-curve path repeats."""
+    spec = wider_spec()
+    counts = {"n": 0}
+    real_layout = batch_mod._thread_layout
+
+    def counting_layout(thread):
+        counts["n"] += 1
+        return real_layout(thread)
+
+    monkeypatch.setattr(batch_mod, "_thread_layout", counting_layout)
+
+    counts["n"] = 0
+    run_campaign(spec, wave=False)
+    batch_layouts = counts["n"]
+
+    counts["n"] = 0
+    run_campaign(spec)
+    wave_layouts = counts["n"]
+
+    assert 0 < wave_layouts < batch_layouts

@@ -1,0 +1,249 @@
+"""Differential harness: the wave-fused path must match batch (and scalar) bitwise.
+
+Mirrors ``test_batch_differential.py`` one tier up: the batch engine is
+already pinned to the scalar engine there, so pinning the wave engine to
+the batch engine closes the scalar == batch == wave triangle. Layers:
+
+1. engine equivalence -- ``simulate_wave`` over a heterogeneous fused
+   program (every machine x backend x case cell in one wave, mixed
+   sizes) reproduces per-profile ``simulate_cpu_arrays`` field for
+   field, including the degenerate single-entry and empty waves;
+2. the GPU array path -- ``simulate_gpu_arrays`` reproduces
+   ``simulate_gpu`` on captured profiles, including unified-memory
+   residency mutation across chained calls;
+3. the randomized sweep (marker ``diffcheck``, shared with
+   ``tools/diffcheck.py`` and the CI job): seeded random configuration
+   groups fused wave-style and diffed entry by entry;
+4. the observability contract: fusing/executing a wave emits the
+   ``wave.fuse`` / ``wave.execute`` spans on the ``wave`` track, and
+   the engine stays span-silent when no tracer is installed.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.execution.context import ExecutionContext
+from repro.experiments.common import make_ctx
+from repro.sim.batch import simulate_cpu_arrays
+from repro.sim.gpu import simulate_gpu
+from repro.sim.wave import (
+    WAVE_TRACK,
+    WaveEntry,
+    fuse_wave,
+    simulate_gpu_arrays,
+    simulate_wave,
+    simulate_wave_entries,
+)
+from repro.sim.batch import profile_to_arrays
+from repro.suite.batch import BATCH_CASES, build_array_profile
+from repro.suite.cases import get_case
+from repro.suite.wrappers import measure_case
+from repro.trace import Tracer, use_tracer
+from repro.types import elem_type
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "diffcheck.py"
+
+
+def _load_diffcheck():
+    import sys
+
+    spec = importlib.util.spec_from_file_location("diffcheck", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["diffcheck"] = module  # dataclasses resolve via sys.modules
+    spec.loader.exec_module(module)
+    return module
+
+
+diffcheck = _load_diffcheck()
+
+
+def _assert_reports_identical(wave, batch):
+    left = diffcheck._report_fields(wave)
+    right = diffcheck._report_fields(batch)
+    assert len(left) == len(right)
+    for (name_w, value_w), (name_b, value_b) in zip(left, right):
+        assert name_w == name_b
+        assert value_w == value_b, f"{name_w}: wave={value_w} batch={value_b}"
+
+
+def _mixed_wave():
+    """A deliberately heterogeneous wave: every cell of a mini-campaign."""
+    entries = []
+    expected = []
+    for machine in ("A", "B", "C"):
+        for backend in ("GCC-TBB", "GCC-GNU", "GCC-SEQ"):
+            for case in BATCH_CASES:
+                for n in (1, 63, 1 << 12):
+                    ctx = make_ctx(machine, backend, threads=8)
+                    try:
+                        profile = build_array_profile(
+                            case, ctx, n, elem_type("double")
+                        )
+                    except Exception:
+                        continue  # N/A cells: parity is diffcheck's job
+                    entries.append(WaveEntry(ctx.machine, ctx.backend, profile))
+                    expected.append(
+                        simulate_cpu_arrays(ctx.machine, ctx.backend, profile)
+                    )
+    assert len(entries) > 100  # the wave really is campaign-shaped
+    return entries, expected
+
+
+# --- 1. engine equivalence -------------------------------------------------
+
+
+def test_fused_wave_matches_batch_per_entry():
+    entries, expected = _mixed_wave()
+    reports = simulate_wave(fuse_wave(entries))
+    assert len(reports) == len(expected)
+    for wave_report, batch_report in zip(reports, expected):
+        _assert_reports_identical(wave_report, batch_report)
+
+
+def test_single_entry_wave_matches_batch():
+    ctx = make_ctx("A", "GCC-TBB", threads=16)
+    profile = build_array_profile("reduce", ctx, 1 << 16)
+    (report,) = simulate_wave_entries(
+        [WaveEntry(ctx.machine, ctx.backend, profile)]
+    )
+    _assert_reports_identical(
+        report, simulate_cpu_arrays(ctx.machine, ctx.backend, profile)
+    )
+
+
+def test_empty_wave_is_empty():
+    program = fuse_wave([])
+    assert len(program) == 0
+    assert simulate_wave(program) == ()
+
+
+def test_wave_and_scalar_agree_end_to_end():
+    """Close the triangle directly: wave seconds == scalar measured seconds."""
+    ctx = make_ctx("B", "GCC-TBB", threads=12)
+    entries = []
+    scalar_seconds = []
+    for case in ("reduce", "find", "inclusive_scan"):
+        profile = build_array_profile(case, ctx, 1 << 14)
+        entries.append(WaveEntry(ctx.machine, ctx.backend, profile))
+        scalar_seconds.append(
+            measure_case(get_case(case), ctx, 1 << 14, elem_type("double"))
+        )
+    for report, seconds in zip(simulate_wave(fuse_wave(entries)), scalar_seconds):
+        assert report.seconds.hex() == float(seconds).hex()
+
+
+def test_fuse_rejects_oversubscribed_profile_like_batch():
+    ctx = make_ctx("A", "GCC-TBB", threads=4)
+    profile = build_array_profile("reduce", ctx, 1 << 10)
+    bad = dataclasses.replace(profile, threads=ctx.machine.total_cores + 1)
+    with pytest.raises(SimulationError):
+        fuse_wave([WaveEntry(ctx.machine, ctx.backend, bad)])
+    with pytest.raises(SimulationError):
+        simulate_cpu_arrays(ctx.machine, ctx.backend, bad)
+
+
+# --- 2. the GPU array path -------------------------------------------------
+
+
+def _gpu_profiles(gpu_ctx):
+    """WorkProfiles + arrays captured from scalar GPU case invocations."""
+    captured = []
+    original = ExecutionContext.simulate
+
+    def spy(self, profile, arrays=()):
+        # Snapshot residency *before* the real call migrates these arrays.
+        captured.append((profile, copy.deepcopy(tuple(arrays))))
+        return original(self, profile, arrays)
+
+    ExecutionContext.simulate = spy
+    try:
+        for case in ("reduce", "transform", "inclusive_scan"):
+            measure_case(get_case(case), gpu_ctx, 1 << 14, elem_type("double"))
+    finally:
+        ExecutionContext.simulate = original
+    assert captured
+    return captured
+
+
+def test_gpu_arrays_engine_matches_scalar_gpu():
+    gpu_ctx = make_ctx("D", "NVC-CUDA")
+    for profile, arrays in _gpu_profiles(gpu_ctx):
+        scalar = simulate_gpu(
+            gpu_ctx.machine, profile, copy.deepcopy(arrays), gpu_ctx.gpu_options
+        )
+        vectorized = simulate_gpu_arrays(
+            gpu_ctx.machine,
+            profile_to_arrays(profile),
+            copy.deepcopy(arrays),
+            gpu_ctx.gpu_options,
+        )
+        _assert_reports_identical(vectorized, scalar)
+
+
+def test_gpu_arrays_mutates_residency_like_scalar():
+    """Chained calls on the same arrays pay migration once (Fig. 9b shape)."""
+    gpu_ctx = make_ctx("D", "NVC-CUDA")
+    profile, arrays = _gpu_profiles(gpu_ctx)[0]
+    arrays = copy.deepcopy(arrays)
+    arrow = profile_to_arrays(profile)
+    first = simulate_gpu_arrays(gpu_ctx.machine, arrow, arrays, gpu_ctx.gpu_options)
+    second = simulate_gpu_arrays(gpu_ctx.machine, arrow, arrays, gpu_ctx.gpu_options)
+    assert first.migration_seconds > 0.0
+    assert second.migration_seconds == 0.0
+    assert second.seconds < first.seconds
+
+
+# --- 3. randomized sweep (shared with tools/diffcheck.py and CI) -----------
+
+
+@pytest.mark.diffcheck
+def test_randomized_wave_groups_agree_with_batch():
+    sample = diffcheck.random_configs(96, seed=7)
+    for start in range(0, len(sample), diffcheck.WAVE_GROUP):
+        group = sample[start:start + diffcheck.WAVE_GROUP]
+        divergences = diffcheck.compare_wave(group)
+        assert not divergences, "\n".join(divergences)
+
+
+# --- 4. observability contract ---------------------------------------------
+
+
+def test_wave_spans_emitted_under_tracing():
+    ctx = make_ctx("A", "GCC-TBB", threads=8)
+    entries = [
+        WaveEntry(ctx.machine, ctx.backend,
+                  build_array_profile(case, ctx, 1 << 12))
+        for case in ("reduce", "find")
+    ]
+    tracer = Tracer()
+    with use_tracer(tracer):
+        reports = simulate_wave_entries(entries)
+    spans = {s.name: s for s in tracer.spans}
+    fuse = spans["wave.fuse"]
+    execute = spans["wave.execute"]
+    assert fuse.track == WAVE_TRACK and execute.track == WAVE_TRACK
+    assert fuse.category == "wave" and execute.category == "wave"
+    assert fuse.attributes["points"] == 2
+    assert fuse.duration == 0.0
+    total = 0.0
+    for report in reports:
+        total += report.seconds
+    assert execute.duration == total
+    assert tracer.clock == total  # wave.execute advances simulated time
+
+
+def test_no_spans_without_tracer():
+    ctx = make_ctx("A", "GCC-TBB", threads=8)
+    entries = [WaveEntry(ctx.machine, ctx.backend,
+                         build_array_profile("reduce", ctx, 1 << 12))]
+    tracer = Tracer()
+    reports = simulate_wave_entries(entries)  # no use_tracer: must not record
+    assert len(reports) == 1
+    assert not tracer.spans

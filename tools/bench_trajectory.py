@@ -1,0 +1,332 @@
+"""Append-and-gate harness for the repo's benchmark trajectory.
+
+Performance work in this repo is tracked as a *trajectory*: every PR
+appends one entry per benchmark family to a committed JSON ledger, and
+CI fails if the newest entry regresses more than 10% against the
+previous one or falls below an absolute floor. Two families live at the
+repo root (schema documented in ``docs/PERFORMANCE.md``):
+
+``BENCH_SWEEP.json``
+    The Fig. 2 problem-size sweep through the scalar vs. batch engines.
+    Metrics: ``scalar_s``, ``batch_s``, ``batch_speedup`` (floor:
+    :data:`GATES`, currently >= 5.0).
+
+``BENCH_CAMPAIGN.json``
+    The Table 5 campaign grid, cold per-curve batch vs. cold wave-fused
+    vs. warm cache. Metrics: ``cold_batch_s``, ``cold_wave_s``,
+    ``warm_s``, ``wave_over_batch`` = cold_batch/cold_wave (floor
+    >= 1.5), ``warm_speedup`` = cold_batch/warm (floor >= 10.0 -- the
+    cache guarantee ``benchmarks/bench_campaign_table5.py`` pins).
+
+Gating compares *dimensionless ratios* (speedups), never wall seconds,
+so the gate is stable across CI hardware of different absolute speeds;
+the raw seconds are recorded alongside for human trend-reading only.
+
+Usage::
+
+    python tools/bench_trajectory.py run [--benchmark all|sweep|campaign]
+    python tools/bench_trajectory.py check
+
+``run`` measures (best-of-N wall clock, N=3) and appends one entry
+keyed by the current commit SHA -- re-running on the same commit
+replaces that commit's entry instead of duplicating it, so the append
+is idempotent per commit. ``check`` validates both files against the
+schema (malformed files are a hard error with a pointed message, not a
+silent skip) and enforces the floors plus the 10% regression rule.
+Exit codes: 0 OK, 1 gate failure, 2 malformed trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SCHEMA_VERSION = 1
+
+#: benchmark family -> committed ledger file at the repo root.
+TRAJECTORY_FILES = {
+    "sweep": "BENCH_SWEEP.json",
+    "campaign": "BENCH_CAMPAIGN.json",
+}
+
+#: Absolute floors on dimensionless ratio metrics (family -> metric -> min).
+GATES = {
+    "sweep": {"batch_speedup": 5.0},
+    "campaign": {"wave_over_batch": 1.5, "warm_speedup": 10.0},
+}
+
+#: Newest entry may lose at most this fraction vs. the previous entry.
+REGRESSION_TOLERANCE = 0.10
+
+#: Wall-clock measurements take the min over this many repetitions.
+DEFAULT_REPEATS = 3
+
+#: Problem-size exponent for the campaign family (matches the tier-2
+#: ``benchmarks/bench_wave_campaign.py`` acceptance benchmark).
+CAMPAIGN_SIZE_EXP = 26
+
+#: Size stride for the sweep family (every other Fig. 2 problem size:
+#: the full scalar sweep is accurate but slow for a per-PR gate).
+SWEEP_SIZE_STEP = 2
+
+
+class TrajectoryError(ValueError):
+    """A trajectory file is malformed (bad JSON, schema, or entries)."""
+
+
+class GateError(RuntimeError):
+    """The newest entry fails a floor or regresses past tolerance."""
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Min wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_sweep(repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time the Fig. 2 sweep through the scalar and batch engines."""
+    from repro.experiments.fig2 import run_fig2
+
+    run_fig2(size_step=8, batch=True)  # warm imports/caches off the clock
+    scalar_s = _best_of(
+        lambda: run_fig2(size_step=SWEEP_SIZE_STEP, batch=False), repeats
+    )
+    batch_s = _best_of(
+        lambda: run_fig2(size_step=SWEEP_SIZE_STEP, batch=True), repeats
+    )
+    return {
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "batch_speedup": scalar_s / batch_s,
+    }
+
+
+def measure_campaign(repeats: int = DEFAULT_REPEATS) -> dict:
+    """Time the Table 5 grid: cold batch, cold wave, warm cache."""
+    from repro.campaign import ResultStore, run_campaign
+    from repro.experiments.table5 import table5_campaign_spec
+
+    spec = table5_campaign_spec(CAMPAIGN_SIZE_EXP)
+    run_campaign(spec)  # warm imports/caches off the clock
+
+    cold_batch_s = _best_of(
+        lambda: run_campaign(spec, store=ResultStore(None), wave=False), repeats
+    )
+    cold_wave_s = _best_of(
+        lambda: run_campaign(spec, store=ResultStore(None)), repeats
+    )
+    store = ResultStore(None)
+    run_campaign(spec, store=store)  # populate the cache once
+    warm_s = _best_of(lambda: run_campaign(spec, store=store), repeats)
+    return {
+        "cold_batch_s": cold_batch_s,
+        "cold_wave_s": cold_wave_s,
+        "warm_s": warm_s,
+        "wave_over_batch": cold_batch_s / cold_wave_s,
+        "warm_speedup": cold_batch_s / warm_s,
+    }
+
+
+MEASURES = {"sweep": measure_sweep, "campaign": measure_campaign}
+
+
+def current_commit() -> str:
+    """The HEAD SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: Path, benchmark: str) -> dict:
+    """Parse and validate one ledger; a missing file is an empty ledger."""
+    if not path.exists():
+        return {"schema": SCHEMA_VERSION, "benchmark": benchmark, "entries": []}
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TrajectoryError(
+            f"{path.name}: not valid JSON ({exc}); fix or delete the file "
+            f"and re-run 'bench_trajectory.py run'"
+        ) from None
+    validate_trajectory(data, benchmark, name=path.name)
+    return data
+
+
+def validate_trajectory(data, benchmark: str, *, name: str = "trajectory") -> None:
+    """Raise :class:`TrajectoryError` unless ``data`` matches the schema."""
+    if not isinstance(data, dict):
+        raise TrajectoryError(f"{name}: top level must be an object, "
+                              f"got {type(data).__name__}")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise TrajectoryError(
+            f"{name}: unsupported schema {data.get('schema')!r} "
+            f"(this tool writes schema {SCHEMA_VERSION})"
+        )
+    if data.get("benchmark") != benchmark:
+        raise TrajectoryError(
+            f"{name}: benchmark is {data.get('benchmark')!r}, "
+            f"expected {benchmark!r}"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise TrajectoryError(f"{name}: 'entries' must be a list")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise TrajectoryError(f"{name}: entries[{i}] must be an object")
+        for key in ("commit", "recorded", "metrics"):
+            if key not in entry:
+                raise TrajectoryError(
+                    f"{name}: entries[{i}] is missing {key!r}"
+                )
+        metrics = entry["metrics"]
+        if not isinstance(metrics, dict):
+            raise TrajectoryError(f"{name}: entries[{i}].metrics must be "
+                                  f"an object")
+        for metric in GATES[benchmark]:
+            value = metrics.get(metric)
+            if not isinstance(value, (int, float)):
+                raise TrajectoryError(
+                    f"{name}: entries[{i}].metrics.{metric} must be a "
+                    f"number, got {value!r}"
+                )
+
+
+def append_entry(path: Path, benchmark: str, metrics: dict,
+                 commit: str, recorded: str) -> dict:
+    """Append (or replace, for a repeated commit) one trajectory entry."""
+    data = load_trajectory(path, benchmark)
+    entries = [e for e in data["entries"] if e["commit"] != commit]
+    entries.append({"commit": commit, "recorded": recorded,
+                    "metrics": metrics})
+    data["entries"] = entries
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def check_trajectory(path: Path, benchmark: str) -> list[str]:
+    """Validate one ledger and enforce floors + the regression rule.
+
+    Returns human-readable OK lines; raises :class:`GateError` on any
+    violation and :class:`TrajectoryError` on a malformed file (a
+    missing or empty ledger is also a gate failure: the PR forgot to
+    run the trajectory).
+    """
+    data = load_trajectory(path, benchmark)
+    entries = data["entries"]
+    if not entries:
+        raise GateError(
+            f"{path.name}: no entries -- run "
+            f"'python tools/bench_trajectory.py run --benchmark {benchmark}'"
+        )
+    last = entries[-1]
+    prev = entries[-2] if len(entries) > 1 else None
+    lines = []
+    for metric, floor in GATES[benchmark].items():
+        value = last["metrics"][metric]
+        if value < floor:
+            raise GateError(
+                f"{path.name}: {metric} = {value:.3f} is below the "
+                f"floor {floor:.3f} (commit {last['commit'][:12]})"
+            )
+        if prev is not None:
+            baseline = prev["metrics"][metric]
+            allowed = baseline * (1.0 - REGRESSION_TOLERANCE)
+            if value < allowed:
+                raise GateError(
+                    f"{path.name}: {metric} regressed {value:.3f} < "
+                    f"{allowed:.3f} (= {baseline:.3f} from commit "
+                    f"{prev['commit'][:12]} minus "
+                    f"{REGRESSION_TOLERANCE:.0%} tolerance)"
+                )
+            lines.append(f"{path.name}: {metric} = {value:.3f} "
+                         f"(floor {floor}, prev {baseline:.3f})")
+        else:
+            lines.append(f"{path.name}: {metric} = {value:.3f} "
+                         f"(floor {floor}, first entry)")
+    return lines
+
+
+def _cmd_run(args) -> int:
+    root = Path(args.root)
+    families = list(TRAJECTORY_FILES) if args.benchmark == "all" \
+        else [args.benchmark]
+    commit = args.commit or current_commit()
+    recorded = args.recorded or datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    for family in families:
+        print(f"[{family}] measuring (best of {args.repeats})...", flush=True)
+        metrics = MEASURES[family](repeats=args.repeats)
+        path = root / TRAJECTORY_FILES[family]
+        append_entry(path, family, metrics, commit, recorded)
+        rendered = ", ".join(f"{k}={v:.4g}" for k, v in sorted(metrics.items()))
+        print(f"[{family}] {path.name} @ {commit[:12]}: {rendered}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    root = Path(args.root)
+    try:
+        for family, name in TRAJECTORY_FILES.items():
+            for line in check_trajectory(root / name, family):
+                print(line)
+    except TrajectoryError as exc:
+        print(f"MALFORMED: {exc}", file=sys.stderr)
+        return 2
+    except GateError as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("benchmark trajectory OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure, append, and gate the benchmark trajectory "
+                    "(BENCH_SWEEP.json / BENCH_CAMPAIGN.json)."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="measure and append one entry per "
+                                       "family (idempotent per commit)")
+    run_p.add_argument("--benchmark", choices=("all", *TRAJECTORY_FILES),
+                       default="all")
+    run_p.add_argument("--commit", default=None,
+                       help="entry key (default: git HEAD SHA)")
+    run_p.add_argument("--recorded", default=None,
+                       help="ISO timestamp (default: now, UTC)")
+    run_p.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                       help="wall-clock repetitions; the min is recorded")
+    run_p.add_argument("--root", default=str(REPO_ROOT),
+                       help="directory holding the BENCH_*.json ledgers")
+    run_p.set_defaults(func=_cmd_run)
+
+    check_p = sub.add_parser("check", help="validate both ledgers and "
+                                           "enforce floors + regression rule")
+    check_p.add_argument("--root", default=str(REPO_ROOT))
+    check_p.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

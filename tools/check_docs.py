@@ -9,8 +9,8 @@ Two checks, wired into tier-1 via ``tests/test_docs.py``:
    directory so snippets that write files do not pollute the repo. A
    fence that raises fails the lint with its file/line and the error.
 2. **Docstring coverage** — every public module, class, function and
-   method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, batch
-   simulation, fidelity, and fault-injection layers) must carry a
+   method in :data:`DOCSTRING_PACKAGES` (the trace, campaign, batch and
+   wave simulation, fidelity, and fault-injection layers) must carry a
    non-empty docstring.
 
 Run directly::
@@ -40,6 +40,7 @@ FENCE_FILES = (
     "docs/CAMPAIGNS.md",
     "docs/FIDELITY.md",
     "docs/ROBUSTNESS.md",
+    "docs/PERFORMANCE.md",
 )
 
 #: Packages (or plain modules) whose public API must be fully documented.
@@ -47,6 +48,7 @@ DOCSTRING_PACKAGES = (
     "repro.trace",
     "repro.campaign",
     "repro.sim.batch",
+    "repro.sim.wave",
     "repro.suite.batch",
     "repro.fidelity",
     "repro.faults",

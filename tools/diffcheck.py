@@ -1,21 +1,31 @@
 #!/usr/bin/env python
-"""Differential harness: scalar vs vectorized simulation must agree bitwise.
+"""Differential harness: scalar, batch and wave simulation must agree bitwise.
 
-The vectorized batch engine (``repro.sim.batch`` + ``repro.suite.batch``)
-promises *bit-identical* results to the scalar per-point path -- not
-"close", identical, so cached campaign results, golden figures and the
-paper's speedup ratios are the same no matter which path produced them.
-This tool is the enforcement: it sweeps randomized configurations
-(machine x backend x allocator x case x size x threads x element type)
-through both paths and compares the full :class:`repro.sim.SimReport`
-field by field -- total seconds, fork/join, every hardware counter, and
-the per-phase name/seconds/compute/memory/overhead/counter breakdown --
-using exact float equality on the hex encodings. Capability gaps must
-also agree: a configuration that raises ``UnsupportedOperationError`` on
-one path must raise it on the other.
+The vectorized engines -- per-curve batch (``repro.sim.batch`` +
+``repro.suite.batch``) and wave-fused (``repro.sim.wave``) -- promise
+*bit-identical* results to the scalar per-point path: not "close",
+identical, so cached campaign results, golden figures and the paper's
+speedup ratios are the same no matter which path produced them. This
+tool is the enforcement, in two layers:
 
-Wired into tier-1 via ``tests/sim/test_batch_differential.py`` (marker
-``diffcheck``) and into CI as a standalone job step. Run directly::
+1. :func:`compare_point` sweeps randomized configurations (machine x
+   backend x allocator x case x size x threads x element type) through
+   the scalar and batch paths and compares the full
+   :class:`repro.sim.SimReport` field by field -- total seconds,
+   fork/join, every hardware counter, and the per-phase
+   name/seconds/compute/memory/overhead/counter breakdown -- using
+   exact float equality on the hex encodings. Capability gaps must also
+   agree: a configuration that raises ``UnsupportedOperationError`` on
+   one path must raise it on the other.
+2. :func:`compare_wave` fuses groups of those same configurations into
+   one ``repro.sim.wave`` program -- deliberately mixing machines,
+   backends and cases the way a campaign wave does -- and compares each
+   fused entry's report against the batch engine's report for the same
+   profile, closing the scalar == batch == wave triangle.
+
+Wired into tier-1 via ``tests/sim/test_batch_differential.py`` and
+``tests/sim/test_wave_differential.py`` (marker ``diffcheck``) and into
+CI as a standalone job step. Run directly::
 
     python tools/diffcheck.py --configs 200 --seed 0
 
@@ -246,23 +256,98 @@ def compare_point(config: DiffConfig) -> list[str]:
     return divergences
 
 
+#: How many configurations one wave group fuses in :func:`run_diffcheck`.
+#: Sized like a real campaign wave: big enough to mix machines, backends
+#: and cases in one program, small enough to localise a divergence.
+WAVE_GROUP = 16
+
+
+def compare_wave(configs: list[DiffConfig]) -> list[str]:
+    """Divergences between the wave and batch engines for one fused group.
+
+    Builds every eligible configuration's :class:`ArrayProfile` once,
+    costs each through the batch engine, fuses them all into a single
+    wave program, and diffs each fused entry's report against its batch
+    report. Configurations the batch path cannot serve (non-batch cases
+    never occur here; capability gaps raise on build) are skipped --
+    :func:`compare_point` already enforces their exception parity.
+    An empty list means every entry of the wave agrees bitwise.
+    """
+    _ensure_importable()
+    from repro.errors import UnsupportedOperationError
+    from repro.sim.batch import simulate_cpu_arrays
+    from repro.sim.wave import WaveEntry, fuse_wave, simulate_wave
+    from repro.suite.batch import build_array_profile
+    from repro.types import elem_type
+
+    entries: list = []
+    labels: list[str] = []
+    batch_fields: list[list[tuple[str, str]]] = []
+    for config in configs:
+        ctx = _context(config)
+        try:
+            profile = build_array_profile(
+                config.case, ctx, config.n, elem_type(config.dtype)
+            )
+        except UnsupportedOperationError:
+            continue  # exception parity is compare_point's job
+        entries.append(WaveEntry(ctx.machine, ctx.backend, profile))
+        labels.append(config.label())
+        batch_fields.append(
+            _report_fields(simulate_cpu_arrays(ctx.machine, ctx.backend, profile))
+        )
+    if not entries:
+        return []
+
+    reports = simulate_wave(fuse_wave(entries))
+    divergences = []
+    for label, fields_b, report_w in zip(labels, batch_fields, reports):
+        fields_w = _report_fields(report_w)
+        if len(fields_b) != len(fields_w):
+            divergences.append(
+                f"{label} [wave of {len(entries)}]: report shape differs "
+                f"({len(fields_b)} vs {len(fields_w)} fields)"
+            )
+            continue
+        for (name_b, value_b), (name_w, value_w) in zip(fields_b, fields_w):
+            if name_b != name_w or value_b != value_w:
+                divergences.append(
+                    f"{label} [wave of {len(entries)}]: {name_b}: "
+                    f"batch={value_b} wave={value_w}"
+                )
+    return divergences
+
+
 def run_diffcheck(
     configs: int = 200, seed: int = 0, verbose: bool = False
 ) -> list[str]:
-    """Sweep ``configs`` randomized configurations; return all divergences."""
+    """Sweep ``configs`` randomized configurations; return all divergences.
+
+    Each configuration goes through the scalar-vs-batch point check, and
+    the same sample is then fused in groups of :data:`WAVE_GROUP` through
+    the wave-vs-batch check -- together they pin all three engines to one
+    another.
+    """
     divergences = []
-    for i, config in enumerate(random_configs(configs, seed)):
+    sample = random_configs(configs, seed)
+    for i, config in enumerate(sample):
         if verbose:
             print(f"[{i + 1}/{configs}] {config.label()}", file=sys.stderr)
         divergences.extend(compare_point(config))
+    for start in range(0, len(sample), WAVE_GROUP):
+        group = sample[start:start + WAVE_GROUP]
+        if verbose:
+            print(f"[wave {start // WAVE_GROUP + 1}] fusing {len(group)} "
+                  "configurations", file=sys.stderr)
+        divergences.extend(compare_wave(group))
     return divergences
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry; exit 1 if any configuration diverges."""
     parser = argparse.ArgumentParser(
-        description="Differential check: scalar vs vectorized simulation "
-        "paths must produce bit-identical SimReports."
+        description="Differential check: the scalar, batch and wave "
+        "simulation paths must produce bit-identical SimReports."
     )
     parser.add_argument("--configs", type=int, default=200,
                         help="number of randomized configurations (default 200)")
@@ -278,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {line}", file=sys.stderr)
         return 1
     print(f"diffcheck: OK ({args.configs} configurations, seed {args.seed}, "
-          "bit-identical reports on both paths)")
+          "bit-identical reports on the scalar, batch and wave paths)")
     return 0
 
 
