@@ -1,0 +1,88 @@
+"""Service acceptance: 1000 concurrent submissions, zero lost, SLOs met.
+
+The campaign service's headline claim is operational, not algorithmic:
+one daemon multiplexing hundreds of concurrent clients over a single
+shared content-addressed store must lose nothing, corrupt nothing, and
+collapse every duplicate submission onto cached work. This module pins
+that claim at full scale -- the same 1000-submission mixed
+cold/warm/duplicate run that feeds the ``BENCH_SERVICE.json``
+trajectory ledger (CI gates the p99 trend via
+``tools/bench_trajectory.py``):
+
+* **completeness** -- every accepted campaign reaches ``complete``;
+  every result grid holds exactly its planned rows, none failed;
+* **dedup** -- all duplicate submissions return the existing campaign
+  (hit rate 1.0) and the shared store's object count stays bounded by
+  the distinct grids, not the submission count;
+* **latency** -- submit p99 stays under the ledger ceiling, with the
+  server-side handle time (``X-Handle-Ms``) accounting for most of it.
+
+The run happens over real loopback HTTP against a daemon on its own
+thread; after the load completes, the store is audited directly
+(``scan``) for quarantined or undecodable objects -- the disk-level
+half of "zero corrupted".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.service import start_background
+from repro.service.loadgen import LoadgenConfig, assert_slo, run_loadgen
+
+SUBMISSIONS = 1000
+CONCURRENCY = 64
+
+#: Absolute p99 bound (ms) -- mirrors CEILINGS in tools/bench_trajectory.py.
+MAX_P99_MS = 500.0
+
+
+@pytest.fixture(scope="module")
+def load_run(tmp_path_factory):
+    """One full load run: (report, service root) shared by the asserts."""
+    root = tmp_path_factory.mktemp("service")
+    with start_background(root, concurrent=8) as svc:
+        config = LoadgenConfig(submissions=SUBMISSIONS,
+                               concurrency=CONCURRENCY)
+        report = run_loadgen(svc.base_url, config)
+    return report, root
+
+
+def test_nothing_lost_nothing_corrupted(load_run):
+    report, _root = load_run
+    assert report.accepted == SUBMISSIONS
+    assert report.submit_failures == 0
+    assert report.lost == 0
+    assert report.corrupted == 0
+    assert report.completed == report.campaigns
+
+
+def test_duplicates_collapse_onto_cached_campaigns(load_run):
+    report, _root = load_run
+    assert report.dup > 0
+    assert report.dedup_hit_rate == 1.0
+    # dups never became new campaigns: unique ids == cold + warm specs
+    assert report.campaigns == report.cold + report.warm
+
+
+def test_store_audit_is_clean(load_run):
+    _report, root = load_run
+    scan = ResultStore(root / "cache").scan()
+    assert scan.errors == 0, scan.summary()
+    assert scan.objects > 0
+
+
+def test_slos_hold_at_full_scale(load_run):
+    report, _root = load_run
+    assert_slo(report, max_p99_ms=MAX_P99_MS)
+    assert report.submit_p50_ms <= report.submit_p99_ms
+    assert report.request_overhead_ms >= 0.0
+
+
+def test_report_is_ledger_shaped(load_run):
+    report, _root = load_run
+    doc = report.to_dict()
+    for key in ("throughput_rps", "submit_p50_ms", "submit_p99_ms",
+                "request_overhead_ms", "dedup_hit_rate", "completed_rate"):
+        assert isinstance(doc[key], (int, float))

@@ -45,6 +45,7 @@ from repro.campaign.query import (
 from repro.campaign.spec import CampaignSpec, PointSpec
 from repro.campaign.store import (
     Journal,
+    JournalReader,
     PointResult,
     ResultStore,
     StoreScan,
@@ -69,6 +70,7 @@ __all__ = [
     "ResultStore",
     "StoreScan",
     "Journal",
+    "JournalReader",
     "PointResult",
     "cache_key",
     "record_checksum",

@@ -417,6 +417,10 @@ class CampaignStats:
     quarantined: int = 0
     faults_injected: int = 0
     pool_rebuilds: int = 0
+    #: True when a ``should_stop`` drain request ended the run between
+    #: waves; every recorded result is still durable and a ``resume``
+    #: picks up exactly the remaining tasks.
+    drained: bool = False
 
     def summary(self) -> str:
         """One-line human summary (degradation counters only when nonzero)."""
@@ -434,6 +438,8 @@ class CampaignStats:
             )
             if value
         ]
+        if self.drained:
+            extras.append("drained")
         if extras:
             line += " (" + ", ".join(extras) + ")"
         return line
@@ -889,6 +895,7 @@ def run_campaign(
     wave: bool = True,
     faults: FaultPlan | None = None,
     backoff: BackoffPolicy | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> CampaignOutcome:
     """Plan and execute ``spec``; returns the full outcome.
 
@@ -938,6 +945,13 @@ def run_campaign(
     backoff:
         Retry-spacing :class:`BackoffPolicy`; the default sleeps zero
         seconds between retries.
+    should_stop:
+        Optional drain predicate polled *between waves*: once it returns
+        True, no further wave is submitted, the outcome is returned with
+        ``stats.drained = True``, and every already-recorded result is
+        durable (journaled) -- the graceful-shutdown hook the
+        ``repro.service`` daemon uses on SIGTERM. A ``resume`` of the
+        same directory executes exactly the remaining tasks.
     """
     if retries < 0:
         raise CampaignError("retries must be >= 0")
@@ -973,7 +987,7 @@ def run_campaign(
                        progress, batch,
                        FaultInjector(faults) if faults is not None else None,
                        backoff if backoff is not None else _NO_BACKOFF,
-                       wave)
+                       wave, should_stop)
     finally:
         if span is not None:
             if outcome is not None:
@@ -985,7 +999,8 @@ def run_campaign(
 
 
 def _run(spec, store, workers, timeout, retries, journal, resume, progress,
-         batch=True, injector=None, backoff=_NO_BACKOFF, wave=True):
+         batch=True, injector=None, backoff=_NO_BACKOFF, wave=True,
+         should_stop=None):
     """The executor body (directory/span plumbing handled by the caller)."""
     use_wave = batch and wave  # the loop below rebinds ``wave`` to task groups
     plan = plan_campaign(spec)
@@ -1010,6 +1025,11 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                             track="campaign") if tracer.enabled else None
         try:
             for wave in _all_waves(plan):
+                if should_stop is not None and should_stop():
+                    # Graceful drain: everything recorded so far is
+                    # journaled; the rest belongs to a future resume.
+                    outcome.stats.drained = True
+                    break
                 to_run: list[PointTask] = []
                 for task in wave:
                     if task.pruned is not None:

@@ -25,6 +25,16 @@ to ``journal.jsonl``. The journal is the resume log: an interrupted
 campaign re-plans (deterministically), drops every task whose terminal
 entry is already journaled, and executes only the remainder. Torn final
 lines from a killed process are tolerated and skipped.
+
+**Concurrency.** Several processes may share one store and one journal
+(the ``repro.service`` daemon multiplexes client campaigns over a
+shared cache; the 8-appender property test pins the contract). Cache
+objects publish atomically -- a per-process temp file renamed into
+place -- so readers only ever see whole records, and journal appends
+take a cross-process advisory lock around a single ``O_APPEND``
+``write()`` so concurrent appenders can never interleave partial
+lines. :class:`JournalReader` adds the offset-resumable read side:
+repeated polls cost O(new bytes), not O(journal).
 """
 
 from __future__ import annotations
@@ -32,9 +42,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (single-writer)
+    fcntl = None
 
 from repro.campaign.fingerprint import model_fingerprint
 from repro.campaign.spec import PointSpec, canonical_json
@@ -45,6 +61,7 @@ __all__ = [
     "ResultStore",
     "StoreScan",
     "Journal",
+    "JournalReader",
     "cache_key",
     "record_checksum",
     "write_spec",
@@ -277,9 +294,15 @@ class ResultStore:
         else:
             path = self.object_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
+            # Atomic publish: readers never see a torn object. The temp
+            # name embeds the pid *and* thread id so concurrent writers
+            # racing on the same key -- sibling processes or the service
+            # daemon's runner threads -- each stage their own file; last
+            # rename wins with a whole record either way.
+            tmp = path.with_name(
+                f".{key}.{os.getpid()}.{threading.get_ident()}.tmp")
             tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
-            os.replace(tmp, path)  # atomic publish: readers never see a torn object
+            os.replace(tmp, path)
         self.writes += 1
         return key
 
@@ -403,8 +426,27 @@ def _derive_key(record: Mapping[str, Any]) -> str | None:
     return cache_key(point, fingerprint)
 
 
+def _lock_file(fd: int) -> None:
+    """Take an exclusive cross-process advisory lock on ``fd`` (blocking)."""
+    if fcntl is not None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+
+def _unlock_file(fd: int) -> None:
+    """Release the advisory lock taken by :func:`_lock_file`."""
+    if fcntl is not None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+
 class Journal:
-    """Append-only run log; one JSON object per line."""
+    """Append-only run log; one JSON object per line.
+
+    Safe for concurrent appenders across processes: each append is one
+    ``write()`` of a whole line on an ``O_APPEND`` descriptor, guarded
+    by an exclusive advisory lock, so two processes sharing one journal
+    can never interleave partial lines (the 8-appender property test in
+    ``tests/campaign/test_store_properties.py`` pins this).
+    """
 
     def __init__(self, path: str | os.PathLike) -> None:
         """Bind to ``path`` (created lazily on first append)."""
@@ -418,17 +460,27 @@ class Journal:
         entry onto the torn line and lose *both*. The append therefore
         heals such a tail first by terminating it, so the torn fragment
         stays an isolated (skipped) line and the new entry parses.
+
+        The heal-check plus the line write happen under an exclusive
+        advisory lock on the journal file, and the line lands as a
+        single ``write()`` on an ``O_APPEND`` descriptor -- concurrent
+        appenders serialize instead of interleaving.
         """
+        line = (canonical_json(dict(entry)) + "\n").encode("utf-8")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "ab+") as fh:
-            size = fh.seek(0, os.SEEK_END)
-            if size:
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) != b"\n":
-                    fh.write(b"\n")
-            fh.write((canonical_json(dict(entry)) + "\n").encode("utf-8"))
-            fh.flush()
-            os.fsync(fh.fileno())
+        fd = os.open(self.path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644)
+        try:
+            _lock_file(fd)
+            try:
+                size = os.fstat(fd).st_size
+                if size and os.pread(fd, 1, size - 1) != b"\n":
+                    os.write(fd, b"\n")
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                _unlock_file(fd)
+        finally:
+            os.close(fd)
 
     def tear_tail(self, at: float = 0.0) -> int:
         """Truncate the final line mid-write (fault-injection hook).
@@ -504,11 +556,78 @@ class Journal:
         return done
 
 
+class JournalReader:
+    """Offset-resumable journal reader: repeated polls cost O(new bytes).
+
+    ``Journal.entries`` re-reads and re-parses the whole file on every
+    call, which is fine for a one-shot CLI but quadratic for anything
+    that polls -- the service's status endpoint and event stream hit
+    the journal once per client request. A reader remembers the byte
+    offset it has consumed up to and only reads what appended since.
+
+    Torn-tail semantics: a final line *without* a trailing newline is
+    left unconsumed (it may still be mid-write; the next append heals
+    it), while a newline-terminated line that fails to parse is counted
+    in ``torn`` and skipped permanently. ``bytes_read`` accumulates the
+    real read cost, which the O(new rows) regression test pins.
+    """
+
+    def __init__(self, path: str | os.PathLike, offset: int = 0) -> None:
+        """Bind to ``path``, resuming from byte ``offset`` (default 0)."""
+        self.path = Path(path)
+        self.offset = int(offset)
+        self.bytes_read = 0
+        self.torn = 0
+
+    def poll(self) -> list[dict]:
+        """Entries appended since the last poll (empty when none).
+
+        Advances ``offset`` past every fully-written line it returns or
+        skips; a trailing fragment with no newline is re-examined on the
+        next poll.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        self.bytes_read += len(chunk)
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []  # only an unterminated fragment so far
+        consumed = chunk[: end + 1]
+        self.offset += len(consumed)
+        out: list[dict] = []
+        for line in consumed.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.torn += 1  # healed torn fragment; permanently skipped
+                continue
+            if isinstance(entry, dict):
+                out.append(entry)
+        return out
+
+
 def write_spec(path: Path, spec_payload: Mapping[str, Any]) -> None:
-    """Persist a campaign's spec.json (pretty, stable key order)."""
+    """Persist a campaign's spec.json (pretty, stable key order).
+
+    Published atomically (per-process temp file + rename) so concurrent
+    runners racing to create the same campaign directory -- the service
+    deduplicates upstream, but the CLI has no such guard -- never leave
+    a half-written spec for the loser to read.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(dict(spec_payload), sort_keys=True, indent=2) + "\n",
-                    encoding="utf-8")
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_text(json.dumps(dict(spec_payload), sort_keys=True, indent=2) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def read_spec(path: Path) -> dict:

@@ -76,6 +76,23 @@ class FidelityError(ReproError):
     """Paper-fidelity reference data is malformed or a check was misused."""
 
 
+class ServiceError(ReproError):
+    """The campaign service was misconfigured or a request failed."""
+
+
+class QuotaExceededError(ServiceError):
+    """A submission was rejected by admission control (HTTP 429).
+
+    Carries the server's suggested ``retry_after`` seconds so clients
+    (and the load generator) can implement honest backoff.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        """Wrap the rejection ``message`` with its ``retry_after`` hint."""
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan is malformed (bad rate, unknown site...)."""
 

@@ -13,6 +13,11 @@ injection surfaces:
 * **journal append** -- :meth:`after_journal` may tear the tail line,
   simulating a crash between write and durable fsync.
 
+The ``repro.service`` daemon adds two request-side surfaces:
+:meth:`claim_service_reject` (spurious 503 admission rejection the
+client must retry through) and :meth:`slow_client_delay` (a stalled
+response write modelling a slow client link).
+
 Every fault fires **at most once** per (site, identity): decisions are
 deterministic hashes, so without the fired-set a killed task would be
 re-killed on every resubmission and never converge. Each injection is
@@ -81,6 +86,21 @@ class FaultInjector:
     def was_killed(self, task_id: str) -> bool:
         """Whether ``task_id`` has been claimed for a ``worker_kill``."""
         return ("worker_kill", task_id) in self.fired
+
+    def claim_service_reject(self, ident: str) -> bool:
+        """Whether to spuriously reject the submission ``ident`` (503).
+
+        Fires at most once per identity, so a client that retries the
+        same submission is admitted on its second attempt -- the
+        transient-then-converge shape every other site follows.
+        """
+        return self._claim("service_reject", ident)
+
+    def slow_client_delay(self, ident: str) -> float:
+        """Seconds to stall before answering request ``ident`` (0 = none)."""
+        if self._claim("slow_client", ident):
+            return self.plan.slow_client_seconds
+        return 0.0
 
     def after_put(self, store, key: str) -> None:
         """Maybe corrupt the cache object just published under ``key``."""

@@ -30,6 +30,15 @@ Sites (see docs/ROBUSTNESS.md for the full fault model):
 ``journal_torn_tail``
     The just-appended journal line is truncated mid-write, simulating a
     crash between ``write`` and a durable ``fsync``.
+``service_reject``
+    The ``repro.service`` admission layer spuriously rejects one
+    otherwise-admissible submission with 503 + Retry-After (a transient
+    the client must absorb by retrying; fires at most once per
+    submission identity, so the retry is admitted).
+``slow_client``
+    The service stalls ``slow_client_seconds`` before writing one
+    response, modelling a slow/lossy client link (drives client
+    timeout/latency handling; the loadgen's p99 must absorb it).
 """
 
 from __future__ import annotations
@@ -51,6 +60,8 @@ FAULT_SITES = (
     "worker_kill",
     "cache_corrupt",
     "journal_torn_tail",
+    "service_reject",
+    "slow_client",
 )
 
 #: Sites that fire inside (or against) a worker; mutually exclusive per task.
@@ -86,7 +97,10 @@ class FaultPlan:
     worker_kill: float = 0.0
     cache_corrupt: float = 0.0
     journal_torn_tail: float = 0.0
+    service_reject: float = 0.0
+    slow_client: float = 0.0
     hang_seconds: float = 30.0
+    slow_client_seconds: float = 0.05
     max_faults: int | None = None
 
     def __post_init__(self) -> None:
@@ -96,6 +110,8 @@ class FaultPlan:
                 raise FaultPlanError(f"{site} rate must be in [0, 1], got {rate!r}")
         if self.hang_seconds < 0:
             raise FaultPlanError("hang_seconds must be non-negative")
+        if self.slow_client_seconds < 0:
+            raise FaultPlanError("slow_client_seconds must be non-negative")
         if self.max_faults is not None and self.max_faults < 0:
             raise FaultPlanError("max_faults must be non-negative or None")
 

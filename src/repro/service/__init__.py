@@ -1,0 +1,59 @@
+"""Campaign-as-a-service: a daemon front end over the campaign pipeline.
+
+``repro.service`` turns the batch campaign runner into a long-lived
+multi-tenant daemon: clients POST campaign specs over a tiny HTTP/JSON
+API, the scheduler runs them concurrently through the unchanged
+planner/executor (wave-fused by default) against **one shared
+content-addressed store**, and duplicate or overlapping submissions
+collapse onto cached work instead of recomputing it. Admission control
+(per-key in-flight caps, a bounded queue, campaign size limits) keeps
+one greedy client from starving the rest, and SIGTERM drains
+gracefully: running campaigns stop between waves with their journals
+durable, and a restarted daemon resumes them to bit-identical results.
+
+The pieces:
+
+* :mod:`repro.service.quotas` -- :class:`QuotaPolicy`,
+  :class:`AdmissionController`: who may submit how much;
+* :mod:`repro.service.scheduler` -- :class:`CampaignService`: dedup,
+  concurrent execution, drain and restart-resume;
+* :mod:`repro.service.daemon` -- :class:`ServiceDaemon`, stdlib-only
+  asyncio HTTP front end, plus :func:`start_background` for embedding;
+* :mod:`repro.service.client` -- :class:`ServiceClient`, the blocking
+  stdlib client the CLI and tests use;
+* :mod:`repro.service.loadgen` -- the SLO harness: thousands of
+  concurrent mixed cold/warm/duplicate submissions, latency
+  percentiles, and the zero-lost/zero-corrupted audit;
+* :mod:`repro.service.cli` -- the ``pstl-service`` command.
+
+See docs/SERVICE.md for the API reference and SLO table.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import BackgroundService, ServiceDaemon, serve, start_background
+from repro.service.loadgen import (
+    LoadgenConfig,
+    LoadgenReport,
+    assert_slo,
+    run_loadgen,
+)
+from repro.service.quotas import AdmissionController, QuotaPolicy, Rejection
+from repro.service.scheduler import CampaignRecord, CampaignService, campaign_id
+
+__all__ = [
+    "ServiceClient",
+    "ServiceDaemon",
+    "BackgroundService",
+    "serve",
+    "start_background",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "run_loadgen",
+    "assert_slo",
+    "QuotaPolicy",
+    "Rejection",
+    "AdmissionController",
+    "CampaignService",
+    "CampaignRecord",
+    "campaign_id",
+]

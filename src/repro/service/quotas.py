@@ -1,0 +1,145 @@
+"""Per-client quotas and admission control for the campaign service.
+
+The daemon multiplexes many clients' sweeps over one shared store; a
+single greedy (or buggy) client must not be able to starve everyone
+else. Admission control therefore runs *before* any planning work is
+scheduled, against a declarative :class:`QuotaPolicy`:
+
+* **per-key in-flight cap** -- each API key may have at most
+  ``max_inflight_per_key`` campaigns queued or running;
+* **per-campaign size cap** -- a spec that plans more than
+  ``max_points_per_campaign`` tasks is rejected outright (413-shaped,
+  not retryable);
+* **bounded queue** -- at most ``max_queue`` campaigns may be admitted
+  but not yet finished across all keys; overflow is rejected with
+  HTTP 429 and a ``Retry-After`` hint, never buffered unboundedly.
+
+The controller is deliberately loop-confined: every call happens on the
+daemon's single asyncio event loop, so it needs no locks. Rejections
+are values (:class:`Rejection`), not exceptions -- the daemon maps them
+onto HTTP responses, the scheduler counts them, and tests can assert on
+them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+__all__ = ["QuotaPolicy", "Rejection", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Declarative admission limits one daemon enforces.
+
+    ``retry_after`` is the backoff hint (seconds) sent with every
+    retryable rejection; clients honouring it smooth thundering herds
+    into a steady trickle the bounded queue can absorb.
+    """
+
+    max_inflight_per_key: int = 8
+    max_points_per_campaign: int = 100_000
+    max_queue: int = 256
+    retry_after: float = 0.25
+
+    def __post_init__(self) -> None:
+        """Validate that every limit is positive."""
+        if self.max_inflight_per_key < 1:
+            raise ServiceError("max_inflight_per_key must be >= 1")
+        if self.max_points_per_campaign < 1:
+            raise ServiceError("max_points_per_campaign must be >= 1")
+        if self.max_queue < 1:
+            raise ServiceError("max_queue must be >= 1")
+        if self.retry_after < 0:
+            raise ServiceError("retry_after must be non-negative")
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One admission refusal: HTTP status, reason, and retry hint.
+
+    ``retry_after`` is ``None`` for permanent refusals (an oversized
+    campaign does not become admissible by waiting).
+    """
+
+    status: int
+    reason: str
+    retry_after: float | None = None
+
+    @property
+    def retryable(self) -> bool:
+        """Whether waiting ``retry_after`` seconds and retrying can help."""
+        return self.retry_after is not None
+
+
+class AdmissionController:
+    """Stateful gate applying one :class:`QuotaPolicy`.
+
+    Loop-confined (no locks): the daemon calls :meth:`admit` on submit
+    and :meth:`release` when a campaign reaches a terminal state, both
+    from the event loop. Counters are exposed for ``/metrics``.
+    """
+
+    def __init__(self, policy: QuotaPolicy) -> None:
+        """Bind to ``policy``; all gauges and counters start at zero."""
+        self.policy = policy
+        self.inflight_by_key: dict[str, int] = {}
+        self.inflight_total = 0
+        self.admitted = 0
+        self.rejected_queue = 0
+        self.rejected_key = 0
+        self.rejected_points = 0
+
+    def admit(self, api_key: str, points: int) -> Rejection | None:
+        """Admit one campaign of ``points`` tasks for ``api_key``, or refuse.
+
+        On success the key's in-flight count is charged immediately
+        (balance with :meth:`release`); on refusal nothing is charged
+        and the matching rejection counter increments.
+        """
+        policy = self.policy
+        if points > policy.max_points_per_campaign:
+            self.rejected_points += 1
+            return Rejection(
+                status=413,
+                reason=f"campaign plans {points} points, over the "
+                       f"{policy.max_points_per_campaign}-point cap",
+            )
+        if self.inflight_total >= policy.max_queue:
+            self.rejected_queue += 1
+            return Rejection(
+                status=429,
+                reason=f"service queue is full ({policy.max_queue} campaigns "
+                       f"in flight)",
+                retry_after=policy.retry_after,
+            )
+        held = self.inflight_by_key.get(api_key, 0)
+        if held >= policy.max_inflight_per_key:
+            self.rejected_key += 1
+            return Rejection(
+                status=429,
+                reason=f"API key has {held} campaigns in flight "
+                       f"(cap {policy.max_inflight_per_key})",
+                retry_after=policy.retry_after,
+            )
+        self.inflight_by_key[api_key] = held + 1
+        self.inflight_total += 1
+        self.admitted += 1
+        return None
+
+    def release(self, api_key: str) -> None:
+        """Return one in-flight slot for ``api_key`` (campaign finished)."""
+        held = self.inflight_by_key.get(api_key, 0)
+        if held <= 0:
+            raise ServiceError(f"release without admit for key {api_key!r}")
+        if held == 1:
+            del self.inflight_by_key[api_key]
+        else:
+            self.inflight_by_key[api_key] = held - 1
+        self.inflight_total -= 1
+
+    def rejected_total(self) -> int:
+        """Total refusals across all reasons (for ``/metrics``)."""
+        return self.rejected_queue + self.rejected_key + self.rejected_points

@@ -53,6 +53,15 @@ def _campaign_metrics(wave_over_batch=1.7, warm_speedup=40.0):
     }
 
 
+def _service_metrics(p99=120.0, dedup=1.0, completed=1.0):
+    return {
+        "submissions": 1000, "campaigns": 750, "throughput_rps": 350.0,
+        "submit_p50_ms": 50.0, "submit_p99_ms": p99,
+        "request_overhead_ms": 40.0, "dedup_hit_rate": dedup,
+        "completed_rate": completed,
+    }
+
+
 # --- append -----------------------------------------------------------------
 
 
@@ -114,6 +123,38 @@ def test_within_tolerance_dip_passes(tmp_path):
     assert any("wave_over_batch" in line for line in lines)
 
 
+def test_service_floor_fires_on_imperfect_dedup(tmp_path):
+    path = tmp_path / "BENCH_SERVICE.json"
+    bt.append_entry(path, "service", _service_metrics(dedup=0.99), "aaa", "t")
+    with pytest.raises(bt.GateError, match="dedup_hit_rate.*below the floor"):
+        bt.check_trajectory(path, "service")
+
+
+def test_service_ceiling_fires_on_slow_p99(tmp_path):
+    path = tmp_path / "BENCH_SERVICE.json"
+    bt.append_entry(path, "service", _service_metrics(p99=600.0), "aaa", "t")
+    with pytest.raises(bt.GateError, match="submit_p99_ms.*over the ceiling"):
+        bt.check_trajectory(path, "service")
+
+
+def test_service_p99_upward_regression_fires(tmp_path):
+    path = tmp_path / "BENCH_SERVICE.json"
+    bt.append_entry(path, "service", _service_metrics(p99=100.0), "aaa", "t0")
+    bt.append_entry(path, "service", _service_metrics(p99=115.0), "bbb", "t1")
+    with pytest.raises(bt.GateError, match="submit_p99_ms regressed"):
+        bt.check_trajectory(path, "service")  # +15% > 10% tolerance
+
+
+def test_service_p99_improvement_and_small_drift_pass(tmp_path):
+    path = tmp_path / "BENCH_SERVICE.json"
+    bt.append_entry(path, "service", _service_metrics(p99=100.0), "aaa", "t0")
+    bt.append_entry(path, "service", _service_metrics(p99=106.0), "bbb", "t1")
+    lines = bt.check_trajectory(path, "service")  # +6%: within tolerance
+    assert any("ceiling" in line for line in lines)
+    bt.append_entry(path, "service", _service_metrics(p99=60.0), "ccc", "t2")
+    bt.check_trajectory(path, "service")  # getting faster is always fine
+
+
 def test_gate_compares_against_previous_entry_only(tmp_path):
     path = tmp_path / "BENCH_SWEEP.json"
     bt.append_entry(path, "sweep", _sweep_metrics(9.0), "aaa", "t0")
@@ -162,6 +203,9 @@ def _seed_both(root, **overrides):
     bt.append_entry(root / "BENCH_CAMPAIGN.json", "campaign",
                     _campaign_metrics(overrides.get("wave_over_batch", 1.7)),
                     "aaa", "t")
+    bt.append_entry(root / "BENCH_SERVICE.json", "service",
+                    _service_metrics(overrides.get("submit_p99_ms", 120.0)),
+                    "aaa", "t")
 
 
 def test_cli_check_ok(tmp_path, capsys):
@@ -189,6 +233,8 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
                         lambda repeats: _sweep_metrics(6.2))
     monkeypatch.setitem(bt.MEASURES, "campaign",
                         lambda repeats: _campaign_metrics(1.8, 35.0))
+    monkeypatch.setitem(bt.MEASURES, "service",
+                        lambda repeats: _service_metrics(110.0))
     rc = bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
                   "--recorded", "2026-08-08T00:00:00+00:00"])
     assert rc == 0
@@ -197,6 +243,7 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
     assert bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
                     "--recorded", "2026-08-08T00:00:00+00:00"]) == 0
     for name, family in (("BENCH_SWEEP.json", "sweep"),
-                         ("BENCH_CAMPAIGN.json", "campaign")):
+                         ("BENCH_CAMPAIGN.json", "campaign"),
+                         ("BENCH_SERVICE.json", "service")):
         data = bt.load_trajectory(tmp_path / name, family)
         assert [e["commit"] for e in data["entries"]] == ["deadbeef"]

@@ -1,0 +1,112 @@
+"""JournalReader: offset-resumable reads stay O(new rows), not O(journal).
+
+The service's status endpoint and event stream poll journals once per
+client request; re-reading the whole file each time would make polling
+cost quadratic in campaign size. These tests pin the reader's contract:
+each poll reads only the bytes appended since the last one, an
+unterminated tail fragment is left unconsumed until its writer finishes
+the line, and a healed torn line is skipped exactly once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.campaign.store import DONE, FAILED, Journal, JournalReader
+
+
+def _fill(journal: Journal, n: int, prefix: str = "task") -> None:
+    for i in range(n):
+        journal.append({"task_id": f"{prefix}-{i:05d}", "status": DONE,
+                        "seconds": 1.0 + i})
+
+
+def test_poll_returns_entries_in_append_order(tmp_path: Path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 10)
+    reader = JournalReader(journal.path)
+    entries = reader.poll()
+    assert [e["task_id"] for e in entries] == [f"task-{i:05d}" for i in range(10)]
+    assert reader.poll() == []  # nothing new
+
+
+def test_missing_file_polls_empty(tmp_path: Path):
+    reader = JournalReader(tmp_path / "absent.jsonl")
+    assert reader.poll() == []
+    assert reader.offset == 0
+
+
+def test_repeated_polls_are_o_new_bytes_not_o_journal(tmp_path: Path):
+    # the regression bar: after a large journal is consumed once, every
+    # further poll costs only the bytes appended since -- 200 polls over
+    # a 2000-row journal must not re-read ~200x the file
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 2000)
+    size = journal.path.stat().st_size
+    reader = JournalReader(journal.path)
+    assert len(reader.poll()) == 2000
+    assert reader.bytes_read == size
+    baseline = reader.bytes_read
+    appended = 0
+    for i in range(200):
+        journal.append({"task_id": f"late-{i:03d}", "status": DONE,
+                        "seconds": 1.0})
+        assert len(reader.poll()) == 1
+    appended = journal.path.stat().st_size - size
+    incremental = reader.bytes_read - baseline
+    assert incremental == appended  # not a byte more than what appended
+    assert incremental < size  # and far from re-reading the whole journal
+
+
+def test_offset_cursor_survives_reader_recreation(tmp_path: Path):
+    # the /events endpoint builds a fresh reader per request from the
+    # client's offset; the cursor must be transplantable
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 5)
+    first = JournalReader(journal.path)
+    assert len(first.poll()) == 5
+    _fill(journal, 3, prefix="more")
+    second = JournalReader(journal.path, offset=first.offset)
+    entries = second.poll()
+    assert [e["task_id"] for e in entries] == [f"more-{i:05d}" for i in range(3)]
+
+
+def test_unterminated_fragment_is_not_consumed(tmp_path: Path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 2)
+    with open(journal.path, "ab") as fh:
+        fh.write(b'{"task_id": "partial", "status": "do')  # mid-write
+    reader = JournalReader(journal.path)
+    assert len(reader.poll()) == 2
+    offset_before = reader.offset
+    assert reader.poll() == []  # fragment stays pending, offset parked
+    assert reader.offset == offset_before
+    # the writer finishes the line: the entry appears exactly once
+    with open(journal.path, "ab") as fh:
+        fh.write(b'ne", "seconds": 1.0}\n')
+    entries = reader.poll()
+    assert [e["task_id"] for e in entries] == ["partial"]
+    assert reader.torn == 0
+
+
+def test_healed_torn_line_is_skipped_once_and_counted(tmp_path: Path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 1)
+    journal.tear_tail(0.5)  # damage the only line
+    reader = JournalReader(journal.path)
+    assert reader.poll() == []  # torn fragment has no newline yet
+    # the next locked append heals the tail with a newline first
+    journal.append({"task_id": "after", "status": FAILED, "seconds": None,
+                    "error": "boom"})
+    entries = reader.poll()
+    assert [e["task_id"] for e in entries] == ["after"]
+    assert reader.torn == 1  # the healed fragment was counted, once
+    assert reader.poll() == []
+
+
+def test_reader_agrees_with_full_journal_replay(tmp_path: Path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    _fill(journal, 50)
+    reader = JournalReader(journal.path)
+    streamed = reader.poll()
+    assert streamed == journal.entries()

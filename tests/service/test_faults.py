@@ -1,0 +1,72 @@
+"""Service-side fault injection: spurious rejections and slow clients.
+
+The two request-side sites added for the service follow the same
+transient-then-converge contract as every worker/storage site: an
+injected 503 fires at most once per submission identity (so an honest
+retry is admitted), and a ``slow_client`` stall delays a bounded number
+of responses without corrupting any of them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.faults import FaultInjector, FaultPlan
+from repro.service import ServiceClient, start_background
+
+pytestmark = pytest.mark.chaos
+
+SPEC = {
+    "name": "faulty",
+    "machines": ["A"],
+    "backends": ["GCC-TBB"],
+    "cases": ["reduce"],
+    "size_exps": [8],
+    "threads": [2],
+}
+
+
+def test_service_sites_are_rated_and_deterministic():
+    plan = FaultPlan(seed=7, service_reject=1.0, slow_client=1.0,
+                     slow_client_seconds=0.01)
+    assert plan.rate("service_reject") == 1.0
+    assert plan.fires("service_reject", "abc") is plan.fires("service_reject", "abc")
+    injector = FaultInjector(plan)
+    assert injector.claim_service_reject("abc")
+    assert not injector.claim_service_reject("abc")  # at most once per ident
+    assert injector.slow_client_delay("req-1") == 0.01
+    assert injector.slow_client_delay("req-1") == 0.0
+
+
+def test_injected_reject_is_transient_and_the_retry_is_admitted(tmp_path):
+    faults = FaultPlan(seed=3, service_reject=1.0)
+    with start_background(tmp_path / "svc", faults=faults) as svc:
+        client = ServiceClient(svc.base_url)
+        # first attempt: the injected 503, carrying a Retry-After hint
+        with pytest.raises(QuotaExceededError) as err:
+            client.submit(SPEC)
+        assert err.value.retry_after > 0
+        # the retry is admitted (the site fired for this campaign id)
+        doc = client.submit(SPEC, max_attempts=2)
+        assert doc["_status"] == 202
+        assert client.wait(doc["id"], timeout=60)["state"] == "complete"
+        metrics = client.metrics()
+        assert metrics["service_injected_rejects"] == 1
+
+
+def test_slow_client_stalls_one_response_without_breaking_it(tmp_path):
+    faults = FaultPlan(seed=3, slow_client=1.0, slow_client_seconds=0.2,
+                       max_faults=1)
+    with start_background(tmp_path / "svc", faults=faults) as svc:
+        client = ServiceClient(svc.base_url)
+        t0 = time.perf_counter()
+        doc = client.healthz()  # the first request eats the stall
+        slow = time.perf_counter() - t0
+        assert doc["status"] == "ok"
+        assert slow >= 0.2
+        t0 = time.perf_counter()
+        client.healthz()  # budget spent: back to normal speed
+        assert time.perf_counter() - t0 < 0.2

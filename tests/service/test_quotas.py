@@ -1,0 +1,94 @@
+"""Admission control unit tests: the quota gate, deterministic and alone.
+
+The daemon tests exercise quotas over HTTP where timing allows; here the
+controller is driven directly so every rejection branch -- oversized
+campaign, full queue, per-key cap -- is pinned without races.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.quotas import AdmissionController, QuotaPolicy, Rejection
+
+
+def test_policy_validates_limits():
+    with pytest.raises(ServiceError):
+        QuotaPolicy(max_inflight_per_key=0)
+    with pytest.raises(ServiceError):
+        QuotaPolicy(max_points_per_campaign=0)
+    with pytest.raises(ServiceError):
+        QuotaPolicy(max_queue=0)
+    with pytest.raises(ServiceError):
+        QuotaPolicy(retry_after=-1.0)
+
+
+def test_rejection_retryability_follows_the_hint():
+    assert Rejection(status=429, reason="busy", retry_after=0.5).retryable
+    assert not Rejection(status=413, reason="too big").retryable
+
+
+def test_admit_charges_and_release_refunds():
+    gate = AdmissionController(QuotaPolicy(max_inflight_per_key=2))
+    assert gate.admit("alice", points=10) is None
+    assert gate.admit("alice", points=10) is None
+    assert gate.inflight_by_key == {"alice": 2}
+    assert gate.inflight_total == 2
+    gate.release("alice")
+    gate.release("alice")
+    assert gate.inflight_by_key == {}
+    assert gate.inflight_total == 0
+    assert gate.admitted == 2
+
+
+def test_oversized_campaign_is_a_permanent_413():
+    gate = AdmissionController(QuotaPolicy(max_points_per_campaign=100))
+    rejection = gate.admit("alice", points=101)
+    assert rejection is not None
+    assert rejection.status == 413
+    assert not rejection.retryable
+    assert gate.rejected_points == 1
+    assert gate.inflight_total == 0  # nothing was charged
+
+
+def test_per_key_cap_rejects_the_overflow_with_429():
+    gate = AdmissionController(QuotaPolicy(max_inflight_per_key=1))
+    assert gate.admit("alice", points=1) is None
+    rejection = gate.admit("alice", points=1)
+    assert rejection is not None and rejection.status == 429
+    assert rejection.retryable
+    # another key is unaffected
+    assert gate.admit("bob", points=1) is None
+    gate.release("alice")
+    assert gate.admit("alice", points=1) is None  # slot freed
+
+
+def test_full_queue_rejects_everyone_with_429():
+    gate = AdmissionController(QuotaPolicy(max_queue=2,
+                                           max_inflight_per_key=10))
+    assert gate.admit("a", points=1) is None
+    assert gate.admit("b", points=1) is None
+    for key in ("a", "b", "c"):
+        rejection = gate.admit(key, points=1)
+        assert rejection is not None and rejection.status == 429
+    assert gate.rejected_queue == 3
+    gate.release("a")
+    assert gate.admit("c", points=1) is None  # drained one slot
+
+
+def test_unbalanced_release_is_an_error():
+    gate = AdmissionController(QuotaPolicy())
+    with pytest.raises(ServiceError):
+        gate.release("nobody")
+
+
+def test_rejection_counters_sum():
+    gate = AdmissionController(QuotaPolicy(max_points_per_campaign=5,
+                                           max_inflight_per_key=1))
+    gate.admit("a", points=50)
+    gate.admit("a", points=1)
+    gate.admit("a", points=1)
+    assert gate.rejected_total() == 2
+    assert gate.rejected_points == 1
+    assert gate.rejected_key == 1

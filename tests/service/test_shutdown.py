@@ -1,0 +1,126 @@
+"""Graceful shutdown end-to-end: SIGTERM a live daemon, restart, converge.
+
+The service's durability claim extends crash recovery to the daemon
+itself: a SIGTERM mid-campaign drains running waves (never killing them
+mid-write), persists every journal, and a *restarted* daemon adopts the
+leftover campaign directories, resumes the unfinished ones, and reaches
+results bit-identical to a never-interrupted run. In-process tests
+cannot check the signal path honestly, so this one runs the real
+``pstl-service`` CLI in a subprocess and SIGTERMs it while a queue of
+campaigns is still draining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+from repro.service import ServiceClient
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Each campaign runs real repetitions (~0.5s): a queue of four keeps the
+#: daemon busy long enough that SIGTERM lands mid-drain deterministically.
+def _spec(i: int) -> dict:
+    return {
+        "name": f"shutdown-{i}",
+        "machines": ["A"],
+        "backends": ["GCC-TBB"],
+        "cases": ["sort", "stable_sort", "merge"],
+        "size_exps": [17, 18],
+        "threads": [2, 4],
+        "modes": ["run"],
+    }
+
+
+def _serve(root: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.service.cli", "serve", str(root),
+           "--concurrent", "1"]
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _wait_for_daemon(root: Path, timeout: float = 20.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            meta = json.loads((root / "service.json").read_text())
+            url = f"http://{meta['host']}:{meta['port']}"
+            ServiceClient(url).healthz()
+            return url
+        except (FileNotFoundError, json.JSONDecodeError, ServiceError):
+            time.sleep(0.05)
+    raise AssertionError("daemon did not come up")
+
+
+@pytest.mark.chaos
+def test_sigterm_drains_then_a_restart_resumes_bit_identically(tmp_path):
+    root = tmp_path / "svc"
+    daemon = _serve(root)
+    try:
+        url = _wait_for_daemon(root)
+        client = ServiceClient(url)
+        ids = [client.submit(_spec(i))["id"] for i in range(4)]
+        assert len(set(ids)) == 4
+        # let the first campaign make progress, then pull the plug
+        time.sleep(0.3)
+        daemon.send_signal(signal.SIGTERM)
+        out, err = daemon.communicate(timeout=60)
+        assert daemon.returncode == 0, err  # drained, not crashed
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+
+    # every submitted campaign left a durable directory with a spec, and
+    # whatever was journaled parses cleanly (no torn mid-drain writes)
+    for cid in ids:
+        assert (root / "campaigns" / cid / "spec.json").exists()
+    from repro.campaign.store import Journal
+    journaled = sum(
+        len(Journal(root / "campaigns" / cid / "journal.jsonl").entries())
+        for cid in ids)
+    assert journaled >= 1  # SIGTERM landed after real progress
+    for cid in ids:
+        journal = Journal(root / "campaigns" / cid / "journal.jsonl")
+        assert journal.torn_lines() == 0
+
+    # restart on the same root: the daemon adopts and resumes leftovers
+    daemon = _serve(root)
+    try:
+        url = _wait_for_daemon(root)
+        meta = json.loads((root / "service.json").read_text())
+        assert meta["resumed"] >= 1  # at least one campaign was unfinished
+        client = ServiceClient(url)
+        for cid in ids:
+            doc = client.wait(cid, timeout=120)
+            assert doc["state"] == "complete"
+        # bit-identical convergence: the service's rows equal a direct,
+        # never-interrupted run of the same spec
+        for i, cid in enumerate(ids):
+            rows = client.results(cid)["rows"]
+            direct = run_campaign(CampaignSpec.from_dict(_spec(i)))
+            by_task = {r["task_id"]: (r["status"], r["seconds"]) for r in rows}
+            assert set(by_task) == set(direct.results)
+            for tid, result in direct.results.items():
+                assert by_task[tid] == (result.status, result.seconds)
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                daemon.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.communicate()

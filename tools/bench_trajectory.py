@@ -18,13 +18,26 @@ repo root (schema documented in ``docs/PERFORMANCE.md``):
     >= 1.5), ``warm_speedup`` = cold_batch/warm (floor >= 10.0 -- the
     cache guarantee ``benchmarks/bench_campaign_table5.py`` pins).
 
-Gating compares *dimensionless ratios* (speedups), never wall seconds,
-so the gate is stable across CI hardware of different absolute speeds;
-the raw seconds are recorded alongside for human trend-reading only.
+``BENCH_SERVICE.json``
+    The campaign-service SLO harness: one in-process daemon, 1000
+    concurrent mixed cold/warm/duplicate submissions through
+    ``repro.service.loadgen``. Floors: ``dedup_hit_rate`` and
+    ``completed_rate`` must both be exactly 1.0 (zero lost, every
+    duplicate collapsed). Ceiling: ``submit_p99_ms`` (lower is better)
+    must stay under :data:`CEILINGS` and may grow at most 10% vs. the
+    previous entry. ``throughput_rps``, ``submit_p50_ms`` and
+    ``request_overhead_ms`` ride along ungated for trend-reading.
+
+Floor gating compares *dimensionless ratios* (speedups, hit rates),
+never wall seconds, so those gates are stable across CI hardware of
+different absolute speeds; the raw seconds are recorded alongside for
+human trend-reading. The one wall-clock gate -- the service p99
+ceiling -- is deliberately generous in absolute terms for the same
+reason, with the adjacent-entry regression rule doing the real work.
 
 Usage::
 
-    python tools/bench_trajectory.py run [--benchmark all|sweep|campaign]
+    python tools/bench_trajectory.py run [--benchmark all|sweep|campaign|service]
     python tools/bench_trajectory.py check
 
 ``run`` measures (best-of-N wall clock, N=3) and appends one entry
@@ -54,12 +67,24 @@ SCHEMA_VERSION = 1
 TRAJECTORY_FILES = {
     "sweep": "BENCH_SWEEP.json",
     "campaign": "BENCH_CAMPAIGN.json",
+    "service": "BENCH_SERVICE.json",
 }
 
 #: Absolute floors on dimensionless ratio metrics (family -> metric -> min).
 GATES = {
     "sweep": {"batch_speedup": 5.0},
     "campaign": {"wave_over_batch": 1.5, "warm_speedup": 10.0},
+    "service": {"dedup_hit_rate": 1.0, "completed_rate": 1.0},
+}
+
+#: Absolute ceilings on lower-is-better metrics (family -> metric -> max).
+#: Ceiling metrics also obey the regression rule in the *upward*
+#: direction: the newest entry may exceed the previous one by at most
+#: :data:`REGRESSION_TOLERANCE`.
+CEILINGS = {
+    "sweep": {},
+    "campaign": {},
+    "service": {"submit_p99_ms": 500.0},
 }
 
 #: Newest entry may lose at most this fraction vs. the previous entry.
@@ -139,7 +164,41 @@ def measure_campaign(repeats: int = DEFAULT_REPEATS) -> dict:
     }
 
 
-MEASURES = {"sweep": measure_sweep, "campaign": measure_campaign}
+def measure_service(repeats: int = DEFAULT_REPEATS,
+                    submissions: int = 1000, concurrency: int = 64) -> dict:
+    """Drive the loadgen SLO harness against an in-process daemon.
+
+    One load run is already 1000 submissions, so ``repeats`` is ignored
+    (a single run is the sample, not a timing to take the min of). The
+    run must itself pass the SLOs -- a lost or corrupted campaign is a
+    measurement *error*, not a data point to record.
+    """
+    import tempfile
+
+    from repro.service import start_background
+    from repro.service.loadgen import LoadgenConfig, assert_slo, run_loadgen
+
+    del repeats  # one 1000-submission run is the sample
+    with tempfile.TemporaryDirectory() as tmp:
+        with start_background(Path(tmp) / "svc", concurrent=8) as svc:
+            config = LoadgenConfig(submissions=submissions,
+                                   concurrency=concurrency)
+            report = run_loadgen(svc.base_url, config)
+    assert_slo(report)
+    return {
+        "submissions": report.submissions,
+        "campaigns": report.campaigns,
+        "throughput_rps": report.throughput_rps,
+        "submit_p50_ms": report.submit_p50_ms,
+        "submit_p99_ms": report.submit_p99_ms,
+        "request_overhead_ms": report.request_overhead_ms,
+        "dedup_hit_rate": report.dedup_hit_rate,
+        "completed_rate": report.completed_rate,
+    }
+
+
+MEASURES = {"sweep": measure_sweep, "campaign": measure_campaign,
+            "service": measure_service}
 
 
 def current_commit() -> str:
@@ -199,7 +258,7 @@ def validate_trajectory(data, benchmark: str, *, name: str = "trajectory") -> No
         if not isinstance(metrics, dict):
             raise TrajectoryError(f"{name}: entries[{i}].metrics must be "
                                   f"an object")
-        for metric in GATES[benchmark]:
+        for metric in (*GATES[benchmark], *CEILINGS[benchmark]):
             value = metrics.get(metric)
             if not isinstance(value, (int, float)):
                 raise TrajectoryError(
@@ -260,6 +319,28 @@ def check_trajectory(path: Path, benchmark: str) -> list[str]:
         else:
             lines.append(f"{path.name}: {metric} = {value:.3f} "
                          f"(floor {floor}, first entry)")
+    for metric, ceiling in CEILINGS[benchmark].items():
+        value = last["metrics"][metric]
+        if value > ceiling:
+            raise GateError(
+                f"{path.name}: {metric} = {value:.3f} is over the "
+                f"ceiling {ceiling:.3f} (commit {last['commit'][:12]})"
+            )
+        if prev is not None:
+            baseline = prev["metrics"][metric]
+            allowed = baseline * (1.0 + REGRESSION_TOLERANCE)
+            if value > allowed:
+                raise GateError(
+                    f"{path.name}: {metric} regressed {value:.3f} > "
+                    f"{allowed:.3f} (= {baseline:.3f} from commit "
+                    f"{prev['commit'][:12]} plus "
+                    f"{REGRESSION_TOLERANCE:.0%} tolerance)"
+                )
+            lines.append(f"{path.name}: {metric} = {value:.3f} "
+                         f"(ceiling {ceiling}, prev {baseline:.3f})")
+        else:
+            lines.append(f"{path.name}: {metric} = {value:.3f} "
+                         f"(ceiling {ceiling}, first entry)")
     return lines
 
 

@@ -41,6 +41,7 @@ FENCE_FILES = (
     "docs/FIDELITY.md",
     "docs/ROBUSTNESS.md",
     "docs/PERFORMANCE.md",
+    "docs/SERVICE.md",
 )
 
 #: Packages (or plain modules) whose public API must be fully documented.
@@ -52,6 +53,7 @@ DOCSTRING_PACKAGES = (
     "repro.suite.batch",
     "repro.fidelity",
     "repro.faults",
+    "repro.service",
 )
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
