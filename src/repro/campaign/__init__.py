@@ -9,8 +9,11 @@ layers:
 * :mod:`repro.campaign.spec` -- declarative sweep specifications;
 * :mod:`repro.campaign.plan` -- expansion into a deterministic task DAG
   with capability pruning and shared-baseline deduplication;
-* :mod:`repro.campaign.store` + :mod:`repro.campaign.fingerprint` --
-  content-addressed result cache keyed by (point, model fingerprint),
+* :mod:`repro.campaign.store` + :mod:`repro.campaign.shard` +
+  :mod:`repro.campaign.fingerprint` -- content-addressed result cache
+  keyed by (point, model fingerprint), fanned out over 256 key-prefix
+  shards with a persistent per-shard index (O(result) lookups, counts
+  and queries; background compaction via ``pstl-campaign compact``),
   plus the append-only journal that makes runs resumable;
 * :mod:`repro.campaign.executor` / :mod:`repro.campaign.query` --
   process-pool execution with timeout/retry/graceful failure, and
@@ -41,6 +44,14 @@ from repro.campaign.query import (
     filter_results,
     grid_key,
     speedup_grid,
+    store_query,
+)
+from repro.campaign.shard import (
+    SHARD_COUNT,
+    CompactionReport,
+    ShardIndex,
+    StoreIndex,
+    shard_prefix,
 )
 from repro.campaign.spec import CampaignSpec, PointSpec
 from repro.campaign.store import (
@@ -80,4 +91,10 @@ __all__ = [
     "filter_results",
     "bench_rows",
     "grid_key",
+    "store_query",
+    "SHARD_COUNT",
+    "CompactionReport",
+    "ShardIndex",
+    "StoreIndex",
+    "shard_prefix",
 ]

@@ -11,6 +11,7 @@ Examples::
     pstl-campaign run --spec table5 --dir campaigns/chaos \\
         --faults plan.json --fault-seed 7 --retries 2
     pstl-campaign verify campaigns/t5
+    pstl-campaign compact campaigns/t5
 
 Exit codes: 0 = success, 1 = campaign finished but some points FAILED
 (for ``verify``: integrity errors were found), 2 = bad invocation or
@@ -117,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pull every corrupt object out of service "
                         "(moved to cache/quarantine/) instead of only "
                         "reporting it")
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold the store's per-shard index logs into their compacted "
+        "snapshots (drops superseded and quarantined rows)",
+    )
+    compact.add_argument("dir", help="campaign directory, or a bare store "
+                         "root (a directory holding objects/)")
 
     status = sub.add_parser("status", help="summarise a campaign directory")
     status.add_argument("dir", help="campaign directory")
@@ -261,6 +270,16 @@ def _cmd_verify(args) -> int:
     print(f"store:    {scan.summary()}")
     for key, reason in scan.corrupt:
         print(f"  corrupt {key[:16]}...: {reason}")
+    if store.index is not None:
+        print(f"index:    {store.index.count()} row(s) across "
+              f"{len(store.index.prefixes())} shard(s)")
+        if scan.unindexed or scan.index_stale:
+            print(f"  index drift: {scan.unindexed} unindexed object(s), "
+                  f"{scan.index_stale} stale row(s) -- advisory; "
+                  "tools/migrate_store.py --force rebuilds the index")
+    else:
+        print("index:    absent (v1 flat store; "
+              "tools/migrate_store.py upgrades it in place)")
     print(f"journal:  {len(journal.entries())} intact entr(ies), "
           f"{torn} torn line(s)")
     if scan.errors:
@@ -270,6 +289,31 @@ def _cmd_verify(args) -> int:
                   "then resume to recompute", file=sys.stderr)
         return 1
     print("verify: OK")
+    return 0
+
+
+def _store_root(path: Path) -> Path:
+    """Resolve a compact target: a campaign dir's ``cache/`` or a bare store.
+
+    Accepts either a campaign directory (holding ``spec.json``) or a
+    store root itself (holding ``objects/``); anything else raises.
+    """
+    if (path / "spec.json").exists():
+        return path / "cache"
+    if (path / "objects").is_dir() or (path / "STORE_META.json").exists():
+        return path
+    raise ReproError(
+        f"{path} is neither a campaign directory (no spec.json) "
+        "nor a result store (no objects/)")
+
+
+def _cmd_compact(args) -> int:
+    """``pstl-campaign compact``: fold index logs into shard snapshots."""
+    store = ResultStore(_store_root(Path(args.dir)))
+    report = store.compact()  # raises (-> exit 2) on unindexed v1 stores
+    print(f"compact:  {report.summary()}")
+    print(f"index:    {store.index.count()} row(s) across "
+          f"{len(store.index.prefixes())} shard(s)")
     return 0
 
 
@@ -290,6 +334,9 @@ def _cmd_status(args) -> int:
         if by_status.get(status):
             print(f"  {status:6s} {by_status[status]}")
     _print_wall_time(outcome, entries)
+    store = ResultStore(Path(args.dir) / "cache")
+    print(f"cache:    {store.count_objects()} object(s)"
+          + (" (indexed)" if store.indexed else " (v1, unindexed)"))
     print(f"pending:  {len(pending)}")
     if pending:
         print("resume with: pstl-campaign resume " + str(args.dir))
@@ -350,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
         "status": _cmd_status,
         "query": _cmd_query,
         "verify": _cmd_verify,
+        "compact": _cmd_compact,
     }
     try:
         return handlers[args.command](args)

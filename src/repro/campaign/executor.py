@@ -505,7 +505,7 @@ def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | Non
     outcome.results[task.task_id] = result
     key = None
     if result.status != FAILED and not result.cached and task.pruned is None:
-        key = store.put(task.point, result.payload())
+        key = store.put(task.point, result.payload(), wall_ms=result.wall_ms)
         if injector is not None:
             injector.after_put(store, key)
     elif task.pruned is None:

@@ -16,7 +16,8 @@ from typing import TYPE_CHECKING
 from repro.bench.state import BenchResult
 from repro.campaign.executor import CampaignOutcome
 from repro.campaign.plan import MEASURE, PointTask
-from repro.campaign.store import DONE, PointResult
+from repro.campaign.store import DONE, PointResult, ResultStore
+from repro.errors import CampaignError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.speedup import ScalingCurve
@@ -27,6 +28,7 @@ __all__ = [
     "efficiency_grid",
     "filter_results",
     "bench_rows",
+    "store_query",
     "CellCurve",
 ]
 
@@ -160,6 +162,53 @@ def filter_results(
         if status is not None and result.status != status:
             continue
         out.append((task, result))
+    return out
+
+
+def store_query(
+    store: ResultStore,
+    machine: str | None = None,
+    backend: str | None = None,
+    case: str | None = None,
+    status: str | None = None,
+) -> list[dict]:
+    """Filter a store's *persistent index* without opening object files.
+
+    The campaign-level :func:`filter_results` replays the plan and loads
+    each point's record -- O(campaign). This query walks the sharded
+    index instead, so it is O(result rows) over the *whole* store, which
+    is the shape the service's dashboards need at millions of cached
+    points. Each hit is a dict with ``key``, ``point``, ``status``,
+    ``seconds``, ``wall_ms`` and the relative object ``path``; rows come
+    back in (shard, key) order for determinism. Raises
+    :class:`CampaignError` on unindexed (in-memory or v1 flat) stores.
+    """
+    if store.index is None:
+        raise CampaignError(
+            "store has no persistent index (in-memory, or v1 layout; "
+            "run tools/migrate_store.py to upgrade a flat store)")
+
+    def match(value, wanted: str | None) -> bool:
+        return wanted is None or (
+            isinstance(value, str) and value.lower() == wanted.lower())
+
+    out: list[dict] = []
+    for key, row in store.index.rows():
+        point = row.get("point")
+        point = dict(point) if isinstance(point, dict) else {}
+        if not (match(point.get("machine"), machine)
+                and match(point.get("backend"), backend)
+                and match(point.get("case"), case)
+                and match(row.get("status"), status)):
+            continue
+        out.append({
+            "key": key,
+            "point": point,
+            "status": row.get("status"),
+            "seconds": row.get("seconds"),
+            "wall_ms": row.get("wall_ms"),
+            "path": row.get("path"),
+        })
     return out
 
 

@@ -1,0 +1,430 @@
+"""Sharded persistent index for the content-addressed result store.
+
+The object tree already fans out over a two-hex-digit directory level
+(``objects/ab/<key>.json``) -- that fan-out *is* the natural 256-way
+shard structure. What was missing is a per-shard **persistent index**
+so lookups, counts and queries are O(result) instead of O(walk the
+whole tree): with millions of cached points, ``rglob("*.json")`` is the
+scalability cliff, exactly the metadata-path bottleneck the pSTL-Bench
+scaling study keeps finding in the kernels themselves.
+
+Layout, per store root::
+
+    STORE_META.json          # {"layout": 2, "shards": 256} -- v2 marker
+    objects/ab/<key>.json    # unchanged: the records stay ground truth
+    index/ab.log.jsonl       # append-only index journal for shard "ab"
+    index/ab.idx.json        # compacted snapshot of shard "ab"
+
+Every ``put`` appends one row (``key -> object path, checksum, status,
+seconds, wall_ms, point``) to its shard's log under the same flock +
+single ``O_APPEND`` ``write()`` discipline as the campaign journal, so
+concurrent writers never interleave partial rows. Every ``quarantine``
+appends a tombstone. Reading a shard merges the compacted snapshot with
+a replay of its log (last-wins; tombstones delete); the merge is cached
+and invalidated by (snapshot, log) file signatures, so repeated reads
+cost O(1) stat calls.
+
+**Compaction** (:meth:`StoreIndex.compact`, fronted by ``pstl-campaign
+compact``) folds each shard's log into its snapshot: superseded rows
+and quarantined tombstones are dropped, the snapshot is rewritten
+atomically (temp file + rename), and the log is truncated to zero --
+all while holding the shard log's exclusive advisory lock, so appenders
+serialize against the rewrite instead of losing rows.
+
+The index is a *derived* structure: the object files remain the ground
+truth, ``ResultStore.scan`` cross-checks the two, and
+``tools/migrate_store.py`` can rebuild the index from the tree at any
+time. Index appends therefore skip ``fsync`` -- losing a tail row to a
+crash costs one flagged-then-rebuilt row, not data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (single-writer)
+    fcntl = None
+
+from repro.campaign.spec import canonical_json
+from repro.errors import CampaignError
+
+__all__ = [
+    "SHARD_COUNT",
+    "STORE_META",
+    "STORE_LAYOUT_VERSION",
+    "CompactionReport",
+    "ShardIndex",
+    "StoreIndex",
+    "shard_prefix",
+    "read_store_meta",
+    "write_store_meta",
+]
+
+#: Number of key-prefix shards (two hex digits -> 256).
+SHARD_COUNT = 256
+
+#: Marker file naming the store layout version at the store root.
+STORE_META = "STORE_META.json"
+
+#: Current on-disk layout version (v1 = flat unindexed, v2 = sharded index).
+STORE_LAYOUT_VERSION = 2
+
+_HEX = set("0123456789abcdef")
+
+
+def shard_prefix(key: str) -> str:
+    """The two-hex-digit shard a cache key belongs to."""
+    prefix = key[:2].lower()
+    if len(prefix) != 2 or not set(prefix) <= _HEX:
+        raise CampaignError(f"not a shardable cache key: {key!r}")
+    return prefix
+
+
+def _atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` via per-process/thread temp + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_text(json.dumps(dict(payload), sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def write_store_meta(root: str | os.PathLike) -> None:
+    """Stamp ``root`` as a v2 (sharded-index) store, atomically."""
+    _atomic_write_json(
+        Path(root) / STORE_META,
+        {"layout": STORE_LAYOUT_VERSION, "shards": SHARD_COUNT},
+    )
+
+
+def read_store_meta(root: str | os.PathLike) -> dict | None:
+    """The store-layout marker at ``root``, or None for a v1/fresh store."""
+    try:
+        payload = json.loads((Path(root) / STORE_META).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None  # torn marker: treat as unmigrated, never crash a read
+    return payload if isinstance(payload, dict) else None
+
+
+def _flock(fd: int) -> None:
+    """Exclusive cross-process advisory lock (no-op without fcntl)."""
+    if fcntl is not None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+
+def _funlock(fd: int) -> None:
+    """Release the lock taken by :func:`_flock`."""
+    if fcntl is not None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass did (see :meth:`StoreIndex.compact`)."""
+
+    shards: int = 0
+    rows_kept: int = 0
+    superseded: int = 0
+    quarantined_dropped: int = 0
+    log_bytes_merged: int = 0
+
+    def merge(self, other: "CompactionReport") -> None:
+        """Fold another shard's report into this aggregate."""
+        self.shards += other.shards
+        self.rows_kept += other.rows_kept
+        self.superseded += other.superseded
+        self.quarantined_dropped += other.quarantined_dropped
+        self.log_bytes_merged += other.log_bytes_merged
+
+    def summary(self) -> str:
+        """One-line human report."""
+        return (
+            f"{self.shards} shard(s) compacted: {self.rows_kept} row(s) kept, "
+            f"{self.superseded} superseded, {self.quarantined_dropped} "
+            f"quarantined row(s) dropped, {self.log_bytes_merged} "
+            f"log byte(s) merged"
+        )
+
+
+class ShardIndex:
+    """One key-prefix shard: an append-only log plus a compacted snapshot.
+
+    Appends go to ``<prefix>.log.jsonl`` (flock + single ``O_APPEND``
+    write, torn-tail healed exactly like the campaign journal); reads
+    merge ``<prefix>.idx.json`` with a log replay, last row per key
+    winning and ``quarantine`` tombstones deleting. The merge is cached
+    against the two files' stat signatures.
+    """
+
+    def __init__(self, index_root: str | os.PathLike, prefix: str) -> None:
+        """Bind to shard ``prefix`` under ``index_root`` (lazily created)."""
+        self.prefix = prefix
+        root = Path(index_root)
+        self.log_path = root / f"{prefix}.log.jsonl"
+        self.compact_path = root / f"{prefix}.idx.json"
+        self._cache: dict[str, dict] | None = None
+        self._cache_sig: tuple | None = None
+
+    def _sig(self) -> tuple:
+        """Stat signature of (snapshot, log); changes on any write."""
+        try:
+            stat = self.compact_path.stat()
+            compact_sig = (stat.st_mtime_ns, stat.st_size)
+        except FileNotFoundError:
+            compact_sig = None
+        try:
+            log_size = self.log_path.stat().st_size
+        except FileNotFoundError:
+            log_size = None
+        return (compact_sig, log_size)
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one index row (a whole line) to the shard log.
+
+        Same discipline as :meth:`Journal.append` -- heal a torn tail,
+        then a single ``write()`` on an ``O_APPEND`` descriptor under an
+        exclusive advisory lock -- minus the ``fsync``: the index is
+        derived from the object tree and rebuildable, so a lost tail row
+        costs a flagged rebuild, not data.
+        """
+        line = (canonical_json(dict(row)) + "\n").encode("utf-8")
+        self.log_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.log_path, os.O_CREAT | os.O_RDWR | os.O_APPEND, 0o644)
+        try:
+            _flock(fd)
+            try:
+                size = os.fstat(fd).st_size
+                if size and os.pread(fd, 1, size - 1) != b"\n":
+                    os.write(fd, b"\n")
+                os.write(fd, line)
+            finally:
+                _funlock(fd)
+        finally:
+            os.close(fd)
+
+    def _read_compact(self) -> dict[str, dict]:
+        """Rows of the compacted snapshot ({} when absent or unreadable --
+        the object tree stays ground truth; scan flags the gap)."""
+        try:
+            payload = json.loads(self.compact_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        rows = payload.get("rows") if isinstance(payload, Mapping) else None
+        if not isinstance(rows, Mapping):
+            return {}
+        return {k: dict(v) for k, v in rows.items() if isinstance(v, Mapping)}
+
+    def _read_log(self) -> list[dict]:
+        """Parsed log entries in append order (torn/garbage lines skipped)."""
+        try:
+            raw = self.log_path.read_bytes()
+        except FileNotFoundError:
+            return []
+        out: list[dict] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn tail from a crash mid-append
+            if isinstance(entry, dict):
+                out.append(entry)
+        return out
+
+    @staticmethod
+    def _replay(base: dict[str, dict], entries: list[dict],
+                report: CompactionReport | None = None) -> dict[str, dict]:
+        """Fold log ``entries`` onto ``base`` (last-wins, tombstones delete)."""
+        merged = dict(base)
+        for entry in entries:
+            key = entry.get("key")
+            if not isinstance(key, str):
+                continue
+            op = entry.get("op")
+            if op == "quarantine":
+                if merged.pop(key, None) is not None and report is not None:
+                    report.quarantined_dropped += 1
+            elif op == "put":
+                if key in merged and report is not None:
+                    report.superseded += 1
+                merged[key] = {k: v for k, v in entry.items()
+                               if k not in ("op", "key")}
+        return merged
+
+    def rows(self) -> dict[str, dict]:
+        """key -> index row for every live key in this shard.
+
+        Returns the internal cached mapping -- treat it as read-only.
+        The cache invalidates whenever the snapshot or log changes on
+        disk (other processes included), so a fresh poll costs two
+        ``stat`` calls.
+        """
+        sig = self._sig()
+        if self._cache is not None and sig == self._cache_sig:
+            return self._cache
+        merged = self._replay(self._read_compact(), self._read_log())
+        self._cache, self._cache_sig = merged, sig
+        return merged
+
+    def lookup(self, key: str) -> dict | None:
+        """The index row for ``key``, or None (O(shard), cached)."""
+        return self.rows().get(key)
+
+    #: Snapshot head shape: ``sort_keys`` puts ``"count"`` first, so a
+    #: 64-byte read answers counts without parsing the whole snapshot.
+    _COUNT_HEAD = re.compile(rb'^\{"count": (\d+)[,}]')
+
+    def count(self) -> int:
+        """Number of live keys in this shard.
+
+        On a compacted shard (empty log) this is O(1): the snapshot
+        embeds its row count as its first JSON key, read from the file
+        head without parsing the rows. With pending log entries -- whose
+        tombstones and supersedes need the full merge -- it falls back
+        to :meth:`rows`.
+        """
+        sig = self._sig()
+        if self._cache is not None and sig == self._cache_sig:
+            return len(self._cache)
+        compact_sig, log_size = sig
+        if not log_size and compact_sig is not None:
+            try:
+                with open(self.compact_path, "rb") as fh:
+                    head = fh.read(64)
+            except FileNotFoundError:
+                head = b""
+            match = self._COUNT_HEAD.match(head)
+            if match:
+                return int(match.group(1))
+        return len(self.rows())
+
+    def compact(self) -> CompactionReport:
+        """Fold the log into the snapshot; truncate the log; atomically.
+
+        Runs under the shard log's exclusive advisory lock, so appends
+        racing the compaction serialize: a row appended before the lock
+        is merged, one appended after lands in the (now empty) log.
+        The snapshot rewrite publishes via temp file + rename, so
+        readers only ever see a whole snapshot.
+        """
+        report = CompactionReport()
+        if not self.log_path.exists() and not self.compact_path.exists():
+            return report
+        self.log_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.log_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            _flock(fd)
+            try:
+                report.log_bytes_merged = os.fstat(fd).st_size
+                merged = self._replay(self._read_compact(), self._read_log(),
+                                      report)
+                _atomic_write_json(self.compact_path, {
+                    "count": len(merged),  # first key: O(1) count reads
+                    "layout": STORE_LAYOUT_VERSION,
+                    "prefix": self.prefix,
+                    "rows": merged,
+                })
+                os.ftruncate(fd, 0)
+            finally:
+                _funlock(fd)
+        finally:
+            os.close(fd)
+        report.shards = 1
+        report.rows_kept = len(merged)
+        self._cache, self._cache_sig = merged, self._sig()
+        return report
+
+
+class StoreIndex:
+    """The store-wide view over all 256 key-prefix shards.
+
+    Shards are lazily instantiated and lazily created on disk -- a
+    store that only ever saw keys under ``ab/`` has exactly one shard's
+    files. :class:`~repro.campaign.store.ResultStore` owns one of these
+    when the store root carries a v2 ``STORE_META.json`` marker.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        """Bind to the store ``root`` (index files under ``root/index``)."""
+        self.root = Path(root)
+        self.index_root = self.root / "index"
+        self._shards: dict[str, ShardIndex] = {}
+
+    def shard(self, prefix: str) -> ShardIndex:
+        """The :class:`ShardIndex` for ``prefix`` (memoized)."""
+        shard = self._shards.get(prefix)
+        if shard is None:
+            shard = self._shards[prefix] = ShardIndex(self.index_root, prefix)
+        return shard
+
+    def shard_for(self, key: str) -> ShardIndex:
+        """The shard that owns cache key ``key``."""
+        return self.shard(shard_prefix(key))
+
+    def prefixes(self) -> list[str]:
+        """Sorted shard prefixes that exist on disk."""
+        if not self.index_root.is_dir():
+            return []
+        found = set()
+        for path in self.index_root.iterdir():
+            prefix = path.name[:2].lower()
+            if len(path.name) > 2 and set(prefix) <= _HEX:
+                found.add(prefix)
+        return sorted(found)
+
+    def record_put(self, key: str, *, checksum: str | None,
+                   point: Mapping[str, Any],
+                   status: str | None = None,
+                   seconds: float | None = None,
+                   wall_ms: float | None = None) -> None:
+        """Index a freshly published object (appended to its shard log)."""
+        self.shard_for(key).append({
+            "op": "put",
+            "key": key,
+            "path": f"objects/{key[:2]}/{key}.json",
+            "checksum": checksum,
+            "point": dict(point),
+            "status": status,
+            "seconds": seconds,
+            "wall_ms": wall_ms,
+        })
+
+    def record_quarantine(self, key: str, reason: str) -> None:
+        """Tombstone ``key`` (its row drops at the next merge/compaction)."""
+        self.shard_for(key).append({
+            "op": "quarantine", "key": key, "reason": reason,
+        })
+
+    def lookup(self, key: str) -> dict | None:
+        """The index row for ``key`` across shards, or None."""
+        return self.shard_for(key).lookup(key)
+
+    def count(self) -> int:
+        """Total live keys across every shard on disk."""
+        return sum(self.shard(p).count() for p in self.prefixes())
+
+    def rows(self) -> Iterator[tuple[str, dict]]:
+        """Yield every (key, row) across shards, shard order then key order."""
+        for prefix in self.prefixes():
+            shard = self.shard(prefix)
+            for key in sorted(shard.rows()):
+                yield key, shard.rows()[key]
+
+    def compact(self) -> CompactionReport:
+        """Compact every shard on disk; aggregate report."""
+        total = CompactionReport()
+        for prefix in self.prefixes():
+            total.merge(self.shard(prefix).compact())
+        return total

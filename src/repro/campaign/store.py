@@ -26,6 +26,15 @@ campaign re-plans (deterministically), drops every task whose terminal
 entry is already journaled, and executes only the remainder. Torn final
 lines from a killed process are tolerated and skipped.
 
+**Index.** v2 stores (marker: ``STORE_META.json``) additionally keep a
+persistent per-shard index (``index/ab.log.jsonl`` + ``index/ab.idx.json``,
+see :mod:`repro.campaign.shard`): every ``put`` appends a row mapping
+``key -> object path, checksum, status, seconds, wall_ms, point`` and
+every quarantine appends a tombstone, so counts, lookups and queries
+are O(result) instead of O(walk the tree). A store root that already
+holds objects but no marker is a v1 flat store: it keeps working,
+unindexed, until ``tools/migrate_store.py`` upgrades it in place.
+
 **Concurrency.** Several processes may share one store and one journal
 (the ``repro.service`` daemon multiplexes client campaigns over a
 shared cache; the 8-appender property test pins the contract). Cache
@@ -53,6 +62,12 @@ except ImportError:  # pragma: no cover - non-POSIX fallback (single-writer)
     fcntl = None
 
 from repro.campaign.fingerprint import model_fingerprint
+from repro.campaign.shard import (
+    CompactionReport,
+    StoreIndex,
+    read_store_meta,
+    write_store_meta,
+)
 from repro.campaign.spec import PointSpec, canonical_json
 from repro.errors import CampaignError
 
@@ -138,6 +153,14 @@ class StoreScan:
     ``drifted`` counts records that verify but whose ``result`` payload
     is schema-drifted (served as misses, never as hits); ``legacy``
     counts pre-checksum records (accepted, but unauditable).
+
+    On indexed (v2) stores the scan also cross-checks the persistent
+    index against the tree: ``unindexed`` counts intact objects with no
+    index row (e.g. files dropped in by hand, or a tail row lost to a
+    crash), ``index_stale`` counts rows whose checksum disagrees with
+    the object -- or that point at a missing object. Both are advisory
+    flags, *not* errors: the object tree is ground truth and a
+    compaction/migration pass rebuilds the index.
     """
 
     objects: int = 0
@@ -145,6 +168,8 @@ class StoreScan:
     legacy: int = 0
     drifted: int = 0
     quarantined: int = 0
+    unindexed: int = 0
+    index_stale: int = 0
     corrupt: list[tuple[str, str]] = field(default_factory=list)
 
     @property
@@ -154,11 +179,15 @@ class StoreScan:
 
     def summary(self) -> str:
         """One-line human report."""
-        return (
+        base = (
             f"{self.objects} object(s): {self.ok} ok, {self.legacy} legacy, "
             f"{self.drifted} schema-drifted, {self.errors} corrupt, "
             f"{self.quarantined} quarantined"
         )
+        if self.unindexed or self.index_stale:
+            base += (f", {self.unindexed} unindexed, "
+                     f"{self.index_stale} index-stale")
+        return base
 
 
 def _result_slice(record: Mapping[str, Any]) -> dict | None:
@@ -185,7 +214,15 @@ class ResultStore:
 
     def __init__(self, root: str | os.PathLike | None = None,
                  fingerprint: str | None = None) -> None:
-        """``root=None`` keeps objects in a dict; else under ``root/objects``."""
+        """``root=None`` keeps objects in a dict; else under ``root/objects``.
+
+        Disk stores detect their layout: a root carrying the
+        ``STORE_META.json`` marker (or a fresh/empty root, which gets
+        one) is v2 and owns a :class:`~repro.campaign.shard.StoreIndex`;
+        a root that already holds objects but no marker is a v1 flat
+        store, served unindexed until ``tools/migrate_store.py``
+        upgrades it in place.
+        """
         self.root = Path(root) if root is not None else None
         self.fingerprint = fingerprint if fingerprint is not None else model_fingerprint()
         self._memory: dict[str, dict] = {}
@@ -195,8 +232,23 @@ class ResultStore:
         self.misses = 0
         self.writes = 0
         self.quarantined = 0
+        self.index: StoreIndex | None = None
         if self.root is not None:
-            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            objects = self.root / "objects"
+            if read_store_meta(self.root) is not None:
+                objects.mkdir(parents=True, exist_ok=True)
+                self.index = StoreIndex(self.root)
+            elif objects.is_dir() and any(objects.iterdir()):
+                pass  # v1 flat store: keep serving it, unindexed
+            else:
+                objects.mkdir(parents=True, exist_ok=True)
+                write_store_meta(self.root)
+                self.index = StoreIndex(self.root)
+
+    @property
+    def indexed(self) -> bool:
+        """Whether this store carries a persistent shard index (v2)."""
+        return self.index is not None
 
     def key_for(self, point: PointSpec) -> str:
         """This store's cache key for ``point`` (memoized; the executor
@@ -219,20 +271,36 @@ class ResultStore:
         the evidence for post-mortems); memory stores park the record in
         a side dict. Either way the next :meth:`get` is a miss and the
         point recomputes.
+
+        Re-quarantining the same key (heal, recompute, corrupt again)
+        must not overwrite the earlier evidence: the destination gains a
+        monotonic ``.N`` suffix whenever the unsuffixed name is taken.
+        On indexed stores a tombstone row is appended so the key drops
+        from the index at the next merge/compaction.
         """
         self.quarantined += 1
         if self.root is None:
             record = self._memory.pop(key, None)
             if record is not None:
-                self._memory_quarantine[key] = record
+                slot, serial = key, 0
+                while slot in self._memory_quarantine:
+                    serial += 1
+                    slot = f"{key}.{serial}"
+                self._memory_quarantine[slot] = record
             return
         path = self.object_path(key)
         qdir = self.root / "quarantine"
         qdir.mkdir(parents=True, exist_ok=True)
+        target, serial = qdir / f"{key}.json", 0
+        while target.exists():
+            serial += 1
+            target = qdir / f"{key}.{serial}.json"
         try:
-            os.replace(path, qdir / f"{key}.json")
+            os.replace(path, target)
         except FileNotFoundError:
             pass  # already gone; nothing to preserve
+        if self.index is not None:
+            self.index.record_quarantine(key, reason)
 
     def _verified(self, key: str, record: Any) -> dict | None:
         """``record`` if it is a checksummed, untampered dict; else quarantine."""
@@ -279,8 +347,15 @@ class ResultStore:
             self.hits += 1
         return record
 
-    def put(self, point: PointSpec, payload: Mapping[str, Any]) -> str:
-        """Store ``payload`` for ``point`` (checksummed); returns the cache key."""
+    def put(self, point: PointSpec, payload: Mapping[str, Any],
+            wall_ms: float | None = None) -> str:
+        """Store ``payload`` for ``point`` (checksummed); returns the cache key.
+
+        ``wall_ms`` (real wall-clock the executor spent on the point, if
+        known) is *not* part of the cached record -- cache-served results
+        stay bit-identical to computed ones -- but is carried on the
+        index row so latency queries never open object files.
+        """
         key = self.key_for(point)
         record = {
             "key": key,
@@ -303,18 +378,29 @@ class ResultStore:
                 f".{key}.{os.getpid()}.{threading.get_ident()}.tmp")
             tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
             os.replace(tmp, path)
+            if self.index is not None:
+                result = record["result"]
+                self.index.record_put(
+                    key, checksum=record["checksum"], point=record["point"],
+                    status=result.get("status"), seconds=result.get("seconds"),
+                    wall_ms=wall_ms,
+                )
         self.writes += 1
         return key
 
     def corrupt(self, key: str, at: float = 0.0) -> None:
         """Damage ``key``'s stored object in place (fault-injection hook).
 
-        ``at`` in [0, 1) picks *where*: disk stores XOR one byte at that
+        ``at`` in [0, 1] picks *where*: disk stores XOR one byte at that
         fraction of the file, memory stores tamper the record without
-        refreshing its checksum. Only :mod:`repro.faults` and tests call
-        this; it exists so chaos schedules can corrupt through the same
-        API surface the store itself owns.
+        refreshing its checksum. Out-of-range ``at`` values are clamped
+        (fault schedules derive ``at`` from seeded hashes and may hand
+        in anything); empty or missing objects are a no-op, never an
+        error. Only :mod:`repro.faults` and tests call this; it exists
+        so chaos schedules can corrupt through the same API surface the
+        store itself owns.
         """
+        at = min(max(float(at), 0.0), 1.0)
         if self.root is None:
             record = self._memory.get(key)
             if record is not None:
@@ -377,10 +463,20 @@ class ResultStore:
         that same key. Schema-drifted ``result`` payloads are counted
         but are not errors. ``quarantine=True`` additionally pulls every
         corrupt object out of service, exactly as a read would.
+
+        Indexed (v2) stores get an extra cross-check of the persistent
+        index against the tree -- intact objects without a row count as
+        ``unindexed``, rows that contradict their object (or point at a
+        missing one) as ``index_stale``. Both are advisory, not errors:
+        the tree is ground truth and the index is rebuildable.
         """
         report = StoreScan()
+        index_rows = None
+        if self.root is not None and self.index is not None:
+            index_rows = {key: row for key, row in self.index.rows()}
         for key, record, reason in self._iter_records():
             report.objects += 1
+            row = index_rows.pop(key, None) if index_rows is not None else None
             if record is None or not isinstance(record, Mapping):
                 report.corrupt.append((key, reason or "not a JSON object"))
                 continue
@@ -401,11 +497,44 @@ class ResultStore:
                 report.drifted += 1
             else:
                 report.ok += 1
+            if index_rows is not None:
+                if row is None:
+                    report.unindexed += 1
+                elif row.get("checksum") != checksum:
+                    report.index_stale += 1
+        if index_rows:
+            report.index_stale += len(index_rows)  # rows with no object
         if quarantine:
             for key, _reason in report.corrupt:
                 self.quarantine(key, _reason)
                 report.quarantined += 1
         return report
+
+    def count_objects(self) -> int:
+        """Number of stored objects: O(index) when indexed, O(tree) else.
+
+        The index-backed count is what the service's ``/metrics`` and
+        ``/store`` endpoints poll; on a v1 (unindexed) store it falls
+        back to walking the object tree.
+        """
+        if self.root is None:
+            return len(self._memory)
+        if self.index is not None:
+            return self.index.count()
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.rglob("*.json"))
+
+    def compact(self) -> CompactionReport:
+        """Fold every shard's index log into its snapshot (see
+        :meth:`repro.campaign.shard.StoreIndex.compact`); raises
+        :class:`CampaignError` on unindexed (memory or v1) stores."""
+        if self.index is None:
+            raise CampaignError(
+                "store has no persistent index (in-memory, or v1 layout; "
+                "run tools/migrate_store.py to upgrade a flat store)")
+        return self.index.compact()
 
 
 def _derive_key(record: Mapping[str, Any]) -> str | None:
@@ -485,11 +614,15 @@ class Journal:
     def tear_tail(self, at: float = 0.0) -> int:
         """Truncate the final line mid-write (fault-injection hook).
 
-        Cuts between 1 byte and the whole last line, ``at`` in [0, 1)
+        Cuts between 1 byte and the whole last line, ``at`` in [0, 1]
         picking how deep -- the shapes a crash between ``write`` and a
-        durable ``fsync`` leaves behind. Returns the number of bytes
-        removed (0 when the journal is empty).
+        durable ``fsync`` leaves behind. Out-of-range ``at`` values are
+        clamped (fault schedules derive them from seeded hashes; a
+        negative ``at`` used to *grow* the file with zero padding), and
+        an empty or missing journal is a no-op. Returns the number of
+        bytes removed (0 when the journal is empty).
         """
+        at = min(max(float(at), 0.0), 1.0)
         try:
             data = self.path.read_bytes()
         except FileNotFoundError:
@@ -578,6 +711,7 @@ class JournalReader:
         self.offset = int(offset)
         self.bytes_read = 0
         self.torn = 0
+        self.resyncs = 0
 
     def poll(self) -> list[dict]:
         """Entries appended since the last poll (empty when none).
@@ -585,9 +719,22 @@ class JournalReader:
         Advances ``offset`` past every fully-written line it returns or
         skips; a trailing fragment with no newline is re-examined on the
         next poll.
+
+        If the journal shrank below ``offset`` -- a torn tail cut into
+        bytes this reader had already consumed -- the offset re-syncs to
+        the new end of file (counted in ``resyncs``) instead of staying
+        past it. Without the re-sync, a later completed write that
+        re-delivers the torn entry would be read from mid-line and lost
+        as garbage; with it, the entry arrives whole. Entries consumed
+        just before the tear may be delivered again after the rewrite,
+        which is safe: journal folding (``completed_ids``) is last-wins.
         """
         try:
             with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() < self.offset:
+                    self.offset = fh.tell()
+                    self.resyncs += 1
                 fh.seek(self.offset)
                 chunk = fh.read()
         except FileNotFoundError:

@@ -7,6 +7,7 @@ Subcommands mirror the service's lifecycle::
     pstl-service status CAMPAIGN_ID --url http://...
     pstl-service events CAMPAIGN_ID --url http://... [--offset N]
     pstl-service results CAMPAIGN_ID --url http://...
+    pstl-service store --url http://...
     pstl-service loadgen --url http://... [--submissions N] [--concurrency N]
 
 ``--root ROOT`` may replace ``--url`` on every client subcommand: the
@@ -110,6 +111,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("id")
     _add_target(p)
 
+    p = sub.add_parser("store", help="shared-cache stats off the shard index")
+    _add_target(p)
+
     p = sub.add_parser("loadgen", help="drive the SLO load harness")
     _add_target(p)
     p.add_argument("--submissions", type=int, default=1000)
@@ -182,6 +186,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "results":
             _emit(ServiceClient(_base_url(args),
                                 api_key=args.api_key).results(args.id))
+            return 0
+        if args.command == "store":
+            _emit(ServiceClient(_base_url(args),
+                                api_key=args.api_key).store())
             return 0
         if args.command == "loadgen":
             return _cmd_loadgen(args)

@@ -118,6 +118,10 @@ class ServiceClient:
                 out[name] = float(value)
         return out
 
+    def store(self) -> dict[str, Any]:
+        """``GET /store``: shared-cache stats off the persistent index."""
+        return self._request("GET", "/store")
+
     def submit(self, spec_payload: Mapping[str, Any], *,
                max_attempts: int = 1) -> dict[str, Any]:
         """``POST /campaigns``; returns the status document.

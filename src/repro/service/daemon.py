@@ -22,6 +22,8 @@ Routes
                             the finished grid's rows (409 while running)
 ``GET /healthz``            liveness + drain flag
 ``GET /metrics``            ``name value`` lines, text/plain
+``GET /store``              shared-cache stats from the persistent shard
+                            index (objects, shards, quarantined)
 =========================== =============================================
 
 Every response carries ``X-Handle-Ms``, the server-side handling time:
@@ -215,6 +217,8 @@ class ServiceDaemon:
                          "draining": self.service.draining}, "application/json"
         if path == "/metrics" and method == "GET":
             return 200, {"text": self._metrics_text()}, "text/plain"
+        if path == "/store" and method == "GET":
+            return 200, self.service.store_stats(), "application/json"
         if parts and parts[0] == "campaigns":
             if len(parts) == 1 and method == "POST":
                 return self._post_campaign(headers, body)
@@ -224,7 +228,7 @@ class ServiceDaemon:
                 return self._get_events(parts[1], query)
             if len(parts) == 3 and method == "GET" and parts[2] == "results":
                 return self._get_results(parts[1])
-        if parts and parts[0] in ("campaigns", "healthz", "metrics"):
+        if parts and parts[0] in ("campaigns", "healthz", "metrics", "store"):
             raise _HttpReply(405, {"error": f"{method} not allowed on {path}"})
         raise _HttpReply(404, {"error": f"no route for {method} {path}"})
 

@@ -159,6 +159,19 @@ class CampaignService:
         self._semaphore = asyncio.Semaphore(concurrent)
         self._draining = asyncio.Event()
         self._runners: set[asyncio.Task] = set()
+        self._store_handle: ResultStore | None = None
+
+    def _store(self) -> ResultStore:
+        """The shared cache as a (lazily bound) :class:`ResultStore`.
+
+        One long-lived handle so metrics polls reuse the store's shard
+        caches -- each poll costs O(shards touched) stat calls, not an
+        object-tree walk. Campaign runners still construct their own
+        handles; all handles share the same on-disk index.
+        """
+        if self._store_handle is None:
+            self._store_handle = ResultStore(self.cache_root)
+        return self._store_handle
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -402,11 +415,17 @@ class CampaignService:
     # -- metrics -----------------------------------------------------------
 
     def counters(self) -> dict[str, int | float]:
-        """Scheduler-side counters for the ``/metrics`` endpoint."""
+        """Scheduler-side counters for the ``/metrics`` endpoint.
+
+        ``store_objects`` comes from the store's persistent shard index
+        (O(result), cached between polls) -- the pre-index
+        ``rglob("*.json")`` walk here was the service's last O(all
+        objects) hot path.
+        """
         states: dict[str, int] = {}
         for record in self.records.values():
             states[record.state] = states.get(record.state, 0) + 1
-        objects = self.cache_root / "objects"
+        store = self._store()
         return {
             "submitted": self.submitted,
             "deduped": self.deduped,
@@ -423,8 +442,20 @@ class CampaignService:
             "queued": states.get(QUEUED, 0),
             "running": states.get(RUNNING, 0),
             "draining": int(self.draining),
-            "store_objects": (
-                sum(1 for _ in objects.rglob("*.json")) if objects.is_dir() else 0
+            "store_objects": store.count_objects(),
+            "store_indexed": int(store.indexed),
+        }
+
+    def store_stats(self) -> dict[str, int | bool]:
+        """Store-level stats for the ``/store`` endpoint (index-backed)."""
+        store = self._store()
+        qdir = self.cache_root / "quarantine"
+        return {
+            "objects": store.count_objects(),
+            "indexed": store.indexed,
+            "shards": len(store.index.prefixes()) if store.index else 0,
+            "quarantined": (
+                sum(1 for _ in qdir.glob("*.json")) if qdir.is_dir() else 0
             ),
         }
 

@@ -62,6 +62,16 @@ def _service_metrics(p99=120.0, dedup=1.0, completed=1.0):
     }
 
 
+def _store_metrics(speedup_100k=60.0):
+    return {
+        "cold_scan_s_10k": 0.8, "indexed_s_10k": 0.02,
+        "lookup_speedup_10k": 40.0,
+        "cold_scan_s_100k": 8.0, "indexed_s_100k": 8.0 / speedup_100k,
+        "lookup_speedup_100k": speedup_100k,
+        "compact_rows_per_s": 35_000.0,
+    }
+
+
 # --- append -----------------------------------------------------------------
 
 
@@ -206,6 +216,9 @@ def _seed_both(root, **overrides):
     bt.append_entry(root / "BENCH_SERVICE.json", "service",
                     _service_metrics(overrides.get("submit_p99_ms", 120.0)),
                     "aaa", "t")
+    bt.append_entry(root / "BENCH_STORE.json", "store",
+                    _store_metrics(overrides.get("lookup_speedup_100k", 60.0)),
+                    "aaa", "t")
 
 
 def test_cli_check_ok(tmp_path, capsys):
@@ -235,6 +248,8 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
                         lambda repeats: _campaign_metrics(1.8, 35.0))
     monkeypatch.setitem(bt.MEASURES, "service",
                         lambda repeats: _service_metrics(110.0))
+    monkeypatch.setitem(bt.MEASURES, "store",
+                        lambda repeats: _store_metrics(55.0))
     rc = bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
                   "--recorded", "2026-08-08T00:00:00+00:00"])
     assert rc == 0
@@ -244,6 +259,31 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
                     "--recorded", "2026-08-08T00:00:00+00:00"]) == 0
     for name, family in (("BENCH_SWEEP.json", "sweep"),
                          ("BENCH_CAMPAIGN.json", "campaign"),
-                         ("BENCH_SERVICE.json", "service")):
+                         ("BENCH_SERVICE.json", "service"),
+                         ("BENCH_STORE.json", "store")):
         data = bt.load_trajectory(tmp_path / name, family)
         assert [e["commit"] for e in data["entries"]] == ["deadbeef"]
+
+
+def test_store_floor_fires_below_10x_lookup_speedup(tmp_path):
+    path = tmp_path / "BENCH_STORE.json"
+    bt.append_entry(path, "store", _store_metrics(speedup_100k=9.5), "aaa", "t")
+    with pytest.raises(bt.GateError,
+                       match="lookup_speedup_100k.*below the floor"):
+        bt.check_trajectory(path, "store")
+
+
+def test_store_regression_fires_on_speedup_drop(tmp_path):
+    path = tmp_path / "BENCH_STORE.json"
+    bt.append_entry(path, "store", _store_metrics(60.0), "aaa", "t0")
+    bt.append_entry(path, "store", _store_metrics(50.0), "bbb", "t1")
+    with pytest.raises(bt.GateError, match="lookup_speedup_100k regressed"):
+        bt.check_trajectory(path, "store")  # ~17% drop > 10% tolerance
+
+
+def test_store_within_tolerance_dip_passes(tmp_path):
+    path = tmp_path / "BENCH_STORE.json"
+    bt.append_entry(path, "store", _store_metrics(60.0), "aaa", "t0")
+    bt.append_entry(path, "store", _store_metrics(56.0), "bbb", "t1")
+    lines = bt.check_trajectory(path, "store")
+    assert any("lookup_speedup_100k" in line for line in lines)

@@ -176,3 +176,35 @@ def test_run_accepts_backoff_flags(spec_file, tmp_path, capsys):
                "--backoff-base", "0.001", "--backoff-factor", "3",
                "--backoff-max", "0.01", "--backoff-jitter", "0.5"])
     assert rc == 0
+
+
+def test_compact_folds_the_index_and_status_reports_it(spec_file, tmp_path, capsys):
+    cdir = tmp_path / "c"
+    main(["run", "--spec-file", str(spec_file), "--dir", str(cdir),
+          "--workers", "0"])
+    capsys.readouterr()
+
+    # fresh runs leave rows in the shard logs; compact folds them away
+    assert main(["compact", str(cdir)]) == 0
+    out = capsys.readouterr().out
+    assert "compact:" in out and "row(s) kept" in out
+    assert "shard(s)" in out
+    for log in (cdir / "cache" / "index").glob("*.log.jsonl"):
+        assert log.stat().st_size == 0
+
+    # a bare store root (no spec.json) is accepted too; idempotent
+    assert main(["compact", str(cdir / "cache")]) == 0
+    assert "0 log byte(s) merged" in capsys.readouterr().out
+
+    assert main(["status", str(cdir)]) == 0
+    assert "(indexed)" in capsys.readouterr().out
+
+    assert main(["verify", str(cdir)]) == 0
+    out = capsys.readouterr().out
+    assert "index:" in out and "shard(s)" in out
+    assert "verify: OK" in out
+
+
+def test_compact_outside_a_store_exit_2(tmp_path, capsys):
+    assert main(["compact", str(tmp_path)]) == 2
+    assert "neither a campaign directory" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""tools/migrate_store.py: in-place v1 -> v2 upgrade, proven bit-identical.
+
+The migration is the only bridge old flat stores have into the sharded
+index, so its failure modes get pinned alongside the happy path: the
+commit point (``STORE_META.json`` lands last), corrupt/misfiled objects
+staying unindexed, ``--verify`` actually failing on tampering, and
+idempotence (a second run is a no-op without ``--force``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.spec import PointSpec
+from repro.campaign.store import DONE, ResultStore, record_checksum
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "migrate_store.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("migrate_store", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["migrate_store"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ms = _load_tool()
+
+
+def _point(i):
+    return PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                     size_exp=12, threads=1 + i)
+
+
+def _v1_store(root: Path, count: int = 6) -> tuple[ResultStore, list[str]]:
+    """A flat (pre-index) store: build v2, then strip the marker + index."""
+    store = ResultStore(root)
+    keys = [store.put(_point(i), {"status": DONE, "seconds": float(i + 1),
+                                  "error": None})
+            for i in range(count)]
+    (root / "STORE_META.json").unlink()
+    for path in sorted((root / "index").glob("*")):
+        path.unlink()
+    (root / "index").rmdir()
+    assert ResultStore(root).indexed is False
+    return store, keys
+
+
+def test_migrate_stamps_v2_and_indexes_every_object(tmp_path, capsys):
+    root = tmp_path / "cache"
+    _v1_store(root)
+    before = {p: p.read_bytes()
+              for p in sorted((root / "objects").rglob("*.json"))}
+
+    assert ms.main([str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "6 row(s) indexed" in out
+
+    store = ResultStore(root)
+    assert store.indexed is True
+    assert store.count_objects() == 6
+    for i in range(6):
+        assert store.get(_point(i))["result"]["seconds"] == float(i + 1)
+    # migration is additive: not one object byte rewritten
+    assert before == {p: p.read_bytes()
+                      for p in sorted((root / "objects").rglob("*.json"))}
+
+
+def test_migrate_verify_and_compact_pass_clean(tmp_path, capsys):
+    root = tmp_path / "cache"
+    _v1_store(root)
+    assert ms.main([str(root), "--verify", "--compact"]) == 0
+    out = capsys.readouterr().out
+    assert "verify: OK" in out
+    assert "compacted:" in out
+    # compaction left every shard folded: logs empty, snapshots answer
+    store = ResultStore(root)
+    assert store.count_objects() == 6
+    for log in (root / "index").glob("*.log.jsonl"):
+        assert log.stat().st_size == 0
+
+
+def test_second_run_is_a_noop_unless_forced(tmp_path, capsys):
+    root = tmp_path / "cache"
+    _v1_store(root)
+    assert ms.main([str(root)]) == 0
+    capsys.readouterr()
+    assert ms.main([str(root)]) == 0
+    assert "already v2" in capsys.readouterr().out
+    assert ms.main([str(root), "--force", "--verify"]) == 0
+    assert "row(s) indexed" in capsys.readouterr().out
+
+
+def test_campaign_directory_resolves_to_its_cache(tmp_path):
+    cdir = tmp_path / "campaign"
+    _v1_store(cdir / "cache")
+    (cdir / "spec.json").write_text("{}", encoding="utf-8")
+    assert ms.main([str(cdir), "--verify"]) == 0
+    assert ResultStore(cdir / "cache").indexed is True
+
+
+def test_not_a_store_exits_2(tmp_path, capsys):
+    with pytest.raises(SystemExit) as err:
+        ms.resolve_store_root(tmp_path / "nowhere")
+    assert err.value.code == 2
+    assert "not a result store" in capsys.readouterr().err
+
+
+def test_corrupt_and_misfiled_objects_stay_unindexed(tmp_path, capsys):
+    root = tmp_path / "cache"
+    store, keys = _v1_store(root)
+    # one object torn mid-write, one misfiled under a foreign name
+    store.object_path(keys[0]).write_text('{"key": "torn', encoding="utf-8")
+    record = json.loads(store.object_path(keys[1]).read_text(encoding="utf-8"))
+    fake = "ab" + "0" * (len(keys[1]) - 2)
+    misfiled = root / "objects" / "ab" / f"{fake}.json"
+    misfiled.parent.mkdir(parents=True, exist_ok=True)
+    misfiled.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+    # and one record whose checksum no longer verifies
+    tampered = json.loads(store.object_path(keys[2]).read_text(encoding="utf-8"))
+    tampered["result"]["seconds"] = 99.0
+    store.object_path(keys[2]).write_text(
+        json.dumps(tampered, sort_keys=True), encoding="utf-8")
+
+    assert ms.main([str(root), "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "3 object(s) left unindexed" in out
+    migrated = ResultStore(root)
+    assert migrated.count_objects() == 4  # the intact ones, and only those
+    assert migrated.index.lookup(keys[0]) is None
+    assert migrated.index.lookup(keys[2]) is None
+    scan = migrated.scan()  # the scan machinery still owns the damage
+    assert scan.errors == 3
+
+
+def test_legacy_records_are_indexed_with_null_checksum(tmp_path):
+    root = tmp_path / "cache"
+    store, keys = _v1_store(root, count=2)
+    path = store.object_path(keys[0])
+    record = json.loads(path.read_text(encoding="utf-8"))
+    del record["checksum"]  # written before checksums existed
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    assert ms.main([str(root), "--verify", "--compact"]) == 0
+    migrated = ResultStore(root)
+    assert migrated.count_objects() == 2  # legacy rows are served => counted
+    row = migrated.index.lookup(keys[0])
+    assert row["checksum"] is None
+    scan = migrated.scan()
+    assert scan.legacy == 1 and scan.index_stale == 0 and scan.errors == 0
+
+
+def test_verify_catches_post_migration_tampering(tmp_path, capsys):
+    root = tmp_path / "cache"
+    _v1_store(root, count=3)
+    inventory = ms.inventory_objects(root)
+    ms.build_index(root, inventory)
+    # tamper with one object *after* the inventory was taken
+    victim = sorted(inventory)[0]
+    path = root / "objects" / victim[:2] / f"{victim}.json"
+    record = json.loads(path.read_text(encoding="utf-8"))
+    record["result"]["seconds"] = 123.0
+    record["checksum"] = record_checksum(record)
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    problems = ms.verify_store(root, inventory)
+    assert any("object bytes changed" in p for p in problems)
+
+
+def test_verify_catches_index_coverage_gaps(tmp_path):
+    root = tmp_path / "cache"
+    _v1_store(root, count=3)
+    inventory = ms.inventory_objects(root)
+    ms.build_index(root, inventory)
+    # drop one shard's snapshot: its keys vanish from the index
+    victim = sorted(inventory)[0]
+    (root / "index" / f"{victim[:2]}.idx.json").unlink()
+    problems = ms.verify_store(root, inventory)
+    assert any("missing from the index" in p for p in problems)

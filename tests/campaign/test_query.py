@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.campaign.executor import run_campaign
-from repro.campaign.query import bench_rows, cell_curves, efficiency_grid, filter_results, speedup_grid
+from repro.campaign.query import (
+    bench_rows,
+    cell_curves,
+    efficiency_grid,
+    filter_results,
+    speedup_grid,
+    store_query,
+)
 from repro.campaign.store import DONE, NA, ResultStore
 from repro.experiments.table5 import cell_speedup, table5_campaign_spec
 from repro.experiments.table6 import (
@@ -92,3 +99,35 @@ def test_store_shared_across_specs_reuses_baselines():
     # every Table 6 baseline was already cached by Table 5
     assert second.stats.cache_hits >= len(second.plan.baselines)
     assert store.writes > before  # but the thread sweep itself was new
+
+
+def test_store_query_walks_the_index_not_the_objects(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    run_campaign(table5_campaign_spec(SIZE_EXP), store=store)
+
+    rows = store_query(store, machine="a", case="reduce", status=DONE)
+    assert rows
+    for row in rows:
+        assert row["point"]["machine"] == "A"  # matching is case-insensitive
+        assert row["point"]["case"] == "reduce"
+        assert row["status"] == DONE and row["seconds"] > 0
+        assert row["path"] == f"objects/{row['key'][:2]}/{row['key']}.json"
+        assert (tmp_path / "cache" / row["path"]).exists()
+    assert [r["key"] for r in rows] == sorted(
+        (r["key"] for r in rows), key=lambda k: (k[:2], k))
+
+    # the index covers everything a plan replay answers (plus shared
+    # baseline points the plan does not surface as task pairs)
+    outcome = run_campaign(table5_campaign_spec(SIZE_EXP), store=store)
+    pairs = filter_results(outcome, machine="A", case="reduce", status=DONE)
+    keys = {row["key"] for row in rows}
+    assert {store.key_for(task.point) for task, _ in pairs} <= keys
+
+    assert store_query(store, backend="no-such-backend") == []
+
+
+def test_store_query_requires_an_index():
+    from repro.errors import CampaignError
+
+    with pytest.raises(CampaignError):
+        store_query(ResultStore(None))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.campaign.fingerprint import model_fingerprint
 from repro.campaign.store import (
     DONE,
@@ -16,6 +18,7 @@ from repro.campaign.store import (
     record_checksum,
 )
 from repro.campaign.spec import PointSpec
+from repro.errors import CampaignError
 
 
 POINT = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
@@ -189,3 +192,194 @@ def test_scan_flags_misfiled_and_mismatched_objects(tmp_path):
     assert scan.quarantined == 1
     assert not misfiled.exists()
     assert store.scan().errors == 0  # a second audit comes back clean
+
+
+# -- sharded index (v2 layout) ----------------------------------------------
+
+
+def _same_shard_point(store, prefix, *, skip=()):
+    """A point whose cache key lands in shard ``prefix`` (and is not in
+    ``skip``) -- scans the thread axis until the content hash cooperates."""
+    for threads in range(1, 20_000):
+        point = PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                          size_exp=12, threads=threads)
+        key = cache_key(point, store.fingerprint)
+        if key[:2] == prefix and key not in skip:
+            return point, key
+    raise AssertionError(f"no key under shard {prefix!r} found")
+
+
+def test_fresh_disk_store_is_indexed(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    assert store.indexed is True
+    assert (tmp_path / "cache" / "STORE_META.json").exists()
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    row = store.index.lookup(key)
+    record = json.loads(store.object_path(key).read_text(encoding="utf-8"))
+    assert row["checksum"] == record["checksum"]
+    assert row["path"] == f"objects/{key[:2]}/{key}.json"
+    assert row["status"] == DONE and row["seconds"] == 1.0
+    assert store.count_objects() == 1
+
+
+def test_preexisting_flat_store_reads_as_v1_unindexed(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    (tmp_path / "cache" / "STORE_META.json").unlink()
+    for path in sorted((tmp_path / "cache" / "index").glob("*")):
+        path.unlink()
+
+    v1 = ResultStore(tmp_path / "cache")
+    assert v1.indexed is False
+    assert v1.get(POINT)["result"]["seconds"] == 1.0  # reads still work
+    assert v1.count_objects() == 1  # tree-walk fallback
+    scan = v1.scan()
+    assert scan.ok == 1 and scan.errors == 0
+    assert scan.unindexed == 0  # no index, no cross-check
+    with pytest.raises(CampaignError):
+        v1.compact()
+
+
+def test_memory_store_has_no_index_to_compact():
+    store = ResultStore(None)
+    store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    assert store.indexed is False
+    assert store.count_objects() == 1
+    with pytest.raises(CampaignError):
+        store.compact()
+
+
+def test_quarantine_drops_the_index_row(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    assert store.count_objects() == 1
+    store.corrupt(key, at=0.5)
+    assert store.get(POINT) is None  # quarantining read
+    assert store.index.lookup(key) is None
+    assert store.count_objects() == 0
+    report = store.compact()
+    assert report.quarantined_dropped == 1 and report.rows_kept == 0
+
+
+def test_requarantine_does_not_overwrite_earlier_evidence(tmp_path):
+    # Regression: heal-recompute-corrupt cycles used to clobber the first
+    # quarantined object because the destination name was always <key>.json.
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    store.corrupt(key, at=0.25)
+    first_bytes = store.object_path(key).read_bytes()
+    assert store.get(POINT) is None  # first quarantine
+
+    key2 = store.put(POINT, {"status": DONE, "seconds": 2.0, "error": None})
+    assert key2 == key  # same point, same content address
+    store.corrupt(key, at=0.75)
+    second_bytes = store.object_path(key).read_bytes()
+    assert store.get(POINT) is None  # second quarantine, same key
+
+    qdir = tmp_path / "cache" / "quarantine"
+    assert (qdir / f"{key}.json").read_bytes() == first_bytes
+    assert (qdir / f"{key}.1.json").read_bytes() == second_bytes
+    assert store.quarantined == 2
+
+
+def test_memory_requarantine_preserves_both_records():
+    store = ResultStore(None)
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    store.quarantine(key, "first")
+    store.put(POINT, {"status": DONE, "seconds": 2.0, "error": None})
+    store.quarantine(key, "second")
+    parked = store._memory_quarantine
+    assert set(parked) == {key, f"{key}.1"}
+    assert parked[key]["result"]["seconds"] == 1.0
+    assert parked[f"{key}.1"]["result"]["seconds"] == 2.0
+
+
+def test_corrupt_clamps_out_of_range_at(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    pristine = store.object_path(key).read_bytes()
+    store.corrupt(key, at=-5.0)  # used to raise / index before the file
+    assert store.object_path(key).read_bytes() != pristine
+    store.corrupt(key, at=-5.0)  # XOR is an involution at the same spot
+    assert store.object_path(key).read_bytes() == pristine
+    store.corrupt(key, at=7.5)  # clamps to the final byte
+    assert store.object_path(key).read_bytes() != pristine
+
+    # empty and missing objects are no-ops, never errors
+    store.object_path(key).write_bytes(b"")
+    store.corrupt(key, at=-1.0)
+    assert store.object_path(key).read_bytes() == b""
+    store.corrupt("ff" + "0" * 62, at=2.0)
+
+
+def test_tear_tail_clamps_out_of_range_at(tmp_path):
+    journal = Journal(tmp_path / "journal.jsonl")
+    journal.append({"task_id": "a", "status": DONE})
+    size = journal.path.stat().st_size
+    # Regression: a negative ``at`` used to *grow* the file -- truncate
+    # past EOF pads with zero bytes the reader then chokes on.
+    assert journal.tear_tail(at=-3.0) == 1
+    assert journal.path.stat().st_size == size - 1
+    assert journal.tear_tail(at=99.0) == size - 1  # clamps to the whole line
+    assert journal.path.stat().st_size == 0
+    assert journal.tear_tail(at=-1.0) == 0  # empty journal: no-op
+    assert journal.tear_tail(at=0.5) == 0
+    assert Journal(tmp_path / "missing.jsonl").tear_tail(at=-2.0) == 0
+
+
+def test_legacy_and_v2_records_share_a_shard_without_double_count(tmp_path):
+    # Satellite: one pre-checksum (legacy) record and one current record
+    # forced into the *same* shard -- the scan must flag, not quarantine,
+    # and repeated audits must not double-count either of them.
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    sibling, key2 = _same_shard_point(store, key[:2], skip={key})
+    store.put(sibling, {"status": DONE, "seconds": 2.0, "error": None})
+    path = store.object_path(key2)
+    record = json.loads(path.read_text(encoding="utf-8"))
+    del record["checksum"]  # written before checksums existed
+    path.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    for _ in range(2):  # audit twice: the counts must be stable
+        scan = store.scan(quarantine=True)
+        assert scan.objects == 2
+        assert scan.ok == 1 and scan.legacy == 1
+        assert scan.errors == 0 and scan.quarantined == 0
+        # the index still holds the put-time checksum: advisory, not fatal
+        assert scan.index_stale == 1 and scan.unindexed == 0
+    assert path.exists()  # the legacy record was never quarantined
+    assert store.result_for("tid", sibling).seconds == 2.0
+    assert store.result_for("tid", POINT).seconds == 1.0
+
+
+def test_scan_cross_checks_index_against_tree(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = store.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+
+    # an object dropped in by hand has no index row -> unindexed
+    other = PointSpec(machine="B", backend="GCC-TBB", case="reduce",
+                      size_exp=12, threads=2)
+    okey = cache_key(other, store.fingerprint)
+    record = {"key": okey, "point": other.to_dict(),
+              "fingerprint": store.fingerprint,
+              "result": {"status": DONE, "seconds": 3.0, "error": None}}
+    record["checksum"] = record_checksum(record)
+    opath = store.object_path(okey)
+    opath.parent.mkdir(parents=True, exist_ok=True)
+    opath.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+
+    scan = store.scan()
+    assert scan.unindexed == 1 and scan.index_stale == 0
+    assert scan.errors == 0
+    assert "1 unindexed" in scan.summary()
+
+    # a row whose object vanished out-of-band -> index-stale
+    store.object_path(key).unlink()
+    scan = store.scan()
+    assert scan.index_stale == 1 and scan.unindexed == 1
+    assert "1 index-stale" in scan.summary()
+
+    # a clean store keeps the short summary
+    clean = ResultStore(tmp_path / "clean")
+    clean.put(POINT, {"status": DONE, "seconds": 1.0, "error": None})
+    assert "unindexed" not in clean.scan().summary()

@@ -247,3 +247,21 @@ def test_scheduler_rejects_while_draining_without_a_loop(tmp_path):
     assert record is None and not deduped
     assert rejection is not None
     assert rejection.status == 503 and rejection.retryable
+
+
+def test_store_endpoint_reports_index_backed_stats(service):
+    client = ServiceClient(service.base_url)
+    empty = client.store()
+    assert empty["objects"] == 0
+    assert empty["indexed"] is True  # fresh service roots are v2 stores
+    assert empty["shards"] == 0 and empty["quarantined"] == 0
+
+    doc = client.submit(SPEC)
+    client.wait(doc["id"], timeout=60)
+    stats = client.store()
+    assert stats["objects"] == client.status(doc["id"])["points"]
+    assert stats["shards"] >= 1  # every object landed in an indexed shard
+
+    metrics = client.metrics()
+    assert metrics["service_store_objects"] == stats["objects"]
+    assert metrics["service_store_indexed"] == 1.0

@@ -28,6 +28,14 @@ repo root (schema documented in ``docs/PERFORMANCE.md``):
     previous entry. ``throughput_rps``, ``submit_p50_ms`` and
     ``request_overhead_ms`` ride along ungated for trend-reading.
 
+``BENCH_STORE.json``
+    The sharded result store's lookup path: synthetic stores of 10k and
+    100k objects, full-tree audit scan (the v1 O(all objects) path)
+    vs. index-backed count + sampled lookups (the v2 O(result) path),
+    plus compaction throughput. Floor: ``lookup_speedup_100k`` >= 10.0
+    -- the ISSUE 8 acceptance bound. ``cold_scan_s_*``, ``indexed_s_*``
+    and ``compact_rows_per_s`` ride along ungated for trend-reading.
+
 Floor gating compares *dimensionless ratios* (speedups, hit rates),
 never wall seconds, so those gates are stable across CI hardware of
 different absolute speeds; the raw seconds are recorded alongside for
@@ -68,6 +76,7 @@ TRAJECTORY_FILES = {
     "sweep": "BENCH_SWEEP.json",
     "campaign": "BENCH_CAMPAIGN.json",
     "service": "BENCH_SERVICE.json",
+    "store": "BENCH_STORE.json",
 }
 
 #: Absolute floors on dimensionless ratio metrics (family -> metric -> min).
@@ -75,6 +84,7 @@ GATES = {
     "sweep": {"batch_speedup": 5.0},
     "campaign": {"wave_over_batch": 1.5, "warm_speedup": 10.0},
     "service": {"dedup_hit_rate": 1.0, "completed_rate": 1.0},
+    "store": {"lookup_speedup_100k": 10.0},
 }
 
 #: Absolute ceilings on lower-is-better metrics (family -> metric -> max).
@@ -85,6 +95,7 @@ CEILINGS = {
     "sweep": {},
     "campaign": {},
     "service": {"submit_p99_ms": 500.0},
+    "store": {},
 }
 
 #: Newest entry may lose at most this fraction vs. the previous entry.
@@ -197,8 +208,83 @@ def measure_service(repeats: int = DEFAULT_REPEATS,
     }
 
 
+#: Object counts for the store family (tag -> synthetic store size).
+STORE_SIZES = {"10k": 10_000, "100k": 100_000}
+
+#: Sampled index lookups per indexed-path measurement.
+STORE_LOOKUPS = 64
+
+
+def _build_store(root: Path, count: int, fingerprint: str):
+    """Populate a fresh indexed store with ``count`` synthetic points."""
+    from repro.campaign.spec import PointSpec
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore(root, fingerprint=fingerprint)
+    cases = ("for_each", "reduce", "scan", "transform_reduce", "sort", "find")
+    keys = []
+    for i in range(count):
+        point = PointSpec(
+            machine="A", backend="GCC-TBB", case=cases[i % len(cases)],
+            size_exp=10 + (i // len(cases)) % 20, threads=1 + i,
+        )
+        keys.append(store.put(
+            point, {"status": "done", "seconds": 1e-3 * (i + 1), "error": None},
+            wall_ms=float(i % 97),
+        ))
+    return store, keys
+
+
+def measure_store(repeats: int = DEFAULT_REPEATS) -> dict:
+    """Cold full-tree scan vs indexed lookups at 10k/100k objects.
+
+    ``cold_scan_s_*`` is the v1 O(all objects) path (open, parse and
+    checksum every record); ``indexed_s_*`` is the v2 path on a fresh
+    store handle: an index-backed full count plus :data:`STORE_LOOKUPS`
+    key lookups, reading only the compacted shard snapshots.
+    ``lookup_speedup_*`` is their ratio -- the ISSUE 8 acceptance bound
+    gates the 100k one at >= 10x. ``compact_rows_per_s`` is the
+    compaction pass folding the 100k freshly-appended log rows into
+    snapshots.
+    """
+    import tempfile
+
+    from repro.campaign.store import ResultStore
+
+    fingerprint = "bench-store-v1"
+    out: dict[str, float] = {}
+    for tag, count in STORE_SIZES.items():
+        with tempfile.TemporaryDirectory(prefix=f"bench_store_{tag}_") as tmp:
+            root = Path(tmp) / "cache"
+            store, keys = _build_store(root, count, fingerprint)
+            t0 = time.perf_counter()
+            report = store.compact()
+            compact_s = time.perf_counter() - t0
+            assert report.rows_kept == count, "compaction dropped live rows"
+            sample = keys[:: max(1, count // STORE_LOOKUPS)]
+
+            def cold_scan():
+                scan = ResultStore(root, fingerprint=fingerprint).scan()
+                assert scan.objects == count and scan.errors == 0
+
+            def indexed():
+                fresh = ResultStore(root, fingerprint=fingerprint)
+                assert fresh.count_objects() == count
+                for key in sample:
+                    assert fresh.index.lookup(key) is not None
+
+            cold_s = _best_of(cold_scan, repeats)
+            indexed_s = _best_of(indexed, repeats)
+            out[f"cold_scan_s_{tag}"] = cold_s
+            out[f"indexed_s_{tag}"] = indexed_s
+            out[f"lookup_speedup_{tag}"] = cold_s / indexed_s
+            if tag == "100k":
+                out["compact_rows_per_s"] = count / compact_s
+    return out
+
+
 MEASURES = {"sweep": measure_sweep, "campaign": measure_campaign,
-            "service": measure_service}
+            "service": measure_service, "store": measure_store}
 
 
 def current_commit() -> str:

@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""One-shot in-place migration of a v1 flat result store to the sharded
+v2 layout (``STORE_META.json`` + per-shard persistent index).
+
+The object tree is never rewritten -- v2 keeps ``objects/ab/<key>.json``
+byte-for-byte -- so migration is purely additive: walk the tree once,
+write one compacted index snapshot per populated shard, then stamp the
+``STORE_META.json`` marker (the commit point; a crash before it leaves
+a valid v1 store, re-running finishes the job). Corrupt or unparseable
+objects are left unindexed: ``scan``/``verify`` keep flagging them and
+a quarantining read still pulls them out of service.
+
+Usage::
+
+    python tools/migrate_store.py STORE            # migrate in place
+    python tools/migrate_store.py STORE --verify   # + bit-identity audit
+    python tools/migrate_store.py STORE --compact  # + compaction pass
+    python tools/migrate_store.py STORE --force    # rebuild the index
+                                                   # even if already v2
+
+``STORE`` is either a store root (a directory holding ``objects/``) or
+a campaign directory (holding ``spec.json``; its ``cache/`` is used).
+
+``--verify`` proves the diffcheck-style contract: a pre-migration
+inventory of every object's bytes is re-hashed afterwards (no object
+touched), the index must cover exactly the intact keys in both
+directions, and for every key the indexed (checksum, status, seconds)
+must equal what the record itself answers -- i.e. a migrated (and, with
+``--compact``, compacted) store answers every query bit-identically to
+the v1 flat store.
+
+Exit codes: 0 = migrated/verified OK, 1 = verification failed,
+2 = bad invocation (not a store, unreadable layout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:  # runnable straight from a checkout
+    sys.path.insert(0, str(SRC))
+
+from repro.campaign.shard import (  # noqa: E402
+    STORE_LAYOUT_VERSION,
+    STORE_META,
+    ShardIndex,
+    StoreIndex,
+    read_store_meta,
+    shard_prefix,
+    write_store_meta,
+)
+from repro.campaign.store import ResultStore, record_checksum  # noqa: E402
+
+
+def resolve_store_root(target: Path) -> Path:
+    """``target`` as a store root (campaign dirs resolve to their cache)."""
+    if (target / "spec.json").exists():
+        target = target / "cache"
+    if (target / "objects").is_dir() or (target / STORE_META).exists():
+        return target
+    print(f"error: {target} is not a result store (no objects/ tree) "
+          "and not a campaign directory (no spec.json)", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def inventory_objects(root: Path) -> dict[str, dict]:
+    """key -> {sha256, record|None} for every object file under ``root``.
+
+    ``record`` is None for unparseable files; those stay unindexed (the
+    scan/quarantine machinery owns them, not the index).
+    """
+    objects = root / "objects"
+    out: dict[str, dict] = {}
+    if not objects.is_dir():
+        return out
+    for path in sorted(objects.rglob("*.json")):
+        raw = path.read_bytes()
+        entry: dict = {"sha256": hashlib.sha256(raw).hexdigest(), "record": None}
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            record = None
+        if isinstance(record, dict):
+            entry["record"] = record
+        out[path.stem] = entry
+    return out
+
+
+def _indexable(key: str, entry: dict) -> dict | None:
+    """The index row for an inventoried object, or None to skip it.
+
+    Skipped: unparseable files, records whose embedded key disagrees
+    with the filename (misfiled), records failing their own checksum
+    (a read would quarantine them, so indexing them would only create
+    an immediately-stale row), and keys that are not two-hex-prefix
+    shardable. Legacy pre-checksum records *are* indexed (checksum
+    None) -- they are served, so they must be countable.
+    """
+    record = entry["record"]
+    if record is None or record.get("key") != key:
+        return None
+    checksum = record.get("checksum")
+    if checksum is not None and record_checksum(record) != checksum:
+        return None
+    try:
+        shard_prefix(key)
+    except Exception:
+        return None
+    result = record.get("result")
+    result = result if isinstance(result, dict) else {}
+    point = record.get("point")
+    return {
+        "path": f"objects/{key[:2]}/{key}.json",
+        "checksum": record.get("checksum"),
+        "point": dict(point) if isinstance(point, dict) else {},
+        "status": result.get("status"),
+        "seconds": result.get("seconds"),
+        "wall_ms": None,  # wall time is a run-side fact; unknowable here
+    }
+
+
+def build_index(root: Path, inventory: dict[str, dict]) -> tuple[int, int]:
+    """Write compacted per-shard snapshots for ``inventory``; stamp v2.
+
+    Returns (rows indexed, objects skipped). Snapshots publish
+    atomically via each shard's locked compaction writer; the
+    ``STORE_META.json`` stamp lands last, so a crash mid-migration
+    leaves a still-valid v1 store.
+    """
+    by_shard: dict[str, dict[str, dict]] = {}
+    skipped = 0
+    for key, entry in sorted(inventory.items()):
+        row = _indexable(key, entry)
+        if row is None:
+            skipped += 1
+            continue
+        by_shard.setdefault(key[:2].lower(), {})[key] = row
+    index_root = root / "index"
+    rows_total = 0
+    for prefix, rows in sorted(by_shard.items()):
+        shard = ShardIndex(index_root, prefix)
+        for key, row in rows.items():
+            shard.append({"op": "put", "key": key, **row})
+        shard.compact()  # fold straight to the snapshot; log ends empty
+        rows_total += len(rows)
+    write_store_meta(root)
+    return rows_total, skipped
+
+
+def verify_store(root: Path, inventory: dict[str, dict]) -> list[str]:
+    """Bit-identity audit of a migrated store against its v1 inventory.
+
+    Returns a list of problems (empty = verified):
+
+    * every inventoried object file still hashes to its pre-migration
+      sha256 (migration touched no objects);
+    * index coverage is exact both ways over the indexable keys;
+    * per key, the indexed checksum equals the record's stored checksum
+      *and* its recomputed one, and (status, seconds) equal what a v1
+      read of the record answers.
+    """
+    problems: list[str] = []
+    for key, entry in sorted(inventory.items()):
+        path = root / "objects" / key[:2] / f"{key}.json"
+        try:
+            now = hashlib.sha256(path.read_bytes()).hexdigest()
+        except FileNotFoundError:
+            problems.append(f"{key}: object file vanished during migration")
+            continue
+        if now != entry["sha256"]:
+            problems.append(f"{key}: object bytes changed during migration")
+
+    index = StoreIndex(root)
+    rows = dict(index.rows())
+    expected = {key: _indexable(key, entry)
+                for key, entry in inventory.items()}
+    expected = {key: row for key, row in expected.items() if row is not None}
+    for key in sorted(set(expected) - set(rows)):
+        problems.append(f"{key}: intact object missing from the index")
+    for key in sorted(set(rows) - set(expected)):
+        problems.append(f"{key}: index row with no intact object")
+    for key in sorted(set(expected) & set(rows)):
+        want, got = expected[key], rows[key]
+        record = inventory[key]["record"]
+        recomputed = record_checksum(record) if record.get("checksum") else None
+        if got.get("checksum") != want["checksum"] or (
+                recomputed is not None and got.get("checksum") != recomputed):
+            problems.append(f"{key}: index checksum disagrees with the record")
+        if (got.get("status"), got.get("seconds")) != (
+                want["status"], want["seconds"]):
+            problems.append(f"{key}: index (status, seconds) disagree "
+                            "with a v1 read of the record")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="migrate_store", description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="store root (objects/) or campaign "
+                        "directory (spec.json)")
+    parser.add_argument("--verify", action="store_true",
+                        help="audit bit-identity after migrating")
+    parser.add_argument("--compact", action="store_true",
+                        help="run a compaction pass after migrating")
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild the index even on an already-v2 store")
+    args = parser.parse_args(argv)
+
+    root = resolve_store_root(Path(args.store))
+    meta = read_store_meta(root)
+    inventory = inventory_objects(root)
+
+    if meta is not None and not args.force:
+        print(f"already v{meta.get('layout', STORE_LAYOUT_VERSION)}: "
+              f"{root} ({len(inventory)} object(s)); use --force to rebuild")
+    else:
+        rows, skipped = build_index(root, inventory)
+        print(f"migrated {root}: {rows} row(s) indexed across "
+              f"{len(StoreIndex(root).prefixes())} shard(s), "
+              f"{skipped} object(s) left unindexed (corrupt/misfiled)")
+
+    if args.compact:
+        report = ResultStore(root).compact()
+        print(f"compacted: {report.summary()}")
+
+    if args.verify:
+        problems = verify_store(root, inventory)
+        if problems:
+            print(f"verify: {len(problems)} problem(s)", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"verify: OK ({len(inventory)} object(s) bit-identical, "
+              "index coverage exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
