@@ -30,7 +30,13 @@ from repro.bench.reporters import csv_report, json_report
 from repro.campaign.executor import BackoffPolicy, load_campaign, run_campaign
 from repro.campaign.query import bench_rows, filter_results, speedup_grid
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import FAILED, Journal, ResultStore, read_spec
+from repro.campaign.store import (
+    FAILED,
+    Journal,
+    JournalReader,
+    ResultStore,
+    read_spec,
+)
 from repro.errors import ReproError
 from repro.faults import load_fault_plan
 from repro.trace import Tracer, use_tracer, write_chrome_trace
@@ -267,6 +273,16 @@ def _cmd_verify(args) -> int:
     scan = store.scan(quarantine=args.quarantine)
     journal = Journal(root / "journal.jsonl")
     torn = journal.torn_lines()
+    reader = JournalReader(journal.path)
+    replayed = 0
+    while True:  # drain exactly the way service pollers consume it
+        batch = reader.poll()
+        if not batch:
+            break
+        replayed += len(batch)
+    tail = 0
+    if journal.path.exists():
+        tail = max(0, journal.path.stat().st_size - reader.offset)
     print(f"store:    {scan.summary()}")
     for key, reason in scan.corrupt:
         print(f"  corrupt {key[:16]}...: {reason}")
@@ -282,6 +298,9 @@ def _cmd_verify(args) -> int:
               "tools/migrate_store.py upgrades it in place)")
     print(f"journal:  {len(journal.entries())} intact entr(ies), "
           f"{torn} torn line(s)")
+    print(f"reader:   {replayed} entr(ies) replayed, "
+          f"{reader.torn} torn skip(s), {reader.resyncs} resync(s), "
+          f"{tail} unterminated tail byte(s)")
     if scan.errors:
         print(f"verify: {scan.errors} integrity error(s)", file=sys.stderr)
         if not args.quarantine:

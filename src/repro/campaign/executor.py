@@ -414,6 +414,10 @@ class CampaignStats:
     journal_hits: int = 0
     executed: int = 0
     failed: int = 0
+    #: Of ``executed``, how many were computed by remote executors and
+    #: landed via segment ingest (their store writes happened at the
+    #: coordinator's ingest path, not in this process).
+    remote: int = 0
     quarantined: int = 0
     faults_injected: int = 0
     pool_rebuilds: int = 0
@@ -432,6 +436,7 @@ class CampaignStats:
         extras = [
             f"{value} {label}"
             for label, value in (
+                ("remote", self.remote),
                 ("quarantined", self.quarantined),
                 ("faults injected", self.faults_injected),
                 ("pool rebuilds", self.pool_rebuilds),
@@ -493,18 +498,25 @@ def _trace_point(task: PointTask, result: PointResult) -> None:
 def _record(outcome: CampaignOutcome, store: ResultStore, journal: Journal | None,
             task: PointTask, result: PointResult,
             journal_new: bool = True,
-            injector: FaultInjector | None = None) -> None:
+            injector: FaultInjector | None = None,
+            persist: bool = True) -> None:
     """Finalize one task: cache it, journal it, trace it, count it.
 
     ``journal_new=False`` marks a result that was *reconstructed from* the
     journal (a resume's journal hit): it is already durable, so appending
     it again would only grow the journal with duplicate terminal rows on
-    every resume. When an ``injector`` is active, the cache publish and
-    journal append are its two storage-side injection surfaces.
+    every resume. ``persist=False`` marks a result whose store write
+    already happened elsewhere -- a remote executor's row landed by the
+    coordinator's segment ingest -- so the local put is skipped (the
+    journal entry still lands here, keeping the journal the single
+    task-completion log either way). When an ``injector`` is active, the
+    cache publish and journal append are its two storage-side injection
+    surfaces.
     """
     outcome.results[task.task_id] = result
     key = None
-    if result.status != FAILED and not result.cached and task.pruned is None:
+    if persist and result.status != FAILED and not result.cached \
+            and task.pruned is None:
         key = store.put(task.point, result.payload(), wall_ms=result.wall_ms)
         if injector is not None:
             injector.after_put(store, key)
@@ -896,6 +908,7 @@ def run_campaign(
     faults: FaultPlan | None = None,
     backoff: BackoffPolicy | None = None,
     should_stop: Callable[[], bool] | None = None,
+    dispatch: Callable[[list[PointTask]], dict[str, dict] | None] | None = None,
 ) -> CampaignOutcome:
     """Plan and execute ``spec``; returns the full outcome.
 
@@ -952,6 +965,14 @@ def run_campaign(
         durable (journaled) -- the graceful-shutdown hook the
         ``repro.service`` daemon uses on SIGTERM. A ``resume`` of the
         same directory executes exactly the remaining tasks.
+    dispatch:
+        Optional remote-execution hook (see :mod:`repro.remote`). Called
+        once per wave with the cache-miss tasks; returns a complete
+        ``task_id -> payload`` map, or None to decline the wave -- the
+        wave then runs through the normal local paths, which is the
+        graceful degradation when no remote executor is live. Payloads
+        carrying ``"persisted": True`` already landed in the store via
+        segment ingest, so only their journal entry is written here.
     """
     if retries < 0:
         raise CampaignError("retries must be >= 0")
@@ -987,7 +1008,7 @@ def run_campaign(
                        progress, batch,
                        FaultInjector(faults) if faults is not None else None,
                        backoff if backoff is not None else _NO_BACKOFF,
-                       wave, should_stop)
+                       wave, should_stop, dispatch)
     finally:
         if span is not None:
             if outcome is not None:
@@ -1000,7 +1021,7 @@ def run_campaign(
 
 def _run(spec, store, workers, timeout, retries, journal, resume, progress,
          batch=True, injector=None, backoff=_NO_BACKOFF, wave=True,
-         should_stop=None):
+         should_stop=None, dispatch=None):
     """The executor body (directory/span plumbing handled by the caller)."""
     use_wave = batch and wave  # the loop below rebinds ``wave`` to task groups
     plan = plan_campaign(spec)
@@ -1013,8 +1034,9 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
         journaled = journal.completed_ids()
 
     def finish(task: PointTask, result: PointResult,
-               journal_new: bool = True) -> None:
-        _record(outcome, store, journal, task, result, journal_new, injector)
+               journal_new: bool = True, persist: bool = True) -> None:
+        _record(outcome, store, journal, task, result, journal_new, injector,
+                persist)
         if progress is not None:
             progress(task, result)
 
@@ -1064,6 +1086,31 @@ def _run(spec, store, workers, timeout, retries, journal, resume, progress,
                         continue
                     to_run.append(task)
                 if not to_run:
+                    continue
+                payloads = None
+                if dispatch is not None:
+                    # Remote-first: offer the wave to live executors.
+                    # ``None`` means no remote capacity (or the
+                    # coordinator declined) -- fall through to the local
+                    # paths, the graceful single-host degradation.
+                    payloads = dispatch(to_run)
+                if payloads is not None:
+                    for task in to_run:
+                        payload = payloads[task.task_id]
+                        outcome.stats.executed += 1
+                        persisted = bool(payload.get("persisted"))
+                        if persisted:
+                            outcome.stats.remote += 1
+                        if payload["status"] == FAILED:
+                            outcome.stats.failed += 1
+                        finish(task, PointResult(
+                            task_id=task.task_id, point=task.point,
+                            status=payload["status"],
+                            seconds=payload["seconds"],
+                            error=payload["error"],
+                            attempts=payload.get("attempts", 1),
+                            wall_ms=payload.get("wall_ms"),
+                        ), persist=not persisted)
                     continue
                 if workers >= 2:
                     if handle is None:

@@ -411,6 +411,10 @@ class StoreIndex:
         """The index row for ``key`` across shards, or None."""
         return self.shard_for(key).lookup(key)
 
+    def has(self, key: str) -> bool:
+        """True when ``key`` has a live index row (tombstones excluded)."""
+        return self.lookup(key) is not None
+
     def count(self) -> int:
         """Total live keys across every shard on disk."""
         return sum(self.shard(p).count() for p in self.prefixes())

@@ -54,7 +54,7 @@ import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 try:  # pragma: no cover - platform probe
     import fcntl
@@ -316,6 +316,23 @@ class ResultStore:
             return None
         return record
 
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe for ``key`` -- no record load, no quarantine.
+
+        The remote-ingest dedup path asks "is this key already landed?"
+        for every shipped row; answering via :meth:`load_key` would
+        parse and checksum the object. Indexed stores answer from the
+        shard index; unindexed ones from the object path. A corrupt
+        object therefore *does* read as present here -- ingest skips it
+        and the normal verify/quarantine machinery reclaims it later,
+        which is the same trade the executor's resume path makes.
+        """
+        if self.root is None:
+            return key in self._memory
+        if self.index is not None and self.index.has(key):
+            return True
+        return self.object_path(key).exists()
+
     def load_key(self, key: str) -> dict | None:
         """Fetch a verified cached record by key (None if absent/corrupt).
 
@@ -575,11 +592,25 @@ class Journal:
     by an exclusive advisory lock, so two processes sharing one journal
     can never interleave partial lines (the 8-appender property test in
     ``tests/campaign/test_store_properties.py`` pins this).
+
+    A journal may additionally be *fenced*: ``fence`` is a zero-argument
+    callable re-validated under the append lock before any byte is
+    written. Remote executors fence their private segment journals with
+    the lease check (:meth:`repro.remote.lease.LeaseFile.guard`), so a
+    writer whose lease expired or was taken over gets a typed error
+    (``LeaseExpiredError`` / ``StaleWriterError``) instead of silently
+    appending rows the coordinator will never own.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
-        """Bind to ``path`` (created lazily on first append)."""
+    def __init__(self, path: str | os.PathLike,
+                 fence: Callable[[], None] | None = None) -> None:
+        """Bind to ``path`` (created lazily on first append).
+
+        ``fence``, when given, runs under the append lock before each
+        write; raising from it aborts the append with nothing written.
+        """
         self.path = Path(path)
+        self.fence = fence
 
     def append(self, entry: Mapping[str, Any]) -> None:
         """Append one entry and flush it to disk immediately.
@@ -594,6 +625,11 @@ class Journal:
         advisory lock on the journal file, and the line lands as a
         single ``write()`` on an ``O_APPEND`` descriptor -- concurrent
         appenders serialize instead of interleaving.
+
+        When the journal carries a ``fence``, it is re-checked *inside*
+        the lock: an expired or superseded lease holder is rejected with
+        the fence's typed error before the heal or the write touch the
+        file, so a stale writer cannot race a takeover.
         """
         line = (canonical_json(dict(entry)) + "\n").encode("utf-8")
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -601,6 +637,8 @@ class Journal:
         try:
             _lock_file(fd)
             try:
+                if self.fence is not None:
+                    self.fence()
                 size = os.fstat(fd).st_size
                 if size and os.pread(fd, 1, size - 1) != b"\n":
                     os.write(fd, b"\n")

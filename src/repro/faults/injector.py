@@ -102,6 +102,31 @@ class FaultInjector:
             return self.plan.slow_client_seconds
         return 0.0
 
+    def claim_segment_lost(self, ident: str) -> bool:
+        """Whether to drop the shipped segment ``ident`` (no ack).
+
+        Coordinator-side wire fault: the executor's bounded re-ship
+        loop must deliver the segment again. At most once per identity,
+        so the re-ship always lands.
+        """
+        return self._claim("segment_lost", ident)
+
+    def claim_segment_dup_ship(self, ident: str) -> bool:
+        """Whether the executor should ship segment ``ident`` twice."""
+        return self._claim("segment_dup_ship", ident)
+
+    def claim_lease_expire(self, ident: str) -> bool:
+        """Whether to force-lapse the wave lease ``ident`` (epoch fence).
+
+        Coordinator-side: the wave is reassigned while its holder still
+        computes, so the holder's eventual ship presents a stale epoch.
+        """
+        return self._claim("lease_expire", ident)
+
+    def claim_executor_dead(self, ident: str) -> bool:
+        """Whether the executor process should SIGKILL itself at ``ident``."""
+        return self._claim("executor_dead", ident)
+
     def after_put(self, store, key: str) -> None:
         """Maybe corrupt the cache object just published under ``key``."""
         if self._claim("cache_corrupt", key):

@@ -39,6 +39,22 @@ Sites (see docs/ROBUSTNESS.md for the full fault model):
     The service stalls ``slow_client_seconds`` before writing one
     response, modelling a slow/lossy client link (drives client
     timeout/latency handling; the loadgen's p99 must absorb it).
+``segment_lost``
+    The coordinator drops one shipped segment as if the wire ate it
+    (no ack); the remote executor's bounded re-ship loop must recover
+    (fires at most once per (wave, segment) identity, so the re-ship
+    lands).
+``segment_dup_ship``
+    The remote executor ships one sealed segment twice; the
+    coordinator's ledger + index dedup must ingest it exactly once.
+``lease_expire``
+    A claimed wave lease is treated as lapsed while its holder still
+    computes; the coordinator reassigns the wave (epoch bump) and the
+    original holder's late ship arrives fenced as stale.
+``executor_dead``
+    The remote executor SIGKILLs itself after claiming a wave --
+    abrupt host death. The lease expires by deadline and the wave is
+    reassigned to a surviving executor (or runs locally).
 """
 
 from __future__ import annotations
@@ -62,6 +78,10 @@ FAULT_SITES = (
     "journal_torn_tail",
     "service_reject",
     "slow_client",
+    "segment_lost",
+    "segment_dup_ship",
+    "lease_expire",
+    "executor_dead",
 )
 
 #: Sites that fire inside (or against) a worker; mutually exclusive per task.
@@ -99,6 +119,10 @@ class FaultPlan:
     journal_torn_tail: float = 0.0
     service_reject: float = 0.0
     slow_client: float = 0.0
+    segment_lost: float = 0.0
+    segment_dup_ship: float = 0.0
+    lease_expire: float = 0.0
+    executor_dead: float = 0.0
     hang_seconds: float = 30.0
     slow_client_seconds: float = 0.05
     max_faults: int | None = None

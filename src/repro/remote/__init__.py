@@ -1,0 +1,67 @@
+"""Multi-host result shipping: leases, journal segments, remote executors.
+
+The campaign store (:mod:`repro.campaign.store`) is safe for many
+writers *on one host* -- ``flock`` plus single-``write()`` appends. This
+package extends that contract across hosts without assuming a shared
+filesystem lock, using a lease-based log-shipping protocol:
+
+1. **Leases** (:mod:`repro.remote.lease`): epoch-fenced lease files
+   with expiry and takeover. A holder that lapses is superseded by a
+   higher epoch; its later writes fail with a typed error instead of
+   landing silently.
+2. **Segments** (:mod:`repro.remote.segment`): each executor appends
+   results to a *private* leased journal segment, then seals it with a
+   manifest carrying the row count and content checksum.
+3. **Shipping** (:mod:`repro.remote.ship`): sealed segments travel to
+   the coordinator, which verifies them against their manifest and
+   ingests rows into the sharded v2 store with dedup against the
+   persistent index plus a segment ledger -- re-shipped or duplicated
+   segments ingest exactly once.
+4. **Dispatch** (:mod:`repro.remote.registry`,
+   :mod:`repro.remote.coordinator`, :mod:`repro.remote.executor`): the
+   service daemon registers executors (``POST /executors``), leases
+   campaign waves to them with heartbeat-based liveness, reassigns
+   expired leases, and degrades gracefully to local execution when no
+   executor is live.
+
+The headline invariant, pinned by the distributed harness in
+``tests/integration/test_distributed_identity.py``: a campaign executed
+across 4 remote executors with injected lease expiries, duplicated
+ships, and a SIGKILLed executor is *bit-identical* to a single-process
+fault-free run.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    LeaseError,
+    LeaseExpiredError,
+    RemoteError,
+    SegmentError,
+    StaleWriterError,
+)
+from repro.remote.coordinator import RemoteCoordinator
+from repro.remote.executor import RemoteExecutor
+from repro.remote.lease import Lease, LeaseFile
+from repro.remote.registry import ExecutorInfo, ExecutorRegistry, WaveOffer
+from repro.remote.segment import SegmentManifest, SegmentWriter, read_segment
+from repro.remote.ship import IngestReport, SegmentIngestor
+
+__all__ = [
+    "ExecutorInfo",
+    "ExecutorRegistry",
+    "IngestReport",
+    "Lease",
+    "LeaseError",
+    "LeaseExpiredError",
+    "LeaseFile",
+    "RemoteCoordinator",
+    "RemoteError",
+    "RemoteExecutor",
+    "SegmentError",
+    "SegmentIngestor",
+    "SegmentManifest",
+    "SegmentWriter",
+    "StaleWriterError",
+    "WaveOffer",
+]

@@ -8,6 +8,7 @@ Subcommands mirror the service's lifecycle::
     pstl-service events CAMPAIGN_ID --url http://... [--offset N]
     pstl-service results CAMPAIGN_ID --url http://...
     pstl-service store --url http://...
+    pstl-service executors --url http://...
     pstl-service loadgen --url http://... [--submissions N] [--concurrency N]
 
 ``--root ROOT`` may replace ``--url`` on every client subcommand: the
@@ -86,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", help="fault plan JSON (service chaos mode)")
     p.add_argument("--fault-seed", type=int,
                    help="override the fault plan's seed")
+    p.add_argument("--lease-ttl", type=float, default=5.0,
+                   help="remote wave lease TTL in seconds")
+    p.add_argument("--executor-ttl", type=float, default=10.0,
+                   help="executor liveness window in seconds")
+    p.add_argument("--wave-timeout", type=float, default=60.0,
+                   help="reclaim a remote wave for local execution after this")
 
     p = sub.add_parser("submit", help="submit a campaign spec")
     p.add_argument("spec", help="path to the campaign spec JSON")
@@ -114,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("store", help="shared-cache stats off the shard index")
     _add_target(p)
 
+    p = sub.add_parser("executors",
+                       help="the remote executor registry and its counters")
+    _add_target(p)
+
     p = sub.add_parser("loadgen", help="drive the SLO load harness")
     _add_target(p)
     p.add_argument("--submissions", type=int, default=1000)
@@ -139,6 +150,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            max_queue=args.max_queue),
         concurrent=args.concurrent, campaign_workers=args.workers,
         faults=faults,
+        lease_ttl=args.lease_ttl, executor_ttl=args.executor_ttl,
+        wave_timeout=args.wave_timeout,
     )
     return 0
 
@@ -190,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "store":
             _emit(ServiceClient(_base_url(args),
                                 api_key=args.api_key).store())
+            return 0
+        if args.command == "executors":
+            _emit(ServiceClient(_base_url(args),
+                                api_key=args.api_key).executors())
             return 0
         if args.command == "loadgen":
             return _cmd_loadgen(args)

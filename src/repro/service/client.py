@@ -159,6 +159,41 @@ class ServiceClient:
         """``GET /campaigns/{id}/results``: the finished grid's rows."""
         return self._request("GET", f"/campaigns/{campaign_id}/results")
 
+    # -- executor protocol (repro.remote) ---------------------------------
+
+    def register_executor(self, host: str, pid: int) -> dict[str, Any]:
+        """``POST /executors``: join the registry; returns id + TTLs."""
+        return self._request("POST", "/executors",
+                             {"host": host, "pid": int(pid)})
+
+    def executor_heartbeat(self, executor_id: str) -> dict[str, Any]:
+        """``POST /executors/{id}/heartbeat``: refresh liveness."""
+        return self._request("POST", f"/executors/{executor_id}/heartbeat")
+
+    def claim_wave(self, executor_id: str) -> dict[str, Any] | None:
+        """``POST /executors/{id}/lease``: claim a wave, or None if idle.
+
+        The lease document carries ``wave``/``epoch``/``payloads``; the
+        executor must ship a sealed segment presenting the same epoch.
+        """
+        doc = self._request("POST", f"/executors/{executor_id}/lease")
+        return doc if doc.get("wave") else None
+
+    def ship_segment(self, executor_id: str, manifest: Mapping[str, Any],
+                     rows: list[dict]) -> dict[str, Any]:
+        """``POST /executors/{id}/segments``: deliver a sealed segment.
+
+        Returns the acceptance doc (``{"status": "accepted" | "duplicate"
+        | "stale" | "unknown"}``); an injected lost shipment surfaces as
+        a retryable 503, which :class:`QuotaExceededError` carries.
+        """
+        return self._request("POST", f"/executors/{executor_id}/segments",
+                             {"manifest": dict(manifest), "rows": rows})
+
+    def executors(self) -> dict[str, Any]:
+        """``GET /executors``: the registry's executor table + counters."""
+        return self._request("GET", "/executors")
+
     def wait(self, campaign_id: str, *, timeout: float = 120.0,
              poll: float = 0.05) -> dict[str, Any]:
         """Poll status until the campaign reaches a terminal state."""

@@ -24,6 +24,18 @@ Routes
 ``GET /metrics``            ``name value`` lines, text/plain
 ``GET /store``              shared-cache stats from the persistent shard
                             index (objects, shards, quarantined)
+``POST /executors``         register a remote wave executor; returns its
+                            id and the lease/liveness TTLs
+``POST /executors/{id}/heartbeat``
+                            refresh an executor's liveness window
+``POST /executors/{id}/lease``
+                            claim a pending campaign wave (epoch-fenced
+                            lease; doubles as the idle heartbeat)
+``POST /executors/{id}/segments``
+                            ship a sealed result segment (manifest +
+                            rows); 503 + ``Retry-After`` when an
+                            injected fault "loses" the shipment
+``GET /executors``          the executor table + wave-protocol counters
 =========================== =============================================
 
 Every response carries ``X-Handle-Ms``, the server-side handling time:
@@ -48,8 +60,9 @@ from typing import Any
 
 from repro import __version__
 from repro.campaign.store import canonical_json
-from repro.errors import CampaignError, ReproError, ServiceError
+from repro.errors import CampaignError, ReproError, SegmentError, ServiceError
 from repro.faults import FaultPlan
+from repro.remote.segment import SegmentManifest, verify_rows
 from repro.service.quotas import QuotaPolicy, Rejection
 from repro.service.scheduler import CampaignService
 from repro.trace import get_tracer
@@ -58,6 +71,10 @@ __all__ = ["ServiceDaemon", "serve", "start_background", "BackgroundService"]
 
 #: Largest request body the daemon will read (a spec, not a dataset).
 MAX_BODY_BYTES = 1 << 20
+
+#: Segment shipments carry whole waves of result rows; give them more
+#: headroom than a spec while still bounding a hostile client.
+MAX_SEGMENT_BODY_BYTES = 8 << 20
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -101,12 +118,17 @@ class ServiceDaemon:
         concurrent: int = 2,
         campaign_workers: int = 0,
         faults: FaultPlan | None = None,
+        lease_ttl: float = 5.0,
+        executor_ttl: float = 10.0,
+        wave_timeout: float = 60.0,
     ) -> None:
         """Configure (but do not start) a daemon rooted at ``root``.
 
         ``port=0`` asks the OS for a free port; the bound address is
         published to ``<root>/service.json`` once listening, which is
         how the CLI and tests discover a just-started daemon.
+        ``lease_ttl``/``executor_ttl``/``wave_timeout`` parameterize the
+        remote-executor protocol (see :mod:`repro.remote`).
         """
         self.root = Path(root)
         self.host = host
@@ -114,6 +136,8 @@ class ServiceDaemon:
         self.service = CampaignService(
             self.root, policy=policy, concurrent=concurrent,
             campaign_workers=campaign_workers, faults=faults,
+            lease_ttl=lease_ttl, executor_ttl=executor_ttl,
+            wave_timeout=wave_timeout,
         )
         self.requests = 0
         self.request_serial = 0
@@ -139,7 +163,9 @@ class ServiceDaemon:
                 name, _, value = line.partition(":")
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
+        limit = MAX_SEGMENT_BODY_BYTES if target.startswith("/executors") \
+            else MAX_BODY_BYTES
+        if length > limit:
             raise _HttpReply(413, {"error": "request body too large"})
         body = await reader.readexactly(length) if length else b""
         return method, target, headers, body
@@ -228,9 +254,84 @@ class ServiceDaemon:
                 return self._get_events(parts[1], query)
             if len(parts) == 3 and method == "GET" and parts[2] == "results":
                 return self._get_results(parts[1])
-        if parts and parts[0] in ("campaigns", "healthz", "metrics", "store"):
+        if parts and parts[0] == "executors":
+            if len(parts) == 1 and method == "POST":
+                return self._post_executor(body)
+            if len(parts) == 1 and method == "GET":
+                return 200, {
+                    "executors": self.service.registry.executors(),
+                    "counters": self.service.registry.counters(),
+                }, "application/json"
+            if len(parts) == 3 and method == "POST" and parts[2] == "heartbeat":
+                return self._post_heartbeat(parts[1])
+            if len(parts) == 3 and method == "POST" and parts[2] == "lease":
+                return self._post_lease(parts[1])
+            if len(parts) == 3 and method == "POST" and parts[2] == "segments":
+                return self._post_segment(parts[1], body)
+        if parts and parts[0] in ("campaigns", "healthz", "metrics", "store",
+                                  "executors"):
             raise _HttpReply(405, {"error": f"{method} not allowed on {path}"})
         raise _HttpReply(404, {"error": f"no route for {method} {path}"})
+
+    # -- executor protocol (repro.remote) ---------------------------------
+
+    def _post_executor(self, body: bytes) -> tuple[int, dict[str, Any], str]:
+        """``POST /executors``: register a remote executor."""
+        payload = self._json_body(body)
+        host = str(payload.get("host", "unknown"))
+        try:
+            pid = int(payload.get("pid", 0))
+        except (TypeError, ValueError):
+            raise _HttpReply(400, {"error": "pid must be an integer"}) from None
+        return 200, self.service.registry.register(host, pid), "application/json"
+
+    def _post_heartbeat(self, eid: str) -> tuple[int, dict[str, Any], str]:
+        """``POST /executors/{id}/heartbeat``: refresh liveness."""
+        if not self.service.registry.heartbeat(eid):
+            raise _HttpReply(404, {"error": f"unknown executor {eid!r}"})
+        return 200, {"ok": True}, "application/json"
+
+    def _post_lease(self, eid: str) -> tuple[int, dict[str, Any], str]:
+        """``POST /executors/{id}/lease``: claim a pending wave."""
+        if not self.service.registry.heartbeat(eid):
+            raise _HttpReply(404, {"error": f"unknown executor {eid!r}"})
+        doc = self.service.registry.claim(eid)
+        return 200, (doc if doc is not None else {"wave": None}), "application/json"
+
+    def _post_segment(self, eid: str,
+                      body: bytes) -> tuple[int, dict[str, Any], str]:
+        """``POST /executors/{id}/segments``: accept a sealed shipment."""
+        payload = self._json_body(body)
+        rows = payload.get("rows")
+        if not isinstance(rows, list) \
+                or not all(isinstance(row, dict) for row in rows):
+            raise _HttpReply(400, {"error": "rows must be a list of objects"})
+        try:
+            manifest = SegmentManifest.from_dict(payload.get("manifest") or {})
+            verify_rows(manifest, rows)
+        except SegmentError as exc:
+            raise _HttpReply(400, {"error": str(exc)}) from None
+        epoch = manifest.epoch
+        status = self.service.registry.deliver(
+            eid, manifest.wave, epoch, manifest, rows)
+        if status == "lost":
+            # The injected wire fault ate the shipment: tell the
+            # executor to re-ship, exactly like a real lost ack.
+            raise _HttpReply(
+                503, {"error": "segment lost in transit", "retryable": True},
+                retry_after=0.05)
+        return 200, {"status": status}, "application/json"
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
+        """Parse a JSON-object request body (400 on anything else)."""
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpReply(400, {"error": f"body is not JSON: {exc}"}) from None
+        if not isinstance(payload, dict):
+            raise _HttpReply(400, {"error": "body must be a JSON object"})
+        return payload
 
     def _post_campaign(self, headers: dict[str, str],
                        body: bytes) -> tuple[int, dict[str, Any], str]:

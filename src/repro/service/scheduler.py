@@ -52,6 +52,8 @@ from repro.campaign.store import (
 )
 from repro.errors import CampaignError, ReproError, ServiceError
 from repro.faults import FaultInjector, FaultPlan
+from repro.remote.coordinator import RemoteCoordinator
+from repro.remote.registry import ExecutorRegistry
 from repro.service.quotas import AdmissionController, QuotaPolicy, Rejection
 from repro.trace import get_tracer
 
@@ -126,6 +128,9 @@ class CampaignService:
         campaign_workers: int = 0,
         retries: int = 1,
         faults: FaultPlan | None = None,
+        lease_ttl: float = 5.0,
+        executor_ttl: float = 10.0,
+        wave_timeout: float = 60.0,
     ) -> None:
         """Bind to the service ``root`` directory (created on start).
 
@@ -134,7 +139,12 @@ class CampaignService:
         campaign (0 = inline on the runner thread, the service default:
         concurrency comes from multiplexing campaigns, not from nesting
         pools). ``faults`` activates the request-side injection sites
-        (``service_reject``, ``slow_client``).
+        (``service_reject``, ``slow_client``) plus the wire/lease sites
+        the executor registry consults (``segment_lost``,
+        ``lease_expire``). ``lease_ttl``/``executor_ttl``/``wave_timeout``
+        parameterize remote wave dispatch (see :mod:`repro.remote`):
+        campaigns are offered to registered executors first and fall
+        back to local execution when none is live.
         """
         if concurrent < 1:
             raise ServiceError("concurrent must be >= 1")
@@ -149,6 +159,11 @@ class CampaignService:
         self.campaign_workers = campaign_workers
         self.retries = retries
         self.injector = FaultInjector(faults) if faults is not None else None
+        self.registry = ExecutorRegistry(
+            lease_ttl=lease_ttl, executor_ttl=executor_ttl,
+            injector=self.injector)
+        self.wave_timeout = float(wave_timeout)
+        self._coordinators: dict[str, RemoteCoordinator] = {}
         self.records: dict[str, CampaignRecord] = {}
         self.submitted = 0
         self.deduped = 0
@@ -297,6 +312,20 @@ class CampaignService:
                 return
             record.state = RUNNING
             t0 = time.perf_counter()
+            # One coordinator per campaign run: waves go remote-first
+            # through the executor registry and degrade to local
+            # execution when no executor is live (dispatch returns
+            # None). The coordinator lives on the runner thread; only
+            # registry state is shared with the event loop.
+            coordinator = RemoteCoordinator(
+                self.registry,
+                store=ResultStore(self.cache_root),
+                campaign=record.id,
+                ledger_path=self._dir(record.id) / "ingest.jsonl",
+                retries=self.retries,
+                wave_timeout=self.wave_timeout,
+            )
+            self._coordinators[record.id] = coordinator
             try:
                 outcome = await asyncio.to_thread(
                     run_campaign,
@@ -307,6 +336,7 @@ class CampaignService:
                     retries=self.retries,
                     resume=True,
                     should_stop=self._draining.is_set,
+                    dispatch=coordinator.dispatch,
                 )
             except Exception as exc:  # noqa: BLE001 - runner boundary
                 record.state = BROKEN
@@ -444,7 +474,19 @@ class CampaignService:
             "draining": int(self.draining),
             "store_objects": store.count_objects(),
             "store_indexed": int(store.indexed),
+            **{f"remote_{name}": value
+               for name, value in self.registry.counters().items()},
+            **{f"remote_{name}": value
+               for name, value in self._dispatch_counters().items()},
         }
+
+    def _dispatch_counters(self) -> dict[str, int]:
+        """Dispatch/ingest counters aggregated across campaign coordinators."""
+        agg: dict[str, int] = {}
+        for coordinator in self._coordinators.values():
+            for name, value in coordinator.counters().items():
+                agg[name] = agg.get(name, 0) + int(value)
+        return agg
 
     def store_stats(self) -> dict[str, int | bool]:
         """Store-level stats for the ``/store`` endpoint (index-backed)."""

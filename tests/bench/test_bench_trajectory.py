@@ -72,6 +72,17 @@ def _store_metrics(speedup_100k=60.0):
     }
 
 
+def _remote_metrics(completed=1.0, exactly_once=1.0, rows_per_s=300.0,
+                    overhead_ms=40.0):
+    return {
+        "fleet": 4, "remote_rows": 60, "remote_wall_s": 0.2,
+        "remote_completed_rate": completed,
+        "exactly_once_rate": exactly_once,
+        "scaleout_rows_per_s": rows_per_s,
+        "ship_ingest_overhead_ms": overhead_ms,
+    }
+
+
 # --- append -----------------------------------------------------------------
 
 
@@ -219,6 +230,9 @@ def _seed_both(root, **overrides):
     bt.append_entry(root / "BENCH_STORE.json", "store",
                     _store_metrics(overrides.get("lookup_speedup_100k", 60.0)),
                     "aaa", "t")
+    bt.append_entry(root / "BENCH_REMOTE.json", "remote",
+                    _remote_metrics(overrides.get("remote_completed_rate", 1.0)),
+                    "aaa", "t")
 
 
 def test_cli_check_ok(tmp_path, capsys):
@@ -250,6 +264,8 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
                         lambda repeats: _service_metrics(110.0))
     monkeypatch.setitem(bt.MEASURES, "store",
                         lambda repeats: _store_metrics(55.0))
+    monkeypatch.setitem(bt.MEASURES, "remote",
+                        lambda repeats: _remote_metrics())
     rc = bt.main(["run", "--root", str(tmp_path), "--commit", "deadbeef",
                   "--recorded", "2026-08-08T00:00:00+00:00"])
     assert rc == 0
@@ -260,7 +276,8 @@ def test_cli_run_with_injected_measures(tmp_path, monkeypatch):
     for name, family in (("BENCH_SWEEP.json", "sweep"),
                          ("BENCH_CAMPAIGN.json", "campaign"),
                          ("BENCH_SERVICE.json", "service"),
-                         ("BENCH_STORE.json", "store")):
+                         ("BENCH_STORE.json", "store"),
+                         ("BENCH_REMOTE.json", "remote")):
         data = bt.load_trajectory(tmp_path / name, family)
         assert [e["commit"] for e in data["entries"]] == ["deadbeef"]
 
@@ -287,3 +304,54 @@ def test_store_within_tolerance_dip_passes(tmp_path):
     bt.append_entry(path, "store", _store_metrics(56.0), "bbb", "t1")
     lines = bt.check_trajectory(path, "store")
     assert any("lookup_speedup_100k" in line for line in lines)
+
+
+# --- remote family ----------------------------------------------------------
+
+
+def test_remote_floor_fires_on_lost_wave(tmp_path):
+    path = tmp_path / "BENCH_REMOTE.json"
+    bt.append_entry(path, "remote", _remote_metrics(completed=0.9), "aaa", "t")
+    with pytest.raises(bt.GateError,
+                       match="remote_completed_rate.*below the floor"):
+        bt.check_trajectory(path, "remote")
+
+
+def test_remote_floor_fires_on_double_landed_rows(tmp_path):
+    path = tmp_path / "BENCH_REMOTE.json"
+    bt.append_entry(path, "remote", _remote_metrics(exactly_once=0.98),
+                    "aaa", "t")
+    with pytest.raises(bt.GateError,
+                       match="exactly_once_rate.*below the floor"):
+        bt.check_trajectory(path, "remote")
+
+
+def test_remote_overhead_ceiling_fires(tmp_path):
+    path = tmp_path / "BENCH_REMOTE.json"
+    bt.append_entry(path, "remote", _remote_metrics(overhead_ms=300.0),
+                    "aaa", "t")
+    with pytest.raises(bt.GateError,
+                       match="ship_ingest_overhead_ms.*over the ceiling"):
+        bt.check_trajectory(path, "remote")
+
+
+def test_remote_throughput_regression_fires(tmp_path):
+    path = tmp_path / "BENCH_REMOTE.json"
+    bt.append_entry(path, "remote", _remote_metrics(rows_per_s=300.0),
+                    "aaa", "t0")
+    bt.append_entry(path, "remote", _remote_metrics(rows_per_s=250.0),
+                    "bbb", "t1")
+    with pytest.raises(bt.GateError, match="scaleout_rows_per_s regressed"):
+        bt.check_trajectory(path, "remote")  # ~17% drop > 10% tolerance
+
+
+def test_remote_within_tolerance_dip_passes(tmp_path):
+    path = tmp_path / "BENCH_REMOTE.json"
+    bt.append_entry(path, "remote", _remote_metrics(rows_per_s=300.0,
+                                                    overhead_ms=40.0),
+                    "aaa", "t0")
+    bt.append_entry(path, "remote", _remote_metrics(rows_per_s=280.0,
+                                                    overhead_ms=43.0),
+                    "bbb", "t1")
+    lines = bt.check_trajectory(path, "remote")
+    assert any("scaleout_rows_per_s" in line for line in lines)

@@ -109,3 +109,90 @@ def test_sigkill_mid_campaign_resumes_bit_identical(tmp_path):
     assert killed_query.stdout == control_query.stdout
     rows = json.loads(killed_query.stdout)["benchmarks"]
     assert rows, "query returned an empty grid"
+
+
+# -- remote executor death ----------------------------------------------
+
+#: Small enough to finish in seconds, large enough for several waves.
+REMOTE_SPEC = {
+    "name": "crash-remote",
+    "machines": ["A"],
+    "backends": ["GCC-SEQ", "GCC-TBB"],
+    "cases": ["reduce", "transform", "sort", "find", "copy"],
+    "size_exps": [10, 11],
+    "threads": [2, 4],
+}
+
+
+def _executor_proc(base_url: str, root: Path, *, faults: Path | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.remote.cli", "--url", base_url,
+           "--root", str(root), "--max-idle", "30", "--poll", "0.01"]
+    if faults is not None:
+        cmd += ["--faults", str(faults)]
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+@pytest.mark.chaos
+@pytest.mark.distributed
+def test_sigkill_remote_executor_reassigns_and_stays_bit_identical(tmp_path):
+    """A remote executor dying mid-wave must cost nothing but time.
+
+    One executor runs with ``executor_dead=1.0`` -- it SIGKILLs itself
+    the moment it claims its first wave, exactly like a host losing
+    power. The coordinator must notice the lapsed lease, reassign the
+    wave to the survivor, and finish a campaign whose results are
+    byte-identical to a single-process fault-free run.
+    """
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec, canonical_json
+    from repro.service import ServiceClient, start_background
+
+    doomed_plan = tmp_path / "doomed.json"
+    doomed_plan.write_text(json.dumps({"seed": 5, "executor_dead": 1.0}),
+                           encoding="utf-8")
+    with start_background(tmp_path / "svc", concurrent=2,
+                          lease_ttl=0.5) as svc:
+        client = ServiceClient(svc.base_url)
+        doomed = _executor_proc(svc.base_url, tmp_path / "doomed",
+                                faults=doomed_plan)
+        survivor = _executor_proc(svc.base_url, tmp_path / "survivor")
+        try:
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if len(client.executors()["executors"]) == 2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("executors never registered")
+            doc = client.submit(REMOTE_SPEC)
+            done = client.wait(doc["id"], timeout=120)
+            assert done["state"] == "complete"
+            remote_rows = client.results(doc["id"])["rows"]
+            metrics = client.metrics()
+        finally:
+            survivor.kill()
+            survivor.communicate()
+            doomed.communicate()
+    # the doomed executor really died by SIGKILL after claiming
+    assert doomed.returncode == -signal.SIGKILL
+    # its wave was reassigned rather than lost
+    assert metrics["service_remote_waves_reassigned"] >= 1
+    # and the outcome is indistinguishable from a fault-free local run
+    outcome = run_campaign(CampaignSpec.from_dict(REMOTE_SPEC))
+    control = []
+    for task in outcome.plan.tasks:
+        result = outcome.results.get(task.task_id)
+        if result is None:
+            continue
+        p = task.point
+        control.append({
+            "task_id": task.task_id, "kind": task.kind,
+            "machine": p.machine, "backend": p.backend, "case": p.case,
+            "size_exp": p.size_exp, "threads": p.threads,
+            "status": result.status, "seconds": result.seconds,
+            "error": result.error,
+        })
+    assert canonical_json(remote_rows) == canonical_json(control)

@@ -1,0 +1,161 @@
+"""Executor end-to-end over HTTP: the full claim/compute/seal/ship wire.
+
+A real daemon on a loopback port, real :class:`RemoteExecutor` instances
+on background threads, and the bit-identity oracle: whatever the fleet
+and the chaos plan, the finished campaign's result rows must serialize
+to exactly the bytes a single-process fault-free ``run_campaign``
+produces.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, canonical_json
+from repro.faults import FaultPlan
+from repro.remote.executor import RemoteExecutor
+from repro.service import ServiceClient, start_background
+
+SPEC = {
+    "name": "remote-e2e",
+    "machines": ["A"],
+    "backends": ["GCC-SEQ", "GCC-TBB"],
+    "cases": ["reduce", "transform", "sort"],
+    "size_exps": [8, 9],
+    "threads": [2, 4],
+}
+
+
+def _control_rows() -> list[dict]:
+    """The single-process fault-free oracle, shaped like /results rows."""
+    outcome = run_campaign(CampaignSpec.from_dict(SPEC))
+    rows = []
+    for task in outcome.plan.tasks:
+        result = outcome.results.get(task.task_id)
+        if result is None:
+            continue
+        p = task.point
+        rows.append({
+            "task_id": task.task_id, "kind": task.kind,
+            "machine": p.machine, "backend": p.backend, "case": p.case,
+            "size_exp": p.size_exp, "threads": p.threads,
+            "status": result.status, "seconds": result.seconds,
+            "error": result.error,
+        })
+    return rows
+
+
+def _fleet(base_url: str, tmp_path, n: int, *,
+           faults: FaultPlan | None = None):
+    """Register ``n`` executor threads; returns (executors, threads, stop)."""
+    stop = threading.Event()
+    executors, threads = [], []
+    for i in range(n):
+        ex = RemoteExecutor(base_url, tmp_path / f"ex{i}",
+                            host=f"e2e-{i}", faults=faults, poll=0.01)
+        ex.register()  # registered before any submission: no startup race
+        thread = threading.Thread(
+            target=ex.run,
+            kwargs={"max_idle": 30.0, "should_stop": stop.is_set},
+            daemon=True)
+        thread.start()
+        executors.append(ex)
+        threads.append(thread)
+    return executors, threads, stop
+
+
+def _finish(threads, stop):
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+def test_fleet_runs_the_campaign_and_matches_local_bytes(tmp_path):
+    with start_background(tmp_path / "svc", concurrent=2) as svc:
+        executors, threads, stop = _fleet(svc.base_url, tmp_path, 2)
+        try:
+            client = ServiceClient(svc.base_url)
+            doc = client.submit(SPEC)
+            done = client.wait(doc["id"], timeout=120)
+            assert done["state"] == "complete"
+            assert "remote" in done["stats"]
+            remote_rows = client.results(doc["id"])["rows"]
+        finally:
+            _finish(threads, stop)
+    assert canonical_json(remote_rows) == canonical_json(_control_rows())
+    assert sum(ex.waves for ex in executors) >= 1
+    # every executed task ran remotely (the rest were cache hits --
+    # GCC-SEQ measures share their baselines' points)
+    executed = int(re.search(r"(\d+) executed", done["stats"]).group(1))
+    assert f"({executed} remote)" in done["stats"]
+    assert sum(ex.rows for ex in executors) == executed
+
+
+def test_chaos_fleet_is_still_bit_identical(tmp_path):
+    """Lost ships, duplicate ships and lease-expiry injection all at once.
+
+    ``segment_lost=1.0`` drops every segment's first delivery (the
+    executor re-ships); ``segment_dup_ship=1.0`` makes every executor
+    ship its sealed segment twice; ``lease_expire`` fires on a claimed
+    lease whenever the coordinator sweeps before the ship lands. The
+    ledger + index dedup must collapse all of it to exactly-once.
+    """
+    service_faults = FaultPlan(seed=11, segment_lost=1.0, lease_expire=0.5)
+    executor_faults = FaultPlan(seed=13, segment_dup_ship=1.0)
+    with start_background(tmp_path / "svc", concurrent=2,
+                          faults=service_faults) as svc:
+        executors, threads, stop = _fleet(
+            svc.base_url, tmp_path, 3, faults=executor_faults)
+        try:
+            client = ServiceClient(svc.base_url)
+            doc = client.submit(SPEC)
+            done = client.wait(doc["id"], timeout=120)
+            assert done["state"] == "complete"
+            remote_rows = client.results(doc["id"])["rows"]
+            metrics = client.metrics()
+        finally:
+            _finish(threads, stop)
+    assert canonical_json(remote_rows) == canonical_json(_control_rows())
+    # every chaos path actually ran
+    assert metrics["service_remote_lost_ships"] >= 1
+    assert metrics["service_remote_duplicate_ships"] \
+        + metrics["service_remote_stale_ships"] >= 1
+    assert sum(ex.reships for ex in executors) >= 1
+    assert sum(ex.dup_ships for ex in executors) >= 1
+    # and ingest stayed exactly-once: every unique point landed one row
+    assert metrics["service_remote_ingest_deduped"] \
+        + metrics["service_remote_ingest_duplicate_segments"] >= 1
+
+
+def test_registry_surface_over_http(tmp_path):
+    with start_background(tmp_path / "svc") as svc:
+        client = ServiceClient(svc.base_url)
+        ex = RemoteExecutor(svc.base_url, tmp_path / "ex", host="solo")
+        ex.register()
+        doc = client.executors()
+        assert [e["host"] for e in doc["executors"]] == ["solo"]
+        assert doc["counters"]["executors_live"] == 1
+        assert client.executor_heartbeat(ex.id)["_status"] == 200
+        assert client.claim_wave(ex.id) is None  # nothing pending
+
+
+def test_warm_cache_serves_a_second_fleet_campaign_without_executors(tmp_path):
+    """Remote-ingested rows are first-class cache entries."""
+    with start_background(tmp_path / "svc", concurrent=2) as svc:
+        client = ServiceClient(svc.base_url)
+        executors, threads, stop = _fleet(svc.base_url, tmp_path, 2)
+        try:
+            cold = client.submit(SPEC)
+            client.wait(cold["id"], timeout=120)
+        finally:
+            _finish(threads, stop)
+        # no executors left: the warm re-run must be served by the cache
+        warm = client.submit(dict(SPEC, name="remote-e2e-warm"))
+        done = client.wait(warm["id"], timeout=120)
+        assert done["state"] == "complete"
+        assert f"{done['points']} cache hits" in done["stats"]
+        assert "0 executed" in done["stats"]

@@ -1,0 +1,190 @@
+"""Registry state machine: claims, deliveries, expiry, and reassignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.remote.registry import DONE, LEASED, PENDING, ExecutorRegistry
+from repro.remote.segment import SegmentManifest, rows_checksum
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _manifest(wave: str, rows: list[dict], *, executor: str = "ex-1",
+              epoch: int = 1) -> SegmentManifest:
+    return SegmentManifest(segment=f"{wave}-seg", executor=executor,
+                           epoch=epoch, wave=wave, rows=len(rows), size=0,
+                           checksum=rows_checksum(rows))
+
+
+ROWS = [{"task_id": "t0", "point": {}, "result": {"status": "done"}}]
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return ExecutorRegistry(lease_ttl=5.0, executor_ttl=10.0, clock=clock)
+
+
+def test_register_assigns_serial_ids_and_ttls(registry):
+    doc = registry.register("host-a", 123)
+    assert doc["id"] == "ex-1"
+    assert doc["lease_ttl"] == 5.0
+    assert registry.register("host-b", 124)["id"] == "ex-2"
+    assert len(registry.live()) == 2
+
+
+def test_liveness_lapses_without_heartbeat(registry, clock):
+    eid = registry.register("host", 1)["id"]
+    clock.advance(11.0)
+    assert registry.live() == []
+    assert registry.heartbeat(eid) is True
+    assert len(registry.live()) == 1
+
+
+def test_claim_leases_oldest_pending_wave(registry):
+    eid = registry.register("host", 1)["id"]
+    first = registry.offer("c", [{"task_id": "t0"}])
+    registry.offer("c", [{"task_id": "t1"}])
+    doc = registry.claim(eid)
+    assert doc["wave"] == first.wave_id
+    assert doc["epoch"] == 1
+    assert registry.state_of([first.wave_id])[first.wave_id] == LEASED
+
+
+def test_claim_with_nothing_pending_returns_none(registry):
+    eid = registry.register("host", 1)["id"]
+    assert registry.claim(eid) is None
+
+
+def test_unregistered_executor_cannot_claim(registry):
+    registry.offer("c", [{"task_id": "t0"}])
+    assert registry.claim("ex-99") is None
+
+
+def test_current_epoch_delivery_completes_the_wave(registry):
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    doc = registry.claim(eid)
+    status = registry.deliver(eid, doc["wave"], doc["epoch"],
+                              _manifest(doc["wave"], ROWS), ROWS)
+    assert status == "accepted"
+    assert registry.state_of([offer.wave_id])[offer.wave_id] == DONE
+    drained = registry.drain_deliveries([offer.wave_id])
+    assert len(drained) == 1
+    assert registry.counters()["waves_completed"] == 1
+
+
+def test_expired_lease_returns_to_pending_and_bumps_epoch(registry, clock):
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    first = registry.claim(eid)
+    clock.advance(6.0)  # past lease_ttl
+    assert registry.expire_stale() == [offer.wave_id]
+    assert registry.state_of([offer.wave_id])[offer.wave_id] == PENDING
+    registry.heartbeat(eid)
+    second = registry.claim(eid)
+    assert second["epoch"] == first["epoch"] + 1
+    assert registry.counters()["waves_reassigned"] == 1
+
+
+def test_stale_epoch_delivery_is_queued_but_does_not_complete(registry, clock):
+    ex1 = registry.register("host-a", 1)["id"]
+    ex2 = registry.register("host-b", 2)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    old = registry.claim(ex1)
+    clock.advance(6.0)
+    registry.expire_stale()
+    registry.heartbeat(ex2)
+    new = registry.claim(ex2)
+    # the fenced-out corpse ships late
+    status = registry.deliver(ex1, old["wave"], old["epoch"],
+                              _manifest(old["wave"], ROWS), ROWS)
+    assert status == "stale"
+    assert registry.state_of([offer.wave_id])[offer.wave_id] == LEASED
+    # its rows are still queued: dedup makes ingesting them harmless
+    assert len(registry.drain_deliveries([offer.wave_id])) == 1
+    # the current holder completes normally
+    assert registry.deliver(ex2, new["wave"], new["epoch"],
+                            _manifest(new["wave"], ROWS), ROWS) == "accepted"
+    counters = registry.counters()
+    assert counters["stale_ships"] == 1
+    assert counters["waves_completed"] == 1
+
+
+def test_delivery_to_a_done_wave_is_a_duplicate(registry):
+    eid = registry.register("host", 1)["id"]
+    registry.offer("c", [{"task_id": "t0"}])
+    doc = registry.claim(eid)
+    manifest = _manifest(doc["wave"], ROWS)
+    registry.deliver(eid, doc["wave"], doc["epoch"], manifest, ROWS)
+    status = registry.deliver(eid, doc["wave"], doc["epoch"], manifest, ROWS)
+    assert status == "duplicate"
+    assert registry.counters()["duplicate_ships"] == 1
+
+
+def test_delivery_to_a_reclaimed_wave_is_unknown(registry):
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    doc = registry.claim(eid)
+    assert registry.take_back(offer.wave_id) is not None
+    status = registry.deliver(eid, doc["wave"], doc["epoch"],
+                              _manifest(doc["wave"], ROWS), ROWS)
+    assert status == "unknown"
+
+
+def test_take_back_refuses_a_done_wave(registry):
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    doc = registry.claim(eid)
+    registry.deliver(eid, doc["wave"], doc["epoch"],
+                     _manifest(doc["wave"], ROWS), ROWS)
+    assert registry.take_back(offer.wave_id) is None
+
+
+def test_injected_lease_expire_fires_once_per_epoch(clock):
+    plan = FaultPlan(seed=7, lease_expire=1.0)
+    registry = ExecutorRegistry(lease_ttl=1000.0, executor_ttl=10.0,
+                                clock=clock, injector=FaultInjector(plan))
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    registry.claim(eid)
+    # deadline is nowhere near, but the chaos site expires the lease
+    assert registry.expire_stale() == [offer.wave_id]
+    second = registry.claim(eid)
+    assert second["epoch"] == 2
+    # p=1.0 fires per (wave, epoch): the reclaimed lease lapses too
+    assert registry.expire_stale() == [offer.wave_id]
+
+
+def test_injected_segment_lost_drops_the_delivery(clock):
+    plan = FaultPlan(seed=7, segment_lost=1.0)
+    registry = ExecutorRegistry(lease_ttl=5.0, executor_ttl=10.0,
+                                clock=clock, injector=FaultInjector(plan))
+    eid = registry.register("host", 1)["id"]
+    offer = registry.offer("c", [{"task_id": "t0"}])
+    doc = registry.claim(eid)
+    manifest = _manifest(doc["wave"], ROWS)
+    assert registry.deliver(eid, doc["wave"], doc["epoch"],
+                            manifest, ROWS) == "lost"
+    assert registry.drain_deliveries([offer.wave_id]) == []
+    # the fault fires at most once per (wave, checksum): the re-ship lands
+    assert registry.deliver(eid, doc["wave"], doc["epoch"],
+                            manifest, ROWS) == "accepted"
+    counters = registry.counters()
+    assert counters["lost_ships"] == 1
+    assert counters["waves_completed"] == 1

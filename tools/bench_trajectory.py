@@ -36,6 +36,21 @@ repo root (schema documented in ``docs/PERFORMANCE.md``):
     -- the ISSUE 8 acceptance bound. ``cold_scan_s_*``, ``indexed_s_*``
     and ``compact_rows_per_s`` ride along ungated for trend-reading.
 
+``BENCH_REMOTE.json``
+    The multi-host shipping protocol (``repro.remote``,
+    ``docs/DISTRIBUTION.md``): one in-process daemon fans a campaign
+    out across a 4-executor fleet. Floors: ``remote_completed_rate``
+    (waves completed remotely / waves offered) and
+    ``exactly_once_rate`` (live index rows / (live + superseded) after
+    ingest) must both be exactly 1.0 -- a fleet that loses waves or
+    double-lands rows is a correctness failure, not a slow run --
+    and ``scaleout_rows_per_s`` (remote rows landed per wall second
+    across the fleet) has a deliberately generous absolute floor with
+    the regression rule doing the real work, like the service p99.
+    Ceiling: ``ship_ingest_overhead_ms``, the coordinator-side cost of
+    one sealed :data:`REMOTE_SEGMENT_ROWS`-row segment (append + seal
+    + manifest verify + ledger/index ingest).
+
 Floor gating compares *dimensionless ratios* (speedups, hit rates),
 never wall seconds, so those gates are stable across CI hardware of
 different absolute speeds; the raw seconds are recorded alongside for
@@ -77,6 +92,7 @@ TRAJECTORY_FILES = {
     "campaign": "BENCH_CAMPAIGN.json",
     "service": "BENCH_SERVICE.json",
     "store": "BENCH_STORE.json",
+    "remote": "BENCH_REMOTE.json",
 }
 
 #: Absolute floors on dimensionless ratio metrics (family -> metric -> min).
@@ -85,6 +101,8 @@ GATES = {
     "campaign": {"wave_over_batch": 1.5, "warm_speedup": 10.0},
     "service": {"dedup_hit_rate": 1.0, "completed_rate": 1.0},
     "store": {"lookup_speedup_100k": 10.0},
+    "remote": {"remote_completed_rate": 1.0, "exactly_once_rate": 1.0,
+               "scaleout_rows_per_s": 25.0},
 }
 
 #: Absolute ceilings on lower-is-better metrics (family -> metric -> max).
@@ -96,6 +114,7 @@ CEILINGS = {
     "campaign": {},
     "service": {"submit_p99_ms": 500.0},
     "store": {},
+    "remote": {"ship_ingest_overhead_ms": 250.0},
 }
 
 #: Newest entry may lose at most this fraction vs. the previous entry.
@@ -283,8 +302,137 @@ def measure_store(repeats: int = DEFAULT_REPEATS) -> dict:
     return out
 
 
+#: Fleet size for the remote family (matches the distributed harness).
+REMOTE_FLEET = 4
+
+#: Rows per segment in the ship+ingest overhead micro-measurement.
+REMOTE_SEGMENT_ROWS = 64
+
+#: Campaign fanned out across the fleet (same shape as the distributed
+#: bit-identity harness, small enough to finish in seconds).
+REMOTE_SPEC = {
+    "name": "bench-remote",
+    "machines": ["A"],
+    "backends": ["GCC-SEQ", "GCC-TBB", "GCC-GNU"],
+    "cases": ["reduce", "transform", "sort", "find", "copy", "merge"],
+    "size_exps": [10, 11],
+    "threads": [2, 4],
+}
+
+
+def _ship_ingest_ms(root: Path, repeats: int) -> float:
+    """Coordinator-side cost of one sealed segment, best-of ``repeats``.
+
+    Each repetition is end to end on fresh state: append
+    :data:`REMOTE_SEGMENT_ROWS` rows to a private segment, seal it
+    (manifest publish), then verify + ingest into an empty indexed
+    store through the segment ledger -- i.e. exactly the per-segment
+    work the shipping protocol adds over local execution, minus the
+    HTTP hop (measured separately by the fleet campaign's throughput).
+    """
+    from repro.campaign.spec import PointSpec
+    from repro.campaign.store import ResultStore
+    from repro.remote import SegmentIngestor, SegmentWriter
+    from repro.remote.segment import result_row
+
+    rows = [
+        result_row(
+            f"t{i}",
+            PointSpec(machine="A", backend="GCC-TBB", case="reduce",
+                      size_exp=10 + i % 20, threads=1 + i).to_dict(),
+            {"status": "done", "seconds": 1e-3 * (i + 1), "error": None},
+        )
+        for i in range(REMOTE_SEGMENT_ROWS)
+    ]
+    serial = iter(range(10_000))
+
+    def one_segment():
+        run = next(serial)
+        writer = SegmentWriter(root / f"seg{run}", "bench", executor="ex-1",
+                               epoch=1, wave="bench/w1")
+        for row in rows:
+            writer.append(row)
+        manifest = writer.seal()
+        store = ResultStore(root / f"cache{run}")
+        ingestor = SegmentIngestor(store, root / f"ledger{run}.jsonl")
+        report = ingestor.ingest(manifest, writer.rows())
+        assert report.ingested == REMOTE_SEGMENT_ROWS, "ingest dropped rows"
+
+    return _best_of(one_segment, repeats) * 1000.0
+
+
+def measure_remote(repeats: int = DEFAULT_REPEATS) -> dict:
+    """Fan a campaign across a 4-executor fleet; measure the protocol.
+
+    The fleet campaign runs once (a multi-second end-to-end sample, not
+    a timing to take the min of); ``repeats`` drives only the
+    ship+ingest micro-measurement. The run must itself be correct --
+    every offered wave completed remotely and the shared store holding
+    exactly one live row per point -- before its numbers are recorded.
+    """
+    import tempfile
+    import threading
+
+    from repro.campaign.store import ResultStore
+    from repro.remote import RemoteExecutor
+    from repro.service import ServiceClient, start_background
+
+    with tempfile.TemporaryDirectory(prefix="bench_remote_") as tmp:
+        root = Path(tmp)
+        with start_background(root / "svc", concurrent=2) as svc:
+            executors = [
+                RemoteExecutor(svc.base_url, root / f"ex{i}",
+                               host=f"bench-host-{i}", poll=0.005)
+                for i in range(REMOTE_FLEET)
+            ]
+            for executor in executors:
+                executor.register()  # all live before the campaign starts
+            stop = threading.Event()
+            threads = [
+                threading.Thread(
+                    target=executor.run,
+                    kwargs={"max_idle": 60.0, "should_stop": stop.is_set},
+                    daemon=True)
+                for executor in executors
+            ]
+            for thread in threads:
+                thread.start()
+            client = ServiceClient(svc.base_url, api_key="bench-remote")
+            t0 = time.perf_counter()
+            done = client.wait(client.submit(REMOTE_SPEC)["id"], timeout=120)
+            wall_s = time.perf_counter() - t0
+            assert done["state"] == "complete", done
+            metrics = client.metrics()
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        offered = metrics["service_remote_waves_offered"]
+        completed = metrics["service_remote_waves_completed"]
+        assert offered > 0, "no waves went remote -- fleet never engaged"
+        remote_rows = sum(executor.rows for executor in executors)
+        assert remote_rows > 0, "executors computed nothing"
+
+        store = ResultStore(root / "svc" / "cache")
+        superseded = store.compact().superseded
+        live_rows = store.index.count() if store.index is not None else 0
+
+        overhead_ms = _ship_ingest_ms(root / "micro", repeats)
+
+    return {
+        "fleet": REMOTE_FLEET,
+        "remote_rows": remote_rows,
+        "remote_wall_s": wall_s,
+        "remote_completed_rate": completed / offered,
+        "exactly_once_rate": live_rows / (live_rows + superseded),
+        "scaleout_rows_per_s": remote_rows / wall_s,
+        "ship_ingest_overhead_ms": overhead_ms,
+    }
+
+
 MEASURES = {"sweep": measure_sweep, "campaign": measure_campaign,
-            "service": measure_service, "store": measure_store}
+            "service": measure_service, "store": measure_store,
+            "remote": measure_remote}
 
 
 def current_commit() -> str:

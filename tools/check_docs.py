@@ -42,6 +42,7 @@ FENCE_FILES = (
     "docs/ROBUSTNESS.md",
     "docs/PERFORMANCE.md",
     "docs/SERVICE.md",
+    "docs/DISTRIBUTION.md",
 )
 
 #: Packages (or plain modules) whose public API must be fully documented.
@@ -54,6 +55,7 @@ DOCSTRING_PACKAGES = (
     "repro.fidelity",
     "repro.faults",
     "repro.service",
+    "repro.remote",
 )
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).
