@@ -1,0 +1,59 @@
+"""Scenario engine overhead: the registry path must not tax the drivers.
+
+The registry is the product path for every artifact, so its cost
+matters: running a figure through ``repro.scenarios`` must stay within
+a small constant factor of the bespoke legacy driver (the work — the
+simulated measurements — is identical; only the dispatch differs), and
+campaign-shaped scenarios must inherit the warm-cache behaviour of the
+campaign layer (a second run against the same store is pure hits).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenarios.runner import RunOptions, run_scenario
+
+
+@pytest.fixture(scope="module")
+def fig2_run():
+    run = run_scenario("fig2")
+    print(f"\nfig2 via registry: {len(run.cells)} cells, "
+          f"{len(run.curves)} curves")
+    return run
+
+
+def test_bench_scenario_fig2(benchmark, fig2_run):
+    result = benchmark.pedantic(run_scenario, args=("fig2",),
+                                rounds=1, iterations=1)
+    assert result.cells == fig2_run.cells
+
+
+def test_registry_dispatch_overhead_is_small(fig2_run):
+    from repro.experiments.fig2 import run_fig2
+
+    started = time.perf_counter()
+    run_fig2()
+    legacy = time.perf_counter() - started
+    started = time.perf_counter()
+    run_scenario("fig2")
+    registry = time.perf_counter() - started
+    # identical measurement work; dispatch overhead bounded at 50 %
+    assert registry < legacy * 1.5 + 0.1, (legacy, registry)
+
+
+def test_bench_campaign_scenario_warm_store(benchmark, tmp_path_factory):
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore(tmp_path_factory.mktemp("scenario-bench") / "cache")
+    options = RunOptions(store=store)
+    cold_started = time.perf_counter()
+    cold = run_scenario("table5", options)
+    cold_seconds = time.perf_counter() - cold_started
+    warm = benchmark.pedantic(run_scenario, args=("table5", options),
+                              rounds=1, iterations=1)
+    assert warm.cells == cold.cells
+    print(f"\ntable5 via registry: cold {cold_seconds:.3f}s, "
+          f"cells {len(cold.cells)}")

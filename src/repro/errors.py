@@ -76,6 +76,10 @@ class FidelityError(ReproError):
     """Paper-fidelity reference data is malformed or a check was misused."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec is malformed or references unknown registry entries."""
+
+
 class ServiceError(ReproError):
     """The campaign service was misconfigured or a request failed."""
 

@@ -11,11 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.backends import get_backend
 from repro.backends.registry import PARALLEL_CPU_BACKENDS
 from repro.errors import ExperimentError
 from repro.execution.context import ExecutionContext
-from repro.machines import get_machine
 from repro.memory.allocators import Allocator
 from repro.suite.cases import HEADLINE_CASES, get_case
 from repro.suite.wrappers import measure_case
@@ -76,14 +74,15 @@ def make_ctx(
     """Build a context for (machine, backend) with paper defaults.
 
     ``threads=None`` uses all cores, matching "maximum number of threads
-    = physical cores" (Section 4.1).
+    = physical cores" (Section 4.1). Thin shim over the shared resolver
+    (:mod:`repro.scenarios.resolve`), imported lazily because the
+    analysis layer imports this module at import time.
     """
-    m = get_machine(machine)
-    b = get_backend(backend)
-    t = threads if threads is not None else getattr(m, "total_cores", 1)
-    if b.is_sequential:
-        t = 1
-    return ExecutionContext(m, b, threads=t, allocator=allocator, mode=mode)
+    from repro.scenarios.resolve import make_context
+
+    return make_context(
+        machine, backend, threads=threads, allocator=allocator, mode=mode
+    )
 
 
 def seq_baseline_seconds(

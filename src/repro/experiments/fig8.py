@@ -12,10 +12,8 @@ whose kernel loop is never optimised away on the GPU target.
 
 from __future__ import annotations
 
-from repro.backends import get_backend
 from repro.execution.context import ExecutionContext
 from repro.experiments.common import ExperimentResult, make_ctx
-from repro.machines import get_machine
 from repro.sim.gpu import GpuExecution
 from repro.suite.cases import _case_for_each
 from repro.suite.sweeps import problem_scaling, problem_sizes
@@ -46,12 +44,17 @@ GPU_MAX_EXP = 29
 
 
 def gpu_ctx(machine: str, transfer_back: bool = True) -> ExecutionContext:
-    """A CUDA context for Mach D or Mach E."""
-    return ExecutionContext(
-        get_machine(machine),
-        get_backend("nvc-cuda"),
+    """A CUDA context for Mach D or Mach E.
+
+    Thin shim over the shared resolver (:mod:`repro.scenarios.resolve`),
+    like ``common.make_ctx``.
+    """
+    from repro.scenarios.resolve import make_context
+
+    return make_context(
+        machine,
+        "nvc-cuda",
         threads=1,
-        mode="model",
         gpu_options=GpuExecution(transfer_back=transfer_back),
     )
 

@@ -1,9 +1,15 @@
 """Artifact registry: regenerate each figure/table in checkable form.
 
-Each builder runs the corresponding ``repro.experiments`` driver and
-flattens its result through the driver's ``*_cells``/``*_curves``
-exporters into a :class:`~repro.fidelity.measure.MeasuredArtifact`. The
-campaign-backed grids (Tables 5 and 6) accept the shared
+Each builder now measures through the **scenario registry**
+(:mod:`repro.scenarios`): the artifact's registered scenario spec is
+executed by its analysis kind and the resulting cells/curves become the
+:class:`~repro.fidelity.measure.MeasuredArtifact`. The legacy bespoke
+drivers in ``repro.experiments`` remain as the pinned reference
+implementation -- ``tools/scenario_equiv.py`` proves each scenario
+bit-identical to them -- so a scenario regression fails conformance
+here too.
+
+The campaign-backed grids (Tables 5 and 6) accept the shared
 :class:`~repro.campaign.store.ResultStore`, so fidelity runs reuse the
 campaign cache: a second ``pstl-fidelity run --campaign-dir D`` serves
 both tables entirely from cache.
@@ -44,107 +50,48 @@ class MeasureOptions:
     size_step: int = 1
 
 
-def _fig1(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.fig1 import fig1_cells, run_fig1
+def _run_options(opts: MeasureOptions):
+    """Map fidelity's measure knobs onto the scenario runner's."""
+    from repro.scenarios.runner import RunOptions
 
-    return MeasuredArtifact("fig1", cells=fig1_cells(run_fig1()))
-
-
-def _fig2(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.fig2 import fig2_cells, fig2_curves, run_fig2
-
-    result = run_fig2(size_step=opts.size_step)
-    return MeasuredArtifact(
-        "fig2", cells=fig2_cells(result), curves=fig2_curves(result)
+    return RunOptions(
+        store=opts.store, workers=opts.workers, size_step=opts.size_step
     )
+
+
+def _scenario_builder(artifact: str) -> Callable[[MeasureOptions], MeasuredArtifact]:
+    """A builder that measures ``artifact`` through its registered scenario."""
+
+    def build(opts: MeasureOptions) -> MeasuredArtifact:
+        from repro.scenarios.runner import run_scenario
+
+        return run_scenario(artifact, _run_options(opts)).artifact()
+
+    return build
 
 
 def _fig3(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.fig3 import (
-        fig3_cells,
-        fig3_curves,
-        foreach_scaling_curve,
-        run_fig3,
-    )
+    """fig3 via the registry, plus the traced-sweep golden object."""
+    from repro.experiments.fig3 import foreach_scaling_curve
+    from repro.scenarios.runner import run_scenario
     from repro.trace import Tracer, to_chrome_trace, use_tracer
 
-    result = run_fig3()
+    run = run_scenario("fig3", _run_options(opts))
     with use_tracer(Tracer()) as tracer:
         foreach_scaling_curve("A", "GCC-TBB", 1000, FIG3_TRACE_SIZE_EXP)
     summary = trace_structure_summary(to_chrome_trace(tracer))
     return MeasuredArtifact(
         "fig3",
-        cells=fig3_cells(result),
-        curves=fig3_curves(result),
+        cells=dict(run.cells),
+        curves=dict(run.curves),
         objects={"trace_summary": summary},
     )
 
 
-def _panel_builder(artifact: str) -> Callable[[MeasureOptions], MeasuredArtifact]:
-    def build(opts: MeasureOptions) -> MeasuredArtifact:
-        import importlib
-
-        mod = importlib.import_module(f"repro.experiments.{artifact}")
-        result = getattr(mod, f"run_{artifact}")(size_step=opts.size_step)
-        return MeasuredArtifact(
-            artifact,
-            cells=getattr(mod, f"{artifact}_cells")(result),
-            curves=getattr(mod, f"{artifact}_curves")(result),
-        )
-
-    return build
-
-
-def _table3(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.table3 import run_table3, table3_cells
-
-    return MeasuredArtifact("table3", cells=table3_cells(run_table3()))
-
-
-def _table4(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.table4 import run_table4, table4_cells
-
-    return MeasuredArtifact("table4", cells=table4_cells(run_table4()))
-
-
-def _table5(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.table5 import run_table5, table5_cells
-
-    result = run_table5(store=opts.store, workers=opts.workers)
-    return MeasuredArtifact("table5", cells=table5_cells(result))
-
-
-def _table6(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.table6 import run_table6, table6_cells
-
-    result = run_table6(store=opts.store, workers=opts.workers)
-    return MeasuredArtifact("table6", cells=table6_cells(result))
-
-
-def _table7(opts: MeasureOptions) -> MeasuredArtifact:
-    from repro.experiments.table7 import run_table7, table7_cells
-
-    return MeasuredArtifact("table7", cells=table7_cells(run_table7()))
-
-
 _BUILDERS: Mapping[str, Callable[[MeasureOptions], MeasuredArtifact]] = {
-    "fig1": _fig1,
-    "fig2": _fig2,
-    "fig3": _fig3,
-    "fig4": _panel_builder("fig4"),
-    "fig5": _panel_builder("fig5"),
-    "fig6": _panel_builder("fig6"),
-    "fig7": _panel_builder("fig7"),
-    "fig8": _panel_builder("fig8"),
-    "fig9": _panel_builder("fig9"),
-    "table3": _table3,
-    "table4": _table4,
-    "table5": _table5,
-    "table6": _table6,
-    "table7": _table7,
+    artifact: (_fig3 if artifact == "fig3" else _scenario_builder(artifact))
+    for artifact in ARTIFACT_IDS
 }
-
-assert set(_BUILDERS) == set(ARTIFACT_IDS)
 
 
 def artifact_builders() -> dict[str, Callable[[MeasureOptions], MeasuredArtifact]]:

@@ -1,0 +1,155 @@
+"""``pstl-scenario`` command-line entry point.
+
+Scenario names are auto-discovered from the registry, so every paper
+figure/table -- and any user-defined spec file -- runs through the same
+three subcommands::
+
+    pstl-scenario list                         # every registered scenario
+    pstl-scenario describe table5              # axes, kind, canonical JSON
+    pstl-scenario run fig1                     # measure + print the cells
+    pstl-scenario run table5 --campaign-dir campaigns/t5 --workers 4
+    pstl-scenario run --scenario-file my_sweep.json --json out.json
+
+Exit codes: 0 = success; 1 = the scenario failed validation or
+execution; 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError, ScenarioError
+from repro.scenarios.analyses import RunOptions, analysis_kinds
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runner import describe_scenario, run_scenario
+from repro.scenarios.schema import ScenarioSpec, load_scenario_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema; registry names appear in the help text."""
+    names = ", ".join(scenario_names())
+    parser = argparse.ArgumentParser(
+        prog="pstl-scenario",
+        description="Run declarative benchmark scenarios (see "
+        "docs/SCENARIOS.md). Registered scenarios: " + names + ".",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered scenario")
+
+    describe = sub.add_parser(
+        "describe", help="show one scenario's axes, kind and canonical JSON"
+    )
+    _add_target_args(describe)
+
+    run = sub.add_parser("run", help="measure one scenario and print its cells")
+    _add_target_args(run)
+    run.add_argument("--json", default=None, metavar="OUT.json",
+                     help="also write cells/curves as JSON")
+    run.add_argument("--campaign-dir", default=None, metavar="DIR",
+                     help="campaign directory whose cache campaign-shaped "
+                     "scenarios reuse (cache lives under DIR/cache)")
+    run.add_argument("--workers", type=int, default=0,
+                     help="process-pool width for campaign-shaped scenarios "
+                     "(default 0 = inline)")
+    run.add_argument("--size-step", type=int, default=None,
+                     help="override the problem-size sweep stride of kinds "
+                     "with a size axis (default: the scenario's own)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the cell table (summary line only)")
+    return parser
+
+
+def _add_target_args(sub: argparse.ArgumentParser) -> None:
+    """The name-or-file scenario selector shared by describe/run."""
+    sub.add_argument("name", nargs="?", default=None,
+                     help="a registered scenario name (see 'list')")
+    sub.add_argument("--scenario-file", default=None, metavar="SPEC.json",
+                     help="run a user-defined scenario spec instead of a "
+                     "registered name (same schema and validation)")
+
+
+def _resolve_target(args) -> ScenarioSpec:
+    """The spec named on the command line (registry or file, not both)."""
+    if (args.name is None) == (args.scenario_file is None):
+        raise ScenarioError(
+            "pass exactly one of: a scenario name, or --scenario-file"
+        )
+    if args.scenario_file is not None:
+        return load_scenario_file(args.scenario_file)
+    return get_scenario(args.name)
+
+
+def _cmd_list(args) -> int:
+    """``pstl-scenario list``: one line per registered scenario."""
+    kinds = analysis_kinds()
+    for name in scenario_names():
+        spec = get_scenario(name)
+        kind = kinds[spec.analysis]
+        service = " [service]" if kind.campaign_spec_for is not None else ""
+        print(f"{name}\t{spec.analysis}{service}\t{spec.title}")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    """``pstl-scenario describe``."""
+    print(describe_scenario(_resolve_target(args)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """``pstl-scenario run``."""
+    spec = _resolve_target(args)
+    store = None
+    if args.campaign_dir is not None:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(Path(args.campaign_dir) / "cache")
+    run = run_scenario(
+        spec,
+        RunOptions(store=store, workers=args.workers, size_step=args.size_step),
+    )
+    if args.quiet:
+        print(f"{run.spec.name}: {len(run.cells)} cells, "
+              f"{len(run.curves)} curves")
+    else:
+        print(run.rendered())
+    if args.json is not None:
+        payload = {
+            "scenario": run.spec.to_dict(),
+            "cells": dict(run.cells),
+            "curves": {k: [list(p) for p in v] for k, v in run.curves.items()},
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "describe": _cmd_describe,
+        "run": _cmd_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

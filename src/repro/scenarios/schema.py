@@ -1,0 +1,320 @@
+"""The typed scenario schema: every figure/table as a declarative spec.
+
+A :class:`ScenarioSpec` is the data form of one experiment: which
+machines, backends, cases and sweep axes to run, which analysis kind
+(:mod:`repro.scenarios.analyses`) turns the measurements into an
+artifact, and which fidelity artifact its claims bind to. The built-in
+registry (:mod:`repro.scenarios.registry`) carries one spec per paper
+figure/table; user scenarios load from JSON files through
+:func:`load_scenario_file` and pass through exactly the same validation.
+
+Validation is two-layered:
+
+1. **Structural** (:meth:`ScenarioSpec.__post_init__`): field types,
+   non-negative sizes, well-formed exclude pairs, no duplicate values
+   inside an axis. Violations raise :class:`~repro.errors.ScenarioError`
+   naming the offending field.
+2. **Registry-backed** (:func:`validate_scenario`): every machine,
+   backend, case and allocator name must resolve through
+   :mod:`repro.scenarios.resolve`, exclude pairs must reference declared
+   axis values, and the spec's analysis kind must find every axis it
+   requires non-empty (an empty grid is rejected, not silently skipped).
+
+Specs serialise to the same canonical JSON the campaign layer uses
+(sorted keys, compact separators), so a spec's identity is stable: the
+property suite pins that ``from_dict(to_dict(spec))`` round-trips
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign.spec import canonical_json
+from repro.errors import (
+    ConfigurationError,
+    ScenarioError,
+    UnknownBackendError,
+    UnknownMachineError,
+)
+from repro.scenarios.resolve import (
+    ALLOCATOR_FACTORIES,
+    resolve_backend,
+    resolve_case,
+    resolve_machine,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "validate_scenario",
+    "load_scenario_file",
+    "scenario_from_dict",
+    "AXIS_FIELDS",
+]
+
+#: The sweep-axis fields a spec may populate (analysis kinds declare
+#: which of these they require; the rest must stay empty).
+AXIS_FIELDS = (
+    "machines",
+    "backends",
+    "cases",
+    "size_exps",
+    "threads",
+    "k_values",
+    "allocators",
+)
+
+
+def _freeze(value: Any, *, field_name: str) -> tuple:
+    """Normalise a list-ish axis to a tuple, rejecting duplicates."""
+    out = tuple(value)
+    if len(set(out)) != len(out):
+        raise ScenarioError(
+            f"field {field_name!r} has overlapping entries: {list(out)} "
+            "(each axis value may appear once)"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: axes + analysis binding + claims hook.
+
+    ``options`` carries analysis-kind-specific scalars (panel titles,
+    k-iteration templates, efficiency thresholds...); unknown option
+    keys are rejected by :func:`validate_scenario` against the kind's
+    declared option set, so a typo fails loudly instead of silently
+    falling back to a default.
+    """
+
+    name: str
+    analysis: str
+    title: str = ""
+    machines: tuple[str, ...] = ()
+    backends: tuple[str, ...] = ()
+    cases: tuple[str, ...] = ()
+    size_exps: tuple[int, ...] = ()
+    threads: tuple[int | None, ...] = ()
+    k_values: tuple[int, ...] = ()
+    allocators: tuple[str | None, ...] = ()
+    exclude: tuple[tuple[str, str], ...] = ()
+    options: Mapping[str, Any] = field(default_factory=dict)
+    claims: str = ""
+
+    def __post_init__(self) -> None:
+        """Structural validation; every failure names its field."""
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError("field 'name' must be a non-empty string")
+        if not self.analysis or not isinstance(self.analysis, str):
+            raise ScenarioError(
+                f"scenario {self.name!r}: field 'analysis' must name an "
+                "analysis kind"
+            )
+        for axis in AXIS_FIELDS:
+            object.__setattr__(
+                self, axis, _freeze(getattr(self, axis), field_name=axis)
+            )
+        for axis in ("machines", "backends", "cases"):
+            for value in getattr(self, axis):
+                if not isinstance(value, str) or not value:
+                    raise ScenarioError(
+                        f"scenario {self.name!r}: field {axis!r} entries must "
+                        f"be non-empty strings, got {value!r}"
+                    )
+        for exp in self.size_exps:
+            if not isinstance(exp, int) or isinstance(exp, bool) or exp < 0:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: field 'size_exps' entries must "
+                    f"be non-negative integers, got {exp!r}"
+                )
+        for t in self.threads:
+            if t is not None and (
+                not isinstance(t, int) or isinstance(t, bool) or t < 1
+            ):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: field 'threads' entries must be "
+                    f"positive integers or null, got {t!r}"
+                )
+        for k in self.k_values:
+            if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: field 'k_values' entries must "
+                    f"be non-negative integers, got {k!r}"
+                )
+        pairs = []
+        for pair in self.exclude:
+            pair = tuple(pair)
+            if len(pair) != 2 or not all(isinstance(p, str) for p in pair):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: field 'exclude' entries are "
+                    f"(machine, backend) string pairs, got {pair!r}"
+                )
+            pairs.append(pair)
+        if len(set(pairs)) != len(pairs):
+            raise ScenarioError(
+                f"scenario {self.name!r}: field 'exclude' has overlapping "
+                f"entries: {pairs}"
+            )
+        object.__setattr__(self, "exclude", tuple(pairs))
+        if not isinstance(self.options, Mapping):
+            raise ScenarioError(
+                f"scenario {self.name!r}: field 'options' must be an object"
+            )
+        object.__setattr__(self, "options", dict(self.options))
+        if not isinstance(self.title, str):
+            raise ScenarioError(
+                f"scenario {self.name!r}: field 'title' must be a string"
+            )
+        if not isinstance(self.claims, str):
+            raise ScenarioError(
+                f"scenario {self.name!r}: field 'claims' must be a string "
+                "(a fidelity artifact id, or empty)"
+            )
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """One analysis option with a kind-supplied default."""
+        return self.options.get(key, default)
+
+    def with_axes(self, **axes: Any) -> "ScenarioSpec":
+        """A copy with some axis fields replaced (service-side overrides)."""
+        unknown = set(axes) - set(AXIS_FIELDS)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r}: cannot override non-axis "
+                f"field(s) {sorted(unknown)}; axes are {list(AXIS_FIELDS)}"
+            )
+        return replace(
+            self, **{k: tuple(v) for k, v in axes.items()}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready; tuples become lists)."""
+        return {
+            "name": self.name,
+            "analysis": self.analysis,
+            "title": self.title,
+            "machines": list(self.machines),
+            "backends": list(self.backends),
+            "cases": list(self.cases),
+            "size_exps": list(self.size_exps),
+            "threads": list(self.threads),
+            "k_values": list(self.k_values),
+            "allocators": list(self.allocators),
+            "exclude": [list(pair) for pair in self.exclude],
+            "options": dict(self.options),
+            "claims": self.claims,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected."""
+        if not isinstance(payload, Mapping):
+            raise ScenarioError("a scenario spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        extra = set(payload) - known
+        if extra:
+            raise ScenarioError(
+                f"unknown scenario spec field(s) {sorted(extra)}; "
+                f"known: {sorted(known)}"
+            )
+        data = dict(payload)
+        for axis in AXIS_FIELDS:
+            if axis in data:
+                if not isinstance(data[axis], (list, tuple)):
+                    raise ScenarioError(
+                        f"field {axis!r} must be a list, got {data[axis]!r}"
+                    )
+                data[axis] = tuple(data[axis])
+        if "exclude" in data:
+            if not isinstance(data["exclude"], (list, tuple)):
+                raise ScenarioError(
+                    f"field 'exclude' must be a list of pairs, got "
+                    f"{data['exclude']!r}"
+                )
+            data["exclude"] = tuple(tuple(p) for p in data["exclude"])
+        try:
+            return cls(**data)
+        except TypeError as exc:  # missing required field
+            raise ScenarioError(f"invalid scenario spec: {exc}") from None
+
+    def canonical(self) -> str:
+        """Canonical JSON identity (sorted keys, compact separators)."""
+        return canonical_json(self.to_dict())
+
+
+def scenario_from_dict(payload: Mapping[str, Any]) -> ScenarioSpec:
+    """Parse **and fully validate** a spec payload (registry-backed)."""
+    spec = ScenarioSpec.from_dict(payload)
+    validate_scenario(spec)
+    return spec
+
+
+def validate_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Registry-backed validation; returns ``spec`` for chaining.
+
+    Checks, in order: machine/backend/case/allocator names resolve;
+    exclude pairs reference declared axis values; the analysis kind
+    exists, finds all of its required axes non-empty, finds no
+    unexpected axes populated, and recognises every option key.
+    """
+    for machine in spec.machines:
+        try:
+            resolve_machine(machine)
+        except UnknownMachineError as exc:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: unknown machine {machine!r} in "
+                f"field 'machines' ({exc})"
+            ) from None
+    for backend in spec.backends:
+        try:
+            resolve_backend(backend)
+        except UnknownBackendError as exc:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: unknown backend {backend!r} in "
+                f"field 'backends' ({exc})"
+            ) from None
+    for case in spec.cases:
+        try:
+            resolve_case(case)
+        except ConfigurationError as exc:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: unknown case {case!r} in "
+                f"field 'cases' ({exc})"
+            ) from None
+    for alloc in spec.allocators:
+        if alloc is not None and alloc not in ALLOCATOR_FACTORIES:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: unknown allocator {alloc!r} in "
+                f"field 'allocators'; known: {sorted(ALLOCATOR_FACTORIES)}"
+            )
+    for machine, backend in spec.exclude:
+        if machine not in spec.machines:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: exclude pair ({machine!r}, "
+                f"{backend!r}) names a machine absent from field 'machines'"
+            )
+        if backend not in spec.backends:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: exclude pair ({machine!r}, "
+                f"{backend!r}) names a backend absent from field 'backends'"
+            )
+    from repro.scenarios.analyses import get_analysis
+
+    analysis = get_analysis(spec.analysis, scenario=spec.name)
+    analysis.check(spec)
+    return spec
+
+
+def load_scenario_file(path: str | Path) -> ScenarioSpec:
+    """Load and validate one user-defined scenario from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ScenarioError(f"scenario file {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"scenario file {path} is not valid JSON: {exc}") from None
+    return scenario_from_dict(payload)

@@ -4,6 +4,7 @@ Subcommands mirror the service's lifecycle::
 
     pstl-service serve ROOT [--port P] [--concurrent N] [--faults plan.json]
     pstl-service submit SPEC.json --url http://... [--wait]
+    pstl-service submit --scenario table5 --url http://... [--override J]
     pstl-service status CAMPAIGN_ID --url http://...
     pstl-service events CAMPAIGN_ID --url http://... [--offset N]
     pstl-service results CAMPAIGN_ID --url http://...
@@ -94,8 +95,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wave-timeout", type=float, default=60.0,
                    help="reclaim a remote wave for local execution after this")
 
-    p = sub.add_parser("submit", help="submit a campaign spec")
-    p.add_argument("spec", help="path to the campaign spec JSON")
+    p = sub.add_parser("submit", help="submit a campaign spec or scenario")
+    p.add_argument("spec", nargs="?",
+                   help="path to the campaign spec JSON")
+    p.add_argument("--scenario", metavar="NAME",
+                   help="submit a registered scenario by name instead "
+                        "of a spec file")
+    p.add_argument("--override", metavar="JSON", default=None,
+                   help="axis overrides for --scenario, as a JSON "
+                        'object (e.g. \'{"size_exps": [12]}\')')
     _add_target(p)
     p.add_argument("--wait", action="store_true",
                    help="block until the campaign reaches a terminal state")
@@ -157,8 +165,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    """Submit a spec file; optionally wait for the terminal state."""
-    payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+    """Submit a spec file or a named scenario; optionally wait."""
+    if (args.spec is None) == (args.scenario is None):
+        raise ReproError("pass exactly one of SPEC.json or --scenario NAME")
+    if args.override is not None and args.scenario is None:
+        raise ReproError("--override only applies to --scenario submissions")
+    if args.scenario:
+        payload = {"scenario": args.scenario}
+        if args.override:
+            overrides = json.loads(args.override)
+            if not isinstance(overrides, dict):
+                raise ReproError("--override must be a JSON object")
+            payload.update(overrides)
+    else:
+        payload = json.loads(Path(args.spec).read_text(encoding="utf-8"))
     client = ServiceClient(_base_url(args), api_key=args.api_key)
     doc = client.submit(payload, max_attempts=args.max_attempts)
     if args.wait:

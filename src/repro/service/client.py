@@ -142,6 +142,21 @@ class ServiceClient:
                 time.sleep(exc.retry_after)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def submit_scenario(self, name: str,
+                        overrides: Mapping[str, Any] | None = None, *,
+                        max_attempts: int = 1) -> dict[str, Any]:
+        """Submit a registered scenario by name (``POST /campaigns``).
+
+        Sends ``{"scenario": name, **overrides}``; the daemon resolves
+        it through the scenario registry, so it dedups against the
+        equivalent inline campaign spec. ``overrides`` narrows axis
+        fields, e.g. ``{"size_exps": [12]}``.
+        """
+        payload: dict[str, Any] = {"scenario": name}
+        if overrides:
+            payload.update(overrides)
+        return self.submit(payload, max_attempts=max_attempts)
+
     def status(self, campaign_id: str) -> dict[str, Any]:
         """``GET /campaigns/{id}``: state plus progress counts."""
         return self._request("GET", f"/campaigns/{campaign_id}")

@@ -252,8 +252,17 @@ class CampaignService:
         Exactly one of ``record`` / ``rejection`` is set. A payload that
         does not parse as a :class:`CampaignSpec` raises
         :class:`~repro.errors.CampaignError` (the daemon maps it to 400).
+        A payload carrying a ``scenario`` key is resolved through the
+        scenario registry first (remaining keys are axis overrides), so
+        scenario submissions dedup against equivalent inline specs via
+        the shared content-derived campaign id; a bad scenario raises
+        :class:`~repro.errors.ScenarioError` (also a 400 at the daemon).
         """
         self.submitted += 1
+        if "scenario" in payload:
+            from repro.scenarios.runner import service_payload
+
+            payload = service_payload(payload)
         try:
             spec = CampaignSpec.from_dict(payload)
         except TypeError as exc:  # missing required fields

@@ -1,0 +1,3 @@
+"""Scenario registry suite: schema, registry pins, resolver parity,
+runner end-to-end, CLI sync, and the legacy-driver equivalence harness
+(``pytest -m scenario_equiv`` / ``tools/scenario_equiv.py``)."""

@@ -1,0 +1,121 @@
+"""``pstl-scenario`` CLI: auto-discovery, help sync, and end-to-end runs.
+
+The regression target: the registry, ``pstl-scenario list`` and the
+parser help text can never disagree about which scenarios exist -- a
+scenario added to the registry is discoverable everywhere at once, with
+no hand-maintained subcommand lists to forget.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.analyses import analysis_kinds
+from repro.scenarios.cli import build_parser, main
+from repro.scenarios.registry import get_scenario, scenario_names
+
+
+def test_list_stays_in_sync_with_the_registry(capsys):
+    assert main(["list"]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert [l.split("\t")[0] for l in lines] == list(scenario_names())
+    # no orphaned or shadowed names in either direction
+    assert len(lines) == len(scenario_names())
+
+
+def test_list_marks_service_submittable_scenarios(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    kinds = analysis_kinds()
+    for line in out.splitlines():
+        if not line.strip():
+            continue
+        name = line.split("\t")[0]
+        campaign_shaped = (
+            kinds[get_scenario(name).analysis].campaign_spec_for is not None
+        )
+        assert ("[service]" in line) == campaign_shaped
+
+
+def test_parser_help_names_every_registered_scenario():
+    description = build_parser().description
+    for name in scenario_names():
+        assert name in description
+
+
+def test_describe_prints_axes_and_canonical_json(capsys):
+    assert main(["describe", "table5"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign-speedup" in out
+    assert '"name": "table5"' in out or "table5" in out
+    assert "spec: {" in out
+
+
+def test_run_quiet_summarises(capsys):
+    assert main(["run", "fig1", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("fig1: ")
+    assert "24 cells" in out
+
+
+def test_run_scenario_file_writes_json(tmp_path, capsys):
+    spec = {
+        "name": "cli-sweep",
+        "analysis": "campaign-grid",
+        "machines": ["A"],
+        "backends": ["GCC-SEQ", "GCC-TBB"],
+        "cases": ["reduce"],
+        "size_exps": [10],
+        "threads": [2],
+    }
+    spec_path = tmp_path / "sweep.json"
+    spec_path.write_text(json.dumps(spec), encoding="utf-8")
+    out_path = tmp_path / "out.json"
+    assert main(["run", "--scenario-file", str(spec_path),
+                 "--json", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["scenario"]["name"] == "cli-sweep"
+    assert payload["cells"]
+    assert "cli-sweep" in capsys.readouterr().out
+
+
+def test_run_with_campaign_dir_reuses_the_cache(tmp_path, capsys):
+    args = ["run", "table5", "--quiet",
+            "--campaign-dir", str(tmp_path / "c")]
+    # table5 at full size runs in under a second on the model; the
+    # second invocation must serve every point from the shared cache
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+    assert (tmp_path / "c" / "cache").exists()
+
+
+def test_unknown_scenario_name_fails_with_the_known_list(capsys):
+    assert main(["run", "fig99"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err and "fig1" in err
+
+
+def test_name_and_file_are_mutually_exclusive(tmp_path, capsys):
+    spec_path = tmp_path / "x.json"
+    spec_path.write_text("{}", encoding="utf-8")
+    assert main(["run", "fig1", "--scenario-file", str(spec_path)]) == 1
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["describe"]) == 1
+
+
+def test_invalid_scenario_file_fails_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "x", "analysis": "nope"}),
+                   encoding="utf-8")
+    assert main(["run", "--scenario-file", str(bad)]) == 1
+    assert "'analysis'" in capsys.readouterr().err
+
+
+def test_bad_invocation_exits_2():
+    with pytest.raises(SystemExit) as exc:
+        main(["frobnicate"])
+    assert exc.value.code == 2

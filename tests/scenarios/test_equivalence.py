@@ -1,0 +1,52 @@
+"""``pytest -m scenario_equiv``: the registry vs the legacy drivers.
+
+Runs :mod:`tools.scenario_equiv`'s differential comparison one scenario
+per test case: every registered scenario's cells and curves must be
+**bit-identical** (float hex encodings, like ``tools/diffcheck.py``) to
+the output of its pinned legacy driver in ``repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "scenario_equiv.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("scenario_equiv", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+scenario_equiv = _load_tool()
+
+pytestmark = pytest.mark.scenario_equiv
+
+
+def test_every_claimed_scenario_is_comparable():
+    from repro.fidelity.refdata import ARTIFACT_IDS
+
+    assert set(scenario_equiv.comparable_scenarios()) == set(ARTIFACT_IDS)
+
+
+@pytest.mark.parametrize("name", scenario_equiv.comparable_scenarios())
+def test_scenario_is_bit_identical_to_its_legacy_driver(name):
+    problems = scenario_equiv.diff_scenario(name)
+    assert problems == [], "\n".join(problems)
+
+
+def test_harness_list_mode(capsys):
+    assert scenario_equiv.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_equiv.comparable_scenarios():
+        assert name in out
+
+
+def test_harness_rejects_unknown_scenarios(capsys):
+    assert scenario_equiv.main(["--scenario", "fig99"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Runner end-to-end: user-defined scenarios, determinism, and the
+campaign bridge.
+
+The registered scenarios are covered bit-for-bit by the equivalence
+harness; this module covers the paths with no legacy counterpart --
+``campaign-grid`` user sweeps (including the shipped example spec),
+store reuse, and the scenario -> campaign-payload conversion the
+service consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.runner import (
+    RunOptions,
+    campaign_payload,
+    describe_scenario,
+    resolve_spec,
+    run_scenario,
+    service_payload,
+)
+from repro.scenarios.schema import load_scenario_file
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLE_SPEC = REPO / "examples" / "scenarios" / "custom_sweep.json"
+
+USER_SWEEP = {
+    "name": "runner-sweep",
+    "analysis": "campaign-grid",
+    "machines": ["A"],
+    "backends": ["GCC-SEQ", "GCC-TBB"],
+    "cases": ["reduce"],
+    "size_exps": [12],
+    "threads": [None, 4],
+}
+
+
+def _hex(value):
+    return None if value is None else float(value).hex()
+
+
+def test_user_campaign_grid_runs_end_to_end():
+    run = run_scenario(USER_SWEEP)
+    # one seconds + one speedup cell per planned point; the planner
+    # collapses the sequential backend's thread axis to a single point
+    assert sorted(run.cells) == [
+        "GCC-SEQ/reduce/A/2^12/1t/seconds",
+        "GCC-SEQ/reduce/A/2^12/1t/speedup",
+        "GCC-TBB/reduce/A/2^12/32t/seconds",
+        "GCC-TBB/reduce/A/2^12/32t/speedup",
+        "GCC-TBB/reduce/A/2^12/4t/seconds",
+        "GCC-TBB/reduce/A/2^12/4t/speedup",
+    ]
+    assert run.curves == {}
+    for key, value in run.cells.items():
+        assert key.endswith(("/seconds", "/speedup"))
+        if key.endswith("/seconds"):
+            assert value is not None and value > 0
+
+
+def test_user_sweep_is_self_consistent():
+    run = run_scenario(USER_SWEEP)
+    cells = dict(run.cells)
+    baseline = cells["GCC-SEQ/reduce/A/2^12/1t/seconds"]
+    for key, speedup in cells.items():
+        if not key.endswith("/speedup") or speedup is None:
+            continue
+        seconds = cells[key.removesuffix("/speedup") + "/seconds"]
+        assert _hex(speedup) == _hex(baseline / seconds)
+    # the sequential row's speedup is exactly 1
+    assert cells["GCC-SEQ/reduce/A/2^12/1t/speedup"] == 1.0
+
+
+def test_runs_are_deterministic():
+    first = run_scenario(USER_SWEEP)
+    second = run_scenario(USER_SWEEP)
+    assert {k: _hex(v) for k, v in first.cells.items()} == \
+        {k: _hex(v) for k, v in second.cells.items()}
+
+
+def test_store_reuse_is_bit_identical(tmp_path):
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore(tmp_path / "cache")
+    cold = run_scenario(USER_SWEEP, RunOptions(store=store))
+    warm = run_scenario(USER_SWEEP, RunOptions(store=store))
+    assert {k: _hex(v) for k, v in cold.cells.items()} == \
+        {k: _hex(v) for k, v in warm.cells.items()}
+
+
+def test_shipped_example_spec_runs_end_to_end():
+    spec = load_scenario_file(EXAMPLE_SPEC)
+    run = run_scenario(spec)
+    # per machine/case: 1 sequential point + 2 parallel backends x 2
+    # thread counts, each yielding a seconds and a speedup cell
+    assert len(run.cells) == 2 * 2 * (1 + 2 * 2) * 2
+    assert all(
+        v is not None and v > 0
+        for k, v in run.cells.items() if k.endswith("/seconds")
+    )
+    # ...and it is service-submittable
+    payload = campaign_payload(spec)
+    assert payload["name"] == "custom-sweep-2^20"
+
+
+def test_artifact_uses_claims_binding_or_the_spec_name():
+    run = run_scenario(USER_SWEEP)
+    assert run.artifact().artifact == "runner-sweep"
+    assert "runner-sweep" in run.rendered()
+
+
+def test_resolve_spec_rejects_unsupported_types():
+    with pytest.raises(ScenarioError, match="cannot interpret int"):
+        resolve_spec(42)
+
+
+# -- the campaign/service bridge --------------------------------------------
+
+
+def test_campaign_payload_matches_inline_service_payload():
+    via_name = campaign_payload("table5", {"size_exps": [12]})
+    via_payload = service_payload({"scenario": "table5", "size_exps": [12]})
+    assert via_name == via_payload
+    assert via_name["name"] == "table5-2^12"
+
+
+def test_service_payload_accepts_inline_spec_dicts():
+    assert service_payload({"scenario": USER_SWEEP}) == \
+        campaign_payload(USER_SWEEP)
+
+
+def test_campaign_payload_rejects_non_campaign_kinds():
+    with pytest.raises(ScenarioError, match="no.*campaign form"):
+        campaign_payload("fig1")
+
+
+def test_campaign_payload_rejects_unknown_override_fields():
+    with pytest.raises(ScenarioError, match="non-axis.*bogus"):
+        campaign_payload("table5", {"bogus": [1]})
+
+
+def test_override_changes_the_campaign_identity():
+    from repro.campaign.spec import CampaignSpec
+    from repro.service.scheduler import campaign_id
+
+    full = campaign_id(CampaignSpec.from_dict(campaign_payload("table6")))
+    narrowed = campaign_id(CampaignSpec.from_dict(
+        campaign_payload("table6", {"size_exps": [12]})))
+    assert full != narrowed
+
+
+def test_describe_mentions_service_capability_only_for_campaign_kinds():
+    from repro.scenarios.registry import get_scenario
+
+    assert "service" in describe_scenario(get_scenario("table5"))
+    assert "service: submittable" not in describe_scenario(get_scenario("fig1"))
+
+
+def test_described_canonical_json_parses_back():
+    spec = resolve_spec(USER_SWEEP)
+    text = describe_scenario(spec)
+    canonical = text.splitlines()[-1].split("spec: ", 1)[1]
+    assert resolve_spec(json.loads(canonical)) == spec

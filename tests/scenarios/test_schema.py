@@ -1,0 +1,243 @@
+"""Schema validation: every rejection names the offending field.
+
+The two validation layers are exercised separately: structural failures
+(:meth:`ScenarioSpec.__post_init__` / ``from_dict``) and registry-backed
+failures (:func:`validate_scenario` resolving names and enforcing the
+analysis kind's axis/option contract).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError, ScenarioError
+from repro.scenarios.schema import (
+    AXIS_FIELDS,
+    ScenarioSpec,
+    load_scenario_file,
+    scenario_from_dict,
+    validate_scenario,
+)
+
+
+def _payload(**over) -> dict:
+    """A small, fully valid campaign-grid spec payload."""
+    base = {
+        "name": "unit-sweep",
+        "analysis": "campaign-grid",
+        "machines": ["A"],
+        "backends": ["GCC-SEQ", "GCC-TBB"],
+        "cases": ["reduce"],
+        "size_exps": [10],
+        "threads": [None, 2],
+    }
+    base.update(over)
+    return base
+
+
+def test_valid_payload_parses_and_validates():
+    spec = scenario_from_dict(_payload())
+    assert spec.name == "unit-sweep"
+    assert spec.machines == ("A",)
+    assert spec.threads == (None, 2)
+
+
+def test_roundtrip_preserves_canonical_identity():
+    spec = scenario_from_dict(_payload())
+    again = scenario_from_dict(spec.to_dict())
+    assert again == spec
+    assert again.canonical() == spec.canonical()
+    # and canonical JSON itself parses back to the same spec
+    assert scenario_from_dict(json.loads(spec.canonical())) == spec
+
+
+def test_scenario_error_is_a_repro_error():
+    assert issubclass(ScenarioError, ReproError)
+
+
+# -- structural layer -------------------------------------------------------
+
+
+def test_missing_name_rejected():
+    with pytest.raises(ScenarioError, match="'name'"):
+        ScenarioSpec(name="", analysis="campaign-grid")
+
+
+def test_missing_analysis_rejected():
+    with pytest.raises(ScenarioError, match="'analysis'"):
+        ScenarioSpec(name="x", analysis="")
+
+
+def test_unknown_top_level_field_rejected_by_name():
+    with pytest.raises(ScenarioError, match="bogus_field"):
+        scenario_from_dict(_payload(bogus_field=1))
+
+
+def test_duplicate_axis_entries_rejected_naming_the_axis():
+    with pytest.raises(ScenarioError, match="'backends'.*overlapping"):
+        scenario_from_dict(_payload(backends=["GCC-TBB", "GCC-TBB"]))
+
+
+def test_non_list_axis_rejected():
+    with pytest.raises(ScenarioError, match="'machines'"):
+        scenario_from_dict(_payload(machines="A"))
+
+
+@pytest.mark.parametrize("bad", [-1, True, "30"])
+def test_bad_size_exp_rejected(bad):
+    with pytest.raises(ScenarioError, match="'size_exps'"):
+        scenario_from_dict(_payload(size_exps=[bad]))
+
+
+@pytest.mark.parametrize("bad", [0, -2, True, "4"])
+def test_bad_thread_count_rejected(bad):
+    with pytest.raises(ScenarioError, match="'threads'"):
+        scenario_from_dict(_payload(threads=[bad]))
+
+
+def test_malformed_exclude_pair_rejected():
+    with pytest.raises(ScenarioError, match="'exclude'"):
+        scenario_from_dict(_payload(exclude=[["A"]]))
+
+
+def test_duplicate_exclude_pairs_rejected():
+    payload = _payload(exclude=[["A", "GCC-TBB"], ["A", "GCC-TBB"]])
+    with pytest.raises(ScenarioError, match="'exclude'.*overlapping"):
+        scenario_from_dict(payload)
+
+
+def test_options_must_be_an_object():
+    with pytest.raises(ScenarioError, match="'options'"):
+        scenario_from_dict(_payload(options=[1, 2]))
+
+
+# -- registry-backed layer --------------------------------------------------
+
+
+def test_unknown_machine_rejected_naming_the_field():
+    with pytest.raises(ScenarioError, match="'machines'.*|machine 'Z'"):
+        scenario_from_dict(_payload(machines=["Z"]))
+
+
+def test_unknown_backend_rejected_naming_the_field():
+    with pytest.raises(ScenarioError, match="backend 'MSVC'"):
+        scenario_from_dict(_payload(backends=["MSVC", "GCC-SEQ"]))
+
+
+def test_unknown_case_rejected_naming_the_field():
+    with pytest.raises(ScenarioError, match="case 'quicksort3'"):
+        scenario_from_dict(_payload(cases=["quicksort3"]))
+
+
+def test_unknown_allocator_rejected():
+    with pytest.raises(ScenarioError, match="allocator 'tcmalloc'"):
+        scenario_from_dict(_payload(allocators=["tcmalloc"]))
+
+
+def test_exclude_must_reference_declared_machines():
+    with pytest.raises(ScenarioError, match="absent from field 'machines'"):
+        scenario_from_dict(_payload(exclude=[["B", "GCC-TBB"]]))
+
+
+def test_exclude_must_reference_declared_backends():
+    with pytest.raises(ScenarioError, match="absent from field 'backends'"):
+        scenario_from_dict(_payload(exclude=[["A", "ICC-TBB"]]))
+
+
+def test_unknown_analysis_kind_rejected():
+    with pytest.raises(ScenarioError, match="'analysis'"):
+        scenario_from_dict(_payload(analysis="quantum-annealing"))
+
+
+def test_empty_required_axis_rejected_as_empty_grid():
+    with pytest.raises(ScenarioError, match="'cases' is empty"):
+        scenario_from_dict(_payload(cases=[]))
+
+
+def test_stray_axis_rejected_instead_of_ignored():
+    # binary-sizes only uses 'backends'; a machines axis is an error
+    payload = {
+        "name": "stray",
+        "analysis": "binary-sizes",
+        "backends": ["GCC-SEQ"],
+        "machines": ["A"],
+    }
+    with pytest.raises(ScenarioError, match="'machines' is not used"):
+        scenario_from_dict(payload)
+
+
+def test_singleton_axis_rejects_multiple_entries():
+    with pytest.raises(ScenarioError, match="'size_exps' must hold exactly one"):
+        scenario_from_dict(_payload(size_exps=[10, 12]))
+
+
+def test_unknown_option_key_rejected_by_name():
+    with pytest.raises(ScenarioError, match="'options'.*turbo"):
+        scenario_from_dict(_payload(options={"turbo": True}))
+
+
+def test_k_value_must_map_to_a_registered_case():
+    payload = {
+        "name": "bad-k",
+        "analysis": "problem-panels",
+        "machines": ["A"],
+        "backends": ["GCC-SEQ", "GCC-TBB"],
+        "k_values": [7],
+    }
+    with pytest.raises(ScenarioError, match="'k_values' entry 7"):
+        scenario_from_dict(payload)
+
+
+def test_gpu_series_must_reference_declared_axes():
+    payload = {
+        "name": "bad-series",
+        "analysis": "gpu-problem",
+        "machines": ["gpu-host"],
+        "backends": ["GCC-SEQ"],
+        "k_values": [1],
+        "options": {
+            "series": [
+                {"key": "t4", "machine": "D", "backend": "NVC-CUDA"},
+            ],
+        },
+    }
+    with pytest.raises(ScenarioError, match="machine 'D' absent"):
+        scenario_from_dict(payload)
+
+
+def test_with_axes_rejects_non_axis_fields():
+    spec = scenario_from_dict(_payload())
+    with pytest.raises(ScenarioError, match="non-axis.*title"):
+        spec.with_axes(title="nope")
+    narrowed = validate_scenario(spec.with_axes(size_exps=[8]))
+    assert narrowed.size_exps == (8,)
+    assert spec.size_exps == (10,)  # original untouched
+
+
+def test_axis_fields_constant_matches_the_spec_dataclass():
+    spec = scenario_from_dict(_payload())
+    for axis in AXIS_FIELDS:
+        assert isinstance(getattr(spec, axis), tuple)
+
+
+# -- file loading -----------------------------------------------------------
+
+
+def test_load_scenario_file_roundtrip(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(_payload()), encoding="utf-8")
+    assert load_scenario_file(path) == scenario_from_dict(_payload())
+
+
+def test_load_scenario_file_missing(tmp_path):
+    with pytest.raises(ScenarioError, match="does not exist"):
+        load_scenario_file(tmp_path / "nope.json")
+
+
+def test_load_scenario_file_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ScenarioError, match="not valid JSON"):
+        load_scenario_file(path)

@@ -1,0 +1,124 @@
+"""Property suite (Hypothesis) for the scenario schema.
+
+Two families of properties:
+
+1. **Round-trip**: any valid spec survives ``to_dict`` -> JSON ->
+   ``from_dict`` bit-identically, and its canonical JSON is a fixed
+   point (parsing and re-canonicalising changes nothing). This is what
+   makes content-derived campaign ids stable.
+2. **Rejection**: randomly corrupted specs (unknown machine/backend/
+   case, duplicated axis entries, stray axes, unknown option keys,
+   empty required grids) are rejected with a
+   :class:`~repro.errors.ScenarioError` that names the offending field.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScenarioError
+from repro.scenarios.schema import scenario_from_dict
+
+MACHINES = ["A", "B", "C"]
+BACKENDS = ["GCC-SEQ", "GCC-TBB", "GCC-GNU", "GCC-HPX", "ICC-TBB", "NVC-OMP"]
+CASES = ["find", "for_each_k1", "for_each_k1000", "inclusive_scan",
+         "reduce", "sort"]
+ALLOCATORS = ["default", "first-touch", "hpx", "interleaved"]
+
+
+def _axis(values, min_size=1, max_size=None):
+    """A duplicate-free, order-preserving sample of ``values``."""
+    return st.lists(st.sampled_from(values), min_size=min_size,
+                    max_size=max_size or len(values), unique=True)
+
+
+@st.composite
+def campaign_grid_payloads(draw):
+    """Valid ``campaign-grid`` spec payloads over the real registries."""
+    machines = draw(_axis(MACHINES))
+    backends = draw(_axis(BACKENDS))
+    payload = {
+        "name": draw(st.sampled_from(["prop-a", "prop-b", "prop-c"])),
+        "analysis": "campaign-grid",
+        "title": draw(st.sampled_from(["", "a title", "Sweep"])),
+        "machines": machines,
+        "backends": backends,
+        "cases": draw(_axis(CASES, max_size=3)),
+        "size_exps": [draw(st.integers(min_value=4, max_value=16))],
+        "threads": draw(st.lists(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=128)),
+            min_size=1, max_size=3, unique=True)),
+    }
+    if draw(st.booleans()):
+        payload["allocators"] = draw(_axis(ALLOCATORS, max_size=2))
+    if len(machines) > 1 and len(backends) > 1 and draw(st.booleans()):
+        payload["exclude"] = [[machines[0], backends[0]]]
+    return payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=campaign_grid_payloads())
+def test_valid_specs_roundtrip_canonical_json(payload):
+    spec = scenario_from_dict(payload)
+    # to_dict -> from_dict is the identity
+    assert scenario_from_dict(spec.to_dict()) == spec
+    # canonical JSON is a fixed point of parse + re-canonicalise
+    canonical = spec.canonical()
+    reparsed = scenario_from_dict(json.loads(canonical))
+    assert reparsed == spec
+    assert reparsed.canonical() == canonical
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=campaign_grid_payloads(), data=st.data())
+def test_corrupted_specs_are_rejected_naming_the_field(payload, data):
+    corruption = data.draw(st.sampled_from([
+        "unknown_machine", "unknown_backend", "unknown_case",
+        "duplicate_axis", "stray_axis", "unknown_option",
+        "empty_required", "unknown_field",
+    ]))
+    expect: str
+    if corruption == "unknown_machine":
+        payload["machines"] = payload["machines"] + ["Z9"]
+        expect = "machine 'Z9'"
+    elif corruption == "unknown_backend":
+        payload["backends"] = payload["backends"] + ["MSVC-PPL"]
+        expect = "backend 'MSVC-PPL'"
+    elif corruption == "unknown_case":
+        payload["cases"] = payload["cases"] + ["bogosort"]
+        expect = "case 'bogosort'"
+    elif corruption == "duplicate_axis":
+        payload["cases"] = payload["cases"] + [payload["cases"][0]]
+        expect = "'cases'"
+    elif corruption == "stray_axis":
+        payload["k_values"] = [1]
+        expect = "'k_values'"
+    elif corruption == "unknown_option":
+        payload["options"] = {"warp_speed": 9}
+        expect = "warp_speed"
+    elif corruption == "empty_required":
+        payload["backends"] = []
+        expect = "'backends'"
+    else:  # unknown_field
+        payload["frobnicate"] = True
+        expect = "frobnicate"
+    with pytest.raises(ScenarioError, match=expect):
+        scenario_from_dict(payload)
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=campaign_grid_payloads(),
+       exp=st.integers(min_value=4, max_value=16))
+def test_axis_overrides_preserve_validity_and_identity(payload, exp):
+    from repro.scenarios.schema import validate_scenario
+
+    spec = scenario_from_dict(payload)
+    narrowed = validate_scenario(spec.with_axes(size_exps=[exp]))
+    assert narrowed.size_exps == (exp,)
+    # overriding back to the original values restores the exact identity
+    restored = narrowed.with_axes(size_exps=list(spec.size_exps))
+    assert restored.canonical() == spec.canonical()

@@ -1,0 +1,204 @@
+"""Scenario submissions through the service: dedup + durable resume.
+
+A ``{"scenario": name, ...overrides}`` payload resolves through the
+scenario registry *inside* the scheduler, so its campaign id is derived
+from the resolved spec's content -- a scenario submission and the
+equivalent inline spec are the same campaign, dedup included. The chaos
+test SIGTERMs a real daemon mid-queue and checks that scenario-submitted
+campaigns resume to bit-identical results, mirroring
+``tests/service/test_shutdown.py`` for the scenario path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ServiceError
+from repro.scenarios.runner import service_payload
+from repro.service import ServiceClient, start_background
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def service(tmp_path):
+    with start_background(tmp_path / "svc", concurrent=2) as svc:
+        yield svc
+
+
+def test_scenario_submission_runs_to_completion(service):
+    client = ServiceClient(service.base_url)
+    doc = client.submit_scenario("table5", {"size_exps": [12]})
+    assert doc["_status"] == 202
+    done = client.wait(doc["id"], timeout=120)
+    assert done["state"] == "complete"
+    # the daemon computed exactly what a direct run of the resolved
+    # campaign computes
+    resolved = CampaignSpec.from_dict(
+        service_payload({"scenario": "table5", "size_exps": [12]}))
+    direct = run_campaign(resolved)
+    rows = client.results(doc["id"])["rows"]
+    by_task = {r["task_id"]: r["seconds"] for r in rows}
+    assert set(by_task) == set(direct.results)
+    for tid, result in direct.results.items():
+        assert by_task[tid] == result.seconds
+
+
+def test_scenario_dedups_against_the_equivalent_inline_spec(service):
+    client = ServiceClient(service.base_url)
+    inline = service_payload({"scenario": "table5", "size_exps": [12]})
+    first = client.submit(inline)
+    assert first["_status"] == 202
+    # same content, submitted as a scenario name + override: same id
+    dup = client.submit_scenario("table5", {"size_exps": [12]})
+    assert dup["_status"] == 200
+    assert dup["deduped"] is True
+    assert dup["id"] == first["id"]
+    assert client.metrics()["service_deduped"] == 1
+
+
+def test_inline_spec_dedups_against_a_prior_scenario_submission(service):
+    client = ServiceClient(service.base_url)
+    first = client.submit({"scenario": "table6", "size_exps": [12]})
+    dup = client.submit(service_payload({"scenario": "table6",
+                                         "size_exps": [12]}))
+    assert dup["deduped"] is True and dup["id"] == first["id"]
+
+
+def test_unknown_scenario_is_a_400(service):
+    client = ServiceClient(service.base_url)
+    with pytest.raises(ServiceError, match="HTTP 400"):
+        client.submit({"scenario": "fig99"})
+
+
+def test_non_campaign_scenario_is_a_400(service):
+    client = ServiceClient(service.base_url)
+    with pytest.raises(ServiceError, match="HTTP 400"):
+        client.submit_scenario("fig1")
+
+
+def test_bad_override_is_a_400(service):
+    client = ServiceClient(service.base_url)
+    with pytest.raises(ServiceError, match="HTTP 400"):
+        client.submit_scenario("table5", {"turbo": True})
+
+
+def test_cli_submit_scenario_flag(service, capsys):
+    from repro.service.cli import main as service_main
+
+    rc = service_main(["submit", "--scenario", "table5",
+                       "--override", '{"size_exps": [12]}',
+                       "--url", service.base_url, "--wait"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["state"] == "complete"
+
+
+def test_cli_submit_requires_exactly_one_source(service, capsys):
+    from repro.service.cli import main as service_main
+
+    assert service_main(["submit", "--url", service.base_url]) == 1
+    assert "exactly one" in capsys.readouterr().err
+    assert service_main(["submit", "--scenario", "fig99",
+                         "--url", service.base_url]) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+# -- SIGTERM drain + resume (subprocess daemon, like test_shutdown) ----------
+
+
+def _serve(root: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.service.cli", "serve", str(root),
+           "--concurrent", "1"]
+    return subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _wait_for_daemon(root: Path, timeout: float = 20.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            meta = json.loads((root / "service.json").read_text())
+            url = f"http://{meta['host']}:{meta['port']}"
+            ServiceClient(url).healthz()
+            return url
+        except (FileNotFoundError, json.JSONDecodeError, ServiceError):
+            time.sleep(0.05)
+    raise AssertionError("daemon did not come up")
+
+
+#: Distinct size exponents make each scenario submission its own
+#: campaign; a single-slot daemon keeps the later ones queued so the
+#: SIGTERM lands with work still pending.
+_RESUME_EXPS = (14, 15, 16, 17)
+
+
+@pytest.mark.chaos
+def test_scenario_campaigns_survive_sigterm_and_resume_bit_identically(tmp_path):
+    root = tmp_path / "svc"
+    daemon = _serve(root)
+    try:
+        url = _wait_for_daemon(root)
+        client = ServiceClient(url)
+        ids = [client.submit_scenario("table6", {"size_exps": [exp]})["id"]
+               for exp in _RESUME_EXPS]
+        assert len(set(ids)) == len(_RESUME_EXPS)
+        time.sleep(0.2)  # let the head of the queue make progress
+        daemon.send_signal(signal.SIGTERM)
+        out, err = daemon.communicate(timeout=60)
+        assert daemon.returncode == 0, err  # drained, not crashed
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+
+    # every scenario submission left a durable campaign dir whose
+    # spec.json is the *resolved* campaign spec (restart needs no
+    # scenario registry to adopt it)
+    for exp, cid in zip(_RESUME_EXPS, ids):
+        spec = json.loads(
+            (root / "campaigns" / cid / "spec.json").read_text())
+        assert spec["name"] == f"table6-2^{exp}"
+        assert "scenario" not in spec
+
+    daemon = _serve(root)
+    try:
+        url = _wait_for_daemon(root)
+        client = ServiceClient(url)
+        for exp, cid in zip(_RESUME_EXPS, ids):
+            done = client.wait(cid, timeout=120)
+            assert done["state"] == "complete"
+            resolved = CampaignSpec.from_dict(
+                service_payload({"scenario": "table6", "size_exps": [exp]}))
+            direct = run_campaign(resolved)
+            rows = client.results(cid)["rows"]
+            by_task = {r["task_id"]: (r["status"], r["seconds"])
+                       for r in rows}
+            assert set(by_task) == set(direct.results)
+            for tid, result in direct.results.items():
+                assert by_task[tid] == (result.status, result.seconds)
+        # a re-submission after restart still dedups against the
+        # recovered campaign
+        dup = client.submit_scenario("table6",
+                                     {"size_exps": [_RESUME_EXPS[0]]})
+        assert dup["deduped"] is True and dup["id"] == ids[0]
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+            try:
+                daemon.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                daemon.kill()
+                daemon.communicate()

@@ -51,6 +51,11 @@ def test_faults_layer_is_covered():
     assert "docs/ROBUSTNESS.md" in check_docs.FENCE_FILES
 
 
+def test_scenarios_layer_is_covered():
+    assert "repro.scenarios" in check_docs.DOCSTRING_PACKAGES
+    assert "docs/SCENARIOS.md" in check_docs.FENCE_FILES
+
+
 def test_list_mode_reports_coverage(capsys):
     assert check_docs.main(["--list"]) == 0
     out = capsys.readouterr().out

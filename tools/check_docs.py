@@ -43,6 +43,7 @@ FENCE_FILES = (
     "docs/PERFORMANCE.md",
     "docs/SERVICE.md",
     "docs/DISTRIBUTION.md",
+    "docs/SCENARIOS.md",
 )
 
 #: Packages (or plain modules) whose public API must be fully documented.
@@ -56,6 +57,7 @@ DOCSTRING_PACKAGES = (
     "repro.faults",
     "repro.service",
     "repro.remote",
+    "repro.scenarios",
 )
 
 #: Backwards-compatible alias (first entry of :data:`DOCSTRING_PACKAGES`).

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Differential harness: registry scenarios vs the legacy drivers.
+
+For every registered scenario with a legacy counterpart, run both the
+data-driven scenario engine (``repro.scenarios``) and the bespoke
+driver in ``repro.experiments``, and compare their cells and curves
+**bit-for-bit** -- floats via their hex encodings, like
+``tools/diffcheck.py`` does for the scalar/batch/wave engines. The
+legacy drivers are the pinned reference implementation; any drift in
+the registry specs or the kind runners fails here before it can reach
+the fidelity checks.
+
+Run directly::
+
+    python tools/scenario_equiv.py              # all scenarios
+    python tools/scenario_equiv.py --scenario fig8 --scenario table6
+    python tools/scenario_equiv.py --list       # show the pairings
+
+``pytest -m scenario_equiv`` (tests/scenarios/test_equivalence.py) runs
+the same comparisons one scenario per test case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def _hex(value) -> str | None:
+    """Bit-exact comparison form of one cell value."""
+    return None if value is None else float(value).hex()
+
+
+def _hex_curve(curve) -> tuple:
+    """Bit-exact comparison form of one (x, y) series."""
+    return tuple((_hex(x), _hex(y)) for x, y in curve)
+
+
+def legacy_artifact(name: str) -> tuple[dict, dict]:
+    """(cells, curves) from the pinned legacy driver for ``name``.
+
+    This intentionally re-implements the pre-registry fidelity builders:
+    the fidelity layer now measures through the registry, so the
+    reference here must call the ``repro.experiments`` drivers directly.
+    """
+    import importlib
+
+    mod = importlib.import_module(f"repro.experiments.{name}")
+    result = getattr(mod, f"run_{name}")()
+    cells = getattr(mod, f"{name}_cells")(result)
+    curves_fn = getattr(mod, f"{name}_curves", None)
+    return dict(cells), dict(curves_fn(result)) if curves_fn else {}
+
+
+def comparable_scenarios() -> tuple[str, ...]:
+    """Scenario names with a legacy driver to diff against.
+
+    Every registered scenario that binds a fidelity artifact
+    (``claims``) has one; purely user-shaped kinds (``campaign-grid``)
+    do not and are covered by self-consistency tests instead.
+    """
+    from repro.scenarios.registry import get_scenario, scenario_names
+
+    return tuple(n for n in scenario_names() if get_scenario(n).claims)
+
+
+def diff_scenario(name: str) -> list[str]:
+    """All bit-level differences for one scenario; empty list = identical."""
+    from repro.scenarios.runner import run_scenario
+
+    run = run_scenario(name)
+    legacy_cells, legacy_curves = legacy_artifact(name)
+
+    problems: list[str] = []
+    mine = {k: _hex(v) for k, v in run.cells.items()}
+    ref = {k: _hex(v) for k, v in legacy_cells.items()}
+    for key in sorted(set(ref) - set(mine)):
+        problems.append(f"{name}: cell {key!r} missing from scenario output")
+    for key in sorted(set(mine) - set(ref)):
+        problems.append(f"{name}: cell {key!r} not produced by legacy driver")
+    for key in sorted(set(mine) & set(ref)):
+        if mine[key] != ref[key]:
+            problems.append(
+                f"{name}: cell {key!r} differs: scenario={mine[key]} "
+                f"legacy={ref[key]}"
+            )
+    for key in sorted(set(legacy_curves) - set(run.curves)):
+        problems.append(f"{name}: curve {key!r} missing from scenario output")
+    for key in sorted(set(run.curves) - set(legacy_curves)):
+        problems.append(f"{name}: curve {key!r} not produced by legacy driver")
+    for key in sorted(set(run.curves) & set(legacy_curves)):
+        if _hex_curve(run.curves[key]) != _hex_curve(legacy_curves[key]):
+            problems.append(f"{name}: curve {key!r} differs point-wise")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Diff all (or selected) scenarios; exit non-zero on any difference."""
+    parser = argparse.ArgumentParser(
+        prog="scenario_equiv", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="check only this scenario (repeatable)")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="list the scenario/driver pairings and exit")
+    args = parser.parse_args(argv)
+
+    names = comparable_scenarios()
+    if args.list_only:
+        for name in names:
+            print(f"{name}: repro.scenarios <-> repro.experiments.{name}")
+        return 0
+    if args.scenario:
+        unknown = sorted(set(args.scenario) - set(names))
+        if unknown:
+            print(f"scenario_equiv: unknown scenario(s) {unknown}; "
+                  f"known: {list(names)}", file=sys.stderr)
+            return 2
+        names = tuple(n for n in names if n in set(args.scenario))
+
+    failures: list[str] = []
+    for name in names:
+        started = time.perf_counter()
+        problems = diff_scenario(name)
+        elapsed = time.perf_counter() - started
+        status = "OK" if not problems else f"{len(problems)} difference(s)"
+        print(f"{name}: {status} ({elapsed:.2f}s)")
+        failures.extend(problems)
+    if failures:
+        print(f"scenario_equiv: {len(failures)} problem(s)", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"scenario_equiv: OK ({len(names)} scenarios bit-identical to "
+          "their legacy drivers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
